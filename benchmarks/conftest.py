@@ -1,0 +1,53 @@
+"""Shared benchmark fixtures.
+
+Benchmarks run with ``pytest benchmarks/ --benchmark-only``.  Dataset
+graphs are built once per session; grammars are pre-normalized outside
+the timed regions (mirroring the paper, which times query evaluation on
+a prepared graph, not input parsing).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.registry import build_graph
+from repro.grammar.builders import (
+    same_generation_query1,
+    same_generation_query2,
+)
+from repro.grammar.cnf import to_cnf
+
+
+@pytest.fixture(scope="session")
+def query1_grammar():
+    """Q1 (Figure 10), original form for GLL."""
+    return same_generation_query1()
+
+
+@pytest.fixture(scope="session")
+def query1_cnf():
+    """Q1 normalized, for the matrix engines."""
+    return to_cnf(same_generation_query1())
+
+
+@pytest.fixture(scope="session")
+def query2_grammar():
+    return same_generation_query2()
+
+
+@pytest.fixture(scope="session")
+def query2_cnf():
+    return to_cnf(same_generation_query2())
+
+
+@pytest.fixture(scope="session")
+def dataset_graphs():
+    """Session-cached dataset graphs, built on first use."""
+    cache: dict[str, object] = {}
+
+    def get(name: str):
+        if name not in cache:
+            cache[name] = build_graph(name)
+        return cache[name]
+
+    return get

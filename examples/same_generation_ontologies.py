@@ -1,0 +1,53 @@
+"""The paper's evaluation workload: same-generation queries on ontologies.
+
+Builds the (synthetic substitutes of the) paper's ontology datasets,
+runs Query 1 and Query 2 with the sparse matrix engine and the GLL
+baseline, and prints the Table 1 / Table 2 rows next to the paper's
+published numbers.
+
+Run:  python examples/same_generation_ontologies.py [--all]
+
+Without ``--all`` only the sub-700-triple ontologies are used so the
+example finishes in a few seconds.
+"""
+
+import sys
+
+from repro.bench import format_table, measure
+from repro.datasets import ONTOLOGY_NAMES, build_graph, get_spec
+from repro.grammar import same_generation_query1, same_generation_query2
+
+
+def main() -> None:
+    run_all = "--all" in sys.argv
+    names = [
+        name for name in ONTOLOGY_NAMES
+        if run_all or get_spec(name).triples <= 700
+    ]
+
+    for query_name, grammar, attr in [
+        ("Query 1 (same layer)", same_generation_query1(), "query1"),
+        ("Query 2 (adjacent layers)", same_generation_query2(), "query2"),
+    ]:
+        rows = []
+        for name in names:
+            graph = build_graph(name)
+            sparse = measure("sparse", graph, grammar, "S")
+            gll = measure("gll", graph, grammar, "S")
+            paper = getattr(get_spec(name), attr)
+            rows.append([
+                name, get_spec(name).triples,
+                sparse.results, paper.results,
+                round(sparse.milliseconds, 1), round(gll.milliseconds, 1),
+                paper.scpu_ms, paper.gll_ms,
+            ])
+        print(format_table(
+            ["ontology", "#triples", "#results", "paper#res",
+             "sparse(ms)", "gll(ms)", "paper-sCPU", "paper-GLL"],
+            rows, title=query_name,
+        ))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Single-path semantics (Section 5): extracting witness paths.
+
+Uses the classic hard instance — two cycles sharing a node, queried
+with the Dyck grammar S -> a S b | a b — where witness paths must wind
+around both cycles.  For every pair in R_S the example extracts one
+witness whose length matches the closure's recorded annotation, and
+double-checks the witness labeling really derives from S (via CYK).
+
+Run:  python examples/single_path_extraction.py
+"""
+
+from repro import CFPQEngine, parse_grammar
+from repro.grammar import Nonterminal, cyk_recognize
+from repro.graph import two_cycles
+
+
+def main() -> None:
+    # a-cycle of length 3 and b-cycle of length 4 sharing node 0:
+    # balanced a^n b^n paths exist only for n ≡ 0 (mod 3) and (mod 4)
+    # alignments, so witnesses are long and wrap both cycles.
+    graph = two_cycles(3, 4, "a", "b")
+    grammar = parse_grammar("S -> a S b | a b", terminals=["a", "b"])
+    engine = CFPQEngine(graph, grammar)
+
+    pairs = sorted(engine.relational("S"))
+    print(f"graph: {graph!r}")
+    print(f"R_S contains {len(pairs)} pairs\n")
+
+    for source, target in pairs:
+        length = engine.path_length("S", source, target)
+        path = engine.single_path("S", source, target)
+        word = [label for _s, label, _t in path]
+        valid = cyk_recognize(engine.grammar, Nonterminal("S"), word)
+        rendering = " ".join(word)
+        print(f"({source} -> {target})  recorded length {length:2d}  "
+              f"witness: {rendering}  [derives from S: {valid}]")
+        assert valid and len(path) == length
+
+    print("\nAll witnesses verified: the labeling of every extracted path")
+    print("derives from S and its length equals the recorded annotation.")
+
+
+if __name__ == "__main__":
+    main()

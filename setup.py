@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+All metadata lives in pyproject.toml; this file only enables the legacy
+`pip install -e . --no-use-pep517` editable path used offline.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,58 @@
+"""repro — Context-Free Path Querying by Matrix Multiplication.
+
+A complete reproduction of Azimov & Grigorev (2018): context-free path
+query evaluation under the relational and single-path semantics reduced
+to a matrix transitive closure, with dense/sparse/pure-Python boolean
+matrix backends, the worklist and GLL-style baselines, the paper's
+evaluation datasets and the benchmark harness for Tables 1 and 2.
+
+Quickstart::
+
+    from repro import CFPQEngine, parse_grammar
+    from repro.graph import two_cycles
+
+    grammar = parse_grammar("S -> a S b | a b", terminals=["a", "b"])
+    engine = CFPQEngine(two_cycles(2, 3), grammar)
+    print(engine.relational("S"))
+    print(engine.single_path("S", 0, 0))
+"""
+
+from .core.engine import CFPQEngine, cfpq
+from .core.incremental import IncrementalCFPQ
+from .core.path_index import PathIndex
+from .core.matrix_cfpq import solve_matrix, solve_matrix_relations
+from .core.naive_closure import solve_naive
+from .core.relations import ContextFreeRelations
+from .core.single_path import build_single_path_index, extract_path
+from .errors import ReproError
+from .grammar import CFG, Nonterminal, Production, Terminal, parse_grammar, to_cnf
+from .graph import LabeledGraph, load_graph_file, load_rdf_graph, triples_to_graph
+from .regular import solve_rpq
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CFG",
+    "CFPQEngine",
+    "ContextFreeRelations",
+    "IncrementalCFPQ",
+    "LabeledGraph",
+    "Nonterminal",
+    "PathIndex",
+    "Production",
+    "ReproError",
+    "Terminal",
+    "__version__",
+    "build_single_path_index",
+    "cfpq",
+    "extract_path",
+    "load_graph_file",
+    "load_rdf_graph",
+    "parse_grammar",
+    "solve_matrix",
+    "solve_matrix_relations",
+    "solve_naive",
+    "solve_rpq",
+    "to_cnf",
+    "triples_to_graph",
+]

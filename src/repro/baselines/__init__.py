@@ -1,0 +1,6 @@
+"""Baseline CFPQ algorithms the paper compares against."""
+
+from .gll import GLLSolver, solve_gll
+from .hellings import solve_hellings
+
+__all__ = ["GLLSolver", "solve_gll", "solve_hellings"]

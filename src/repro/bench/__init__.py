@@ -1,0 +1,17 @@
+"""Benchmark harness reproducing the paper's evaluation section."""
+
+from .harness import PAPER_SOLVERS, SOLVERS, Measurement, measure
+from .reporting import format_table, speedup
+from .tables import TableRow, render_rows, run_table
+
+__all__ = [
+    "Measurement",
+    "PAPER_SOLVERS",
+    "SOLVERS",
+    "TableRow",
+    "format_table",
+    "measure",
+    "render_rows",
+    "run_table",
+    "speedup",
+]

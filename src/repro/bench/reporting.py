@@ -1,0 +1,47 @@
+"""Plain-text table rendering for benchmark reports.
+
+Formats rows the way the paper's Tables 1 and 2 are laid out so the
+reproduction output can be eyeballed against the publication.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Render an aligned monospace table."""
+    text_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    parts: list[str] = []
+    if title:
+        parts.append(title)
+        parts.append("=" * len(title))
+    parts.append(line(headers))
+    parts.append(line(["-" * width for width in widths]))
+    parts.extend(line(row) for row in text_rows)
+    return "\n".join(parts)
+
+
+def _cell(value: object) -> str:
+    if value is None:
+        return "—"
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    return str(value)
+
+
+def speedup(base_ms: float | None, other_ms: float | None) -> float | None:
+    """``base / other`` (how many times *other* is faster), None when
+    either side is missing or zero."""
+    if not base_ms or not other_ms:
+        return None
+    return base_ms / other_ms

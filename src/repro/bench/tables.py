@@ -1,0 +1,137 @@
+"""Regeneration of the paper's Tables 1 and 2.
+
+Run as a module::
+
+    python -m repro.bench.tables table1
+    python -m repro.bench.tables table2 --datasets skos foaf --solvers gll sparse
+    python -m repro.bench.tables both --max-triples 700
+
+For every dataset row the output shows our measured ``#results`` and
+per-solver milliseconds next to the paper's published values, so the
+*shape* comparison (who wins, how the gap grows) is direct.  Absolute
+times differ (Python on CPU vs F#/.NET and CUDA on a GTX 1070); see
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field
+
+from ..datasets.registry import ALL_NAMES, PaperRow, build_graph, get_spec
+from ..grammar.builders import same_generation_query1, same_generation_query2
+from ..graph.stats import graph_stats
+from .harness import PAPER_SOLVERS, Measurement, measure
+from .reporting import format_table
+
+
+@dataclass(frozen=True)
+class TableRow:
+    """One reproduced table row with the paper's reference values."""
+
+    dataset: str
+    triples: int
+    paper: PaperRow
+    measurements: dict[str, Measurement] = field(default_factory=dict)
+
+    @property
+    def results(self) -> int | None:
+        """Measured #results (identical across solvers; validated)."""
+        counts = {m.results for m in self.measurements.values()}
+        if len(counts) != 1:
+            return None
+        return counts.pop()
+
+
+def run_table(query: str, datasets: list[str] | None = None,
+              solvers: tuple[str, ...] = PAPER_SOLVERS,
+              max_triples: int | None = None,
+              repeats: int = 1) -> list[TableRow]:
+    """Measure one of the paper's tables.
+
+    *query* is ``"table1"``/``"q1"`` or ``"table2"``/``"q2"``.  Datasets
+    with more triples than *max_triples* are skipped (the dense solver
+    on g1–g3 is exactly the configuration the paper also skips).
+    """
+    if query in ("table1", "q1"):
+        grammar = same_generation_query1()
+        table_attr = "query1"
+    elif query in ("table2", "q2"):
+        grammar = same_generation_query2()
+        table_attr = "query2"
+    else:
+        raise ValueError(f"unknown table {query!r}; use table1 or table2")
+
+    names = list(datasets) if datasets else list(ALL_NAMES)
+    rows: list[TableRow] = []
+    for name in names:
+        spec = get_spec(name)
+        if max_triples is not None and spec.triples > max_triples:
+            continue
+        graph = build_graph(name)
+        measurements: dict[str, Measurement] = {}
+        for solver in solvers:
+            # Mirror the paper: dense representation is not run on the
+            # large synthetic graphs (it did not scale there either).
+            if solver == "dense" and spec.repeat_of is not None:
+                continue
+            measurements[solver] = measure(solver, graph, grammar, "S",
+                                           repeats=repeats)
+        rows.append(TableRow(
+            dataset=name,
+            triples=graph_stats(graph).triple_count,
+            paper=getattr(spec, table_attr),
+            measurements=measurements,
+        ))
+    return rows
+
+
+def render_rows(rows: list[TableRow], solvers: tuple[str, ...] = PAPER_SOLVERS,
+                title: str = "") -> str:
+    """Text table with measured and paper columns side by side."""
+    headers = ["Ontology", "#triples", "#results", "paper#results"]
+    for solver in solvers:
+        headers.append(f"{solver}(ms)")
+    headers.extend(["paperGLL(ms)", "paper-sCPU(ms)", "paper-sGPU(ms)"])
+
+    body: list[list[object]] = []
+    for row in rows:
+        cells: list[object] = [
+            row.dataset, row.triples, row.results, row.paper.results,
+        ]
+        for solver in solvers:
+            measurement = row.measurements.get(solver)
+            cells.append(None if measurement is None else measurement.milliseconds)
+        cells.extend([row.paper.gll_ms, row.paper.scpu_ms, row.paper.sgpu_ms])
+        body.append(cells)
+    return format_table(headers, body, title=title)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (``python -m repro.bench.tables``)."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("table", choices=["table1", "table2", "both"])
+    parser.add_argument("--datasets", nargs="*", default=None,
+                        help="subset of dataset names (default: all)")
+    parser.add_argument("--solvers", nargs="*", default=list(PAPER_SOLVERS),
+                        help="solver columns (default: gll dense sparse)")
+    parser.add_argument("--max-triples", type=int, default=None,
+                        help="skip datasets above this size")
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="best-of-N timing repeats")
+    args = parser.parse_args(argv)
+
+    tables = ["table1", "table2"] if args.table == "both" else [args.table]
+    for table in tables:
+        rows = run_table(table, datasets=args.datasets,
+                         solvers=tuple(args.solvers),
+                         max_triples=args.max_triples, repeats=args.repeats)
+        title = ("Table 1: Query 1 (same generation)" if table == "table1"
+                 else "Table 2: Query 2 (adjacent generation)")
+        print(render_rows(rows, solvers=tuple(args.solvers), title=title))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

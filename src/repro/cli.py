@@ -1,0 +1,209 @@
+"""Command-line interface: ``repro-cfpq``.
+
+Examples::
+
+    # Relational semantics with a named grammar over an edge-list graph
+    repro-cfpq query --graph graph.txt --grammar-name dyck1 --start S
+
+    # A grammar file, sparse backend, JSON output
+    repro-cfpq query --graph g.txt --grammar my.cfg --backend sparse --json
+
+    # One witness path (single-path semantics, Section 5)
+    repro-cfpq path --graph graph.txt --grammar-name dyck1 --start S \
+        --source 0 --target 3
+
+    # Reproduce the paper's tables
+    repro-cfpq tables table1 --max-triples 700
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .core.engine import CFPQEngine
+from .errors import ReproError
+from .grammar.builders import GRAMMAR_REGISTRY, get_grammar
+from .grammar.parser import parse_grammar
+from .graph.io import load_graph_file
+from .graph.rdf import load_rdf_graph
+
+
+def _load_grammar(args: argparse.Namespace):
+    if args.grammar_name:
+        return get_grammar(args.grammar_name)
+    if args.grammar:
+        with open(args.grammar, "r", encoding="utf-8") as stream:
+            return parse_grammar(stream.read())
+    raise SystemExit("one of --grammar or --grammar-name is required")
+
+
+def _load_graph(args: argparse.Namespace):
+    if args.rdf:
+        return load_rdf_graph(args.graph)
+    return load_graph_file(args.graph)
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--graph", required=True, help="edge-list graph file")
+    parser.add_argument("--rdf", action="store_true",
+                        help="treat the graph file as RDF triples "
+                             "(adds inverse edges, per the paper)")
+    parser.add_argument("--grammar", help="grammar file in the text DSL")
+    parser.add_argument("--grammar-name",
+                        choices=sorted(GRAMMAR_REGISTRY),
+                        help="built-in grammar")
+    parser.add_argument("--start", default="S", help="start non-terminal")
+    parser.add_argument("--backend", default="sparse",
+                        choices=["dense", "sparse", "pyset"])
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    engine = CFPQEngine(_load_graph(args), _load_grammar(args),
+                        backend=args.backend)
+    pairs = sorted(engine.relational(args.start), key=str)
+    if args.json:
+        print(json.dumps({"start": args.start, "count": len(pairs),
+                          "pairs": [[str(a), str(b)] for a, b in pairs]}))
+    else:
+        print(f"R_{args.start}: {len(pairs)} pairs")
+        for source, target in pairs:
+            print(f"  {source} -> {target}")
+    return 0
+
+
+def cmd_path(args: argparse.Namespace) -> int:
+    engine = CFPQEngine(_load_graph(args), _load_grammar(args),
+                        backend=args.backend)
+    graph = engine.graph
+
+    def coerce(token: str):
+        try:
+            candidate = int(token)
+        except ValueError:
+            candidate = token
+        return candidate if graph.has_node(candidate) else token
+
+    path = engine.single_path(args.start, coerce(args.source),
+                              coerce(args.target))
+    if args.json:
+        print(json.dumps([[str(graph.node_at(i)), label, str(graph.node_at(j))]
+                          for i, label, j in path]))
+    else:
+        print(f"path of length {len(path)}:")
+        for i, label, j in path:
+            print(f"  {graph.node_at(i)} -{label}-> {graph.node_at(j)}")
+    return 0
+
+
+def cmd_tables(args: argparse.Namespace) -> int:
+    from .bench.tables import main as tables_main
+
+    forwarded = [args.table]
+    if args.max_triples is not None:
+        forwarded += ["--max-triples", str(args.max_triples)]
+    return tables_main(forwarded)
+
+
+def cmd_rpq(args: argparse.Namespace) -> int:
+    from .regular.rpq import solve_rpq
+
+    pairs = sorted(solve_rpq(_load_graph(args), args.regex,
+                             backend=args.backend), key=str)
+    if args.json:
+        print(json.dumps({"regex": args.regex, "count": len(pairs),
+                          "pairs": [[str(a), str(b)] for a, b in pairs]}))
+    else:
+        print(f"RPQ {args.regex!r}: {len(pairs)} pairs")
+        for source, target in pairs:
+            print(f"  {source} -> {target}")
+    return 0
+
+
+def cmd_generate_dataset(args: argparse.Namespace) -> int:
+    from .datasets.registry import build_graph, dataset_names
+    from .graph.io import save_graph_file
+
+    if args.list:
+        for name in dataset_names():
+            print(name)
+        return 0
+    graph = build_graph(args.name)
+    save_graph_file(graph, args.output)
+    print(f"wrote {graph.node_count} nodes / {graph.edge_count} edges "
+          f"to {args.output}")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    from .graph.stats import graph_stats
+
+    stats = graph_stats(_load_graph(args))
+    print(json.dumps(stats.as_dict(), indent=2))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-cfpq",
+        description="Context-free path querying by matrix multiplication",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    query = subparsers.add_parser("query", help="relational semantics")
+    _add_common(query)
+    query.add_argument("--json", action="store_true")
+    query.set_defaults(handler=cmd_query)
+
+    path = subparsers.add_parser("path", help="single-path semantics")
+    _add_common(path)
+    path.add_argument("--source", required=True)
+    path.add_argument("--target", required=True)
+    path.add_argument("--json", action="store_true")
+    path.set_defaults(handler=cmd_path)
+
+    tables = subparsers.add_parser("tables", help="reproduce paper tables")
+    tables.add_argument("table", choices=["table1", "table2", "both"])
+    tables.add_argument("--max-triples", type=int, default=None)
+    tables.set_defaults(handler=cmd_tables)
+
+    rpq = subparsers.add_parser("rpq", help="regular path query")
+    rpq.add_argument("--graph", required=True, help="edge-list graph file")
+    rpq.add_argument("--rdf", action="store_true",
+                     help="treat the graph file as RDF triples")
+    rpq.add_argument("--regex", required=True,
+                     help="label regex, e.g. 'subClassOf_r+ subClassOf+'")
+    rpq.add_argument("--backend", default="sparse",
+                     choices=["dense", "sparse", "pyset", "bitset"])
+    rpq.add_argument("--json", action="store_true")
+    rpq.set_defaults(handler=cmd_rpq)
+
+    generate = subparsers.add_parser(
+        "generate-dataset", help="materialize an evaluation dataset graph"
+    )
+    generate.add_argument("name", nargs="?", default="skos")
+    generate.add_argument("--output", default="dataset.txt")
+    generate.add_argument("--list", action="store_true",
+                          help="list dataset names and exit")
+    generate.set_defaults(handler=cmd_generate_dataset)
+
+    stats = subparsers.add_parser("stats", help="graph statistics as JSON")
+    stats.add_argument("--graph", required=True)
+    stats.add_argument("--rdf", action="store_true")
+    stats.set_defaults(handler=cmd_stats)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``repro-cfpq`` console script."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

@@ -1,0 +1,100 @@
+"""Core CFPQ algorithms: the paper's contribution."""
+
+from .allpath import AllPathEnumerator, count_paths
+from .blocked import (
+    BlockedStats,
+    TileDeviceSimulator,
+    assemble_from_tiles,
+    blocked_multiply,
+    boolean_closure_blocked,
+    split_into_tiles,
+)
+from .conjunctive import (
+    ConjunctiveGrammar,
+    ConjunctiveRule,
+    TerminalRule,
+    anbncn_grammar,
+    solve_conjunctive_approx,
+)
+from .engine import SEMANTICS, CFPQEngine, cfpq
+from .incremental import IncrementalCFPQ
+from .matrix_cfpq import (
+    MatrixCFPQResult,
+    MatrixCFPQStats,
+    initial_boolean_matrices,
+    solve_matrix,
+    solve_matrix_relations,
+)
+from .path_index import PathIndex
+from .naive_closure import (
+    NaiveClosureResult,
+    build_initial_matrix,
+    relations_from_matrix,
+    solve_naive,
+    solve_naive_with_history,
+)
+from .relations import ContextFreeRelations
+from .single_path import (
+    Path,
+    PathEdge,
+    SinglePathIndex,
+    build_single_path_index,
+    extract_path,
+    iter_single_paths,
+    path_is_valid,
+    path_word,
+)
+from .transitive_closure import (
+    boolean_closure_incremental,
+    boolean_closure_naive,
+    boolean_closure_warshall,
+    closure_cf,
+    closure_cf_history,
+    closure_valiant,
+)
+
+__all__ = [
+    "AllPathEnumerator",
+    "BlockedStats",
+    "CFPQEngine",
+    "IncrementalCFPQ",
+    "PathIndex",
+    "TileDeviceSimulator",
+    "ConjunctiveGrammar",
+    "ConjunctiveRule",
+    "ContextFreeRelations",
+    "MatrixCFPQResult",
+    "MatrixCFPQStats",
+    "NaiveClosureResult",
+    "Path",
+    "PathEdge",
+    "SEMANTICS",
+    "SinglePathIndex",
+    "TerminalRule",
+    "anbncn_grammar",
+    "assemble_from_tiles",
+    "blocked_multiply",
+    "boolean_closure_blocked",
+    "boolean_closure_incremental",
+    "boolean_closure_naive",
+    "boolean_closure_warshall",
+    "build_initial_matrix",
+    "build_single_path_index",
+    "cfpq",
+    "closure_cf",
+    "closure_cf_history",
+    "closure_valiant",
+    "count_paths",
+    "extract_path",
+    "initial_boolean_matrices",
+    "iter_single_paths",
+    "path_is_valid",
+    "path_word",
+    "relations_from_matrix",
+    "solve_conjunctive_approx",
+    "solve_matrix",
+    "solve_matrix_relations",
+    "solve_naive",
+    "solve_naive_with_history",
+    "split_into_tiles",
+]

@@ -1,0 +1,121 @@
+"""All-path query semantics, bounded (paper §7 future work).
+
+The all-path semantics must present **all** paths for every triple
+``(A, m, n)``.  On cyclic graphs that set is infinite (the paper cites
+Hellings' annotated grammars as one fix); the tractable variant we
+implement enumerates all paths **up to a length bound**, driven by the
+same CNF decomposition the closure uses:
+
+    paths(A, i, j, ≤L) =
+        { (i,x,j) | (A → x) ∈ P, (i,x,j) ∈ E }                    (L ≥ 1)
+      ∪ { p1 ++ p2 | (A → B C) ∈ P, r ∈ V,
+                     p1 ∈ paths(B, i, r, ≤L-1), p2 ∈ paths(C, r, j, ≤L-1),
+                     |p1| + |p2| ≤ L }
+
+memoized on ``(A, i, j, L)``.  The relational projection of the bounded
+answer converges to ``R_A`` as L grows (test-checked), which is how the
+module doubles as an independent oracle for small graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator
+
+from ..grammar.cfg import CFG
+from ..grammar.cnf import ensure_cnf
+from ..grammar.symbols import Nonterminal, Terminal
+from ..graph.labeled_graph import LabeledGraph
+from .single_path import Path
+
+
+class AllPathEnumerator:
+    """Enumerates all derivation paths up to a length bound."""
+
+    def __init__(self, graph: LabeledGraph, grammar: CFG,
+                 normalize: bool = True):
+        self.graph = graph
+        self.grammar = ensure_cnf(grammar) if normalize else grammar
+        self.grammar.require_cnf("all-path enumeration")
+        self._edges: dict[tuple[int, int], list[str]] = {}
+        self._nodes_by_source: dict[int, set[int]] = {}
+        for i, label, j in graph.edges_by_id():
+            self._edges.setdefault((i, j), []).append(label)
+            self._nodes_by_source.setdefault(i, set()).add(j)
+        self._memo: dict[tuple[Nonterminal, int, int, int], frozenset[Path]] = {}
+
+    def paths(self, nonterminal: Nonterminal | str, source: Hashable,
+              target: Hashable, max_length: int) -> frozenset[Path]:
+        """All paths ``source π target`` with ``A ⇒* l(π)`` and
+        ``|π| ≤ max_length``."""
+        if isinstance(nonterminal, str):
+            nonterminal = Nonterminal(nonterminal)
+        self.grammar.require_nonterminal(nonterminal)
+        source_id = self.graph.node_id(source)
+        target_id = self.graph.node_id(target)
+        return self._paths(nonterminal, source_id, target_id, max_length)
+
+    def _paths(self, head: Nonterminal, i: int, j: int,
+               budget: int) -> frozenset[Path]:
+        if budget < 1:
+            return frozenset()
+        key = (head, i, j, budget)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        # Guard against re-entrant cycles: seed the memo with the empty
+        # set; any path found strictly within the budget is added below.
+        self._memo[key] = frozenset()
+
+        found: set[Path] = set()
+        for label in self._edges.get((i, j), ()):
+            if head in self.grammar.heads_for_terminal(Terminal(label)):
+                found.add(((i, label, j),))
+
+        if budget >= 2:
+            for rule in self.grammar.productions_for(head):
+                if not rule.is_binary_rule:
+                    continue
+                left, right = rule.body  # type: ignore[misc]
+                for r in range(self.graph.node_count):
+                    for left_path in self._paths(left, i, r, budget - 1):  # type: ignore[arg-type]
+                        remaining = budget - len(left_path)
+                        if remaining < 1:
+                            continue
+                        for right_path in self._paths(right, r, j, remaining):  # type: ignore[arg-type]
+                            found.add(left_path + right_path)
+
+        result = frozenset(found)
+        self._memo[key] = result
+        return result
+
+    def relation_pairs(self, nonterminal: Nonterminal | str,
+                       max_length: int) -> frozenset[tuple[int, int]]:
+        """Pairs (i, j) with at least one bounded path — converges to
+        ``R_A`` as *max_length* grows."""
+        if isinstance(nonterminal, str):
+            nonterminal = Nonterminal(nonterminal)
+        pairs: set[tuple[int, int]] = set()
+        for i in range(self.graph.node_count):
+            for j in range(self.graph.node_count):
+                if self._paths(nonterminal, i, j, max_length):
+                    pairs.add((i, j))
+        return frozenset(pairs)
+
+    def iter_paths(self, nonterminal: Nonterminal | str, max_length: int,
+                   ) -> Iterator[tuple[int, int, Path]]:
+        """Yield every (i, j, path) with ``|path| ≤ max_length``."""
+        if isinstance(nonterminal, str):
+            nonterminal = Nonterminal(nonterminal)
+        for i in range(self.graph.node_count):
+            for j in range(self.graph.node_count):
+                for path in sorted(self._paths(nonterminal, i, j, max_length)):
+                    yield (i, j, path)
+
+
+def count_paths(graph: LabeledGraph, grammar: CFG,
+                nonterminal: Nonterminal | str, max_length: int) -> int:
+    """Total number of bounded derivation paths across all node pairs."""
+    enumerator = AllPathEnumerator(graph, grammar)
+    return sum(
+        1 for _i, _j, _path in enumerator.iter_paths(nonterminal, max_length)
+    )

@@ -1,0 +1,219 @@
+"""Blocked (tiled) closure — the paper's §7 multi-GPU / out-of-core
+direction.
+
+The paper closes with two systems questions: can the closure's matrix
+multiplications be distributed across several GPUs, and can graphs
+larger than GPU DRAM be processed by the partitioned-closure technique
+of Katz & Kider [14]?  Both reduce to the same kernel-level property:
+the boolean product decomposes into **tiles**,
+
+    C[I,J] = ⋁_K  A[I,K] × B[K,J]
+
+where each tile product touches only (3 · tile_size²) cells at a time —
+that is the working-set bound out-of-core execution needs, and each
+(I, J, K) triple is an independent task — that is the parallel grain
+multi-GPU execution needs.
+
+We implement the tiled product and closure over any backend and
+*simulate* the device boundary: a :class:`TileDeviceSimulator` enforces
+a "device memory" capacity (in tiles) and counts tile loads/evictions
+(LRU), so tests can assert the working set really is bounded — the
+property that makes the approach viable on real hardware — without
+needing a GPU.  A round-robin scheduler records how tile tasks would
+spread over k devices.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from ..matrices.base import BooleanMatrix, MatrixBackend, get_backend
+
+#: A tile coordinate within the blocked matrix.
+TileIndex = tuple[int, int]
+
+
+def split_into_tiles(matrix: BooleanMatrix, tile_size: int,
+                     backend: MatrixBackend) -> dict[TileIndex, BooleanMatrix]:
+    """Partition a square matrix into ceil(n/tile_size)² tiles.
+
+    Edge tiles are padded to full tile size (padding cells stay False
+    and never affect the boolean product).
+    """
+    if tile_size < 1:
+        raise ValueError("tile_size must be positive")
+    n = matrix.shape[0]
+    grid = (n + tile_size - 1) // tile_size
+    buckets: dict[TileIndex, list[tuple[int, int]]] = {
+        (bi, bj): [] for bi in range(grid) for bj in range(grid)
+    }
+    for i, j in matrix.nonzero_pairs():
+        buckets[(i // tile_size, j // tile_size)].append(
+            (i % tile_size, j % tile_size)
+        )
+    return {
+        index: backend.from_pairs(tile_size, pairs)
+        for index, pairs in buckets.items()
+    }
+
+
+def assemble_from_tiles(tiles: dict[TileIndex, BooleanMatrix], size: int,
+                        tile_size: int,
+                        backend: MatrixBackend) -> BooleanMatrix:
+    """Inverse of :func:`split_into_tiles` (drops the padding)."""
+    pairs = []
+    for (bi, bj), tile in tiles.items():
+        base_i, base_j = bi * tile_size, bj * tile_size
+        for ti, tj in tile.nonzero_pairs():
+            i, j = base_i + ti, base_j + tj
+            if i < size and j < size:
+                pairs.append((i, j))
+    return backend.from_pairs(size, pairs)
+
+
+@dataclass
+class TileDeviceSimulator:
+    """An LRU "device memory" holding at most *capacity_tiles* tiles.
+
+    ``touch`` marks a tile resident (loading it if absent, evicting the
+    least recently used tile when full).  Counters expose the traffic a
+    real accelerator would see.
+    """
+
+    capacity_tiles: int
+    loads: int = 0
+    evictions: int = 0
+    hits: int = 0
+    _resident: OrderedDict = field(default_factory=OrderedDict)
+
+    def __post_init__(self) -> None:
+        if self.capacity_tiles < 3:
+            raise ValueError(
+                "a tile product needs at least 3 resident tiles (A, B, C)"
+            )
+
+    def touch(self, tag: tuple) -> None:
+        if tag in self._resident:
+            self._resident.move_to_end(tag)
+            self.hits += 1
+            return
+        self.loads += 1
+        self._resident[tag] = True
+        if len(self._resident) > self.capacity_tiles:
+            self._resident.popitem(last=False)
+            self.evictions += 1
+
+    @property
+    def resident_count(self) -> int:
+        """Tiles currently on the simulated device (≤ capacity)."""
+        return len(self._resident)
+
+
+@dataclass(frozen=True)
+class BlockedStats:
+    """Instrumentation of a blocked closure run."""
+
+    tile_size: int
+    grid: int
+    tile_products: int
+    iterations: int
+    device_loads: int
+    device_evictions: int
+    tasks_per_device: dict[int, int]
+
+
+def blocked_multiply(left_tiles: dict[TileIndex, BooleanMatrix],
+                     right_tiles: dict[TileIndex, BooleanMatrix],
+                     grid: int,
+                     device: TileDeviceSimulator | None = None,
+                     device_count: int = 1,
+                     task_counter: dict[int, int] | None = None,
+                     ) -> tuple[dict[TileIndex, BooleanMatrix], int]:
+    """Tiled boolean product; returns (result tiles, #tile products).
+
+    Each (I, J, K) product is assigned to device ``(I·grid + J) %
+    device_count`` — the round-robin owner-computes schedule; with a
+    :class:`TileDeviceSimulator` every operand/result touch is recorded.
+    """
+    products = 0
+    result: dict[TileIndex, BooleanMatrix] = {}
+    for bi in range(grid):
+        for bj in range(grid):
+            owner = (bi * grid + bj) % device_count
+            accumulator: BooleanMatrix | None = None
+            for bk in range(grid):
+                left = left_tiles[(bi, bk)]
+                right = right_tiles[(bk, bj)]
+                if left.nnz() == 0 or right.nnz() == 0:
+                    continue
+                if device is not None:
+                    device.touch(("A", bi, bk))
+                    device.touch(("B", bk, bj))
+                    device.touch(("C", bi, bj))
+                product = left.multiply(right)
+                products += 1
+                if task_counter is not None:
+                    task_counter[owner] = task_counter.get(owner, 0) + 1
+                accumulator = (product if accumulator is None
+                               else accumulator.union(product))
+            if accumulator is not None:
+                result[(bi, bj)] = accumulator
+    return result, products
+
+
+def boolean_closure_blocked(matrix: BooleanMatrix, tile_size: int,
+                            backend: "str | MatrixBackend" = "sparse",
+                            device_capacity_tiles: int | None = None,
+                            device_count: int = 1,
+                            ) -> tuple[BooleanMatrix, BlockedStats]:
+    """Transitive closure ``a ← a ∪ a×a`` computed tile-by-tile.
+
+    *device_capacity_tiles* (default: 3, the minimum) bounds the
+    simulated device memory; *device_count* spreads tile tasks
+    round-robin.  Returns the closed matrix plus :class:`BlockedStats`.
+    """
+    if not matrix.is_square:
+        raise ValueError("transitive closure requires a square matrix")
+    backend_obj = get_backend(backend)
+    n = matrix.shape[0]
+    grid = max(1, (n + tile_size - 1) // tile_size)
+    device = TileDeviceSimulator(device_capacity_tiles or 3)
+    task_counter: dict[int, int] = {}
+
+    tiles = split_into_tiles(matrix, tile_size, backend_obj)
+    iterations = 0
+    total_products = 0
+    while True:
+        iterations += 1
+        square, products = blocked_multiply(
+            tiles, tiles, grid, device=device, device_count=device_count,
+            task_counter=task_counter,
+        )
+        total_products += products
+        changed = False
+        merged: dict[TileIndex, BooleanMatrix] = {}
+        for index, tile in tiles.items():
+            addition = square.get(index)
+            if addition is None:
+                merged[index] = tile
+                continue
+            union = tile.union(addition)
+            if union.nnz() != tile.nnz():
+                changed = True
+            merged[index] = union
+        tiles = merged
+        if not changed:
+            break
+
+    closed = assemble_from_tiles(tiles, n, tile_size, backend_obj)
+    stats = BlockedStats(
+        tile_size=tile_size,
+        grid=grid,
+        tile_products=total_products,
+        iterations=iterations,
+        device_loads=device.loads,
+        device_evictions=device.evictions,
+        tasks_per_device=dict(sorted(task_counter.items())),
+    )
+    return closed, stats

@@ -1,0 +1,189 @@
+"""High-level query engine — the library's main entry point.
+
+Typical use::
+
+    from repro import CFPQEngine, parse_grammar
+    from repro.graph import load_graph_file
+
+    grammar = parse_grammar("S -> a S b | a b", terminals=["a", "b"])
+    graph = load_graph_file("graph.txt")
+
+    engine = CFPQEngine(graph, grammar)            # normalizes to CNF once
+    pairs = engine.relational("S")                 # frozenset of node pairs
+    path = engine.single_path("S", 0, 3)           # one witness path
+    all_paths = engine.all_paths("S", 0, 3, max_length=10)
+
+The engine normalizes the grammar a single time, caches the solved
+closure per (semantics, backend), and maps results back to the caller's
+node objects.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from ..errors import SemanticsError
+from ..grammar.cfg import CFG
+from ..grammar.cnf import ensure_cnf
+from ..grammar.symbols import Nonterminal
+from ..graph.labeled_graph import LabeledGraph
+from .allpath import AllPathEnumerator
+from .matrix_cfpq import MatrixCFPQResult, solve_matrix
+from .relations import ContextFreeRelations
+from .single_path import (
+    Path,
+    SinglePathIndex,
+    build_single_path_index,
+    extract_path,
+)
+
+#: The query semantics understood by :meth:`CFPQEngine.evaluate`.
+SEMANTICS = ("relational", "single-path", "all-path")
+
+
+class CFPQEngine:
+    """A prepared (graph, grammar) pair answering CFPQ queries.
+
+    Parameters
+    ----------
+    graph:
+        The edge-labeled graph ``D = (V, E)``.
+    grammar:
+        Any context-free grammar; normalized to CNF internally.
+    backend:
+        Default boolean matrix backend (``"sparse"``, ``"dense"`` or
+        ``"pyset"``); overridable per call.
+    """
+
+    def __init__(self, graph: LabeledGraph, grammar: CFG,
+                 backend: str = "sparse"):
+        self.graph = graph
+        self.original_grammar = grammar
+        self.grammar = ensure_cnf(grammar)
+        self.backend = backend
+        self._matrix_results: dict[str, MatrixCFPQResult] = {}
+        self._single_path_index: SinglePathIndex | None = None
+        self._all_path_enumerator: AllPathEnumerator | None = None
+
+    # ------------------------------------------------------------------
+    # Relational semantics
+    # ------------------------------------------------------------------
+    def solve(self, backend: str | None = None) -> MatrixCFPQResult:
+        """Run (and cache) the boolean-matrix closure."""
+        backend_name = backend or self.backend
+        if backend_name not in self._matrix_results:
+            self._matrix_results[backend_name] = solve_matrix(
+                self.graph, self.grammar, backend=backend_name, normalize=False
+            )
+        return self._matrix_results[backend_name]
+
+    def relations(self, backend: str | None = None) -> ContextFreeRelations:
+        """All relations ``R_A`` (including CNF helper non-terminals)."""
+        return self.solve(backend).relations
+
+    def relational(self, start: Nonterminal | str,
+                   backend: str | None = None,
+                   ) -> frozenset[tuple[Hashable, Hashable]]:
+        """``R_S`` for the queried start non-terminal, as node objects —
+        the paper's relational query semantics."""
+        start_nt = _as_nonterminal(start)
+        self.grammar.require_nonterminal(start_nt)
+        return self.relations(backend).node_pairs(start_nt)
+
+    def count(self, start: Nonterminal | str, backend: str | None = None) -> int:
+        """``|R_S|`` — the paper's #results."""
+        return len(self.relational(start, backend))
+
+    # ------------------------------------------------------------------
+    # Single-path semantics (Section 5)
+    # ------------------------------------------------------------------
+    def single_path_index(self) -> SinglePathIndex:
+        """The length-annotated closure, built once."""
+        if self._single_path_index is None:
+            self._single_path_index = build_single_path_index(
+                self.graph, self.grammar, normalize=False
+            )
+        return self._single_path_index
+
+    def single_path(self, start: Nonterminal | str, source: Hashable,
+                    target: Hashable) -> Path:
+        """One witness path for ``(start, source, target)``; raises
+        :class:`~repro.errors.PathNotFoundError` when the pair is not in
+        the relation."""
+        start_nt = _as_nonterminal(start)
+        self.grammar.require_nonterminal(start_nt)
+        return extract_path(self.single_path_index(), start_nt, source, target)
+
+    def path_length(self, start: Nonterminal | str, source: Hashable,
+                    target: Hashable) -> int | None:
+        """The recorded witness-path length ``l_A``, or None."""
+        start_nt = _as_nonterminal(start)
+        index = self.single_path_index()
+        return index.length_of(
+            start_nt, self.graph.node_id(source), self.graph.node_id(target)
+        )
+
+    # ------------------------------------------------------------------
+    # Bounded all-path semantics (§7 future work)
+    # ------------------------------------------------------------------
+    def all_paths(self, start: Nonterminal | str, source: Hashable,
+                  target: Hashable, max_length: int) -> frozenset[Path]:
+        """All witness paths of length ≤ *max_length*."""
+        if self._all_path_enumerator is None:
+            self._all_path_enumerator = AllPathEnumerator(
+                self.graph, self.grammar, normalize=False
+            )
+        return self._all_path_enumerator.paths(
+            _as_nonterminal(start), source, target, max_length
+        )
+
+    # ------------------------------------------------------------------
+    # Uniform entry point
+    # ------------------------------------------------------------------
+    def evaluate(self, start: Nonterminal | str, semantics: str = "relational",
+                 **kwargs):
+        """Dispatch on *semantics* (``relational`` | ``single-path`` |
+        ``all-path``); see the specific methods for the result types."""
+        if semantics == "relational":
+            return self.relational(start, backend=kwargs.get("backend"))
+        if semantics == "single-path":
+            index = self.single_path_index()
+            start_nt = _as_nonterminal(start)
+            return {
+                (self.graph.node_at(i), self.graph.node_at(j)):
+                    extract_path(index, start_nt, self.graph.node_at(i),
+                                 self.graph.node_at(j))
+                for (i, j), entries in index.cells.items()
+                if start_nt in entries
+            }
+        if semantics == "all-path":
+            max_length = kwargs.get("max_length")
+            if max_length is None:
+                raise SemanticsError("all-path semantics requires max_length=")
+            start_nt = _as_nonterminal(start)
+            if self._all_path_enumerator is None:
+                self._all_path_enumerator = AllPathEnumerator(
+                    self.graph, self.grammar, normalize=False
+                )
+            enumerator = self._all_path_enumerator
+            return {
+                (self.graph.node_at(i), self.graph.node_at(j)): paths
+                for i in range(self.graph.node_count)
+                for j in range(self.graph.node_count)
+                if (paths := enumerator.paths(
+                    start_nt, self.graph.node_at(i), self.graph.node_at(j),
+                    max_length))
+            }
+        raise SemanticsError(
+            f"unknown semantics {semantics!r}; expected one of {SEMANTICS}"
+        )
+
+
+def cfpq(graph: LabeledGraph, grammar: CFG, start: Nonterminal | str,
+         backend: str = "sparse") -> frozenset[tuple[Hashable, Hashable]]:
+    """One-shot relational CFPQ: ``R_start`` as node-object pairs."""
+    return CFPQEngine(graph, grammar, backend=backend).relational(start)
+
+
+def _as_nonterminal(value: Nonterminal | str) -> Nonterminal:
+    return value if isinstance(value, Nonterminal) else Nonterminal(value)

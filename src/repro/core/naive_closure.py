@@ -1,0 +1,81 @@
+"""Algorithm 1 in its literal, set-matrix form.
+
+``contextFreePathQuerying(D, G)`` from the paper (Section 4.2):
+
+1. enumerate graph nodes ``0 .. |V|-1``;
+2. initialize ``T[i,j] = {A | (i,x,j) ∈ E, (A → x) ∈ P}``;
+3. iterate ``T ← T ∪ (T × T)`` until the matrix stops changing;
+4. read ``R_A = {(i, j) | A ∈ T_cf[i,j]}`` (Theorem 2).
+
+This implementation exists for clarity and as a differential-testing
+oracle; the boolean-decomposed engine in
+:mod:`repro.core.matrix_cfpq` is the production path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..grammar.cfg import CFG
+from ..grammar.cnf import ensure_cnf
+from ..graph.labeled_graph import LabeledGraph
+from ..matrices.setmatrix import SetMatrix, initial_matrix
+from .relations import ContextFreeRelations
+from .transitive_closure import closure_cf, closure_cf_history
+
+
+@dataclass(frozen=True)
+class NaiveClosureResult:
+    """Outcome of the set-matrix algorithm: final matrix, iteration
+    count (the paper's ``k`` such that ``T_k = T_{k-1}``) and the
+    extracted relations."""
+
+    matrix: SetMatrix
+    iterations: int
+    relations: ContextFreeRelations
+
+
+def build_initial_matrix(graph: LabeledGraph, grammar: CFG) -> SetMatrix:
+    """Algorithm 1 lines 2-7: the |V|×|V| set-valued matrix ``T0``."""
+    return initial_matrix(graph.node_count, grammar, graph.edges_by_id())
+
+
+def solve_naive(graph: LabeledGraph, grammar: CFG,
+                normalize: bool = True) -> NaiveClosureResult:
+    """Run the paper's Algorithm 1 literally.
+
+    With *normalize* (default) the grammar is converted to CNF first;
+    the returned relations then cover every non-terminal of the
+    *normalized* grammar (original non-terminals keep their names, so
+    querying the original start symbol works unchanged).
+    """
+    working_grammar = ensure_cnf(grammar) if normalize else grammar
+    working_grammar.require_cnf("Algorithm 1")
+
+    history = closure_cf_history(build_initial_matrix(graph, working_grammar))
+    final = history[-1]
+    # history = [T0, T1, ..., Tk] with Tk == T(k-1); the loop body ran
+    # len(history) - 1 times.
+    iterations = len(history) - 1
+
+    relations = relations_from_matrix(graph, working_grammar, final)
+    return NaiveClosureResult(matrix=final, iterations=iterations,
+                              relations=relations)
+
+
+def solve_naive_with_history(graph: LabeledGraph, grammar: CFG,
+                             normalize: bool = True) -> list[SetMatrix]:
+    """The full matrix sequence ``[T0, T1, ..., Tk]`` — reproduces the
+    paper's Figures 6-8 step by step."""
+    working_grammar = ensure_cnf(grammar) if normalize else grammar
+    working_grammar.require_cnf("Algorithm 1")
+    return closure_cf_history(build_initial_matrix(graph, working_grammar))
+
+
+def relations_from_matrix(graph: LabeledGraph, grammar: CFG,
+                          matrix: SetMatrix) -> ContextFreeRelations:
+    """Read every ``R_A`` out of a closed matrix (Theorem 2)."""
+    return ContextFreeRelations(
+        graph,
+        {nt: matrix.pairs_with(nt) for nt in grammar.nonterminals},
+    )

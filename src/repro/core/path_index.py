@@ -1,0 +1,280 @@
+"""Derivation index: a parse-forest view over the closed matrices.
+
+The paper's §7 asks whether parse forests — the natural answer
+representation for the *all-path* semantics — can be built by matrix
+multiplication on graphs, as Okhotin [19] does for linear inputs.  The
+key observation this module implements: once the relational closure is
+computed, the forest is *implicitly present* in the final matrices.
+For a pair ``(i, j) ∈ R_A`` every derivation decomposes as either
+
+* a terminal edge ``(i, x, j)`` with ``(A → x) ∈ P``, or
+* a split ``(A → B C, r)`` with ``(i, r) ∈ R_B`` and ``(r, j) ∈ R_C``,
+
+and both alternatives are directly readable from the closed relations —
+no re-parsing required.  :class:`PathIndex` materializes this shared
+forest (an SPPF in parsing terms: nodes ``(A, i, j)``, packed children
+per split) and supports:
+
+* :meth:`splits` / :meth:`terminal_edges` — forest inspection;
+* :meth:`count_paths` — the number of distinct derivation paths up to a
+  length bound, by dynamic programming over the forest (no enumeration);
+* :meth:`iter_paths` — lazy enumeration in order of increasing length;
+* :meth:`shortest_path_length` — minimal witness length per pair (the
+  quantity Hellings' single-path algorithm computes [12]).
+
+Cycles in the graph make the forest cyclic (infinitely many paths); the
+DP and the enumerator are bound-parameterized, which is the standard
+annotated-grammar-free way to keep the all-path answer finite (§7).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import defaultdict
+from typing import Hashable, Iterator
+
+from ..grammar.cfg import CFG
+from ..grammar.cnf import ensure_cnf
+from ..grammar.symbols import Nonterminal, Terminal
+from ..graph.labeled_graph import LabeledGraph
+from .matrix_cfpq import solve_matrix
+from .relations import ContextFreeRelations
+from .single_path import Path
+
+#: One binary split of (A, i, j): (left nonterminal, right nonterminal, mid).
+Split = tuple[Nonterminal, Nonterminal, int]
+
+
+class PathIndex:
+    """The implicit parse forest of one CFPQ evaluation."""
+
+    def __init__(self, graph: LabeledGraph, grammar: CFG,
+                 relations: ContextFreeRelations):
+        self.graph = graph
+        self.grammar = grammar
+        self.relations = relations
+        # (i, j) -> labels of edges i -> j (for terminal derivations)
+        self._edge_labels: dict[tuple[int, int], list[str]] = defaultdict(list)
+        for i, label, j in graph.edges_by_id():
+            self._edge_labels[(i, j)].append(label)
+        # per non-terminal: i -> set of j (row view of R_A)
+        self._rows: dict[Nonterminal, dict[int, set[int]]] = {}
+        for nonterminal in grammar.nonterminals:
+            rows: dict[int, set[int]] = defaultdict(set)
+            for i, j in relations.pairs(nonterminal):
+                rows[i].add(j)
+            self._rows[nonterminal] = dict(rows)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, graph: LabeledGraph, grammar: CFG,
+              backend: str = "sparse") -> "PathIndex":
+        """Run the matrix engine and wrap its closed relations."""
+        cnf = ensure_cnf(grammar)
+        result = solve_matrix(graph, cnf, backend=backend, normalize=False)
+        return cls(graph, cnf, result.relations)
+
+    # ------------------------------------------------------------------
+    # Forest structure
+    # ------------------------------------------------------------------
+    def terminal_edges(self, nonterminal: Nonterminal, i: int,
+                       j: int) -> list[str]:
+        """Labels x with ``(i, x, j) ∈ E`` and ``(A → x) ∈ P``."""
+        return [
+            label for label in self._edge_labels.get((i, j), ())
+            if nonterminal in self.grammar.heads_for_terminal(Terminal(label))
+        ]
+
+    def splits(self, nonterminal: Nonterminal, i: int, j: int) -> list[Split]:
+        """All binary decompositions of the forest node ``(A, i, j)``."""
+        found: list[Split] = []
+        for rule in self.grammar.productions_for(nonterminal):
+            if not rule.is_binary_rule:
+                continue
+            left, right = rule.body  # type: ignore[misc]
+            left_row = self._rows.get(left, {}).get(i, ())
+            right_rows = self._rows.get(right, {})
+            for r in left_row:
+                if j in right_rows.get(r, ()):
+                    found.append((left, right, r))  # type: ignore[arg-type]
+        return found
+
+    def node_exists(self, nonterminal: Nonterminal, i: int, j: int) -> bool:
+        """``(i, j) ∈ R_A``."""
+        return j in self._rows.get(nonterminal, {}).get(i, ())
+
+    # ------------------------------------------------------------------
+    # Path counting (DP over the forest, length-stratified)
+    # ------------------------------------------------------------------
+    def count_paths(self, nonterminal: Nonterminal | str, source: Hashable,
+                    target: Hashable, max_length: int) -> int:
+        """Number of distinct derivation paths of length ≤ *max_length*.
+
+        DP on ``counts[(A, i, j)][l]`` = number of derivations of exactly
+        length l; splits convolve left and right counts.  Distinct
+        *derivations* of the same edge sequence (ambiguous grammars)
+        count once per edge sequence — we count paths, not parse trees,
+        by deduplicating at the edge-sequence level per length via the
+        enumerator when ambiguity is possible.  For unambiguous grammars
+        the DP is exact and O(nodes · max_length²).
+        """
+        nonterminal = _as_nonterminal(nonterminal)
+        i = self.graph.node_id(source)
+        j = self.graph.node_id(target)
+        return sum(
+            1 for _ in self.iter_paths(nonterminal, source, target, max_length)
+        ) if self._grammar_is_ambiguous() else self._count_dp(
+            nonterminal, i, j, max_length
+        )
+
+    def _grammar_is_ambiguous(self) -> bool:
+        """Cheap over-approximation: a grammar with two rules sharing a
+        head that can derive the same spans may be ambiguous; we only
+        shortcut the DP for obviously-unambiguous single-rule heads."""
+        by_head: dict[Nonterminal, int] = defaultdict(int)
+        for rule in self.grammar.productions:
+            by_head[rule.head] += 1
+        return any(count > 1 for count in by_head.values())
+
+    def _count_dp(self, nonterminal: Nonterminal, i: int, j: int,
+                  max_length: int) -> int:
+        memo: dict[tuple[Nonterminal, int, int], list[int]] = {}
+
+        def counts(head: Nonterminal, a: int, b: int) -> list[int]:
+            key = (head, a, b)
+            if key in memo:
+                return memo[key]
+            vector = [0] * (max_length + 1)
+            memo[key] = vector  # cycle guard: zeros while computing
+            if 1 <= max_length and self.terminal_edges(head, a, b):
+                vector[1] += len(self.terminal_edges(head, a, b))
+            for left, right, r in self.splits(head, a, b):
+                left_counts = counts(left, a, r)
+                right_counts = counts(right, r, b)
+                for l1 in range(1, max_length):
+                    if not left_counts[l1]:
+                        continue
+                    for l2 in range(1, max_length - l1 + 1):
+                        if right_counts[l2]:
+                            vector[l1 + l2] += left_counts[l1] * right_counts[l2]
+            return vector
+
+        # Fixpoint for cyclic forests: iterate until counts stabilize.
+        previous = None
+        for _ in range(max_length + 1):
+            memo.clear()
+            total = sum(counts(nonterminal, i, j))
+            if total == previous:
+                break
+            previous = total
+        return previous or 0
+
+    # ------------------------------------------------------------------
+    # Lazy enumeration (shortest first)
+    # ------------------------------------------------------------------
+    def iter_paths(self, nonterminal: Nonterminal | str, source: Hashable,
+                   target: Hashable, max_length: int) -> Iterator[Path]:
+        """Enumerate all distinct paths of length ≤ *max_length*, in
+        non-decreasing length order."""
+        nonterminal = _as_nonterminal(nonterminal)
+        i = self.graph.node_id(source)
+        j = self.graph.node_id(target)
+        if not self.node_exists(nonterminal, i, j):
+            return
+        emitted: set[Path] = set()
+        # Breadth via best-first on partial derivations: a frontier item
+        # is (length, path) for completed derivations of (A, i, j).
+        for length in range(1, max_length + 1):
+            for path in self._paths_of_length(nonterminal, i, j, length,
+                                              frozenset()):
+                if path not in emitted:
+                    emitted.add(path)
+                    yield path
+
+    def _paths_of_length(self, head: Nonterminal, i: int, j: int,
+                         length: int,
+                         in_progress: frozenset) -> Iterator[Path]:
+        """All derivation paths of (head, i, j) of *exactly* `length`."""
+        key = (head, i, j, length)
+        if key in in_progress:   # cyclic re-entry cannot shorten length
+            return
+        marker = in_progress | {key}
+        if length == 1:
+            for label in self.terminal_edges(head, i, j):
+                yield ((i, label, j),)
+            return
+        for left, right, r in self.splits(head, i, j):
+            for l1 in range(1, length):
+                for left_path in self._paths_of_length(left, i, r, l1, marker):
+                    for right_path in self._paths_of_length(
+                            right, r, j, length - l1, marker):
+                        yield left_path + right_path
+
+    # ------------------------------------------------------------------
+    # Shortest witnesses
+    # ------------------------------------------------------------------
+    def shortest_path_length(self, nonterminal: Nonterminal | str,
+                             source: Hashable, target: Hashable) -> int | None:
+        """The minimal witness length for ``(source, target) ∈ R_A`` —
+        Dijkstra over forest nodes (every node's cost = min over its
+        terminal edges and splits)."""
+        nonterminal = _as_nonterminal(nonterminal)
+        i = self.graph.node_id(source)
+        j = self.graph.node_id(target)
+        if not self.node_exists(nonterminal, i, j):
+            return None
+
+        # Collect the reachable sub-forest, then run a priority-queue
+        # relaxation from terminal leaves upward.
+        best: dict[tuple[Nonterminal, int, int], int] = {}
+        dependents: dict[tuple, list[tuple]] = defaultdict(list)
+        nodes: set[tuple[Nonterminal, int, int]] = set()
+        stack = [(nonterminal, i, j)]
+        while stack:
+            node = stack.pop()
+            if node in nodes:
+                continue
+            nodes.add(node)
+            head, a, b = node
+            for left, right, r in self.splits(head, a, b):
+                left_node = (left, a, r)
+                right_node = (right, r, b)
+                dependents[left_node].append((node, left_node, right_node))
+                dependents[right_node].append((node, left_node, right_node))
+                stack.extend((left_node, right_node))
+
+        heap: list[tuple[int, tuple[Nonterminal, int, int]]] = []
+        for node in nodes:
+            head, a, b = node
+            if self.terminal_edges(head, a, b):
+                best[node] = 1
+                heapq.heappush(heap, (1, _node_key(node)))
+
+        keyed = {_node_key(node): node for node in nodes}
+        while heap:
+            cost, key = heapq.heappop(heap)
+            node = keyed[key]
+            if cost > best.get(node, float("inf")):
+                continue
+            for parent, left_node, right_node in dependents[node]:
+                left_cost = best.get(left_node)
+                right_cost = best.get(right_node)
+                if left_cost is None or right_cost is None:
+                    continue
+                candidate = left_cost + right_cost
+                if candidate < best.get(parent, float("inf")):
+                    best[parent] = candidate
+                    heapq.heappush(heap, (candidate, _node_key(parent)))
+
+        return best.get((nonterminal, i, j))
+
+
+def _node_key(node: tuple[Nonterminal, int, int]) -> tuple[str, int, int]:
+    head, i, j = node
+    return (head.name, i, j)
+
+
+def _as_nonterminal(value: Nonterminal | str) -> Nonterminal:
+    return value if isinstance(value, Nonterminal) else Nonterminal(value)

@@ -1,0 +1,223 @@
+"""Single-path query semantics (Section 5 of the paper).
+
+The relational answer says *that* a path exists; the single-path
+semantics must also *present one path* per triple ``(A, m, n)``.  The
+paper modifies the closure to store, with each non-terminal in a cell, a
+**path length**: cells hold pairs ``(A, l_A)``; initialization uses
+length 1; when ``A`` enters cell ``(i, j)`` through ``A → B C`` with
+``(B, l_B) ∈ a[i,r]`` and ``(C, l_C) ∈ a[r,j]`` its length is
+``l_A = l_B + l_C``.  Crucially, once ``A`` is recorded in a cell its
+length is **never updated** (the paper: "the non-terminal A is not added
+... with an associated path length l2 for all l2 ≠ l1") — so lengths are
+well-defined, though not necessarily minimal.
+
+A concrete path of exactly that length is then recovered by the simple
+recursive search the paper sketches after Theorem 5: split on the
+midpoint ``r`` and rule ``A → B C`` whose recorded lengths add up.
+
+:class:`SinglePathIndex` holds the annotated closure;
+:func:`extract_path` performs the search, and
+:func:`repro.core.engine.CFPQEngine.single_path` wires it up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterator
+
+from ..errors import PathNotFoundError
+from ..grammar.cfg import CFG
+from ..grammar.cnf import ensure_cnf
+from ..grammar.symbols import Nonterminal, Terminal
+from ..graph.labeled_graph import LabeledGraph
+from .relations import ContextFreeRelations
+
+#: A path is a sequence of labeled edges (source_id, label, target_id).
+PathEdge = tuple[int, str, int]
+Path = tuple[PathEdge, ...]
+
+#: Cell storage: (i, j) -> {A: recorded length}.
+_Cells = dict[tuple[int, int], dict[Nonterminal, int]]
+
+
+@dataclass(frozen=True)
+class SinglePathIndex:
+    """The length-annotated closure ``a_cf`` of Section 5."""
+
+    graph: LabeledGraph
+    grammar: CFG
+    cells: _Cells
+    iterations: int
+
+    def length_of(self, nonterminal: Nonterminal, source_id: int,
+                  target_id: int) -> int | None:
+        """The recorded length ``l_A`` for ``(A, i, j)``, or None when
+        ``(i, j) ∉ R_A``."""
+        return self.cells.get((source_id, target_id), {}).get(nonterminal)
+
+    def relations(self) -> ContextFreeRelations:
+        """Project the annotation away — by Theorem 2 this is the
+        relational-semantics answer."""
+        by_nonterminal: dict[Nonterminal, set[tuple[int, int]]] = {
+            nt: set() for nt in self.grammar.nonterminals
+        }
+        for (i, j), entries in self.cells.items():
+            for nonterminal in entries:
+                by_nonterminal[nonterminal].add((i, j))
+        return ContextFreeRelations(self.graph, by_nonterminal)
+
+    def entry_count(self) -> int:
+        """Total (cell, non-terminal) entries."""
+        return sum(len(entries) for entries in self.cells.values())
+
+
+def build_single_path_index(graph: LabeledGraph, grammar: CFG,
+                            normalize: bool = True) -> SinglePathIndex:
+    """Compute the length-annotated transitive closure of Section 5."""
+    working_grammar = ensure_cnf(grammar) if normalize else grammar
+    working_grammar.require_cnf("single-path CFPQ")
+
+    cells: _Cells = {}
+    for i, label, j in graph.edges_by_id():
+        heads = working_grammar.heads_for_terminal(Terminal(label))
+        if not heads:
+            continue
+        entries = cells.setdefault((i, j), {})
+        for head in heads:
+            # Initialization: all path lengths are 1 (single edges).
+            entries.setdefault(head, 1)
+
+    pair_rules = [
+        (rule.head, rule.body[0], rule.body[1])
+        for rule in working_grammar.binary_rules
+    ]
+
+    iterations = 0
+    changed = True
+    while changed:
+        changed = False
+        iterations += 1
+        # Snapshot of row index: i -> {r: entries} for the product pass.
+        by_row: dict[int, list[tuple[int, dict[Nonterminal, int]]]] = {}
+        for (i, r), entries in cells.items():
+            by_row.setdefault(i, []).append((r, entries))
+        by_col: dict[int, list[tuple[int, dict[Nonterminal, int]]]] = {}
+        for (r, j), entries in cells.items():
+            by_col.setdefault(r, []).append((j, entries))
+
+        additions: list[tuple[int, int, Nonterminal, int]] = []
+        for head, left, right in pair_rules:
+            for i, row_entries in by_row.items():
+                for r, left_entries in row_entries:
+                    left_length = left_entries.get(left)  # type: ignore[arg-type]
+                    if left_length is None:
+                        continue
+                    for j, right_entries in by_col.get(r, ()):
+                        right_length = right_entries.get(right)  # type: ignore[arg-type]
+                        if right_length is None:
+                            continue
+                        existing = cells.get((i, j), {}).get(head)
+                        if existing is None:
+                            additions.append(
+                                (i, j, head, left_length + right_length)
+                            )
+        for i, j, head, length in additions:
+            entries = cells.setdefault((i, j), {})
+            # First write wins — the paper's "never update" rule; two
+            # different rules may propose lengths for the same cell in
+            # one sweep, the earlier proposal is kept.
+            if head not in entries:
+                entries[head] = length
+                changed = True
+
+    return SinglePathIndex(graph=graph, grammar=working_grammar, cells=cells,
+                           iterations=iterations)
+
+
+def extract_path(index: SinglePathIndex, nonterminal: Nonterminal | str,
+                 source: Hashable, target: Hashable) -> Path:
+    """Find one path ``source π target`` with ``A ⇒* l(π)`` whose length
+    equals the recorded ``l_A`` — the paper's "simple search".
+
+    Raises :class:`PathNotFoundError` when ``(source, target) ∉ R_A``.
+    """
+    if isinstance(nonterminal, str):
+        nonterminal = Nonterminal(nonterminal)
+    graph = index.graph
+    source_id = graph.node_id(source)
+    target_id = graph.node_id(target)
+    length = index.length_of(nonterminal, source_id, target_id)
+    if length is None:
+        raise PathNotFoundError(
+            f"({source!r}, {target!r}) is not in R_{nonterminal}"
+        )
+
+    grammar = index.grammar
+    edge_labels: dict[tuple[int, int], list[str]] = {}
+    for i, label, j in graph.edges_by_id():
+        edge_labels.setdefault((i, j), []).append(label)
+
+    def search(head: Nonterminal, i: int, j: int, needed: int) -> Path:
+        if needed == 1:
+            for label in edge_labels.get((i, j), ()):
+                if head in grammar.heads_for_terminal(Terminal(label)):
+                    return ((i, label, j),)
+            raise PathNotFoundError(
+                f"inconsistent index: no terminal edge for {head} at ({i}, {j})"
+            )
+        for rule in grammar.productions_for(head):
+            if not rule.is_binary_rule:
+                continue
+            left, right = rule.body  # type: ignore[misc]
+            # Scan midpoints r with (left, l_B) ∈ a[i,r], (right, l_C) ∈ a[r,j]
+            # and l_B + l_C == needed.
+            for (row, r), entries in index.cells.items():
+                if row != i:
+                    continue
+                left_length = entries.get(left)  # type: ignore[arg-type]
+                if left_length is None or left_length >= needed:
+                    continue
+                right_length = index.cells.get((r, j), {}).get(right)  # type: ignore[arg-type]
+                if right_length is None or left_length + right_length != needed:
+                    continue
+                return (search(left, i, r, left_length)  # type: ignore[arg-type]
+                        + search(right, r, j, right_length))  # type: ignore[arg-type]
+        raise PathNotFoundError(
+            f"inconsistent index: cannot split ({i}, {j}) for {head} at length {needed}"
+        )
+
+    return search(nonterminal, source_id, target_id, length)
+
+
+def path_word(path: Path) -> tuple[str, ...]:
+    """The label word ``l(π)`` of a path."""
+    return tuple(label for _source, label, _target in path)
+
+
+def path_is_valid(index: SinglePathIndex, path: Path) -> bool:
+    """Check that every edge of *path* exists in the graph and the edges
+    are contiguous."""
+    graph = index.graph
+    previous_target: int | None = None
+    for source_id, label, target_id in path:
+        if previous_target is not None and source_id != previous_target:
+            return False
+        source = graph.node_at(source_id)
+        target = graph.node_at(target_id)
+        if not graph.has_edge(source, label, target):
+            return False
+        previous_target = target_id
+    return True
+
+
+def iter_single_paths(index: SinglePathIndex, nonterminal: Nonterminal | str,
+                      ) -> Iterator[tuple[int, int, Path]]:
+    """Yield ``(i, j, path)`` for every pair of ``R_A`` — the full
+    single-path semantics answer for one non-terminal."""
+    if isinstance(nonterminal, str):
+        nonterminal = Nonterminal(nonterminal)
+    for (i, j), entries in sorted(index.cells.items()):
+        if nonterminal in entries:
+            yield (i, j, extract_path(index, nonterminal,
+                                      index.graph.node_at(i),
+                                      index.graph.node_at(j)))

@@ -1,0 +1,37 @@
+"""Evaluation datasets: paper-reported numbers + synthetic substitutes."""
+
+from .registry import (
+    ALL_NAMES,
+    DATASETS,
+    ONTOLOGY_NAMES,
+    SYNTHETIC_NAMES,
+    DatasetSpec,
+    PaperRow,
+    build_graph,
+    clear_graph_cache,
+    dataset_names,
+    get_spec,
+)
+from .synthetic_rdf import (
+    OntologyProfile,
+    generate_ontology_graph,
+    generate_ontology_triples,
+    seed_from_name,
+)
+
+__all__ = [
+    "ALL_NAMES",
+    "DATASETS",
+    "DatasetSpec",
+    "ONTOLOGY_NAMES",
+    "OntologyProfile",
+    "PaperRow",
+    "SYNTHETIC_NAMES",
+    "build_graph",
+    "clear_graph_cache",
+    "dataset_names",
+    "generate_ontology_graph",
+    "generate_ontology_triples",
+    "get_spec",
+    "seed_from_name",
+]

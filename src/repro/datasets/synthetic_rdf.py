@@ -1,0 +1,193 @@
+"""Deterministic synthetic ontology generator.
+
+The paper evaluates on RDF ontology files from Zhang et al. [30] (skos,
+foaf, wine, pizza, ...).  Those files are not redistributable here, so —
+per the reproduction's substitution rule — we generate ontology-*shaped*
+graphs at the same scale.  The queries dictate which structure matters:
+
+* **Q2** (``S → B subClassOf | subClassOf``) walks only ``subClassOf``;
+  its result count tracks the number of subclass triples plus the
+  amount of *multiple inheritance* (a class with p parents makes its
+  parents pairwise "adjacent-generation", and diamonds propagate up the
+  hierarchy).  The paper's tiny Q2 counts for skos/generations/foaf
+  mean those files have almost no class hierarchy; biomedical's Q2
+  exceeding its triple count means heavy multiple inheritance.
+* **Q1** (same-generation) additionally walks ``type``/``type_r``; its
+  base case relates two classes that share an instance, so its large
+  counts (wine: 66 572 from 1 839 triples) come from *multi-typed
+  instances* — an instance with t types yields t² same-generation
+  pairs.  We model this with "hub" individuals carrying many types,
+  which is exactly the structure of the original files (wine
+  individuals are typed by many wine classes).
+
+Generator shape per dataset:
+
+* a layered class hierarchy: each non-root class gets one parent in the
+  previous layer, plus a second parent with ``multi_parent_rate``;
+* an instance population: most instances carry one or two ``type``
+  edges; a ``hub_rate`` fraction are hubs with ``hub_min..hub_max``
+  types;
+* filler triples with a neutral predicate (``related``) so the total
+  triple count matches the paper's #triples column exactly.
+
+The paper's conversion (forward + inverse edge per triple) is applied
+by the caller via :func:`repro.graph.rdf.triples_to_graph`.  Everything
+is seeded from the dataset name: regeneration is always identical.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..graph.labeled_graph import LabeledGraph
+from ..graph.rdf import Triple, triples_to_graph
+
+
+@dataclass(frozen=True)
+class OntologyProfile:
+    """Shape parameters for one synthetic ontology.
+
+    The subclass/type fractions need not sum to 1; the remainder becomes
+    filler triples with a predicate the queries ignore.
+    """
+
+    triples: int
+    subclass_fraction: float = 0.3
+    type_fraction: float = 0.5
+    layers: int = 5
+    multi_parent_rate: float = 0.05
+    multi_type_rate: float = 0.3
+    hub_rate: float = 0.1
+    hub_min: int = 8
+    hub_max: int = 20
+    #: Probability that a class draws its parents from *all* earlier
+    #: layers rather than just the previous one (skip-level
+    #: subclassing), putting the class at several depths at once.
+    skip_level_rate: float = 0.0
+    #: Classes outside the subClassOf hierarchy (pure type targets) —
+    #: vocabularies like skos/foaf/wine type against many classes that
+    #: never appear in subclass triples.
+    flat_classes: int = 0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.triples < 1:
+            raise ValueError("triples must be positive")
+        for name in ("subclass_fraction", "type_fraction"):
+            value = getattr(self, name)
+            if not (0 <= value <= 1):
+                raise ValueError(f"{name} must be in [0, 1]")
+        if self.subclass_fraction + self.type_fraction > 1:
+            raise ValueError("subclass + type fractions exceed 1")
+        if self.layers < 1:
+            raise ValueError("layers must be positive")
+        if not (0 < self.hub_min <= self.hub_max):
+            raise ValueError("need 0 < hub_min <= hub_max")
+
+
+def generate_ontology_triples(profile: OntologyProfile) -> list[Triple]:
+    """Produce exactly ``profile.triples`` RDF triples."""
+    rng = random.Random(profile.seed)
+    target = profile.triples
+    subclass_budget = min(int(round(target * profile.subclass_fraction)), target)
+    # Rounding both budgets up independently could overshoot the target
+    # by one; clamp the second budget to what is left.
+    type_budget = min(int(round(target * profile.type_fraction)),
+                      target - subclass_budget)
+    filler_budget = target - subclass_budget - type_budget
+
+    triples: list[Triple] = []
+
+    # --- class hierarchy ---------------------------------------------
+    layers: list[list[str]] = [[] for _ in range(profile.layers)]
+    layers[0].append("Class0")
+    class_counter = 1
+    spent_subclass = 0
+    while spent_subclass < subclass_budget:
+        layer_index = rng.randrange(1, profile.layers) if profile.layers > 1 else 0
+        if layer_index == 0 or not layers[layer_index - 1]:
+            layer_index = next(
+                (idx for idx in range(1, profile.layers) if layers[idx - 1]), 1
+            )
+        name = f"Class{class_counter}"
+        class_counter += 1
+        layers[layer_index].append(name)
+
+        # Geometric number of parents: each extra parent drawn with
+        # probability multi_parent_rate, so high rates model the heavy
+        # multiple inheritance behind biomedical's Q2 ≫ #triples.
+        # With skip_level_rate, extra parents may come from *any* earlier
+        # layer (skip-level subclassing): the class then sits at several
+        # depths at once, which is what makes the adjacent-generation
+        # relation dense in real medical ontologies.
+        if rng.random() < profile.skip_level_rate:
+            candidates = [name for lay in layers[:layer_index] for name in lay]
+        else:
+            candidates = layers[layer_index - 1]
+        parents = {rng.choice(candidates)}
+        while (rng.random() < profile.multi_parent_rate
+               and len(parents) < len(candidates)
+               and spent_subclass + len(parents) < subclass_budget):
+            parents.add(rng.choice(candidates))
+        for parent in sorted(parents):
+            triples.append((name, "subClassOf", parent))
+            spent_subclass += 1
+            if spent_subclass >= subclass_budget:
+                break
+
+    all_classes = [name for layer in layers for name in layer]
+    all_classes.extend(f"FlatClass{k}" for k in range(profile.flat_classes))
+    # Ensure type edges have targets even in hierarchy-free profiles.
+    if len(all_classes) < 4:
+        all_classes.extend(
+            f"FlatClass{k}" for k in range(profile.flat_classes, 4)
+        )
+
+    # --- instances ------------------------------------------------------
+    instance_counter = 0
+    spent_type = 0
+    while spent_type < type_budget:
+        name = f"inst{instance_counter}"
+        instance_counter += 1
+        remaining = type_budget - spent_type
+        if rng.random() < profile.hub_rate:
+            burst = rng.randint(profile.hub_min, profile.hub_max)
+            types = set(rng.choices(all_classes, k=min(burst, remaining)))
+        else:
+            types = {rng.choice(all_classes)}
+            while rng.random() < profile.multi_type_rate and len(types) < remaining:
+                types.add(rng.choice(all_classes))
+        for type_class in sorted(types):
+            triples.append((name, "type", type_class))
+            spent_type += 1
+
+    # --- filler -----------------------------------------------------------
+    nodes = all_classes + [f"inst{i}" for i in range(max(instance_counter, 1))]
+    for k in range(filler_budget):
+        source = rng.choice(nodes)
+        target_node = rng.choice(nodes)
+        # A distinct object per filler edge keeps the triple count exact
+        # even if (source, related, target) repeats.  No '#' in the
+        # name: it is the edge-list format's comment character.
+        triples.append((source, "related", f"{target_node}.f{k}"))
+
+    assert len(triples) == profile.triples, (
+        f"generator produced {len(triples)} triples, wanted {profile.triples}"
+    )
+    return triples
+
+
+def generate_ontology_graph(profile: OntologyProfile) -> LabeledGraph:
+    """Triples → graph with the paper's edge+inverse-edge conversion."""
+    return triples_to_graph(generate_ontology_triples(profile),
+                            add_inverses=True, shorten=False)
+
+
+def seed_from_name(name: str) -> int:
+    """Stable cross-run seed derived from a dataset name."""
+    # Not hash(): Python string hashing is randomized per process.
+    value = 0
+    for char in name:
+        value = (value * 131 + ord(char)) % (2 ** 31)
+    return value

@@ -1,0 +1,100 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised deliberately by the library derives from
+:class:`ReproError`, so callers can catch one base class.  Subclasses are
+grouped by subsystem (grammar, graph, matrices, engine) and carry enough
+context in their message to be actionable without a debugger.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class GrammarError(ReproError):
+    """Base class for grammar-related errors."""
+
+
+class GrammarParseError(GrammarError):
+    """Raised when grammar text cannot be parsed.
+
+    Carries the offending line number (1-based) and line text when known.
+    """
+
+    def __init__(self, message: str, line_number: int | None = None,
+                 line_text: str | None = None):
+        self.line_number = line_number
+        self.line_text = line_text
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+            if line_text is not None:
+                message = f"{message}\n    {line_text.strip()}"
+        super().__init__(message)
+
+
+class NotInNormalFormError(GrammarError):
+    """Raised when an algorithm requiring Chomsky normal form receives a
+    grammar that is not in that form."""
+
+
+class UnknownSymbolError(GrammarError):
+    """Raised when a symbol referenced by a query is not part of the grammar."""
+
+
+class GraphError(ReproError):
+    """Base class for graph-related errors."""
+
+
+class GraphParseError(GraphError):
+    """Raised when graph/RDF input text cannot be parsed."""
+
+    def __init__(self, message: str, line_number: int | None = None,
+                 line_text: str | None = None):
+        self.line_number = line_number
+        self.line_text = line_text
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+            if line_text is not None:
+                message = f"{message}\n    {line_text.strip()}"
+        super().__init__(message)
+
+
+class UnknownNodeError(GraphError):
+    """Raised when a query references a node absent from the graph."""
+
+
+class MatrixError(ReproError):
+    """Base class for boolean-matrix backend errors."""
+
+
+class DimensionMismatchError(MatrixError):
+    """Raised when two matrices with incompatible shapes are combined."""
+
+
+class UnknownBackendError(MatrixError):
+    """Raised when a backend name is not registered."""
+
+    def __init__(self, name: str, available: list[str]):
+        self.name = name
+        self.available = sorted(available)
+        super().__init__(
+            f"unknown matrix backend {name!r}; available: {', '.join(self.available)}"
+        )
+
+
+class EngineError(ReproError):
+    """Base class for query-engine errors."""
+
+
+class SemanticsError(EngineError):
+    """Raised when an unsupported query semantics is requested."""
+
+
+class PathNotFoundError(EngineError):
+    """Raised when path extraction is asked for a pair not in the relation."""
+
+
+class DatasetError(ReproError):
+    """Raised for unknown dataset names or malformed dataset specs."""

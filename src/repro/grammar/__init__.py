@@ -1,0 +1,89 @@
+"""Grammar substrate: symbols, CFGs, parsing, normal forms, recognizers.
+
+Public surface::
+
+    from repro.grammar import (
+        Terminal, Nonterminal, EPSILON, Production, CFG,
+        parse_grammar, to_cnf, cyk_recognize, derives,
+    )
+"""
+
+from .analysis import (
+    derives_any_terminal_string,
+    generating_nonterminals,
+    grammar_signature,
+    nullable_nonterminals,
+    reachable_symbols,
+    remove_useless,
+    unit_pairs,
+)
+from .builders import (
+    GRAMMAR_REGISTRY,
+    chain_reachability,
+    dyck,
+    dyck1,
+    get_grammar,
+    points_to_grammar,
+    rna_hairpin_grammar,
+    same_generation_query1,
+    same_generation_query1_cnf,
+    same_generation_query2,
+)
+from .cfg import CFG
+from .cnf import binarize, eliminate_epsilon, eliminate_unit_rules, ensure_cnf, lift_terminals, to_cnf
+from .parser import parse_grammar, parse_production
+from .production import Production, production
+from .recognizer import EarleyRecognizer, cyk_recognize, derives, language_sample
+from .symbols import (
+    EPSILON,
+    INVERSE_SUFFIX,
+    Nonterminal,
+    Symbol,
+    Terminal,
+    fresh_nonterminal,
+    inverse_label,
+    is_inverse_label,
+)
+
+__all__ = [
+    "CFG",
+    "EPSILON",
+    "EarleyRecognizer",
+    "GRAMMAR_REGISTRY",
+    "INVERSE_SUFFIX",
+    "Nonterminal",
+    "Production",
+    "Symbol",
+    "Terminal",
+    "binarize",
+    "chain_reachability",
+    "cyk_recognize",
+    "derives",
+    "derives_any_terminal_string",
+    "dyck",
+    "dyck1",
+    "eliminate_epsilon",
+    "eliminate_unit_rules",
+    "ensure_cnf",
+    "fresh_nonterminal",
+    "generating_nonterminals",
+    "get_grammar",
+    "grammar_signature",
+    "inverse_label",
+    "is_inverse_label",
+    "language_sample",
+    "lift_terminals",
+    "nullable_nonterminals",
+    "parse_grammar",
+    "parse_production",
+    "points_to_grammar",
+    "production",
+    "reachable_symbols",
+    "remove_useless",
+    "rna_hairpin_grammar",
+    "same_generation_query1",
+    "same_generation_query1_cnf",
+    "same_generation_query2",
+    "to_cnf",
+    "unit_pairs",
+]

@@ -1,0 +1,140 @@
+"""Static analyses over context-free grammars.
+
+These fixpoint computations underpin the Chomsky-normal-form pipeline
+(:mod:`repro.grammar.cnf`) and several sanity checks in the query engine:
+
+* :func:`nullable_nonterminals`   — ``{A | A ⇒* ε}``
+* :func:`generating_nonterminals` — ``{A | A ⇒* w, w ∈ Σ*}``
+* :func:`reachable_symbols`       — symbols reachable from a start symbol
+* :func:`remove_useless`          — drop non-generating / unreachable symbols
+* :func:`unit_pairs`              — the reflexive-transitive unit-rule relation
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from .cfg import CFG
+from .production import Production
+from .symbols import Nonterminal, Symbol, Terminal
+
+
+def nullable_nonterminals(grammar: CFG) -> frozenset[Nonterminal]:
+    """Compute ``{A ∈ N | A ⇒* ε}`` by the standard fixpoint iteration."""
+    nullable: set[Nonterminal] = set()
+    changed = True
+    while changed:
+        changed = False
+        for prod in grammar.productions:
+            if prod.head in nullable:
+                continue
+            if all(isinstance(s, Nonterminal) and s in nullable for s in prod.body):
+                nullable.add(prod.head)
+                changed = True
+    return frozenset(nullable)
+
+
+def generating_nonterminals(grammar: CFG) -> frozenset[Nonterminal]:
+    """Compute the non-terminals that derive at least one terminal string
+    (including ε)."""
+    generating: set[Nonterminal] = set()
+    changed = True
+    while changed:
+        changed = False
+        for prod in grammar.productions:
+            if prod.head in generating:
+                continue
+            if all(isinstance(s, Terminal) or s in generating for s in prod.body):
+                generating.add(prod.head)
+                changed = True
+    return frozenset(generating)
+
+
+def reachable_symbols(grammar: CFG, start: Nonterminal) -> frozenset[Symbol]:
+    """Symbols reachable from *start* through productions (BFS over rules)."""
+    reached: set[Symbol] = {start}
+    frontier: list[Nonterminal] = [start]
+    while frontier:
+        head = frontier.pop()
+        for prod in grammar.productions_for(head):
+            for symbol in prod.body:
+                if symbol not in reached:
+                    reached.add(symbol)
+                    if isinstance(symbol, Nonterminal):
+                        frontier.append(symbol)
+    return frozenset(reached)
+
+
+def remove_non_generating(grammar: CFG) -> CFG:
+    """Drop productions mentioning non-generating non-terminals."""
+    generating = generating_nonterminals(grammar)
+    kept = [
+        prod for prod in grammar.productions
+        if prod.head in generating
+        and all(isinstance(s, Terminal) or s in generating for s in prod.body)
+    ]
+    return CFG(kept)
+
+
+def remove_unreachable(grammar: CFG, start: Nonterminal) -> CFG:
+    """Drop productions whose head is unreachable from *start*."""
+    reached = reachable_symbols(grammar, start)
+    kept = [prod for prod in grammar.productions if prod.head in reached]
+    return CFG(kept, extra_nonterminals=[start])
+
+
+def remove_useless(grammar: CFG, start: Nonterminal) -> CFG:
+    """Standard useless-symbol elimination: first non-generating symbols,
+    then unreachable ones (the order matters)."""
+    return remove_unreachable(remove_non_generating(grammar), start)
+
+
+def unit_pairs(grammar: CFG) -> dict[Nonterminal, frozenset[Nonterminal]]:
+    """The unit-pair relation: for every ``A`` the set
+    ``{B | A ⇒* B using only unit rules}`` (reflexive, transitive)."""
+    direct: dict[Nonterminal, set[Nonterminal]] = defaultdict(set)
+    for prod in grammar.productions:
+        if prod.is_unit_rule:
+            direct[prod.head].add(prod.body[0])  # type: ignore[arg-type]
+
+    closure: dict[Nonterminal, set[Nonterminal]] = {
+        nt: {nt} for nt in grammar.nonterminals
+    }
+    changed = True
+    while changed:
+        changed = False
+        for head, reachable in closure.items():
+            new = set()
+            for mid in reachable:
+                new |= direct.get(mid, set())
+            if not new <= reachable:
+                reachable |= new
+                changed = True
+    return {nt: frozenset(rs) for nt, rs in closure.items()}
+
+
+def derives_any_terminal_string(grammar: CFG, start: Nonterminal) -> bool:
+    """True when ``L(G_start)`` is non-empty (ε counts)."""
+    return start in generating_nonterminals(grammar)
+
+
+def grammar_signature(grammar: CFG) -> dict[str, int]:
+    """A small structural summary used in logging/benchmark reports."""
+    shapes = defaultdict(int)
+    for prod in grammar.productions:
+        if prod.is_epsilon:
+            shapes["epsilon"] += 1
+        elif prod.is_terminal_rule:
+            shapes["terminal"] += 1
+        elif prod.is_binary_rule:
+            shapes["binary"] += 1
+        elif prod.is_unit_rule:
+            shapes["unit"] += 1
+        else:
+            shapes["long"] += 1
+    return {
+        "nonterminals": len(grammar.nonterminals),
+        "terminals": len(grammar.terminals),
+        "productions": len(grammar.productions),
+        **shapes,
+    }

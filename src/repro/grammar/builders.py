@@ -1,0 +1,215 @@
+"""Ready-made query grammars from the paper and the CFPQ literature.
+
+These builders return grammars **as written in the paper's figures**
+(i.e. *not* normalized); pass them through :func:`repro.grammar.cnf.to_cnf`
+or let the engine normalize on demand.
+
+* :func:`same_generation_query1` — the paper's Query 1 (Figure 10), also
+  the §4.3 worked example (Figure 3): same-layer concepts via
+  ``subClassOf``/``type`` and their inverses.
+* :func:`same_generation_query1_cnf` — the hand-normalized form of
+  Figure 4 with the paper's exact non-terminal names S, S1..S6.
+* :func:`same_generation_query2` — Query 2 (Figure 11): adjacent layers.
+* :func:`dyck1` / :func:`dyck` — balanced brackets (classic CFPQ worst
+  case and the RNA-folding motivation from the paper's introduction).
+* :func:`points_to_grammar` — the field-insensitive Andersen-style
+  points-to grammar used in CFL-reachability static analysis [20, 26].
+* :func:`rna_hairpin_grammar` — toy RNA secondary-structure grammar
+  (complementary base pairing), motivating example from bioinformatics.
+"""
+
+from __future__ import annotations
+
+from .cfg import CFG
+from .parser import parse_grammar
+from .symbols import Nonterminal, Terminal
+
+#: Canonical edge labels for the ontology queries.
+SUBCLASSOF = "subClassOf"
+SUBCLASSOF_R = "subClassOf_r"
+TYPE = "type"
+TYPE_R = "type_r"
+
+
+def same_generation_query1() -> CFG:
+    """The paper's Query 1 grammar G1 (Figure 10 / Figure 3).
+
+    Retrieves concepts on the same layer of the class hierarchy::
+
+        S -> subClassOf_r S subClassOf
+        S -> type_r S type
+        S -> subClassOf_r subClassOf
+        S -> type_r type
+    """
+    return parse_grammar(
+        """
+        S -> subClassOf_r S subClassOf
+        S -> type_r S type
+        S -> subClassOf_r subClassOf
+        S -> type_r type
+        """,
+        terminals=[SUBCLASSOF, SUBCLASSOF_R, TYPE, TYPE_R],
+    )
+
+
+def same_generation_query1_cnf() -> CFG:
+    """The paper's hand-normalized G1' (Figure 4), with the exact
+    non-terminal names used in the §4.3 worked example::
+
+        S  -> S1 S5 | S3 S6 | S1 S2 | S3 S4
+        S5 -> S S2
+        S6 -> S S4
+        S1 -> subClassOf_r      S2 -> subClassOf
+        S3 -> type_r            S4 -> type
+    """
+    return parse_grammar(
+        """
+        S -> S1 S5
+        S -> S3 S6
+        S -> S1 S2
+        S -> S3 S4
+        S5 -> S S2
+        S6 -> S S4
+        S1 -> subClassOf_r
+        S2 -> subClassOf
+        S3 -> type_r
+        S4 -> type
+        """,
+        terminals=[SUBCLASSOF, SUBCLASSOF_R, TYPE, TYPE_R],
+    )
+
+
+def same_generation_query2() -> CFG:
+    """The paper's Query 2 grammar G2 (Figure 11).
+
+    Retrieves concepts on adjacent layers::
+
+        S -> B subClassOf
+        S -> subClassOf
+        B -> subClassOf_r B subClassOf
+        B -> subClassOf_r subClassOf
+    """
+    return parse_grammar(
+        """
+        S -> B subClassOf
+        S -> subClassOf
+        B -> subClassOf_r B subClassOf
+        B -> subClassOf_r subClassOf
+        """,
+        terminals=[SUBCLASSOF, SUBCLASSOF_R],
+    )
+
+
+def dyck1(open_label: str = "a", close_label: str = "b") -> CFG:
+    """Dyck language of one bracket pair (non-empty words)::
+
+        S -> open S close | open close | S S
+    """
+    return parse_grammar(
+        f"""
+        S -> {open_label} S {close_label}
+        S -> {open_label} {close_label}
+        S -> S S
+        """,
+        terminals=[open_label, close_label],
+    )
+
+
+def dyck(pairs: list[tuple[str, str]]) -> CFG:
+    """Dyck language over several bracket pairs (non-empty words)."""
+    if not pairs:
+        raise ValueError("dyck grammar needs at least one bracket pair")
+    lines = ["S -> S S"]
+    terminals: list[str] = []
+    for open_label, close_label in pairs:
+        lines.append(f"S -> {open_label} S {close_label}")
+        lines.append(f"S -> {open_label} {close_label}")
+        terminals.extend((open_label, close_label))
+    return parse_grammar("\n".join(lines), terminals=terminals)
+
+
+def points_to_grammar() -> CFG:
+    """Field-insensitive Andersen-style points-to / alias grammar.
+
+    Over labels ``d`` (direct assignment / address-of, drawn from the
+    static-analysis CFL-reachability literature [20]) and ``a``
+    (assignment), with inverses ``d_r``/``a_r``::
+
+        PT     -> d_r  VF
+        VF     -> a_r VF | eps-like chain (here: a_r VF | a_r | eps handled as unit)
+    For simplicity we use the memory-alias formulation:
+
+        M -> d_r V d          (two pointers alias when value-flows meet)
+        V -> A M? A_r-chains, flattened below.
+    """
+    return parse_grammar(
+        """
+        M -> d_r V d
+        V -> A M Ar
+        V -> A Ar
+        V -> A M
+        V -> M Ar
+        V -> A
+        V -> Ar
+        V -> M
+        A -> a
+        A -> a A
+        Ar -> a_r
+        Ar -> a_r Ar
+        """,
+        terminals=["a", "a_r", "d", "d_r"],
+    )
+
+
+def rna_hairpin_grammar() -> CFG:
+    """Toy RNA secondary-structure (hairpin/stem) grammar over base labels.
+
+    A stem pairs complementary bases around a folded region::
+
+        S -> a S u | u S a | c S g | g S c
+        S -> a u | u a | c g | g c
+    """
+    return parse_grammar(
+        """
+        S -> a S u
+        S -> u S a
+        S -> c S g
+        S -> g S c
+        S -> a u
+        S -> u a
+        S -> c g
+        S -> g c
+        """,
+        terminals=["a", "u", "c", "g"],
+    )
+
+
+def chain_reachability(label: str = "a") -> CFG:
+    """Plain transitive reachability over one label — the regular
+    baseline query, useful in benchmarks for calibration::
+
+        S -> a | a S
+    """
+    return parse_grammar(f"S -> {label}\nS -> {label} S", terminals=[label])
+
+
+#: Name → builder registry, used by the CLI and benchmarks.
+GRAMMAR_REGISTRY = {
+    "query1": same_generation_query1,
+    "query1-cnf": same_generation_query1_cnf,
+    "query2": same_generation_query2,
+    "dyck1": dyck1,
+    "points-to": points_to_grammar,
+    "rna": rna_hairpin_grammar,
+    "chain": chain_reachability,
+}
+
+
+def get_grammar(name: str) -> CFG:
+    """Look up a named grammar; raises ``KeyError`` with the known names."""
+    try:
+        return GRAMMAR_REGISTRY[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown grammar {name!r}; known: {', '.join(sorted(GRAMMAR_REGISTRY))}"
+        ) from None

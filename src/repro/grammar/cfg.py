@@ -1,0 +1,207 @@
+"""Context-free grammar container.
+
+Following the paper (and Hellings [11]) the grammar does **not** carry a
+distinguished start non-terminal: the start symbol is supplied by each
+path query (``L(G_S)`` for the queried ``S``).  A grammar is the triple
+``G = (N, Σ, P)``; any non-terminal can serve as the query entry point.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator, Mapping
+
+from ..errors import NotInNormalFormError, UnknownSymbolError
+from .production import Production
+from .symbols import EPSILON, Nonterminal, Symbol, Terminal
+
+
+class CFG:
+    """An immutable context-free grammar ``G = (N, Σ, P)``.
+
+    ``N`` always contains every non-terminal mentioned in any production;
+    ``Σ`` every terminal.  Extra (unused) symbols may be declared
+    explicitly which is occasionally useful for queries over labels that
+    happen not to occur in a particular grammar.
+    """
+
+    def __init__(self, productions: Iterable[Production],
+                 extra_nonterminals: Iterable[Nonterminal] = (),
+                 extra_terminals: Iterable[Terminal] = ()):
+        self._productions: tuple[Production, ...] = tuple(dict.fromkeys(productions))
+        nonterminals: set[Nonterminal] = set(extra_nonterminals)
+        terminals: set[Terminal] = set(extra_terminals)
+        for prod in self._productions:
+            nonterminals.update(prod.nonterminals())
+            terminals.update(prod.terminals())
+        self._nonterminals = frozenset(nonterminals)
+        self._terminals = frozenset(terminals)
+
+        by_head: dict[Nonterminal, list[Production]] = defaultdict(list)
+        for prod in self._productions:
+            by_head[prod.head].append(prod)
+        self._by_head: dict[Nonterminal, tuple[Production, ...]] = {
+            head: tuple(prods) for head, prods in by_head.items()
+        }
+
+        # Index used pervasively by the CFPQ algorithms:
+        #   terminal x  ->  {A | (A -> x) in P}
+        #   (B, C)      ->  {A | (A -> B C) in P}
+        heads_by_terminal: dict[Terminal, set[Nonterminal]] = defaultdict(set)
+        heads_by_pair: dict[tuple[Nonterminal, Nonterminal], set[Nonterminal]] = defaultdict(set)
+        for prod in self._productions:
+            if prod.is_terminal_rule:
+                heads_by_terminal[prod.body[0]].add(prod.head)  # type: ignore[index]
+            elif prod.is_binary_rule:
+                heads_by_pair[(prod.body[0], prod.body[1])].add(prod.head)  # type: ignore[index]
+        self._heads_by_terminal: dict[Terminal, frozenset[Nonterminal]] = {
+            t: frozenset(heads) for t, heads in heads_by_terminal.items()
+        }
+        self._heads_by_pair: dict[tuple[Nonterminal, Nonterminal], frozenset[Nonterminal]] = {
+            pair: frozenset(heads) for pair, heads in heads_by_pair.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def productions(self) -> tuple[Production, ...]:
+        """All productions, in declaration order, duplicates removed."""
+        return self._productions
+
+    @property
+    def nonterminals(self) -> frozenset[Nonterminal]:
+        """The set ``N``."""
+        return self._nonterminals
+
+    @property
+    def terminals(self) -> frozenset[Terminal]:
+        """The alphabet ``Σ``."""
+        return self._terminals
+
+    def productions_for(self, head: Nonterminal) -> tuple[Production, ...]:
+        """Productions whose head is *head* (empty tuple when none)."""
+        return self._by_head.get(head, ())
+
+    def heads_for_terminal(self, terminal: Terminal) -> frozenset[Nonterminal]:
+        """``{A | (A -> x) ∈ P}`` — the matrix-initialization index."""
+        return self._heads_by_terminal.get(terminal, frozenset())
+
+    def heads_for_pair(self, left: Nonterminal,
+                       right: Nonterminal) -> frozenset[Nonterminal]:
+        """``{A | (A -> B C) ∈ P}`` — the paper's ``N1 · N2`` building block."""
+        return self._heads_by_pair.get((left, right), frozenset())
+
+    @property
+    def binary_rules(self) -> Iterator[Production]:
+        """All CNF pair rules ``A -> B C``."""
+        return (p for p in self._productions if p.is_binary_rule)
+
+    @property
+    def terminal_rules(self) -> Iterator[Production]:
+        """All CNF terminal rules ``A -> x``."""
+        return (p for p in self._productions if p.is_terminal_rule)
+
+    @property
+    def epsilon_rules(self) -> Iterator[Production]:
+        """All ε-rules ``A -> ε`` (absent after normalization)."""
+        return (p for p in self._productions if p.is_epsilon)
+
+    def subset_product(self, left: Iterable[Nonterminal],
+                       right: Iterable[Nonterminal]) -> set[Nonterminal]:
+        """The paper's binary operation ``N1 · N2`` on subsets of ``N``:
+
+        ``N1 · N2 = {A | ∃B ∈ N1, ∃C ∈ N2 : (A -> B C) ∈ P}``.
+        """
+        result: set[Nonterminal] = set()
+        right = tuple(right)
+        for b in left:
+            for c in right:
+                result |= self._heads_by_pair.get((b, c), frozenset())
+        return result
+
+    # ------------------------------------------------------------------
+    # Shape predicates
+    # ------------------------------------------------------------------
+    @property
+    def is_cnf(self) -> bool:
+        """True when every production is ``A -> B C`` or ``A -> x``
+        (the paper's grammar shape, Section 2 — no ε-rules)."""
+        return all(p.is_cnf for p in self._productions)
+
+    def require_cnf(self, context: str = "this algorithm") -> None:
+        """Raise :class:`NotInNormalFormError` unless the grammar is CNF."""
+        if not self.is_cnf:
+            offenders = [str(p) for p in self._productions if not p.is_cnf]
+            raise NotInNormalFormError(
+                f"{context} requires a grammar in Chomsky normal form; "
+                f"offending productions: {', '.join(offenders[:5])}"
+                + ("..." if len(offenders) > 5 else "")
+            )
+
+    def require_nonterminal(self, symbol: Nonterminal) -> None:
+        """Raise :class:`UnknownSymbolError` when *symbol* is not in ``N``."""
+        if symbol not in self._nonterminals:
+            known = ", ".join(sorted(str(n) for n in self._nonterminals))
+            raise UnknownSymbolError(
+                f"non-terminal {symbol} is not part of the grammar (knows: {known})"
+            )
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CFG):
+            return NotImplemented
+        return (set(self._productions) == set(other._productions)
+                and self._nonterminals == other._nonterminals
+                and self._terminals == other._terminals)
+
+    def __hash__(self) -> int:
+        return hash((frozenset(self._productions), self._nonterminals, self._terminals))
+
+    def __len__(self) -> int:
+        return len(self._productions)
+
+    def __iter__(self) -> Iterator[Production]:
+        return iter(self._productions)
+
+    def __repr__(self) -> str:
+        return (f"CFG(|N|={len(self._nonterminals)}, |Σ|={len(self._terminals)}, "
+                f"|P|={len(self._productions)})")
+
+    def to_text(self) -> str:
+        """Render the grammar in the text DSL accepted by
+        :func:`repro.grammar.parser.parse_grammar`."""
+        lines = []
+        for prod in self._productions:
+            rhs = " ".join(str(s) for s in prod.body) if prod.body else str(EPSILON)
+            lines.append(f"{prod.head} -> {rhs}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_mapping(cls, rules: Mapping[str, Iterable[Iterable[str]]],
+                     terminals: Iterable[str]) -> "CFG":
+        """Build a grammar from a plain mapping.
+
+        *rules* maps a head name to an iterable of bodies, each body an
+        iterable of symbol names; names listed in *terminals* become
+        :class:`Terminal`, everything else :class:`Nonterminal`::
+
+            CFG.from_mapping({"S": [["a", "S", "b"], []]}, terminals=["a", "b"])
+        """
+        terminal_names = set(terminals)
+        productions: list[Production] = []
+        for head, bodies in rules.items():
+            for body in bodies:
+                symbols: list[Symbol] = []
+                for name in body:
+                    if name in terminal_names:
+                        symbols.append(Terminal(name))
+                    else:
+                        symbols.append(Nonterminal(name))
+                productions.append(Production(Nonterminal(head), tuple(symbols)))
+        return cls(productions)

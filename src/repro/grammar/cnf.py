@@ -1,0 +1,155 @@
+"""Chomsky-normal-form transformation.
+
+The paper's algorithm consumes grammars whose productions are all
+``A -> B C`` or ``A -> x`` (Section 2; ε-rules are dropped because only
+empty paths ``mπm`` produce ε).  :func:`to_cnf` implements the classical
+pipeline:
+
+1. **TERM**  — lift terminals out of long bodies (``A -> a B`` becomes
+   ``A -> T_a B``, ``T_a -> a``).
+2. **BIN**   — binarize long bodies left-to-right.
+3. **DEL**   — eliminate ε-productions (nullable expansion).
+4. **UNIT**  — eliminate unit rules via the unit-pair closure.
+5. optional **USELESS** — remove non-generating/unreachable symbols
+   w.r.t. a start symbol, when one is given.
+
+Because CFPQ grammars have *no* fixed start symbol (any non-terminal can
+be queried), the transformation preserves the language of **every**
+original non-terminal, modulo ε: for each original ``A`` and each
+non-empty string ``w``, ``A ⇒* w`` in the original grammar iff
+``A ⇒* w`` in the normalized grammar.  This is exactly the guarantee the
+reduction of Section 4 needs.  Property tests in
+``tests/grammar/test_cnf.py`` check it against a CYK oracle.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from .analysis import nullable_nonterminals, unit_pairs
+from .cfg import CFG
+from .production import Production
+from .symbols import Nonterminal, Symbol, Terminal, fresh_nonterminal
+
+
+def lift_terminals(grammar: CFG) -> CFG:
+    """TERM step: ensure terminals appear only in bodies of length 1."""
+    taken = set(grammar.nonterminals)
+    proxies: dict[Terminal, Nonterminal] = {}
+    new_productions: list[Production] = []
+
+    def proxy_for(terminal: Terminal) -> Nonterminal:
+        if terminal not in proxies:
+            proxy = fresh_nonterminal(f"T_{terminal.label}", taken)
+            taken.add(proxy)
+            proxies[terminal] = proxy
+            new_productions.append(Production(proxy, (terminal,)))
+        return proxies[terminal]
+
+    for prod in grammar.productions:
+        if len(prod.body) <= 1:
+            new_productions.append(prod)
+            continue
+        body: list[Symbol] = []
+        for symbol in prod.body:
+            if isinstance(symbol, Terminal):
+                body.append(proxy_for(symbol))
+            else:
+                body.append(symbol)
+        new_productions.append(Production(prod.head, tuple(body)))
+    return CFG(new_productions)
+
+
+def binarize(grammar: CFG) -> CFG:
+    """BIN step: split bodies of length > 2 into chains of pair rules."""
+    taken = set(grammar.nonterminals)
+    new_productions: list[Production] = []
+    for prod in grammar.productions:
+        if len(prod.body) <= 2:
+            new_productions.append(prod)
+            continue
+        # A -> X1 X2 ... Xk  becomes  A -> X1 A_1, A_1 -> X2 A_2, ...
+        head = prod.head
+        remaining = list(prod.body)
+        while len(remaining) > 2:
+            first = remaining.pop(0)
+            continuation = fresh_nonterminal(f"{prod.head}_bin", taken)
+            taken.add(continuation)
+            new_productions.append(Production(head, (first, continuation)))
+            head = continuation
+        new_productions.append(Production(head, tuple(remaining)))
+    return CFG(new_productions)
+
+
+def eliminate_epsilon(grammar: CFG) -> CFG:
+    """DEL step: remove ε-rules by nullable expansion.
+
+    After this step no production has an empty body.  The language of
+    each non-terminal loses (at most) the empty string — the behaviour
+    the paper prescribes, since ε only matters for trivial empty paths.
+    """
+    nullable = nullable_nonterminals(grammar)
+    new_productions: list[Production] = []
+    seen: set[Production] = set()
+
+    for prod in grammar.productions:
+        if prod.is_epsilon:
+            continue
+        nullable_positions = [
+            i for i, symbol in enumerate(prod.body)
+            if isinstance(symbol, Nonterminal) and symbol in nullable
+        ]
+        # Emit every variant obtained by dropping a subset of nullable symbols.
+        for drop_count in range(len(nullable_positions) + 1):
+            for dropped in combinations(nullable_positions, drop_count):
+                body = tuple(
+                    symbol for i, symbol in enumerate(prod.body) if i not in dropped
+                )
+                if not body:
+                    continue
+                variant = Production(prod.head, body)
+                if variant not in seen:
+                    seen.add(variant)
+                    new_productions.append(variant)
+    return CFG(new_productions, extra_nonterminals=grammar.nonterminals,
+               extra_terminals=grammar.terminals)
+
+
+def eliminate_unit_rules(grammar: CFG) -> CFG:
+    """UNIT step: replace chains ``A ⇒* B`` of unit rules by copying B's
+    non-unit productions up to A."""
+    pairs = unit_pairs(grammar)
+    new_productions: list[Production] = []
+    seen: set[Production] = set()
+    for head, reachable in sorted(pairs.items(), key=lambda kv: kv[0].name):
+        for target in sorted(reachable, key=lambda nt: nt.name):
+            for prod in grammar.productions_for(target):
+                if prod.is_unit_rule:
+                    continue
+                replacement = Production(head, prod.body)
+                if replacement not in seen:
+                    seen.add(replacement)
+                    new_productions.append(replacement)
+    return CFG(new_productions, extra_nonterminals=grammar.nonterminals,
+               extra_terminals=grammar.terminals)
+
+
+def to_cnf(grammar: CFG, keep_all_nonterminals: bool = True) -> CFG:
+    """Full normalization pipeline (TERM, BIN, DEL, UNIT).
+
+    With ``keep_all_nonterminals`` (the default, required for CFPQ) every
+    original non-terminal survives even if it ends up with no productions
+    — queries against it simply return the empty relation.
+    """
+    result = eliminate_unit_rules(eliminate_epsilon(binarize(lift_terminals(grammar))))
+    if keep_all_nonterminals:
+        result = CFG(result.productions,
+                     extra_nonterminals=grammar.nonterminals,
+                     extra_terminals=grammar.terminals)
+    assert result.is_cnf, "normalization must produce a CNF grammar"
+    return result
+
+
+def ensure_cnf(grammar: CFG) -> CFG:
+    """Return *grammar* unchanged when already CNF, else :func:`to_cnf` it."""
+    return grammar if grammar.is_cnf else to_cnf(grammar)

@@ -1,0 +1,133 @@
+"""Text format for grammars.
+
+The DSL is line-oriented and mirrors the notation of the paper's figures::
+
+    # comments start with '#'
+    S -> subClassOf_r S subClassOf
+    S -> type_r S type
+    S -> subClassOf_r subClassOf | type_r type
+
+Conventions:
+
+* ``->`` (or ``→``) separates head and bodies; ``|`` separates
+  alternative bodies on one line.
+* Symbols are whitespace-separated tokens.
+* A token is a **terminal** when it is quoted (``'a'`` / ``"a"``), when
+  it appears in the explicit *terminals* argument, or — by default
+  heuristic — when it never occurs as the head of any rule.
+* ``eps``, ``epsilon`` and ``ε`` denote the empty body.
+
+The heuristic matches how grammars are written in the CFPQ literature
+(heads are the non-terminals; everything else is an edge label), while
+the explicit argument keeps corner cases unambiguous.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from ..errors import GrammarParseError
+from .cfg import CFG
+from .production import Production
+from .symbols import Nonterminal, Symbol, Terminal
+
+_ARROW_RE = re.compile(r"->|→")
+_EPSILON_TOKENS = {"eps", "epsilon", "ε"}
+_QUOTED_RE = re.compile(r"""^(['"])(.+)\1$""")
+
+
+def _tokenize_body(body_text: str) -> list[str]:
+    return [token for token in body_text.split() if token]
+
+
+def parse_grammar(text: str, terminals: Iterable[str] | None = None,
+                  nonterminals: Iterable[str] | None = None) -> CFG:
+    """Parse grammar *text* into a :class:`CFG`.
+
+    Parameters
+    ----------
+    text:
+        The grammar source, one or more rules.
+    terminals:
+        Optional explicit terminal names; overrides the heads heuristic.
+    nonterminals:
+        Optional explicit non-terminal names (useful when a non-terminal
+        never appears as a head, which cannot be inferred).
+
+    Raises
+    ------
+    GrammarParseError
+        On malformed lines, empty heads, or symbols declared as both
+        terminal and non-terminal.
+    """
+    explicit_terminals = set(terminals or ())
+    explicit_nonterminals = set(nonterminals or ())
+    conflict = explicit_terminals & explicit_nonterminals
+    if conflict:
+        raise GrammarParseError(
+            f"symbols declared both terminal and non-terminal: {sorted(conflict)}"
+        )
+
+    # First pass: split into (head, body-token-list) entries.
+    raw_rules: list[tuple[str, list[str], int, str]] = []
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = _ARROW_RE.split(line, maxsplit=1)
+        if len(parts) != 2:
+            raise GrammarParseError("expected 'HEAD -> body'", line_number, raw_line)
+        head = parts[0].strip()
+        if not head or len(head.split()) != 1:
+            raise GrammarParseError(
+                f"rule head must be a single symbol, got {head!r}", line_number, raw_line
+            )
+        for alternative in parts[1].split("|"):
+            tokens = _tokenize_body(alternative)
+            raw_rules.append((head, tokens, line_number, raw_line))
+
+    if not raw_rules:
+        raise GrammarParseError("grammar text contains no rules")
+
+    heads = {head for head, _tokens, _ln, _raw in raw_rules}
+    bad_heads = heads & explicit_terminals
+    if bad_heads:
+        raise GrammarParseError(
+            f"symbols {sorted(bad_heads)} are rule heads but were declared terminal"
+        )
+
+    def classify(token: str, line_number: int, raw_line: str) -> Symbol:
+        quoted = _QUOTED_RE.match(token)
+        if quoted:
+            return Terminal(quoted.group(2))
+        if token in explicit_terminals:
+            return Terminal(token)
+        if token in explicit_nonterminals or token in heads:
+            return Nonterminal(token)
+        return Terminal(token)
+
+    productions: list[Production] = []
+    for head, tokens, line_number, raw_line in raw_rules:
+        if len(tokens) == 1 and tokens[0].lower() in _EPSILON_TOKENS:
+            body: tuple[Symbol, ...] = ()
+        elif any(token.lower() in _EPSILON_TOKENS for token in tokens) and len(tokens) > 1:
+            raise GrammarParseError(
+                "epsilon may not be mixed with other symbols in one body",
+                line_number, raw_line,
+            )
+        else:
+            body = tuple(classify(token, line_number, raw_line) for token in tokens)
+        productions.append(Production(Nonterminal(head), body))
+
+    extra_nt = [Nonterminal(name) for name in explicit_nonterminals]
+    extra_t = [Terminal(name) for name in explicit_terminals]
+    return CFG(productions, extra_nonterminals=extra_nt, extra_terminals=extra_t)
+
+
+def parse_production(line: str, terminals: Iterable[str] | None = None) -> Production:
+    """Parse a single rule line; convenience wrapper over :func:`parse_grammar`."""
+    grammar = parse_grammar(line, terminals=terminals)
+    if len(grammar.productions) != 1:
+        raise GrammarParseError(f"expected exactly one production in {line!r}")
+    return grammar.productions[0]

@@ -1,0 +1,103 @@
+"""Grammar productions.
+
+A production is ``head -> body`` where *head* is a non-terminal and
+*body* is a (possibly empty) tuple of symbols.  The empty body encodes an
+ε-production, matching the paper's treatment where ε-rules exist in the
+source grammar but are eliminated by the normal-form transformation
+(only the empty paths ``mπm`` correspond to ε, see Section 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from .symbols import Nonterminal, Symbol, Terminal
+
+
+@dataclass(frozen=True, slots=True)
+class Production:
+    """A single production rule ``head -> body``."""
+
+    head: Nonterminal
+    body: tuple[Symbol, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.head, Nonterminal):
+            raise TypeError(f"production head must be a Nonterminal, got {self.head!r}")
+        for symbol in self.body:
+            if not isinstance(symbol, (Terminal, Nonterminal)):
+                raise TypeError(
+                    f"production body may contain only Terminal/Nonterminal, got {symbol!r}"
+                )
+
+    # ------------------------------------------------------------------
+    # Shape predicates used by the CNF pipeline and the core algorithms.
+    # ------------------------------------------------------------------
+    @property
+    def is_epsilon(self) -> bool:
+        """True for ``A -> ε``."""
+        return len(self.body) == 0
+
+    @property
+    def is_terminal_rule(self) -> bool:
+        """True for ``A -> x`` with ``x`` a terminal (CNF terminal rule)."""
+        return len(self.body) == 1 and isinstance(self.body[0], Terminal)
+
+    @property
+    def is_binary_rule(self) -> bool:
+        """True for ``A -> B C`` with both symbols non-terminals (CNF pair rule)."""
+        return (
+            len(self.body) == 2
+            and isinstance(self.body[0], Nonterminal)
+            and isinstance(self.body[1], Nonterminal)
+        )
+
+    @property
+    def is_unit_rule(self) -> bool:
+        """True for ``A -> B`` with ``B`` a non-terminal."""
+        return len(self.body) == 1 and isinstance(self.body[0], Nonterminal)
+
+    @property
+    def is_cnf(self) -> bool:
+        """True when the production fits Chomsky normal form (no ε-rules,
+        matching the paper's grammar definition in Section 2)."""
+        return self.is_terminal_rule or self.is_binary_rule
+
+    def nonterminals(self) -> Iterable[Nonterminal]:
+        """All non-terminals mentioned by the production (head included)."""
+        yield self.head
+        for symbol in self.body:
+            if isinstance(symbol, Nonterminal):
+                yield symbol
+
+    def terminals(self) -> Iterable[Terminal]:
+        """All terminals in the body."""
+        for symbol in self.body:
+            if isinstance(symbol, Terminal):
+                yield symbol
+
+    def __str__(self) -> str:
+        rhs = " ".join(str(symbol) for symbol in self.body) if self.body else "eps"
+        return f"{self.head} -> {rhs}"
+
+
+def production(head: str, *body_symbols: str | Symbol,
+               terminals: set[str] | None = None) -> Production:
+    """Convenience constructor used heavily in tests and examples.
+
+    String body items are interpreted as non-terminals unless listed in
+    *terminals* (or already Symbol instances).  Example::
+
+        production("S", "a", "S", "b", terminals={"a", "b"})
+    """
+    terminal_names = terminals or set()
+    body: list[Symbol] = []
+    for item in body_symbols:
+        if isinstance(item, (Terminal, Nonterminal)):
+            body.append(item)
+        elif item in terminal_names:
+            body.append(Terminal(item))
+        else:
+            body.append(Nonterminal(item))
+    return Production(Nonterminal(head), tuple(body))

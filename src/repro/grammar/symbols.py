@@ -1,0 +1,118 @@
+"""Grammar symbols: terminals, non-terminals and the empty string.
+
+The paper works over an alphabet of *edge labels* (terminals) and a set of
+*non-terminals*.  Symbols are small immutable value objects so they can be
+dictionary keys, set members and matrix-element members.
+
+Edge labels in the paper frequently come in inverse pairs
+(``subClassOf`` / ``subClassOf⁻¹``).  We provide :func:`inverse_label`
+implementing the paper's textual convention: inverting a label appends
+``_r`` (for "reversed"), inverting twice returns the original label.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+#: Suffix used for inverse edge labels, e.g. ``subClassOf`` -> ``subClassOf_r``.
+INVERSE_SUFFIX = "_r"
+
+
+@dataclass(frozen=True, slots=True)
+class Terminal:
+    """A terminal symbol — an edge label of the graph alphabet ``Σ``."""
+
+    label: str
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            raise ValueError("terminal label must be a non-empty string")
+
+    @property
+    def inverse(self) -> "Terminal":
+        """The inverse edge label (``x`` ↔ ``x_r``)."""
+        return Terminal(inverse_label(self.label))
+
+    def __str__(self) -> str:
+        return self.label
+
+    def __repr__(self) -> str:
+        return f"Terminal({self.label!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Nonterminal:
+    """A non-terminal symbol of the grammar (an element of ``N``)."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("non-terminal name must be a non-empty string")
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Nonterminal({self.name!r})"
+
+
+class _Epsilon:
+    """The empty string ``ε``.  A singleton; use the module-level EPSILON."""
+
+    _instance: "_Epsilon | None" = None
+
+    def __new__(cls) -> "_Epsilon":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __str__(self) -> str:
+        return "eps"
+
+    def __repr__(self) -> str:
+        return "EPSILON"
+
+    def __hash__(self) -> int:
+        return hash("__epsilon__")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Epsilon)
+
+
+#: The unique empty-string symbol.
+EPSILON = _Epsilon()
+
+#: Any symbol that may appear on the right-hand side of a production.
+Symbol = Union[Terminal, Nonterminal]
+
+
+def inverse_label(label: str) -> str:
+    """Return the inverse of an edge label.
+
+    ``inverse_label("subClassOf") == "subClassOf_r"`` and
+    ``inverse_label("subClassOf_r") == "subClassOf"``.
+    """
+    if label.endswith(INVERSE_SUFFIX) and len(label) > len(INVERSE_SUFFIX):
+        return label[: -len(INVERSE_SUFFIX)]
+    return label + INVERSE_SUFFIX
+
+
+def is_inverse_label(label: str) -> bool:
+    """True when *label* denotes an inverse edge (``..._r``)."""
+    return label.endswith(INVERSE_SUFFIX) and len(label) > len(INVERSE_SUFFIX)
+
+
+def fresh_nonterminal(base: str, taken: set[Nonterminal]) -> Nonterminal:
+    """Return a non-terminal named after *base* that is not in *taken*.
+
+    Used by normal-form transformations that need to invent symbols
+    without colliding with user-defined ones.
+    """
+    candidate = Nonterminal(base)
+    counter = 0
+    while candidate in taken:
+        counter += 1
+        candidate = Nonterminal(f"{base}{counter}")
+    return candidate

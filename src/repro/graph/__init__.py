@@ -1,0 +1,71 @@
+"""Graph substrate: labeled graphs, RDF conversion, generators, IO."""
+
+from .generators import (
+    binary_tree,
+    chain,
+    cycle,
+    grid,
+    paper_example_graph,
+    random_graph,
+    repeat_graph,
+    two_cycles,
+    word_chain,
+    worst_case_dyck_graph,
+)
+from .io import (
+    dump_graph,
+    dumps_graph,
+    load_csv_graph,
+    load_graph,
+    load_graph_file,
+    loads_graph,
+    save_graph_file,
+)
+from .labeled_graph import Edge, LabeledGraph
+from .matrices import adjacency_matrices, boolean_adjacency, label_pair_sets
+from .rdf import (
+    Triple,
+    graph_to_triples,
+    load_rdf_graph,
+    parse_triple_line,
+    parse_triples,
+    read_triples,
+    shorten_iri,
+    triples_to_graph,
+)
+from .stats import GraphStats, graph_stats
+
+__all__ = [
+    "Edge",
+    "GraphStats",
+    "LabeledGraph",
+    "Triple",
+    "adjacency_matrices",
+    "binary_tree",
+    "boolean_adjacency",
+    "chain",
+    "cycle",
+    "dump_graph",
+    "dumps_graph",
+    "graph_stats",
+    "graph_to_triples",
+    "grid",
+    "label_pair_sets",
+    "load_csv_graph",
+    "load_graph",
+    "load_graph_file",
+    "load_rdf_graph",
+    "loads_graph",
+    "paper_example_graph",
+    "parse_triple_line",
+    "parse_triples",
+    "random_graph",
+    "read_triples",
+    "repeat_graph",
+    "save_graph_file",
+    "shorten_iri",
+    "triples_to_graph",
+    "two_cycles",
+    "word_chain",
+    "worst_case_dyck_graph",
+]

@@ -1,0 +1,201 @@
+"""Graph generators for tests, examples and benchmarks.
+
+Includes the paper-specific constructions:
+
+* :func:`paper_example_graph` — the 3-node graph of Figure 5 used in the
+  §4.3 worked example.
+* :func:`repeat_graph` — the paper's g1/g2/g3 construction ("simply
+  repeating the existing graphs", Section 6): *k* disjoint copies, with
+  an optional connected variant for experimentation.
+* :func:`two_cycles` — the classic CFPQ worst case (two cycles of
+  coprime lengths sharing a node, queried with a Dyck grammar).
+
+All random generators take an explicit ``seed`` and are deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, Sequence
+
+from .labeled_graph import LabeledGraph
+
+
+def paper_example_graph() -> LabeledGraph:
+    """The input graph of the paper's Figure 5.
+
+    The exact edge set follows from the initial matrix T0 of Figure 6::
+
+        T0 = [ {S1} {S3}  ∅
+               ∅    ∅    {S3}
+               {S2} ∅    {S4} ]
+
+    with S1→subClassOf_r, S2→subClassOf, S3→type_r, S4→type, i.e. a
+    ``subClassOf_r`` self-loop at node 0, ``type_r`` edges 0→1 and 1→2,
+    ``subClassOf`` 2→0 and a ``type`` self-loop at node 2.
+    """
+    graph = LabeledGraph()
+    for node in (0, 1, 2):
+        graph.add_node(node)
+    graph.add_edge(0, "subClassOf_r", 0)
+    graph.add_edge(0, "type_r", 1)
+    graph.add_edge(1, "type_r", 2)
+    graph.add_edge(2, "subClassOf", 0)
+    graph.add_edge(2, "type", 2)
+    return graph
+
+
+def chain(length: int, label: str = "a") -> LabeledGraph:
+    """A directed chain ``0 -label-> 1 -label-> ... -> length`` —
+    Valiant's linear-input special case (length edges, length+1 nodes)."""
+    if length < 0:
+        raise ValueError("chain length must be non-negative")
+    graph = LabeledGraph()
+    graph.add_node(0)
+    for i in range(length):
+        graph.add_edge(i, label, i + 1)
+    return graph
+
+
+def word_chain(word: Sequence[str]) -> LabeledGraph:
+    """A chain spelling *word* — reduces string parsing to CFPQ, the
+    bridge back to Valiant's setting used heavily in tests."""
+    graph = LabeledGraph()
+    graph.add_node(0)
+    for i, label in enumerate(word):
+        graph.add_edge(i, label, i + 1)
+    return graph
+
+
+def cycle(length: int, label: str = "a") -> LabeledGraph:
+    """A directed cycle of *length* nodes with a single label."""
+    if length < 1:
+        raise ValueError("cycle length must be positive")
+    graph = LabeledGraph()
+    for i in range(length):
+        graph.add_edge(i, label, (i + 1) % length)
+    return graph
+
+
+def two_cycles(first_length: int, second_length: int,
+               first_label: str = "a", second_label: str = "b") -> LabeledGraph:
+    """Two directed cycles sharing node 0 — the standard CFPQ stress
+    graph: with coprime lengths and a Dyck query the answer relation is
+    dense, exercising the closure's worst case.
+
+    The first cycle uses nodes ``0..first_length-1`` with *first_label*;
+    the second uses ``0, first_length..first_length+second_length-2``
+    with *second_label*.
+    """
+    if first_length < 1 or second_length < 1:
+        raise ValueError("cycle lengths must be positive")
+    graph = LabeledGraph()
+    graph.add_node(0)
+    # First cycle: 0 -> 1 -> ... -> first_length-1 -> 0
+    for i in range(first_length - 1):
+        graph.add_edge(i, first_label, i + 1)
+    graph.add_edge(first_length - 1 if first_length > 1 else 0, first_label, 0)
+    # Second cycle reuses node 0.
+    nodes = [0] + [first_length + i for i in range(second_length - 1)]
+    for i in range(len(nodes) - 1):
+        graph.add_edge(nodes[i], second_label, nodes[i + 1])
+    graph.add_edge(nodes[-1], second_label, 0)
+    return graph
+
+
+def binary_tree(depth: int, label: str = "subClassOf") -> LabeledGraph:
+    """A complete binary tree with edges pointing from children to the
+    root (the shape of a class hierarchy: ``child -subClassOf-> parent``)."""
+    if depth < 0:
+        raise ValueError("depth must be non-negative")
+    graph = LabeledGraph()
+    graph.add_node(0)
+    next_id = 1
+    frontier = [0]
+    for _level in range(depth):
+        new_frontier = []
+        for parent in frontier:
+            for _child in range(2):
+                child = next_id
+                next_id += 1
+                graph.add_edge(child, label, parent)
+                new_frontier.append(child)
+        frontier = new_frontier
+    return graph
+
+
+def grid(rows: int, cols: int, right_label: str = "a",
+         down_label: str = "b") -> LabeledGraph:
+    """A rows×cols grid with rightward *right_label* edges and downward
+    *down_label* edges; node (r, c) has id ``r * cols + c``."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid dimensions must be positive")
+    graph = LabeledGraph()
+    for r in range(rows):
+        for c in range(cols):
+            graph.add_node(r * cols + c)
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            if c + 1 < cols:
+                graph.add_edge(node, right_label, node + 1)
+            if r + 1 < rows:
+                graph.add_edge(node, down_label, node + cols)
+    return graph
+
+
+def random_graph(node_count: int, edge_count: int, labels: Sequence[str],
+                 seed: int = 0) -> LabeledGraph:
+    """A uniform random multigraph with exactly *node_count* nodes and at
+    most *edge_count* distinct labeled edges (duplicates collapse)."""
+    if node_count < 1:
+        raise ValueError("node_count must be positive")
+    if not labels:
+        raise ValueError("labels must be non-empty")
+    rng = random.Random(seed)
+    graph = LabeledGraph()
+    for node in range(node_count):
+        graph.add_node(node)
+    for _ in range(edge_count):
+        source = rng.randrange(node_count)
+        target = rng.randrange(node_count)
+        label = rng.choice(list(labels))
+        graph.add_edge(source, label, target)
+    return graph
+
+
+def repeat_graph(base: LabeledGraph, copies: int,
+                 connect: bool = False,
+                 bridge_label: str | None = None) -> LabeledGraph:
+    """The paper's synthetic-graph construction for g1, g2, g3:
+    "simply repeating the existing graphs".
+
+    Produces *copies* disjoint copies of *base*; node ``n`` of copy ``k``
+    becomes ``(k, n)``.  With ``connect=True`` consecutive copies are
+    joined by one *bridge_label* edge from copy k's node 0 to copy k+1's
+    node 0 (a documented variant — the paper's construction is the
+    disjoint union).
+    """
+    if copies < 1:
+        raise ValueError("copies must be positive")
+    graph = LabeledGraph()
+    base_nodes = base.nodes
+    for k in range(copies):
+        for node in base_nodes:
+            graph.add_node((k, node))
+        for source, label, target in base.edges():
+            graph.add_edge((k, source), label, (k, target))
+    if connect and copies > 1:
+        if not base_nodes:
+            raise ValueError("cannot connect copies of an empty graph")
+        label = bridge_label or next(iter(sorted(base.labels)), "bridge")
+        for k in range(copies - 1):
+            graph.add_edge((k, base_nodes[0]), label, (k + 1, base_nodes[0]))
+    return graph
+
+
+def worst_case_dyck_graph(n: int) -> LabeledGraph:
+    """Two cycles of lengths n and n+1 over labels a/b sharing a node —
+    with the Dyck grammar ``S -> a S b | a b`` this forces Θ(n²) result
+    pairs and deep derivations, the standard hardest small input."""
+    return two_cycles(n, n + 1, "a", "b")

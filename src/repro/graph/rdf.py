@@ -1,0 +1,144 @@
+"""Minimal RDF triple handling.
+
+The paper's evaluation converts each RDF triple ``(o, p, s)`` into the
+two graph edges ``(o, p, s)`` and ``(s, p⁻¹, o)`` (Section 6).  We
+implement:
+
+* an N-Triples-style line parser (``<subj> <pred> <obj> .``) that also
+  accepts a simplified whitespace-separated ``subj pred obj`` form;
+* :func:`triples_to_graph` performing the paper's conversion;
+* :func:`graph_to_triples` for round-tripping generated datasets.
+
+This is intentionally *not* a full RDF stack (no literals-with-datatypes
+semantics, no Turtle prefixes beyond a convenience expansion): the
+evaluation queries only touch ``subClassOf``/``type`` predicates, and a
+full parser adds nothing to the reproduction.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Iterator, TextIO
+
+from ..errors import GraphParseError
+from .labeled_graph import LabeledGraph
+
+#: A parsed RDF triple: (subject, predicate, object), all strings.
+Triple = tuple[str, str, str]
+
+_NTRIPLE_RE = re.compile(
+    r"""^\s*
+        (?:<(?P<s_iri>[^>]*)>|(?P<s_plain>\S+))\s+
+        (?:<(?P<p_iri>[^>]*)>|(?P<p_plain>\S+))\s+
+        (?:<(?P<o_iri>[^>]*)>|"(?P<o_lit>[^"]*)"(?:\^\^<[^>]*>|@\w[\w-]*)?|(?P<o_plain>\S+))\s*
+        (?:\.\s*)?$""",
+    re.VERBOSE,
+)
+
+#: Common RDF/RDFS/OWL IRIs reduced to the short predicate names the
+#: paper's queries use.
+WELL_KNOWN_PREDICATES = {
+    "http://www.w3.org/2000/01/rdf-schema#subClassOf": "subClassOf",
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type": "type",
+    "http://www.w3.org/2002/07/owl#onProperty": "onProperty",
+    "http://www.w3.org/2000/01/rdf-schema#domain": "domain",
+    "http://www.w3.org/2000/01/rdf-schema#range": "range",
+}
+
+
+def shorten_iri(iri: str) -> str:
+    """Map an IRI to a short local name (well-known predicates get the
+    paper's names; otherwise take the fragment / last path segment)."""
+    if iri in WELL_KNOWN_PREDICATES:
+        return WELL_KNOWN_PREDICATES[iri]
+    if "#" in iri:
+        fragment = iri.rsplit("#", 1)[1]
+        if fragment:
+            return fragment
+    if "/" in iri:
+        segment = iri.rstrip("/").rsplit("/", 1)[-1]
+        if segment:
+            return segment
+    return iri
+
+
+def parse_triple_line(line: str, line_number: int | None = None) -> Triple | None:
+    """Parse one N-Triples-ish line; returns ``None`` for blank/comment
+    lines, raises :class:`GraphParseError` on malformed input."""
+    stripped = line.strip()
+    if not stripped or stripped.startswith("#"):
+        return None
+    match = _NTRIPLE_RE.match(stripped)
+    if not match:
+        raise GraphParseError("malformed triple", line_number, line)
+    groups = match.groupdict()
+    subject = groups["s_iri"] if groups["s_iri"] is not None else groups["s_plain"]
+    predicate = groups["p_iri"] if groups["p_iri"] is not None else groups["p_plain"]
+    if groups["o_iri"] is not None:
+        obj = groups["o_iri"]
+    elif groups["o_lit"] is not None:
+        obj = groups["o_lit"]
+    else:
+        obj = groups["o_plain"]
+    if not subject or not predicate or not obj:
+        raise GraphParseError("triple has an empty component", line_number, line)
+    return (subject, predicate, obj)
+
+
+def parse_triples(text: str) -> list[Triple]:
+    """Parse a whole N-Triples-ish document."""
+    triples: list[Triple] = []
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        triple = parse_triple_line(line, line_number)
+        if triple is not None:
+            triples.append(triple)
+    return triples
+
+
+def read_triples(stream: TextIO) -> Iterator[Triple]:
+    """Stream triples from an open text file."""
+    for line_number, line in enumerate(stream, start=1):
+        triple = parse_triple_line(line, line_number)
+        if triple is not None:
+            yield triple
+
+
+def triples_to_graph(triples: Iterable[Triple], add_inverses: bool = True,
+                     shorten: bool = True) -> LabeledGraph:
+    """The paper's conversion: each triple ``(o, p, s)`` yields the edge
+    ``(o, p, s)`` and, with *add_inverses* (the paper always does),
+    ``(s, p_r, o)``.
+
+    With *shorten*, IRIs are reduced to local names so that grammar
+    terminals like ``subClassOf`` match.
+    """
+    graph = LabeledGraph()
+    for subject, predicate, obj in triples:
+        if shorten:
+            subject, predicate, obj = (
+                shorten_iri(subject), shorten_iri(predicate), shorten_iri(obj),
+            )
+        graph.add_edge(subject, predicate, obj)
+    if add_inverses:
+        graph = graph.with_inverse_edges()
+    return graph
+
+
+def graph_to_triples(graph: LabeledGraph,
+                     skip_inverse_labels: bool = True) -> list[Triple]:
+    """Export a graph back to triples (dropping the generated ``_r``
+    inverse edges by default so a round-trip is stable)."""
+    from ..grammar.symbols import is_inverse_label
+
+    triples: list[Triple] = []
+    for source, label, target in graph.edges():
+        if skip_inverse_labels and is_inverse_label(label):
+            continue
+        triples.append((str(source), label, str(target)))
+    return triples
+
+
+def load_rdf_graph(path: str, add_inverses: bool = True) -> LabeledGraph:
+    """Read a triple file from *path* and convert per the paper's rule."""
+    with open(path, "r", encoding="utf-8") as stream:
+        return triples_to_graph(read_triples(stream), add_inverses=add_inverses)

@@ -1,0 +1,62 @@
+"""Descriptive statistics for graphs, used in benchmark reports.
+
+The paper's tables report ``#triples`` per dataset; we additionally
+report node counts, per-label edge counts and density, so the harness
+output makes the workloads reproducible at a glance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .labeled_graph import LabeledGraph
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Structural summary of a labeled graph."""
+
+    node_count: int
+    edge_count: int
+    label_counts: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def density(self) -> float:
+        """Edges per node pair, ``|E| / |V|²`` (0 for the empty graph)."""
+        if self.node_count == 0:
+            return 0.0
+        return self.edge_count / (self.node_count ** 2)
+
+    @property
+    def triple_count(self) -> int:
+        """Number of 'forward' edges (labels without the ``_r`` suffix) —
+        comparable to the paper's #triples column when the graph came
+        from the RDF conversion."""
+        from ..grammar.symbols import is_inverse_label
+
+        return sum(
+            count for label, count in self.label_counts.items()
+            if not is_inverse_label(label)
+        )
+
+    def as_dict(self) -> dict:
+        """Plain-dict form for JSON reports."""
+        return {
+            "node_count": self.node_count,
+            "edge_count": self.edge_count,
+            "triple_count": self.triple_count,
+            "density": self.density,
+            "label_counts": dict(sorted(self.label_counts.items())),
+        }
+
+
+def graph_stats(graph: LabeledGraph) -> GraphStats:
+    """Compute :class:`GraphStats` for *graph*."""
+    label_counts = {
+        label: len(graph.edge_pairs(label)) for label in sorted(graph.labels)
+    }
+    return GraphStats(
+        node_count=graph.node_count,
+        edge_count=graph.edge_count,
+        label_counts=label_counts,
+    )

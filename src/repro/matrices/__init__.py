@@ -1,0 +1,34 @@
+"""Boolean matrix substrate with interchangeable backends."""
+
+from .bitset import BitsetBackend, BitsetMatrix
+from .base import (
+    BooleanMatrix,
+    MatrixBackend,
+    Pair,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from .dense import DenseBackend, DenseMatrix
+from .pyset import PySetBackend, PySetMatrix
+from .setmatrix import SetMatrix, initial_matrix
+from .sparse import SparseBackend, SparseMatrix
+
+__all__ = [
+    "BitsetBackend",
+    "BitsetMatrix",
+    "BooleanMatrix",
+    "DenseBackend",
+    "DenseMatrix",
+    "MatrixBackend",
+    "Pair",
+    "PySetBackend",
+    "PySetMatrix",
+    "SetMatrix",
+    "SparseBackend",
+    "SparseMatrix",
+    "available_backends",
+    "get_backend",
+    "initial_matrix",
+    "register_backend",
+]

@@ -1,0 +1,186 @@
+"""Boolean matrix abstraction.
+
+The paper's Algorithm 1 reduces, per Valiant, to ``|N|²`` *Boolean*
+matrix multiplications per closure step.  The paper evaluates three
+implementations of this kernel (dense GPU, sparse CPU, sparse GPU); we
+mirror the design with interchangeable backends behind one interface:
+
+* ``dense``  — NumPy boolean arrays (row-major dense, stands in for the
+  paper's dGPU/CUBLAS implementation),
+* ``sparse`` — SciPy CSR matrices (stands in for sCPU/Math.NET and
+  sGPU/CUSPARSE),
+* ``pyset``  — pure-Python sets of coordinate pairs (reference
+  implementation, no third-party arithmetic).
+
+Backends are value-semantics *immutable*: every operation returns a new
+matrix.  That keeps the closure loop honest (``T ← T ∪ T×T``) and makes
+fixpoint detection (`nnz` stability / equality) trivial and backend
+independent.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Iterator
+
+from ..errors import DimensionMismatchError, UnknownBackendError
+
+#: A matrix coordinate (row, column).
+Pair = tuple[int, int]
+
+
+class BooleanMatrix(abc.ABC):
+    """An immutable square-or-rectangular boolean matrix."""
+
+    __slots__ = ()
+
+    # -- shape ----------------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def shape(self) -> tuple[int, int]:
+        """(rows, columns)."""
+
+    @property
+    def is_square(self) -> bool:
+        """True when rows == columns."""
+        rows, cols = self.shape
+        return rows == cols
+
+    # -- element access --------------------------------------------------
+    @abc.abstractmethod
+    def __getitem__(self, index: Pair) -> bool:
+        """Value at (row, column)."""
+
+    @abc.abstractmethod
+    def nonzero_pairs(self) -> Iterator[Pair]:
+        """Iterate the coordinates of all True entries."""
+
+    @abc.abstractmethod
+    def nnz(self) -> int:
+        """Number of True entries."""
+
+    # -- algebra ----------------------------------------------------------
+    @abc.abstractmethod
+    def multiply(self, other: "BooleanMatrix") -> "BooleanMatrix":
+        """Boolean matrix product (∨ of ∧)."""
+
+    @abc.abstractmethod
+    def union(self, other: "BooleanMatrix") -> "BooleanMatrix":
+        """Element-wise boolean OR."""
+
+    @abc.abstractmethod
+    def transpose(self) -> "BooleanMatrix":
+        """The transposed matrix."""
+
+    def __matmul__(self, other: "BooleanMatrix") -> "BooleanMatrix":
+        return self.multiply(other)
+
+    def __or__(self, other: "BooleanMatrix") -> "BooleanMatrix":
+        return self.union(other)
+
+    # -- comparisons -------------------------------------------------------
+    def same_pairs(self, other: "BooleanMatrix") -> bool:
+        """Structural equality (same shape, same True coordinates)."""
+        if self.shape != other.shape or self.nnz() != other.nnz():
+            return False
+        return set(self.nonzero_pairs()) == set(other.nonzero_pairs())
+
+    def dominates(self, other: "BooleanMatrix") -> bool:
+        """True when every True entry of *other* is True here — the
+        boolean projection of the paper's ⪰ partial order."""
+        if self.shape != other.shape:
+            return False
+        return set(other.nonzero_pairs()) <= set(self.nonzero_pairs())
+
+    def to_pair_set(self) -> frozenset[Pair]:
+        """All True coordinates as a frozenset."""
+        return frozenset(self.nonzero_pairs())
+
+    def _require_same_shape(self, other: "BooleanMatrix") -> None:
+        if self.shape != other.shape:
+            raise DimensionMismatchError(
+                f"shape mismatch: {self.shape} vs {other.shape}"
+            )
+
+    def _require_chainable(self, other: "BooleanMatrix") -> None:
+        if self.shape[1] != other.shape[0]:
+            raise DimensionMismatchError(
+                f"cannot multiply {self.shape} by {other.shape}"
+            )
+
+    def __repr__(self) -> str:
+        rows, cols = self.shape
+        return f"{type(self).__name__}({rows}x{cols}, nnz={self.nnz()})"
+
+
+class MatrixBackend(abc.ABC):
+    """Factory for one :class:`BooleanMatrix` implementation."""
+
+    #: Registry key, e.g. ``"dense"``.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def zeros(self, rows: int, cols: int | None = None) -> BooleanMatrix:
+        """An all-False matrix (square when *cols* is omitted)."""
+
+    @abc.abstractmethod
+    def from_pairs(self, size: int, pairs: Iterable[Pair],
+                   cols: int | None = None) -> BooleanMatrix:
+        """A matrix with True exactly at *pairs*."""
+
+    def identity(self, size: int) -> BooleanMatrix:
+        """The size×size identity."""
+        return self.from_pairs(size, ((i, i) for i in range(size)))
+
+    def from_dense_rows(self, rows: list[list[int]]) -> BooleanMatrix:
+        """Build from a dense 0/1 row-major nested list (test helper)."""
+        n_rows = len(rows)
+        n_cols = len(rows[0]) if rows else 0
+        pairs = [
+            (i, j)
+            for i, row in enumerate(rows)
+            for j, value in enumerate(row)
+            if value
+        ]
+        return self.from_pairs(n_rows, pairs, cols=n_cols)
+
+    def __repr__(self) -> str:
+        return f"<MatrixBackend {self.name}>"
+
+
+_REGISTRY: dict[str, MatrixBackend] = {}
+
+
+def register_backend(backend: MatrixBackend) -> MatrixBackend:
+    """Register *backend* under ``backend.name`` (idempotent overwrite)."""
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def get_backend(name: "str | MatrixBackend") -> MatrixBackend:
+    """Resolve a backend by name (or pass an instance through)."""
+    if isinstance(name, MatrixBackend):
+        return name
+    _ensure_default_backends()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownBackendError(name, list(_REGISTRY)) from None
+
+
+def available_backends() -> list[str]:
+    """Names of all registered backends."""
+    _ensure_default_backends()
+    return sorted(_REGISTRY)
+
+
+def _ensure_default_backends() -> None:
+    # Imported lazily to avoid import cycles; modules self-register.
+    if "dense" not in _REGISTRY:
+        from . import dense  # noqa: F401
+    if "sparse" not in _REGISTRY:
+        from . import sparse  # noqa: F401
+    if "pyset" not in _REGISTRY:
+        from . import pyset  # noqa: F401
+    if "bitset" not in _REGISTRY:
+        from . import bitset  # noqa: F401

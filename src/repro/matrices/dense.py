@@ -1,0 +1,96 @@
+"""Dense NumPy boolean matrix backend.
+
+Stands in for the paper's **dGPU** implementation (row-major dense
+matrices multiplied with CUBLAS): identical algorithm and data layout,
+CPU arithmetic instead of GPU.  Dense storage is O(|V|²) regardless of
+sparsity, which is exactly why the paper omits dGPU numbers for the
+large g1–g3 graphs — this backend reproduces that collapse.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from .base import BooleanMatrix, MatrixBackend, Pair, register_backend
+
+
+class DenseMatrix(BooleanMatrix):
+    """Immutable wrapper over a ``numpy.ndarray`` of dtype bool."""
+
+    __slots__ = ("_array",)
+
+    def __init__(self, array: np.ndarray):
+        if array.ndim != 2:
+            raise ValueError("dense matrix requires a 2-D array")
+        self._array = array.astype(bool, copy=False)
+        self._array.setflags(write=False)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self._array.shape  # type: ignore[return-value]
+
+    def __getitem__(self, index: Pair) -> bool:
+        return bool(self._array[index])
+
+    def nonzero_pairs(self) -> Iterator[Pair]:
+        rows, cols = np.nonzero(self._array)
+        return zip(rows.tolist(), cols.tolist())
+
+    def nnz(self) -> int:
+        return int(self._array.sum())
+
+    def multiply(self, other: BooleanMatrix) -> "DenseMatrix":
+        self._require_chainable(other)
+        other_array = _as_array(other)
+        # Boolean semiring product: OR of ANDs.  float32 matmul runs on
+        # BLAS (sgemm) and is thresholded back to bool — the same trick
+        # CUBLAS-backed boolean products use; integer matmul would fall
+        # off the BLAS fast path entirely.
+        product = self._array.astype(np.float32) @ other_array.astype(np.float32)
+        return DenseMatrix(product > 0.5)
+
+    def union(self, other: BooleanMatrix) -> "DenseMatrix":
+        self._require_same_shape(other)
+        return DenseMatrix(self._array | _as_array(other))
+
+    def transpose(self) -> "DenseMatrix":
+        return DenseMatrix(self._array.T.copy())
+
+    def to_numpy(self) -> np.ndarray:
+        """A read-only view of the underlying boolean array."""
+        return self._array
+
+
+def _as_array(matrix: BooleanMatrix) -> np.ndarray:
+    if isinstance(matrix, DenseMatrix):
+        return matrix._array
+    array = np.zeros(matrix.shape, dtype=bool)
+    for i, j in matrix.nonzero_pairs():
+        array[i, j] = True
+    return array
+
+
+class DenseBackend(MatrixBackend):
+    """Factory for :class:`DenseMatrix`."""
+
+    name = "dense"
+
+    def zeros(self, rows: int, cols: int | None = None) -> DenseMatrix:
+        return DenseMatrix(np.zeros((rows, cols if cols is not None else rows),
+                                    dtype=bool))
+
+    def from_pairs(self, size: int, pairs: Iterable[Pair],
+                   cols: int | None = None) -> DenseMatrix:
+        array = np.zeros((size, cols if cols is not None else size), dtype=bool)
+        for i, j in pairs:
+            array[i, j] = True
+        return DenseMatrix(array)
+
+    def from_numpy(self, array: np.ndarray) -> DenseMatrix:
+        """Wrap an existing array (copied, coerced to bool)."""
+        return DenseMatrix(np.array(array, dtype=bool))
+
+
+BACKEND = register_backend(DenseBackend())

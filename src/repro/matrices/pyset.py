@@ -1,0 +1,84 @@
+"""Pure-Python boolean matrix backend (sets of coordinate pairs).
+
+The dependency-free reference implementation: a matrix is a frozenset of
+(row, column) pairs plus a shape.  Slowest of the three backends but the
+easiest to audit; the property tests use it as the ground truth the
+NumPy/SciPy backends must agree with.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator
+
+from .base import BooleanMatrix, MatrixBackend, Pair, register_backend
+
+
+class PySetMatrix(BooleanMatrix):
+    """Immutable coordinate-set boolean matrix."""
+
+    __slots__ = ("_shape", "_pairs", "_rows_index")
+
+    def __init__(self, shape: tuple[int, int], pairs: Iterable[Pair]):
+        self._shape = shape
+        pair_set = frozenset(pairs)
+        for i, j in pair_set:
+            if not (0 <= i < shape[0] and 0 <= j < shape[1]):
+                raise ValueError(f"pair {(i, j)} outside shape {shape}")
+        self._pairs = pair_set
+        rows_index: dict[int, set[int]] = defaultdict(set)
+        for i, j in pair_set:
+            rows_index[i].add(j)
+        self._rows_index = {i: frozenset(js) for i, js in rows_index.items()}
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self._shape
+
+    def __getitem__(self, index: Pair) -> bool:
+        return index in self._pairs
+
+    def nonzero_pairs(self) -> Iterator[Pair]:
+        return iter(self._pairs)
+
+    def nnz(self) -> int:
+        return len(self._pairs)
+
+    def multiply(self, other: BooleanMatrix) -> "PySetMatrix":
+        self._require_chainable(other)
+        # Index other's rows: k -> columns j with other[k, j].
+        other_rows: dict[int, set[int]] = defaultdict(set)
+        for k, j in other.nonzero_pairs():
+            other_rows[k].add(j)
+        result: set[Pair] = set()
+        for i, ks in self._rows_index.items():
+            for k in ks:
+                for j in other_rows.get(k, ()):
+                    result.add((i, j))
+        return PySetMatrix((self._shape[0], other.shape[1]), result)
+
+    def union(self, other: BooleanMatrix) -> "PySetMatrix":
+        self._require_same_shape(other)
+        return PySetMatrix(self._shape, self._pairs | set(other.nonzero_pairs()))
+
+    def transpose(self) -> "PySetMatrix":
+        return PySetMatrix(
+            (self._shape[1], self._shape[0]),
+            ((j, i) for i, j in self._pairs),
+        )
+
+
+class PySetBackend(MatrixBackend):
+    """Factory for :class:`PySetMatrix`."""
+
+    name = "pyset"
+
+    def zeros(self, rows: int, cols: int | None = None) -> PySetMatrix:
+        return PySetMatrix((rows, cols if cols is not None else rows), ())
+
+    def from_pairs(self, size: int, pairs: Iterable[Pair],
+                   cols: int | None = None) -> PySetMatrix:
+        return PySetMatrix((size, cols if cols is not None else size), pairs)
+
+
+BACKEND = register_backend(PySetBackend())

@@ -1,0 +1,98 @@
+"""Sparse CSR boolean matrix backend (SciPy).
+
+Stands in for both of the paper's sparse implementations — **sCPU**
+(Math.NET CSR on the CPU) and **sGPU** (CUSPARSE CSR on the GPU): the
+storage format (CSR) and the algorithm are identical; only the device
+differs.  Sparsity makes the closure scale with the number of stored
+entries rather than |V|², which is the effect behind the paper's g1–g3
+rows.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+from scipy import sparse as sp
+
+from .base import BooleanMatrix, MatrixBackend, Pair, register_backend
+
+
+class SparseMatrix(BooleanMatrix):
+    """Immutable wrapper over a ``scipy.sparse.csr_matrix`` of dtype bool."""
+
+    __slots__ = ("_matrix",)
+
+    def __init__(self, matrix: sp.spmatrix):
+        csr = matrix.tocsr().astype(bool)
+        csr.eliminate_zeros()
+        self._matrix = csr
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self._matrix.shape  # type: ignore[return-value]
+
+    def __getitem__(self, index: Pair) -> bool:
+        return bool(self._matrix[index])
+
+    def nonzero_pairs(self) -> Iterator[Pair]:
+        coo = self._matrix.tocoo()
+        return zip(coo.row.tolist(), coo.col.tolist())
+
+    def nnz(self) -> int:
+        return int(self._matrix.nnz)
+
+    def multiply(self, other: BooleanMatrix) -> "SparseMatrix":
+        self._require_chainable(other)
+        return SparseMatrix(self._matrix @ _as_csr(other))
+
+    def union(self, other: BooleanMatrix) -> "SparseMatrix":
+        self._require_same_shape(other)
+        return SparseMatrix(self._matrix + _as_csr(other))
+
+    def transpose(self) -> "SparseMatrix":
+        return SparseMatrix(self._matrix.T)
+
+    def to_scipy(self) -> sp.csr_matrix:
+        """The underlying CSR matrix (do not mutate)."""
+        return self._matrix
+
+
+def _as_csr(matrix: BooleanMatrix) -> sp.csr_matrix:
+    if isinstance(matrix, SparseMatrix):
+        return matrix._matrix
+    pairs = list(matrix.nonzero_pairs())
+    rows = [i for i, _ in pairs]
+    cols = [j for _, j in pairs]
+    data = np.ones(len(pairs), dtype=bool)
+    return sp.csr_matrix((data, (rows, cols)), shape=matrix.shape, dtype=bool)
+
+
+class SparseBackend(MatrixBackend):
+    """Factory for :class:`SparseMatrix`."""
+
+    name = "sparse"
+
+    def zeros(self, rows: int, cols: int | None = None) -> SparseMatrix:
+        return SparseMatrix(
+            sp.csr_matrix((rows, cols if cols is not None else rows), dtype=bool)
+        )
+
+    def from_pairs(self, size: int, pairs: Iterable[Pair],
+                   cols: int | None = None) -> SparseMatrix:
+        pair_list = list(pairs)
+        shape = (size, cols if cols is not None else size)
+        if not pair_list:
+            return SparseMatrix(sp.csr_matrix(shape, dtype=bool))
+        rows = [i for i, _ in pair_list]
+        columns = [j for _, j in pair_list]
+        data = np.ones(len(pair_list), dtype=bool)
+        return SparseMatrix(sp.csr_matrix((data, (rows, columns)), shape=shape,
+                                          dtype=bool))
+
+    def from_scipy(self, matrix: sp.spmatrix) -> SparseMatrix:
+        """Wrap an existing SciPy sparse matrix."""
+        return SparseMatrix(matrix)
+
+
+BACKEND = register_backend(SparseBackend())

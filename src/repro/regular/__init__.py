@@ -1,0 +1,32 @@
+"""Regular path queries: the regular-language sibling of CFPQ."""
+
+from .automaton import NFA, regex_to_nfa
+from .regex import (
+    Concat,
+    Label,
+    Optional_,
+    Plus,
+    RegexNode,
+    Star,
+    Union,
+    parse_regex,
+    regex_labels,
+)
+from .rpq import product_adjacency, rpq_pairs_by_id, solve_rpq
+
+__all__ = [
+    "Concat",
+    "Label",
+    "NFA",
+    "Optional_",
+    "Plus",
+    "RegexNode",
+    "Star",
+    "Union",
+    "parse_regex",
+    "product_adjacency",
+    "regex_labels",
+    "regex_to_nfa",
+    "rpq_pairs_by_id",
+    "solve_rpq",
+]

@@ -1,0 +1,143 @@
+"""Thompson construction: regex AST → ε-NFA → ε-free NFA.
+
+The RPQ solver works on the ε-free form (transition relation per label
+plus start/accept state sets), which maps directly onto the boolean
+matrix machinery: one |Q|×|Q| boolean matrix per label.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from .regex import Concat, Label, Optional_, Plus, RegexNode, Star, Union
+
+
+@dataclass
+class NFA:
+    """An ε-free NFA over edge labels.
+
+    States are ``0 .. state_count-1``; ``transitions[label]`` is a set
+    of (source, target) state pairs.
+    """
+
+    state_count: int
+    start_states: frozenset[int]
+    accept_states: frozenset[int]
+    transitions: dict[str, frozenset[tuple[int, int]]] = field(default_factory=dict)
+
+    @property
+    def labels(self) -> frozenset[str]:
+        """All labels with at least one transition."""
+        return frozenset(label for label, pairs in self.transitions.items() if pairs)
+
+    def accepts_empty(self) -> bool:
+        """True when some start state is accepting (ε ∈ L)."""
+        return bool(self.start_states & self.accept_states)
+
+    def accepts(self, word: list[str] | tuple[str, ...]) -> bool:
+        """Direct NFA simulation (the oracle used in tests)."""
+        current = set(self.start_states)
+        for symbol in word:
+            pairs = self.transitions.get(symbol, frozenset())
+            current = {t for (s, t) in pairs if s in current}
+            if not current:
+                return False
+        return bool(current & self.accept_states)
+
+
+class _Builder:
+    """Thompson construction with ε-transitions, eliminated at the end."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.epsilon: set[tuple[int, int]] = set()
+        self.labeled: dict[str, set[tuple[int, int]]] = defaultdict(set)
+
+    def fresh(self) -> int:
+        state = self.count
+        self.count += 1
+        return state
+
+    def build(self, node: RegexNode) -> tuple[int, int]:
+        """Return (entry, exit) states of the fragment for *node*."""
+        if isinstance(node, Label):
+            entry, exit_ = self.fresh(), self.fresh()
+            self.labeled[node.name].add((entry, exit_))
+            return entry, exit_
+        if isinstance(node, Concat):
+            left_in, left_out = self.build(node.left)
+            right_in, right_out = self.build(node.right)
+            self.epsilon.add((left_out, right_in))
+            return left_in, right_out
+        if isinstance(node, Union):
+            entry, exit_ = self.fresh(), self.fresh()
+            for branch in (node.left, node.right):
+                branch_in, branch_out = self.build(branch)
+                self.epsilon.add((entry, branch_in))
+                self.epsilon.add((branch_out, exit_))
+            return entry, exit_
+        if isinstance(node, Star):
+            entry, exit_ = self.fresh(), self.fresh()
+            inner_in, inner_out = self.build(node.inner)
+            self.epsilon.update([
+                (entry, exit_), (entry, inner_in),
+                (inner_out, inner_in), (inner_out, exit_),
+            ])
+            return entry, exit_
+        if isinstance(node, Plus):
+            inner_in, inner_out = self.build(node.inner)
+            self.epsilon.add((inner_out, inner_in))
+            return inner_in, inner_out
+        if isinstance(node, Optional_):
+            entry, exit_ = self.fresh(), self.fresh()
+            inner_in, inner_out = self.build(node.inner)
+            self.epsilon.update([
+                (entry, exit_), (entry, inner_in), (inner_out, exit_),
+            ])
+            return entry, exit_
+        raise TypeError(f"unknown regex node {node!r}")
+
+
+def regex_to_nfa(node: RegexNode) -> NFA:
+    """Compile a regex AST into an ε-free NFA."""
+    builder = _Builder()
+    start, accept = builder.build(node)
+
+    # ε-closure per state.
+    closure: dict[int, set[int]] = {
+        state: {state} for state in range(builder.count)
+    }
+    changed = True
+    while changed:
+        changed = False
+        for source, target in builder.epsilon:
+            extension = closure[target] - closure[source]
+            if extension:
+                closure[source] |= extension
+                changed = True
+
+    # ε-elimination: label transition (s, t) becomes (s', closure(t))
+    # for every s' whose closure contains s... standard construction:
+    # new transitions = {(s, t') | (q, t) labeled, q ∈ closure(s), t' = t};
+    # then accepting = states whose closure meets {accept}.
+    transitions: dict[str, set[tuple[int, int]]] = defaultdict(set)
+    for label, pairs in builder.labeled.items():
+        labeled_by_source: dict[int, set[int]] = defaultdict(set)
+        for source, target in pairs:
+            labeled_by_source[source].add(target)
+        for state in range(builder.count):
+            for mid in closure[state]:
+                for target in labeled_by_source.get(mid, ()):
+                    transitions[label].add((state, target))
+
+    accepting = frozenset(
+        state for state in range(builder.count) if accept in closure[state]
+    )
+    return NFA(
+        state_count=builder.count,
+        start_states=frozenset({start}),
+        accept_states=accepting,
+        transitions={label: frozenset(pairs)
+                     for label, pairs in transitions.items()},
+    )

@@ -1,0 +1,176 @@
+"""A small regular-expression language over edge labels.
+
+Regular path queries (RPQs) are the regular-language little sibling of
+CFPQ (paper Related Works [2, 8, 16, 21]); the library supports them so
+users can fall back to the cheaper formalism when context-free power is
+not needed — and so the CFPQ-vs-RPQ expressiveness boundary is testable.
+
+Syntax (labels are identifiers; whitespace ignored)::
+
+    expr    := term ('|' term)*
+    term    := factor+                 (concatenation)
+    factor  := atom ('*' | '+' | '?')*
+    atom    := label | '(' expr ')'
+
+Example: ``subClassOf_r* subClassOf+`` or ``(a b)* | c``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..errors import GrammarParseError
+
+
+class RegexNode:
+    """Base class of the regex AST."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class Label(RegexNode):
+    """A single edge label."""
+
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class Concat(RegexNode):
+    """Sequential composition."""
+
+    left: RegexNode
+    right: RegexNode
+
+
+@dataclass(frozen=True, slots=True)
+class Union(RegexNode):
+    """Alternation."""
+
+    left: RegexNode
+    right: RegexNode
+
+
+@dataclass(frozen=True, slots=True)
+class Star(RegexNode):
+    """Kleene star (zero or more)."""
+
+    inner: RegexNode
+
+
+@dataclass(frozen=True, slots=True)
+class Plus(RegexNode):
+    """One or more."""
+
+    inner: RegexNode
+
+
+@dataclass(frozen=True, slots=True)
+class Optional_(RegexNode):
+    """Zero or one."""
+
+    inner: RegexNode
+
+
+_TOKEN_RE = re.compile(r"\s*(?:(?P<label>[A-Za-z_][A-Za-z0-9_]*)"
+                       r"|(?P<op>[()|*+?]))")
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if not match or match.end() == position:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise GrammarParseError(
+                f"unexpected character in regex at {remainder[:10]!r}"
+            )
+        tokens.append(match.group("label") or match.group("op"))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser for the grammar in the module docstring."""
+
+    def __init__(self, tokens: list[str]):
+        self.tokens = tokens
+        self.position = 0
+
+    def peek(self) -> str | None:
+        return self.tokens[self.position] if self.position < len(self.tokens) else None
+
+    def take(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise GrammarParseError("unexpected end of regex")
+        self.position += 1
+        return token
+
+    def parse(self) -> RegexNode:
+        node = self.expr()
+        if self.peek() is not None:
+            raise GrammarParseError(f"trailing regex input at {self.peek()!r}")
+        return node
+
+    def expr(self) -> RegexNode:
+        node = self.term()
+        while self.peek() == "|":
+            self.take()
+            node = Union(node, self.term())
+        return node
+
+    def term(self) -> RegexNode:
+        node = self.factor()
+        while self.peek() is not None and self.peek() not in ("|", ")"):
+            node = Concat(node, self.factor())
+        return node
+
+    def factor(self) -> RegexNode:
+        node = self.atom()
+        while self.peek() in ("*", "+", "?"):
+            operator = self.take()
+            if operator == "*":
+                node = Star(node)
+            elif operator == "+":
+                node = Plus(node)
+            else:
+                node = Optional_(node)
+        return node
+
+    def atom(self) -> RegexNode:
+        token = self.take()
+        if token == "(":
+            node = self.expr()
+            if self.take() != ")":
+                raise GrammarParseError("unbalanced parenthesis in regex")
+            return node
+        if token in ("|", ")", "*", "+", "?"):
+            raise GrammarParseError(f"unexpected {token!r} in regex")
+        return Label(token)
+
+
+def parse_regex(text: str) -> RegexNode:
+    """Parse *text* into a regex AST.
+
+    Raises :class:`~repro.errors.GrammarParseError` on malformed input.
+    """
+    tokens = _tokenize(text)
+    if not tokens:
+        raise GrammarParseError("empty regular expression")
+    return _Parser(tokens).parse()
+
+
+def regex_labels(node: RegexNode) -> frozenset[str]:
+    """All edge labels mentioned by the expression."""
+    if isinstance(node, Label):
+        return frozenset({node.name})
+    if isinstance(node, (Concat, Union)):
+        return regex_labels(node.left) | regex_labels(node.right)
+    if isinstance(node, (Star, Plus, Optional_)):
+        return regex_labels(node.inner)
+    raise TypeError(f"unknown regex node {node!r}")

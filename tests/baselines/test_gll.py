@@ -1,0 +1,79 @@
+"""Tests for the GLL-style descriptor-driven baseline."""
+
+from repro.baselines.gll import GLLSolver, solve_gll
+from repro.grammar.parser import parse_grammar
+from repro.grammar.symbols import Nonterminal
+from repro.graph.generators import two_cycles, word_chain
+from repro.graph.labeled_graph import LabeledGraph
+
+S = Nonterminal("S")
+
+
+def test_works_on_original_grammar(anbn_grammar):
+    """No CNF required — the original S -> a S b | a b is consumed as-is."""
+    relations = solve_gll(word_chain(["a", "a", "b", "b"]), anbn_grammar,
+                          nonterminals=[S])
+    assert relations.pairs(S) == {(0, 4), (1, 3)}
+
+
+def test_left_recursive_grammar():
+    grammar = parse_grammar("S -> S a | a", terminals=["a"])
+    relations = solve_gll(word_chain(["a"] * 4), grammar, nonterminals=[S])
+    assert relations.pairs(S) == {
+        (i, j) for i in range(5) for j in range(i + 1, 5)
+    }
+
+
+def test_right_recursive_grammar():
+    grammar = parse_grammar("S -> a S | a", terminals=["a"])
+    relations = solve_gll(word_chain(["a"] * 4), grammar, nonterminals=[S])
+    assert relations.pairs(S) == {
+        (i, j) for i in range(5) for j in range(i + 1, 5)
+    }
+
+
+def test_epsilon_rule_gives_reflexive_pairs():
+    grammar = parse_grammar("S -> a S | eps", terminals=["a"])
+    relations = solve_gll(word_chain(["a", "a"]), grammar, nonterminals=[S])
+    # ε makes every node reach itself, plus all forward chains.
+    assert relations.pairs(S) == {
+        (0, 0), (1, 1), (2, 2), (0, 1), (0, 2), (1, 2),
+    }
+
+
+def test_cyclic_graph(dyck_grammar):
+    relations = solve_gll(two_cycles(2, 3), dyck_grammar, nonterminals=[S])
+    assert (0, 0) in relations.pairs(S)
+
+
+def test_reachable_from_single_origin(anbn_grammar):
+    solver = GLLSolver(word_chain(["a", "a", "b", "b"]), anbn_grammar)
+    assert solver.reachable_from(S, 0) == {4}
+    assert solver.reachable_from(S, 1) == {3}
+    assert solver.reachable_from(S, 2) == frozenset()
+
+
+def test_default_queries_all_nonterminals():
+    grammar = parse_grammar("S -> A a\nA -> a", terminals=["a"])
+    relations = solve_gll(word_chain(["a", "a"]), grammar)
+    assert relations.pairs("A") == {(0, 1), (1, 2)}
+    assert relations.pairs("S") == {(0, 2)}
+
+
+def test_descriptor_count_grows_with_input(anbn_grammar):
+    small = GLLSolver(word_chain(["a", "b"]), anbn_grammar)
+    small.relation(S)
+    large = GLLSolver(word_chain(["a"] * 5 + ["b"] * 5), anbn_grammar)
+    large.relation(S)
+    assert large.descriptor_count > small.descriptor_count
+
+
+def test_empty_graph(anbn_grammar):
+    relations = solve_gll(LabeledGraph(), anbn_grammar, nonterminals=[S])
+    assert relations.pairs(S) == frozenset()
+
+
+def test_string_nonterminal_accepted(anbn_grammar):
+    relations = solve_gll(word_chain(["a", "b"]), anbn_grammar,
+                          nonterminals=["S"])
+    assert relations.pairs("S") == {(0, 2)}

@@ -1,0 +1,64 @@
+"""Tests for the Hellings worklist baseline."""
+
+import pytest
+
+from repro.baselines.hellings import solve_hellings
+from repro.errors import NotInNormalFormError
+from repro.grammar.parser import parse_grammar
+from repro.grammar.symbols import Nonterminal
+from repro.graph.generators import two_cycles, word_chain
+from repro.graph.labeled_graph import LabeledGraph
+
+S = Nonterminal("S")
+
+
+def test_anbn_on_chain(anbn_grammar):
+    relations = solve_hellings(word_chain(["a", "a", "b", "b"]), anbn_grammar)
+    assert relations.pairs(S) == {(0, 4), (1, 3)}
+
+
+def test_requires_cnf_without_normalize(anbn_grammar):
+    with pytest.raises(NotInNormalFormError):
+        solve_hellings(word_chain(["a", "b"]), anbn_grammar, normalize=False)
+
+
+def test_all_nonterminals_reported(ab_cnf_grammar):
+    relations = solve_hellings(word_chain(["a", "b"]), ab_cnf_grammar,
+                               normalize=False)
+    assert relations.pairs("A") == {(0, 1)}
+    assert relations.pairs("B") == {(1, 2)}
+    assert relations.pairs("S") == {(0, 2)}
+    assert relations.pairs("S1") == frozenset()
+
+
+def test_cyclic_graph(dyck_grammar):
+    relations = solve_hellings(two_cycles(1, 1), dyck_grammar)
+    assert (0, 0) in relations.pairs(S)
+
+
+def test_empty_graph(anbn_grammar):
+    relations = solve_hellings(LabeledGraph(), anbn_grammar)
+    assert relations.pairs(S) == frozenset()
+
+
+def test_right_extension_direction():
+    """A fact used as the *right* operand of a rule must also trigger
+    derivations (regression guard for the two-sided worklist)."""
+    # S -> A B. The B-fact is discovered after the A-fact is popped.
+    grammar = parse_grammar("S -> A B\nA -> a\nB -> C C\nC -> c",
+                            terminals=["a", "c"])
+    graph = word_chain(["a", "c", "c"])
+    relations = solve_hellings(graph, grammar)
+    assert relations.pairs(S) == {(0, 3)}
+
+
+def test_dense_result_on_coprime_cycles(dyck_grammar):
+    """Cycle lengths 2 and 3: every node pair is eventually related —
+    the known dense worst case."""
+    graph = two_cycles(2, 3)
+    relations = solve_hellings(graph, dyck_grammar)
+    n = graph.node_count
+    # a^i ... b^j loops make S relate many pairs; at minimum every node
+    # reaches itself through a^6k b^6k circuits via node 0.
+    assert (0, 0) in relations.pairs(S)
+    assert len(relations.pairs(S)) >= n

@@ -1,0 +1,80 @@
+"""Tests for bounded all-path enumeration."""
+
+import pytest
+
+from repro.core.allpath import AllPathEnumerator, count_paths
+from repro.core.matrix_cfpq import solve_matrix_relations
+from repro.core.single_path import path_word
+from repro.errors import UnknownSymbolError
+from repro.grammar.cnf import to_cnf
+from repro.grammar.recognizer import cyk_recognize
+from repro.grammar.symbols import Nonterminal
+from repro.graph.generators import two_cycles, word_chain
+
+S = Nonterminal("S")
+
+
+class TestOnChains:
+    def test_unique_path(self, anbn_grammar):
+        enumerator = AllPathEnumerator(word_chain(["a", "b"]), anbn_grammar)
+        paths = enumerator.paths(S, 0, 2, max_length=5)
+        assert len(paths) == 1
+        assert path_word(next(iter(paths))) == ("a", "b")
+
+    def test_budget_excludes_long_paths(self, anbn_grammar):
+        graph = word_chain(["a", "a", "b", "b"])
+        enumerator = AllPathEnumerator(graph, anbn_grammar)
+        assert enumerator.paths(S, 0, 4, max_length=3) == frozenset()
+        assert len(enumerator.paths(S, 0, 4, max_length=4)) == 1
+
+    def test_no_paths_outside_relation(self, anbn_grammar):
+        enumerator = AllPathEnumerator(word_chain(["a", "b"]), anbn_grammar)
+        assert enumerator.paths(S, 1, 0, max_length=10) == frozenset()
+
+
+class TestOnCycles:
+    def test_multiple_witnesses_enumerated(self, dyck_grammar):
+        """On two cycles the number of witnesses grows with the bound."""
+        graph = two_cycles(1, 1)  # a-loop and b-loop on one node
+        enumerator = AllPathEnumerator(graph, dyck_grammar)
+        short = enumerator.paths(S, 0, 0, max_length=2)
+        longer = enumerator.paths(S, 0, 0, max_length=6)
+        assert len(short) == 1           # just "ab"
+        assert len(longer) > len(short)  # ab, aabb, abab, ...
+
+    def test_every_enumerated_path_is_sound(self, dyck_grammar):
+        graph = two_cycles(2, 3)
+        cnf = to_cnf(dyck_grammar)
+        enumerator = AllPathEnumerator(graph, cnf, normalize=False)
+        for i, j, path in enumerator.iter_paths(S, max_length=6):
+            assert path[0][0] == i and path[-1][2] == j
+            assert cyk_recognize(cnf, S, list(path_word(path)))
+
+    def test_relation_converges_to_relational_answer(self, dyck_grammar):
+        graph = two_cycles(2, 3)
+        relational = solve_matrix_relations(graph, dyck_grammar).pairs(S)
+        enumerator = AllPathEnumerator(graph, dyck_grammar)
+        # With a generous bound the bounded relation covers R_S entirely.
+        bounded = enumerator.relation_pairs(S, max_length=12)
+        assert bounded == relational
+
+    def test_bounded_relation_is_monotone_and_sound(self, dyck_grammar):
+        graph = two_cycles(2, 3)
+        relational = solve_matrix_relations(graph, dyck_grammar).pairs(S)
+        enumerator = AllPathEnumerator(graph, dyck_grammar)
+        previous: frozenset = frozenset()
+        for bound in [2, 4, 6, 8]:
+            current = enumerator.relation_pairs(S, max_length=bound)
+            assert previous <= current
+            assert current <= relational
+            previous = current
+
+
+class TestCountPaths:
+    def test_chain_has_exactly_one(self, anbn_grammar):
+        assert count_paths(word_chain(["a", "b"]), anbn_grammar, S, 4) == 1
+
+    def test_unknown_nonterminal_rejected(self, anbn_grammar):
+        enumerator = AllPathEnumerator(word_chain(["a", "b"]), anbn_grammar)
+        with pytest.raises(UnknownSymbolError):
+            enumerator.paths(Nonterminal("Nope"), 0, 1, max_length=3)

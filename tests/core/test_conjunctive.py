@@ -1,0 +1,96 @@
+"""Tests for the conjunctive-grammar extension (§7 future work)."""
+
+import pytest
+
+from repro.core.conjunctive import (
+    ConjunctiveGrammar,
+    ConjunctiveRule,
+    TerminalRule,
+    anbncn_grammar,
+    solve_conjunctive_approx,
+)
+from repro.grammar.symbols import Nonterminal, Terminal
+from repro.graph.generators import word_chain
+from repro.graph.labeled_graph import LabeledGraph
+
+S = Nonterminal("S")
+
+
+class TestGrammarConstruction:
+    def test_parse_conjunctive_rule(self):
+        grammar = ConjunctiveGrammar.parse(
+            "S -> A B & C D\nA -> a\nB -> b\nC -> c\nD -> d",
+            terminals=["a", "b", "c", "d"],
+        )
+        assert len(grammar.conjunctive_rules) == 1
+        assert len(grammar.conjunctive_rules[0].conjuncts) == 2
+        assert len(grammar.terminal_rules) == 4
+
+    def test_rule_requires_conjunct(self):
+        with pytest.raises(ValueError):
+            ConjunctiveRule(S, ())
+
+    def test_parse_rejects_long_conjunct(self):
+        with pytest.raises(ValueError):
+            ConjunctiveGrammar.parse("S -> A B C", terminals=[])
+
+    def test_str_rendering(self):
+        rule = ConjunctiveRule(S, ((Nonterminal("A"), Nonterminal("B")),
+                                   (Nonterminal("C"), Nonterminal("D"))))
+        assert str(rule) == "S -> A B & C D"
+        assert str(TerminalRule(S, Terminal("x"))) == "S -> x"
+
+
+class TestSingleConjunctReducesToCFG:
+    """With one conjunct per rule the solver is the plain CFPQ engine."""
+
+    def test_matches_matrix_engine(self, backend_name):
+        conjunctive = ConjunctiveGrammar.parse(
+            "S -> A B\nA -> a\nB -> b", terminals=["a", "b"]
+        )
+        graph = word_chain(["a", "b"])
+        result = solve_conjunctive_approx(graph, conjunctive,
+                                          backend=backend_name)
+        assert result.pairs(S) == {(0, 2)}
+
+
+class TestAnBnCn:
+    """{aⁿbⁿcⁿ} on chain graphs: linear input ⇒ the approximation is
+    exact (Okhotin's matrix parsing of conjunctive grammars)."""
+
+    @pytest.mark.parametrize("word,expected", [
+        ("abc", True),
+        ("aabbcc", True),
+        ("aaabbbccc", True),
+        ("aabbc", False),
+        ("abbc", False),
+        ("abcc", False),
+        ("aabbbcc", False),
+    ])
+    def test_membership_via_chain(self, word, expected):
+        grammar = anbncn_grammar()
+        graph = word_chain(list(word))
+        result = solve_conjunctive_approx(graph, grammar)
+        assert (((0, len(word)) in result.pairs(S)) == expected), word
+
+    def test_backends_agree(self):
+        grammar = anbncn_grammar()
+        graph = word_chain(list("aabbcc"))
+        answers = {
+            name: solve_conjunctive_approx(graph, grammar, backend=name).pairs(S)
+            for name in ["dense", "sparse", "pyset"]
+        }
+        assert len(set(answers.values())) == 1
+
+
+class TestUpperApproximation:
+    def test_approximation_is_sound_on_cyclic_graph(self):
+        """Every true pair (witnessed by an actual aⁿbⁿcⁿ path) must be
+        present in the approximation — upper approximation soundness."""
+        grammar = anbncn_grammar()
+        # self-loops a, b, c on one node: every aⁿbⁿcⁿ path exists.
+        graph = LabeledGraph.from_edges(
+            [(0, "a", 0), (0, "b", 0), (0, "c", 0)]
+        )
+        result = solve_conjunctive_approx(graph, grammar)
+        assert (0, 0) in result.pairs(S)

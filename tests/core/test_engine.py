@@ -1,0 +1,111 @@
+"""Tests for the high-level CFPQEngine facade."""
+
+import pytest
+
+from repro.core.engine import CFPQEngine, cfpq
+from repro.core.single_path import path_word
+from repro.errors import PathNotFoundError, SemanticsError, UnknownSymbolError
+from repro.graph.generators import two_cycles, word_chain
+from repro.graph.labeled_graph import LabeledGraph
+
+
+class TestRelational:
+    def test_returns_node_objects(self, anbn_grammar):
+        graph = LabeledGraph.from_edges([
+            ("x", "a", "y"), ("y", "b", "z"),
+        ])
+        engine = CFPQEngine(graph, anbn_grammar)
+        assert engine.relational("S") == {("x", "z")}
+
+    def test_count(self, anbn_grammar, aabb_chain):
+        engine = CFPQEngine(aabb_chain, anbn_grammar)
+        assert engine.count("S") == 2
+
+    def test_unknown_start_symbol(self, anbn_grammar, aabb_chain):
+        engine = CFPQEngine(aabb_chain, anbn_grammar)
+        with pytest.raises(UnknownSymbolError):
+            engine.relational("Nope")
+
+    def test_backend_override_cached_separately(self, anbn_grammar, aabb_chain):
+        engine = CFPQEngine(aabb_chain, anbn_grammar, backend="sparse")
+        sparse = engine.relational("S")
+        dense = engine.relational("S", backend="dense")
+        assert sparse == dense
+        assert set(engine._matrix_results) == {"sparse", "dense"}
+
+    def test_solve_result_cached(self, anbn_grammar, aabb_chain):
+        engine = CFPQEngine(aabb_chain, anbn_grammar)
+        assert engine.solve() is engine.solve()
+
+    def test_cfpq_one_shot(self, anbn_grammar, aabb_chain):
+        assert cfpq(aabb_chain, anbn_grammar, "S") == {(0, 4), (1, 3)}
+
+
+class TestSinglePath:
+    def test_witness_path(self, anbn_grammar, aabb_chain):
+        engine = CFPQEngine(aabb_chain, anbn_grammar)
+        path = engine.single_path("S", 0, 4)
+        assert path_word(path) == ("a", "a", "b", "b")
+
+    def test_path_length(self, anbn_grammar, aabb_chain):
+        engine = CFPQEngine(aabb_chain, anbn_grammar)
+        assert engine.path_length("S", 0, 4) == 4
+        assert engine.path_length("S", 4, 0) is None
+
+    def test_missing_pair_raises(self, anbn_grammar, aabb_chain):
+        engine = CFPQEngine(aabb_chain, anbn_grammar)
+        with pytest.raises(PathNotFoundError):
+            engine.single_path("S", 4, 0)
+
+    def test_index_cached(self, anbn_grammar, aabb_chain):
+        engine = CFPQEngine(aabb_chain, anbn_grammar)
+        engine.single_path("S", 0, 4)
+        assert engine.single_path_index() is engine.single_path_index()
+
+
+class TestAllPaths:
+    def test_bounded_enumeration(self, dyck_grammar):
+        engine = CFPQEngine(two_cycles(1, 1), dyck_grammar)
+        paths = engine.all_paths("S", 0, 0, max_length=4)
+        words = {path_word(p) for p in paths}
+        assert ("a", "b") in words
+        assert ("a", "a", "b", "b") in words
+        assert ("a", "b", "a", "b") in words
+
+
+class TestEvaluateDispatch:
+    def test_relational(self, anbn_grammar, aabb_chain):
+        engine = CFPQEngine(aabb_chain, anbn_grammar)
+        assert engine.evaluate("S") == {(0, 4), (1, 3)}
+
+    def test_single_path_semantics(self, anbn_grammar, aabb_chain):
+        engine = CFPQEngine(aabb_chain, anbn_grammar)
+        answer = engine.evaluate("S", semantics="single-path")
+        assert set(answer) == {(0, 4), (1, 3)}
+        assert path_word(answer[(1, 3)]) == ("a", "b")
+
+    def test_all_path_semantics(self, anbn_grammar, aabb_chain):
+        engine = CFPQEngine(aabb_chain, anbn_grammar)
+        answer = engine.evaluate("S", semantics="all-path", max_length=6)
+        assert set(answer) == {(0, 4), (1, 3)}
+
+    def test_all_path_requires_bound(self, anbn_grammar, aabb_chain):
+        engine = CFPQEngine(aabb_chain, anbn_grammar)
+        with pytest.raises(SemanticsError):
+            engine.evaluate("S", semantics="all-path")
+
+    def test_unknown_semantics(self, anbn_grammar, aabb_chain):
+        engine = CFPQEngine(aabb_chain, anbn_grammar)
+        with pytest.raises(SemanticsError):
+            engine.evaluate("S", semantics="exotic")
+
+
+class TestSemanticsConsistency:
+    """The three semantics must agree on which pairs are related."""
+
+    def test_pairs_agree_across_semantics(self, dyck_grammar):
+        graph = two_cycles(2, 3)
+        engine = CFPQEngine(graph, dyck_grammar)
+        relational = engine.relational("S")
+        single = set(engine.evaluate("S", semantics="single-path"))
+        assert single == relational

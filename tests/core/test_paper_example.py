@@ -1,0 +1,129 @@
+"""Reproduction of the paper's §4.3 worked example, figure by figure.
+
+Grammar: Figure 4 (the normalized G'), graph: Figure 5, initial matrix:
+Figure 6, first iteration: Figure 7, remaining states: Figure 8,
+relations: Figure 9.  These are exact-value tests — any deviation from
+the publication fails them.
+"""
+
+import pytest
+
+from repro.core.naive_closure import solve_naive, solve_naive_with_history
+from repro.core.matrix_cfpq import solve_matrix
+from repro.grammar.builders import (
+    same_generation_query1,
+    same_generation_query1_cnf,
+)
+from repro.grammar.symbols import Nonterminal
+from repro.graph.generators import paper_example_graph
+
+
+def cell(matrix, i, j):
+    return {nt.name for nt in matrix[(i, j)]}
+
+
+@pytest.fixture(scope="module")
+def history():
+    return solve_naive_with_history(
+        paper_example_graph(), same_generation_query1_cnf(), normalize=False
+    )
+
+
+class TestFigure6InitialMatrix:
+    def test_t0(self, history):
+        t0 = history[0]
+        assert cell(t0, 0, 0) == {"S1"}
+        assert cell(t0, 0, 1) == {"S3"}
+        assert cell(t0, 0, 2) == set()
+        assert cell(t0, 1, 0) == set()
+        assert cell(t0, 1, 1) == set()
+        assert cell(t0, 1, 2) == {"S3"}
+        assert cell(t0, 2, 0) == {"S2"}
+        assert cell(t0, 2, 1) == set()
+        assert cell(t0, 2, 2) == {"S4"}
+
+
+class TestFigure7FirstIteration:
+    def test_t0_squared_introduces_s_at_1_2(self, history):
+        t0 = history[0]
+        square = t0.multiply(t0)
+        assert cell(square, 1, 2) == {"S"}
+        # and nothing else
+        assert square.nonterminal_count() == 1
+
+    def test_t1(self, history):
+        t1 = history[1]
+        assert cell(t1, 0, 0) == {"S1"}
+        assert cell(t1, 0, 1) == {"S3"}
+        assert cell(t1, 1, 2) == {"S3", "S"}
+        assert cell(t1, 2, 0) == {"S2"}
+        assert cell(t1, 2, 2) == {"S4"}
+        assert t1.nonterminal_count() == 6
+
+
+class TestFigure8RemainingIterations:
+    def test_t2(self, history):
+        t2 = history[2]
+        assert cell(t2, 0, 0) == {"S1"}
+        assert cell(t2, 1, 0) == {"S5"}
+        assert cell(t2, 1, 2) == {"S3", "S", "S6"}
+
+    def test_t3(self, history):
+        t3 = history[3]
+        assert cell(t3, 0, 2) == {"S"}
+        assert cell(t3, 1, 0) == {"S5"}
+
+    def test_t4(self, history):
+        t4 = history[4]
+        assert cell(t4, 0, 0) == {"S1", "S5"}
+        assert cell(t4, 0, 2) == {"S", "S6"}
+
+    def test_t5_is_fixpoint_value(self, history):
+        t5 = history[5]
+        assert cell(t5, 0, 0) == {"S1", "S5", "S"}
+        assert cell(t5, 0, 1) == {"S3"}
+        assert cell(t5, 0, 2) == {"S", "S6"}
+        assert cell(t5, 1, 0) == {"S5"}
+        assert cell(t5, 1, 1) == set()
+        assert cell(t5, 1, 2) == {"S3", "S", "S6"}
+        assert cell(t5, 2, 0) == {"S2"}
+        assert cell(t5, 2, 1) == set()
+        assert cell(t5, 2, 2) == {"S4"}
+
+    def test_fixpoint_at_k6(self, history):
+        """The paper: k = 6 since T6 = T5."""
+        assert len(history) == 7  # T0 .. T6
+        assert history[6] == history[5]
+        assert history[5] != history[4]
+
+
+class TestFigure9Relations:
+    EXPECTED = {
+        "S": {(0, 0), (0, 2), (1, 2)},
+        "S1": {(0, 0)},
+        "S2": {(2, 0)},
+        "S3": {(0, 1), (1, 2)},
+        "S4": {(2, 2)},
+        "S5": {(0, 0), (1, 0)},
+        "S6": {(0, 2), (1, 2)},
+    }
+
+    def test_all_relations_exact(self):
+        result = solve_naive(paper_example_graph(),
+                             same_generation_query1_cnf(), normalize=False)
+        for name, expected in self.EXPECTED.items():
+            assert result.relations.pairs(name) == expected, name
+
+    def test_boolean_engine_agrees(self, backend_name):
+        result = solve_matrix(paper_example_graph(),
+                              same_generation_query1_cnf(),
+                              backend=backend_name, normalize=False)
+        for name, expected in self.EXPECTED.items():
+            assert result.relations.pairs(name) == expected, name
+
+    def test_original_grammar_normalized_gives_same_rs(self):
+        """G (Figure 3) auto-normalized must produce the same R_S as the
+        paper's hand-normalized G' — the L(G_S) = L(G'_S) claim."""
+        via_original = solve_naive(paper_example_graph(),
+                                   same_generation_query1())
+        assert via_original.relations.pairs("S") == self.EXPECTED["S"]

@@ -1,0 +1,130 @@
+"""Tests for the derivation index (parse-forest over closed matrices)."""
+
+import pytest
+
+from repro.core.allpath import AllPathEnumerator
+from repro.core.path_index import PathIndex
+from repro.core.single_path import path_word
+from repro.grammar.cnf import to_cnf
+from repro.grammar.parser import parse_grammar
+from repro.grammar.recognizer import cyk_recognize
+from repro.grammar.symbols import Nonterminal
+from repro.graph.generators import random_graph, two_cycles, word_chain
+
+S = Nonterminal("S")
+
+
+@pytest.fixture
+def chain_index(anbn_grammar):
+    return PathIndex.build(word_chain(["a", "a", "b", "b"]), anbn_grammar)
+
+
+class TestForestStructure:
+    def test_terminal_edges(self, chain_index):
+        grammar = chain_index.grammar
+        # find the CNF proxy for 'a'
+        a_heads = grammar.heads_for_terminal(
+            next(t for t in grammar.terminals if t.label == "a")
+        )
+        head = next(iter(a_heads))
+        assert chain_index.terminal_edges(head, 0, 1) == ["a"]
+        assert chain_index.terminal_edges(head, 2, 3) == []  # b edge
+
+    def test_splits_reconstruct_derivation(self, chain_index):
+        splits = chain_index.splits(S, 0, 4)
+        assert splits, "S(0,4) must decompose"
+        for left, right, mid in splits:
+            assert chain_index.node_exists(left, 0, mid)
+            assert chain_index.node_exists(right, mid, 4)
+
+    def test_node_exists_matches_relation(self, chain_index):
+        assert chain_index.node_exists(S, 0, 4)
+        assert chain_index.node_exists(S, 1, 3)
+        assert not chain_index.node_exists(S, 0, 3)
+
+
+class TestEnumeration:
+    def test_chain_single_path(self, chain_index):
+        paths = list(chain_index.iter_paths(S, 0, 4, max_length=8))
+        assert len(paths) == 1
+        assert path_word(paths[0]) == ("a", "a", "b", "b")
+
+    def test_lengths_non_decreasing(self, dyck_grammar):
+        index = PathIndex.build(two_cycles(1, 1), dyck_grammar)
+        lengths = [len(p) for p in index.iter_paths(S, 0, 0, max_length=8)]
+        assert lengths == sorted(lengths)
+        assert lengths[0] == 2
+
+    def test_matches_allpath_enumerator(self, dyck_grammar):
+        """The forest enumerator and the recursive enumerator must
+        produce exactly the same path sets."""
+        graph = two_cycles(2, 3)
+        cnf = to_cnf(dyck_grammar)
+        index = PathIndex.build(graph, cnf)
+        recursive = AllPathEnumerator(graph, cnf, normalize=False)
+        for i in range(graph.node_count):
+            for j in range(graph.node_count):
+                from_index = set(index.iter_paths(
+                    S, graph.node_at(i), graph.node_at(j), max_length=6))
+                from_recursive = recursive.paths(S, graph.node_at(i),
+                                                 graph.node_at(j), 6)
+                assert from_index == from_recursive, (i, j)
+
+    def test_all_paths_are_valid_words(self, dyck_grammar):
+        graph = random_graph(6, 15, ["a", "b"], seed=4)
+        cnf = to_cnf(dyck_grammar)
+        index = PathIndex.build(graph, cnf)
+        for i in range(graph.node_count):
+            for j in range(graph.node_count):
+                for path in index.iter_paths(S, i, j, max_length=6):
+                    assert cyk_recognize(cnf, S, list(path_word(path)))
+
+    def test_missing_pair_yields_nothing(self, chain_index):
+        assert list(chain_index.iter_paths(S, 4, 0, max_length=10)) == []
+
+
+class TestCounting:
+    def test_chain_count(self, chain_index):
+        assert chain_index.count_paths(S, 0, 4, max_length=10) == 1
+        assert chain_index.count_paths(S, 0, 4, max_length=3) == 0
+
+    def test_count_matches_enumeration(self, dyck_grammar):
+        index = PathIndex.build(two_cycles(1, 1), dyck_grammar)
+        for bound in [2, 4, 6]:
+            enumerated = len(list(index.iter_paths(S, 0, 0, max_length=bound)))
+            counted = index.count_paths(S, 0, 0, max_length=bound)
+            assert counted == enumerated, bound
+
+    def test_unambiguous_grammar_dp_path(self):
+        """Single-rule-per-head grammar takes the DP shortcut."""
+        grammar = parse_grammar("S -> A B\nA -> a\nB -> b",
+                                terminals=["a", "b"])
+        index = PathIndex.build(word_chain(["a", "b"]), grammar)
+        assert index.count_paths(S, 0, 2, max_length=4) == 1
+
+
+class TestShortestLength:
+    def test_chain(self, chain_index):
+        assert chain_index.shortest_path_length(S, 0, 4) == 4
+        assert chain_index.shortest_path_length(S, 1, 3) == 2
+        assert chain_index.shortest_path_length(S, 0, 3) is None
+
+    def test_cycles_minimum(self, dyck_grammar):
+        index = PathIndex.build(two_cycles(1, 1), dyck_grammar)
+        assert index.shortest_path_length(S, 0, 0) == 2  # "ab"
+
+    def test_minimal_leq_single_path_annotation(self, dyck_grammar):
+        """Section 5's recorded lengths need not be minimal; the forest
+        minimum is a lower bound on them."""
+        from repro.core.single_path import build_single_path_index
+
+        graph = two_cycles(2, 3)
+        cnf = to_cnf(dyck_grammar)
+        index = PathIndex.build(graph, cnf)
+        annotated = build_single_path_index(graph, cnf, normalize=False)
+        for (i, j), entries in annotated.cells.items():
+            if S in entries:
+                minimal = index.shortest_path_length(S, graph.node_at(i),
+                                                     graph.node_at(j))
+                assert minimal is not None
+                assert minimal <= entries[S]

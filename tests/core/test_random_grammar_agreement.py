@@ -1,0 +1,92 @@
+"""Property test: random grammars × random graphs, all CNF-based solvers.
+
+Complements ``test_cross_implementation`` (fixed grammars) by also
+randomizing the *grammar*, including ε-rules, unit rules and long
+bodies — the full CNF pipeline runs inside the loop.  GLL is excluded
+here because it answers ε-queries (reflexive pairs) that normalization
+deliberately drops; its agreement modulo ε is covered separately.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.gll import solve_gll
+from repro.baselines.hellings import solve_hellings
+from repro.core.matrix_cfpq import solve_matrix_relations
+from repro.core.naive_closure import solve_naive
+from repro.grammar.analysis import nullable_nonterminals
+from repro.grammar.cfg import CFG
+from repro.grammar.cnf import to_cnf
+from repro.grammar.production import Production
+from repro.grammar.symbols import Nonterminal, Terminal
+from repro.graph.generators import random_graph
+
+_LABELS = ["a", "b"]
+_NONTERMINALS = ["S", "A", "B"]
+
+
+@st.composite
+def random_grammars(draw) -> CFG:
+    n_rules = draw(st.integers(min_value=1, max_value=6))
+    productions = []
+    for _ in range(n_rules):
+        head = Nonterminal(draw(st.sampled_from(_NONTERMINALS)))
+        body_length = draw(st.integers(min_value=0, max_value=3))
+        body = []
+        for _ in range(body_length):
+            if draw(st.booleans()):
+                body.append(Terminal(draw(st.sampled_from(_LABELS))))
+            else:
+                body.append(Nonterminal(draw(st.sampled_from(_NONTERMINALS))))
+        productions.append(Production(head, tuple(body)))
+    return CFG(productions)
+
+
+@given(
+    grammar=random_grammars(),
+    seed=st.integers(0, 5000),
+    node_count=st.integers(2, 6),
+    edge_count=st.integers(1, 15),
+)
+@settings(max_examples=60, deadline=None)
+def test_cnf_solvers_agree_on_random_grammars(grammar, seed, node_count,
+                                              edge_count):
+    graph = random_graph(node_count, edge_count, _LABELS, seed=seed)
+    cnf = to_cnf(grammar)
+
+    reference = solve_naive(graph, cnf, normalize=False).relations
+    for name, relations in [
+        ("sparse", solve_matrix_relations(graph, cnf, backend="sparse",
+                                          normalize=False)),
+        ("bitset", solve_matrix_relations(graph, cnf, backend="bitset",
+                                          normalize=False)),
+        ("hellings", solve_hellings(graph, cnf, normalize=False)),
+    ]:
+        for nonterminal in grammar.nonterminals:
+            assert relations.pairs(nonterminal) == reference.pairs(nonterminal), (
+                f"{name} disagrees on {nonterminal}\n{grammar.to_text()}"
+            )
+
+
+@given(
+    grammar=random_grammars(),
+    seed=st.integers(0, 5000),
+)
+@settings(max_examples=40, deadline=None)
+def test_gll_agrees_modulo_epsilon(grammar, seed):
+    """GLL on the original grammar equals the matrix engine on the CNF
+    grammar up to the reflexive pairs contributed by nullable symbols."""
+    graph = random_graph(4, 10, _LABELS, seed=seed)
+    cnf = to_cnf(grammar)
+    nullable = nullable_nonterminals(grammar)
+    matrix = solve_matrix_relations(graph, cnf, normalize=False)
+    gll = solve_gll(graph, grammar)
+
+    reflexive = {(v, v) for v in range(graph.node_count)}
+    for nonterminal in grammar.nonterminals:
+        expected = set(matrix.pairs(nonterminal))
+        if nonterminal in nullable:
+            expected |= reflexive
+        assert set(gll.pairs(nonterminal)) == expected, (
+            f"{nonterminal}\n{grammar.to_text()}"
+        )

@@ -1,0 +1,86 @@
+"""Tests for the ContextFreeRelations result object."""
+
+from repro.core.relations import ContextFreeRelations
+from repro.grammar.symbols import Nonterminal
+from repro.graph.labeled_graph import LabeledGraph
+
+S, A = Nonterminal("S"), Nonterminal("A")
+
+
+def make_graph() -> LabeledGraph:
+    return LabeledGraph.from_edges([("x", "e", "y"), ("y", "e", "z")])
+
+
+def test_pairs_by_name_or_symbol():
+    relations = ContextFreeRelations(make_graph(), {S: [(0, 1)]})
+    assert relations.pairs("S") == {(0, 1)}
+    assert relations.pairs(S) == {(0, 1)}
+    assert relations.pairs("Missing") == frozenset()
+
+
+def test_node_pairs_map_back_to_objects():
+    relations = ContextFreeRelations(make_graph(), {S: [(0, 2)]})
+    assert relations.node_pairs(S) == {("x", "z")}
+
+
+def test_contains_by_node_object():
+    relations = ContextFreeRelations(make_graph(), {S: [(0, 2)]})
+    assert relations.contains(S, "x", "z")
+    assert not relations.contains(S, "z", "x")
+
+
+def test_count():
+    relations = ContextFreeRelations(make_graph(), {S: [(0, 1), (1, 2)]})
+    assert relations.count(S) == 2
+    assert relations.count("Other") == 0
+
+
+def test_triples_sorted():
+    relations = ContextFreeRelations(
+        make_graph(), {S: [(1, 2), (0, 1)], A: [(2, 2)]}
+    )
+    assert list(relations.triples()) == [
+        (A, 2, 2), (S, 0, 1), (S, 1, 2),
+    ]
+
+
+def test_restrict_to():
+    relations = ContextFreeRelations(make_graph(), {S: [(0, 1)], A: [(1, 1)]})
+    restricted = relations.restrict_to(["S"])
+    assert restricted.nonterminals == {S}
+    assert restricted.pairs(S) == {(0, 1)}
+
+
+def test_same_as_handles_missing_as_empty():
+    graph = make_graph()
+    left = ContextFreeRelations(graph, {S: [(0, 1)], A: []})
+    right = ContextFreeRelations(graph, {S: [(0, 1)]})
+    assert left.same_as(right)
+    assert right.same_as(left)
+
+
+def test_same_as_restricted():
+    graph = make_graph()
+    left = ContextFreeRelations(graph, {S: [(0, 1)], A: [(0, 0)]})
+    right = ContextFreeRelations(graph, {S: [(0, 1)], A: [(1, 1)]})
+    assert not left.same_as(right)
+    assert left.same_as(right, nonterminals=["S"])
+
+
+def test_diff():
+    graph = make_graph()
+    left = ContextFreeRelations(graph, {S: [(0, 1), (1, 2)]})
+    right = ContextFreeRelations(graph, {S: [(1, 2), (2, 2)]})
+    only_left, only_right = left.diff(right, S)
+    assert only_left == {(0, 1)}
+    assert only_right == {(2, 2)}
+
+
+def test_as_dict_sorted():
+    relations = ContextFreeRelations(make_graph(), {S: [(1, 0), (0, 1)]})
+    assert relations.as_dict() == {"S": [(0, 1), (1, 0)]}
+
+
+def test_repr_shows_sizes():
+    relations = ContextFreeRelations(make_graph(), {S: [(0, 1)]})
+    assert "S:1" in repr(relations)

@@ -1,0 +1,124 @@
+"""Tests for the single-path semantics (Section 5).
+
+The two guarantees from Lemma 5.1 / Theorem 5:
+1. every recorded (A, l_A) admits a path of exactly length l_A whose
+   labeling derives from A;
+2. projecting the annotation away yields the relational answer.
+"""
+
+import pytest
+
+from repro.core.matrix_cfpq import solve_matrix_relations
+from repro.core.single_path import (
+    build_single_path_index,
+    extract_path,
+    iter_single_paths,
+    path_is_valid,
+    path_word,
+)
+from repro.errors import PathNotFoundError
+from repro.grammar.cnf import to_cnf
+from repro.grammar.recognizer import cyk_recognize
+from repro.grammar.symbols import Nonterminal
+from repro.graph.generators import random_graph, two_cycles, word_chain
+
+S = Nonterminal("S")
+
+
+class TestIndexConstruction:
+    def test_initial_lengths_are_one(self, ab_cnf_grammar):
+        index = build_single_path_index(word_chain(["a", "b"]), ab_cnf_grammar,
+                                        normalize=False)
+        assert index.length_of(Nonterminal("A"), 0, 1) == 1
+        assert index.length_of(Nonterminal("B"), 1, 2) == 1
+
+    def test_composed_length_sums(self, ab_cnf_grammar):
+        index = build_single_path_index(word_chain(["a", "a", "b", "b"]),
+                                        ab_cnf_grammar, normalize=False)
+        assert index.length_of(S, 1, 3) == 2     # a b
+        assert index.length_of(S, 0, 4) == 4     # a a b b
+
+    def test_missing_pair_is_none(self, ab_cnf_grammar):
+        index = build_single_path_index(word_chain(["a", "b"]), ab_cnf_grammar,
+                                        normalize=False)
+        assert index.length_of(S, 1, 0) is None
+
+    def test_length_never_rewritten(self, dyck_grammar):
+        """Once recorded, a length must stay (the paper's no-update rule);
+        on a cyclic graph later iterations would find longer paths."""
+        graph = two_cycles(2, 3)
+        index = build_single_path_index(graph, dyck_grammar)
+        first = {
+            (pair, nt): length
+            for pair, entries in index.cells.items()
+            for nt, length in entries.items()
+        }
+        rebuilt = build_single_path_index(graph, dyck_grammar)
+        second = {
+            (pair, nt): length
+            for pair, entries in rebuilt.cells.items()
+            for nt, length in entries.items()
+        }
+        assert first == second
+
+    def test_relations_projection_matches_relational_engine(self, dyck_grammar):
+        graph = two_cycles(2, 3)
+        index = build_single_path_index(graph, dyck_grammar)
+        relational = solve_matrix_relations(graph, dyck_grammar)
+        assert index.relations().same_as(relational)
+
+
+class TestExtraction:
+    def test_path_on_chain(self, anbn_grammar):
+        graph = word_chain(["a", "a", "b", "b"])
+        index = build_single_path_index(graph, anbn_grammar)
+        path = extract_path(index, S, 0, 4)
+        assert path_word(path) == ("a", "a", "b", "b")
+        assert path_is_valid(index, path)
+
+    def test_path_length_matches_annotation(self, dyck_grammar):
+        graph = two_cycles(2, 3)
+        index = build_single_path_index(graph, dyck_grammar)
+        for (i, j), entries in index.cells.items():
+            if S in entries:
+                path = extract_path(index, S, graph.node_at(i), graph.node_at(j))
+                assert len(path) == entries[S]
+
+    def test_extracted_word_derives_from_nonterminal(self, dyck_grammar):
+        graph = two_cycles(2, 3)
+        cnf = to_cnf(dyck_grammar)
+        index = build_single_path_index(graph, cnf, normalize=False)
+        for i, j, path in iter_single_paths(index, S):
+            word = list(path_word(path))
+            assert cyk_recognize(cnf, S, word), (i, j, word)
+
+    def test_paths_are_contiguous_graph_walks(self, dyck_grammar):
+        graph = two_cycles(3, 4)
+        index = build_single_path_index(graph, dyck_grammar)
+        for _i, _j, path in iter_single_paths(index, S):
+            assert path_is_valid(index, path)
+
+    def test_missing_pair_raises(self, anbn_grammar):
+        index = build_single_path_index(word_chain(["a", "b"]), anbn_grammar)
+        with pytest.raises(PathNotFoundError):
+            extract_path(index, S, 1, 0)
+
+    def test_accepts_string_nonterminal(self, anbn_grammar):
+        index = build_single_path_index(word_chain(["a", "b"]), anbn_grammar)
+        assert path_word(extract_path(index, "S", 0, 2)) == ("a", "b")
+
+
+class TestOnRandomGraphs:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_every_witness_is_sound(self, dyck_grammar, seed):
+        graph = random_graph(8, 20, ["a", "b"], seed=seed)
+        cnf = to_cnf(dyck_grammar)
+        index = build_single_path_index(graph, cnf, normalize=False)
+        count = 0
+        for i, j, path in iter_single_paths(index, S):
+            assert path[0][0] == i and path[-1][2] == j
+            assert path_is_valid(index, path)
+            assert cyk_recognize(cnf, S, list(path_word(path)))
+            count += 1
+        relational = solve_matrix_relations(graph, cnf, normalize=False)
+        assert count == len(relational.pairs(S))

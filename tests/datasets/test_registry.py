@@ -1,0 +1,127 @@
+"""Tests for the dataset registry (paper Tables 1-2 reference data)."""
+
+import pytest
+
+from repro.datasets.registry import (
+    ALL_NAMES,
+    ONTOLOGY_NAMES,
+    SYNTHETIC_NAMES,
+    build_graph,
+    clear_graph_cache,
+    dataset_names,
+    get_spec,
+)
+from repro.errors import DatasetError
+from repro.graph.stats import graph_stats
+
+
+class TestSpecs:
+    def test_fourteen_datasets(self):
+        assert len(ALL_NAMES) == 14
+        assert len(ONTOLOGY_NAMES) == 11
+        assert len(SYNTHETIC_NAMES) == 3
+        assert dataset_names() == ALL_NAMES
+
+    def test_paper_triple_counts_transcribed(self):
+        expected = {
+            "skos": 252, "generations": 273, "travel": 277,
+            "univ-bench": 293, "atom-primitive": 425,
+            "biomedical-measure-primitive": 459, "foaf": 631,
+            "people-pets": 640, "funding": 1086, "wine": 1839,
+            "pizza": 1980, "g1": 8688, "g2": 14712, "g3": 15840,
+        }
+        for name, triples in expected.items():
+            assert get_spec(name).triples == triples, name
+
+    def test_g_datasets_are_8x_their_base(self):
+        for name, base in [("g1", "funding"), ("g2", "wine"), ("g3", "pizza")]:
+            spec = get_spec(name)
+            base_spec = get_spec(base)
+            assert spec.repeat_of == base
+            assert spec.repeat_copies == 8
+            assert spec.triples == 8 * base_spec.triples
+            assert spec.query1.results == 8 * base_spec.query1.results
+            assert spec.query2.results == 8 * base_spec.query2.results
+
+    def test_dgpu_omitted_on_large_graphs(self):
+        for name in SYNTHETIC_NAMES:
+            spec = get_spec(name)
+            assert spec.query1.dgpu_ms is None
+            assert spec.query2.dgpu_ms is None
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetError):
+            get_spec("imaginary")
+
+    def test_repeated_dataset_has_no_profile(self):
+        with pytest.raises(DatasetError):
+            get_spec("g1").profile()
+
+
+class TestGraphConstruction:
+    def test_triple_counts_match_paper_exactly(self):
+        for name in ONTOLOGY_NAMES:
+            graph = build_graph(name)
+            stats = graph_stats(graph)
+            assert stats.triple_count == get_spec(name).triples, name
+            # inverse edges double the edge count
+            assert stats.edge_count == 2 * stats.triple_count
+
+    def test_g1_is_eight_copies(self):
+        base = build_graph("funding")
+        g1 = build_graph("g1")
+        assert g1.node_count == 8 * base.node_count
+        assert g1.edge_count == 8 * base.edge_count
+
+    def test_deterministic_regeneration(self):
+        first = build_graph("skos", use_cache=False)
+        clear_graph_cache()
+        second = build_graph("skos", use_cache=False)
+        assert first == second
+
+    def test_cache_returns_same_object(self):
+        clear_graph_cache()
+        assert build_graph("skos") is build_graph("skos")
+
+
+class TestResultShape:
+    """Measured #results must be the same order of magnitude as the
+    paper's on every ontology (exact equality is impossible without the
+    original RDF files; see DESIGN.md §5)."""
+
+    @pytest.mark.parametrize("name", ONTOLOGY_NAMES)
+    def test_query1_results_within_2x(self, name):
+        from repro.core.matrix_cfpq import solve_matrix_relations
+        from repro.grammar.builders import same_generation_query1
+
+        graph = build_graph(name)
+        measured = len(solve_matrix_relations(
+            graph, same_generation_query1()).pairs("S"))
+        published = get_spec(name).query1.results
+        assert published / 2 <= measured <= published * 2, (
+            f"{name}: measured {measured}, paper {published}"
+        )
+
+    def test_query2_zero_row_reproduced(self):
+        """generations has Q2 = 0 in the paper."""
+        from repro.core.matrix_cfpq import solve_matrix_relations
+        from repro.grammar.builders import same_generation_query2
+
+        graph = build_graph("generations")
+        relations = solve_matrix_relations(graph, same_generation_query2())
+        assert relations.count("S") == 0
+
+    def test_biomedical_is_the_query2_outlier(self):
+        """The paper's biomedical row has Q2 far above every other
+        small ontology; the reproduction must preserve that ordering."""
+        from repro.core.matrix_cfpq import solve_matrix_relations
+        from repro.grammar.builders import same_generation_query2
+
+        counts = {}
+        for name in ["skos", "travel", "univ-bench", "atom-primitive",
+                     "biomedical-measure-primitive", "foaf"]:
+            graph = build_graph(name)
+            counts[name] = solve_matrix_relations(
+                graph, same_generation_query2()).count("S")
+        outlier = counts.pop("biomedical-measure-primitive")
+        assert outlier > 5 * max(counts.values())

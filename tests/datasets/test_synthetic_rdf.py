@@ -1,0 +1,100 @@
+"""Tests for the synthetic ontology generator."""
+
+import pytest
+
+from repro.datasets.synthetic_rdf import (
+    OntologyProfile,
+    generate_ontology_graph,
+    generate_ontology_triples,
+    seed_from_name,
+)
+from repro.graph.stats import graph_stats
+
+
+def profile(**overrides) -> OntologyProfile:
+    defaults = dict(triples=300, subclass_fraction=0.3, type_fraction=0.5,
+                    layers=4, seed=11)
+    defaults.update(overrides)
+    return OntologyProfile(**defaults)
+
+
+class TestProfileValidation:
+    def test_positive_triples(self):
+        with pytest.raises(ValueError):
+            profile(triples=0)
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            profile(subclass_fraction=1.2)
+        with pytest.raises(ValueError):
+            profile(type_fraction=-0.1)
+
+    def test_fractions_must_fit(self):
+        with pytest.raises(ValueError):
+            profile(subclass_fraction=0.6, type_fraction=0.6)
+
+    def test_hub_bounds(self):
+        with pytest.raises(ValueError):
+            profile(hub_min=10, hub_max=5)
+
+
+class TestGeneration:
+    def test_exact_triple_count(self):
+        for count in [50, 252, 459, 1086]:
+            triples = generate_ontology_triples(profile(triples=count))
+            assert len(triples) == count
+
+    def test_exact_triple_count_with_equal_halves(self):
+        # Regression: round(0.5*459) twice used to overshoot by one.
+        triples = generate_ontology_triples(
+            profile(triples=459, subclass_fraction=0.5, type_fraction=0.5)
+        )
+        assert len(triples) == 459
+
+    def test_deterministic(self):
+        assert (generate_ontology_triples(profile())
+                == generate_ontology_triples(profile()))
+
+    def test_different_seeds_differ(self):
+        assert (generate_ontology_triples(profile(seed=1))
+                != generate_ontology_triples(profile(seed=2)))
+
+    def test_predicate_mix(self):
+        triples = generate_ontology_triples(profile())
+        predicates = {p for _s, p, _o in triples}
+        assert predicates <= {"subClassOf", "type", "related"}
+        assert sum(1 for _s, p, _o in triples if p == "subClassOf") == 90
+        assert sum(1 for _s, p, _o in triples if p == "type") == 150
+
+    def test_subclass_edges_respect_layering_without_skip(self):
+        triples = generate_ontology_triples(profile(skip_level_rate=0.0))
+        children = {s for s, p, _o in triples if p == "subClassOf"}
+        # no class is its own ancestor in a layered hierarchy
+        parent_map = {}
+        for s, p, o in triples:
+            if p == "subClassOf":
+                parent_map.setdefault(s, set()).add(o)
+        for child, parents in parent_map.items():
+            assert child not in parents
+
+    def test_zero_hierarchy_profile(self):
+        triples = generate_ontology_triples(
+            profile(subclass_fraction=0.0, type_fraction=0.8, layers=1)
+        )
+        assert not any(p == "subClassOf" for _s, p, _o in triples)
+        assert any(p == "type" for _s, p, _o in triples)
+
+    def test_graph_conversion_adds_inverses(self):
+        graph = generate_ontology_graph(profile())
+        stats = graph_stats(graph)
+        assert stats.triple_count == 300
+        assert stats.edge_count == 600  # forward + inverse
+
+
+class TestSeedFromName:
+    def test_stable(self):
+        assert seed_from_name("wine") == seed_from_name("wine")
+
+    def test_distinct(self):
+        names = ["skos", "wine", "pizza", "foaf", "funding"]
+        assert len({seed_from_name(n) for n in names}) == len(names)

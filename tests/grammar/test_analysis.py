@@ -1,0 +1,167 @@
+"""Tests for grammar static analyses."""
+
+from repro.grammar.analysis import (
+    derives_any_terminal_string,
+    generating_nonterminals,
+    grammar_signature,
+    nullable_nonterminals,
+    reachable_symbols,
+    remove_non_generating,
+    remove_unreachable,
+    remove_useless,
+    unit_pairs,
+)
+from repro.grammar.parser import parse_grammar
+from repro.grammar.symbols import Nonterminal, Terminal
+
+
+def test_nullable_direct_and_transitive():
+    grammar = parse_grammar(
+        """
+        S -> A B
+        A -> eps
+        B -> A A
+        C -> a
+        """,
+        terminals=["a"],
+    )
+    nullable = nullable_nonterminals(grammar)
+    assert nullable == {Nonterminal("S"), Nonterminal("A"), Nonterminal("B")}
+
+
+def test_nullable_empty_when_no_epsilon():
+    grammar = parse_grammar("S -> a S | a", terminals=["a"])
+    assert nullable_nonterminals(grammar) == frozenset()
+
+
+def test_generating_excludes_bottom():
+    grammar = parse_grammar(
+        """
+        S -> a
+        Dead -> Dead a
+        """,
+        terminals=["a"],
+    )
+    generating = generating_nonterminals(grammar)
+    assert Nonterminal("S") in generating
+    assert Nonterminal("Dead") not in generating
+
+
+def test_epsilon_rule_is_generating():
+    grammar = parse_grammar("A -> eps")
+    assert Nonterminal("A") in generating_nonterminals(grammar)
+
+
+def test_reachable_symbols():
+    grammar = parse_grammar(
+        """
+        S -> A a
+        A -> b
+        Island -> c
+        """,
+        terminals=["a", "b", "c"],
+    )
+    reached = reachable_symbols(grammar, Nonterminal("S"))
+    assert Nonterminal("A") in reached
+    assert Terminal("a") in reached
+    assert Nonterminal("Island") not in reached
+
+
+def test_remove_non_generating_drops_rules_mentioning_dead():
+    grammar = parse_grammar(
+        """
+        S -> a
+        S -> Dead a
+        Dead -> Dead a
+        """,
+        terminals=["a"],
+    )
+    cleaned = remove_non_generating(grammar)
+    assert len(cleaned) == 1
+    assert Nonterminal("Dead") not in cleaned.nonterminals
+
+
+def test_remove_unreachable():
+    grammar = parse_grammar(
+        """
+        S -> a
+        Island -> b
+        """,
+        terminals=["a", "b"],
+    )
+    cleaned = remove_unreachable(grammar, Nonterminal("S"))
+    assert Nonterminal("Island") not in cleaned.nonterminals
+
+
+def test_remove_useless_order_matters():
+    # B is reachable but non-generating; after dropping B, C becomes
+    # unreachable — the classic example requiring generate-then-reach.
+    grammar = parse_grammar(
+        """
+        S -> a | B C
+        B -> B b
+        C -> c
+        """,
+        terminals=["a", "b", "c"],
+    )
+    cleaned = remove_useless(grammar, Nonterminal("S"))
+    assert cleaned.nonterminals == {Nonterminal("S")}
+    assert len(cleaned) == 1
+
+
+def test_unit_pairs_reflexive_transitive():
+    grammar = parse_grammar(
+        """
+        A -> B
+        B -> C
+        C -> a
+        """,
+        terminals=["a"],
+    )
+    pairs = unit_pairs(grammar)
+    assert pairs[Nonterminal("A")] == {
+        Nonterminal("A"), Nonterminal("B"), Nonterminal("C")
+    }
+    assert pairs[Nonterminal("C")] == {Nonterminal("C")}
+
+
+def test_unit_pairs_cycle():
+    grammar = parse_grammar(
+        """
+        A -> B
+        B -> A
+        A -> a
+        """,
+        terminals=["a"],
+    )
+    pairs = unit_pairs(grammar)
+    assert pairs[Nonterminal("A")] == {Nonterminal("A"), Nonterminal("B")}
+    assert pairs[Nonterminal("B")] == {Nonterminal("A"), Nonterminal("B")}
+
+
+def test_derives_any_terminal_string():
+    grammar = parse_grammar("S -> a | S S\nDead -> Dead a", terminals=["a"])
+    assert derives_any_terminal_string(grammar, Nonterminal("S"))
+    assert not derives_any_terminal_string(grammar, Nonterminal("Dead"))
+
+
+def test_grammar_signature_counts_shapes():
+    grammar = parse_grammar(
+        """
+        S -> A B
+        S -> a
+        S -> B
+        S -> eps
+        S -> a B c
+        A -> a
+        B -> b
+        """,
+        terminals=["a", "b", "c"],
+    )
+    signature = grammar_signature(grammar)
+    assert signature["binary"] == 1
+    assert signature["terminal"] == 3
+    assert signature["unit"] == 1
+    assert signature["epsilon"] == 1
+    assert signature["long"] == 1
+    assert signature["productions"] == 7

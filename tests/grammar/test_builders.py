@@ -1,0 +1,118 @@
+"""Tests for the built-in query grammar builders."""
+
+import pytest
+
+from repro.grammar.builders import (
+    GRAMMAR_REGISTRY,
+    chain_reachability,
+    dyck,
+    dyck1,
+    get_grammar,
+    points_to_grammar,
+    rna_hairpin_grammar,
+    same_generation_query1,
+    same_generation_query1_cnf,
+    same_generation_query2,
+)
+from repro.grammar.cnf import to_cnf
+from repro.grammar.recognizer import derives, language_sample
+from repro.grammar.symbols import Nonterminal
+
+S = Nonterminal("S")
+
+
+def test_query1_matches_paper_figure10():
+    grammar = same_generation_query1()
+    assert len(grammar) == 4
+    assert grammar.nonterminals == {S}
+    assert derives(grammar, S, ["type_r", "type"])
+    assert derives(grammar, S, ["subClassOf_r", "subClassOf"])
+    assert derives(grammar, S,
+                   ["subClassOf_r", "type_r", "type", "subClassOf"])
+    assert not derives(grammar, S, ["type", "type_r"])
+    assert not derives(grammar, S, ["subClassOf_r", "type"])
+
+
+def test_query1_cnf_matches_paper_figure4():
+    grammar = same_generation_query1_cnf()
+    assert grammar.is_cnf
+    assert len(grammar) == 10
+    assert grammar.nonterminals == {
+        Nonterminal(name) for name in ["S", "S1", "S2", "S3", "S4", "S5", "S6"]
+    }
+
+
+def test_query1_cnf_equivalent_to_query1():
+    """The paper asserts L(G_S) = L(G'_S); check on all short words."""
+    original = same_generation_query1()
+    manual_cnf = same_generation_query1_cnf()
+    alphabet = sorted(t.label for t in original.terminals)
+    for length_bound in [4]:
+        original_words = set(language_sample(original, S, length_bound, alphabet))
+        cnf_words = set(language_sample(manual_cnf, S, length_bound, alphabet))
+        assert original_words == cnf_words
+
+
+def test_query2_matches_paper_figure11():
+    grammar = same_generation_query2()
+    assert derives(grammar, S, ["subClassOf"])
+    assert derives(grammar, S, ["subClassOf_r", "subClassOf", "subClassOf"])
+    assert derives(grammar, Nonterminal("B"), ["subClassOf_r", "subClassOf"])
+    assert not derives(grammar, S, ["subClassOf_r"])
+    assert not derives(grammar, S, ["subClassOf", "subClassOf"])
+
+
+def test_dyck1_language():
+    grammar = dyck1()
+    assert derives(grammar, S, ["a", "b"])
+    assert derives(grammar, S, ["a", "a", "b", "b"])
+    assert derives(grammar, S, ["a", "b", "a", "b"])
+    assert not derives(grammar, S, ["a"])
+    assert not derives(grammar, S, ["b", "a"])
+
+
+def test_dyck_multi_pair():
+    grammar = dyck([("(", ")"), ("[", "]")])
+    assert derives(grammar, S, ["(", "[", "]", ")"])
+    assert not derives(grammar, S, ["(", "]", ")", "["])
+
+
+def test_dyck_requires_pairs():
+    with pytest.raises(ValueError):
+        dyck([])
+
+
+def test_points_to_grammar_normalizes():
+    grammar = points_to_grammar()
+    assert to_cnf(grammar).is_cnf
+    # minimal alias: two pointers assigned from the same address
+    assert derives(grammar, Nonterminal("M"), ["d_r", "a", "d"])
+    assert derives(grammar, Nonterminal("M"), ["d_r", "a_r", "d"])
+
+
+def test_rna_grammar_complementary_pairs():
+    grammar = rna_hairpin_grammar()
+    assert derives(grammar, S, ["a", "u"])
+    assert derives(grammar, S, ["g", "a", "u", "c"])
+    assert not derives(grammar, S, ["a", "a"])
+    assert not derives(grammar, S, ["a", "c"])
+
+
+def test_chain_reachability():
+    grammar = chain_reachability("x")
+    assert derives(grammar, S, ["x"])
+    assert derives(grammar, S, ["x", "x", "x"])
+    assert not derives(grammar, S, [])
+
+
+def test_registry_contains_all_builders():
+    for name in ["query1", "query1-cnf", "query2", "dyck1", "points-to",
+                 "rna", "chain"]:
+        assert name in GRAMMAR_REGISTRY
+        assert get_grammar(name) is not None
+
+
+def test_get_grammar_unknown_name():
+    with pytest.raises(KeyError) as excinfo:
+        get_grammar("nope")
+    assert "dyck1" in str(excinfo.value)

@@ -1,0 +1,196 @@
+"""Tests for the Chomsky-normal-form pipeline.
+
+The load-bearing property (used by the CFPQ reduction): for every
+original non-terminal A and every **non-empty** word w,
+``A ⇒* w`` in the original grammar iff ``A ⇒* w`` after ``to_cnf``.
+We check it with the Earley recognizer as the original-grammar oracle
+and CYK on the normalized grammar, both on fixed cases and on
+hypothesis-generated random grammars and words.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grammar.cfg import CFG
+from repro.grammar.cnf import (
+    binarize,
+    eliminate_epsilon,
+    eliminate_unit_rules,
+    ensure_cnf,
+    lift_terminals,
+    to_cnf,
+)
+from repro.grammar.parser import parse_grammar
+from repro.grammar.production import Production, production
+from repro.grammar.recognizer import EarleyRecognizer, cyk_recognize
+from repro.grammar.symbols import Nonterminal, Terminal
+
+
+class TestLiftTerminals:
+    def test_terminals_in_long_bodies_get_proxies(self):
+        grammar = parse_grammar("S -> a S b", terminals=["a", "b"])
+        lifted = lift_terminals(grammar)
+        for rule in lifted.productions:
+            if len(rule.body) > 1:
+                assert all(isinstance(s, Nonterminal) for s in rule.body)
+
+    def test_short_bodies_untouched(self):
+        grammar = parse_grammar("S -> a", terminals=["a"])
+        assert lift_terminals(grammar) == grammar
+
+    def test_proxy_shared_across_rules(self):
+        grammar = parse_grammar("S -> a S a | a a", terminals=["a"])
+        lifted = lift_terminals(grammar)
+        terminal_rules = [p for p in lifted.productions if p.is_terminal_rule]
+        # exactly one proxy rule T_a -> a
+        assert len(terminal_rules) == 1
+
+    def test_no_name_collision_with_existing(self):
+        grammar = CFG([
+            production("S", "a", "T_a", terminals={"a"}),
+            production("T_a", "b", terminals={"b"}),
+        ])
+        lifted = lift_terminals(grammar)
+        # the generated proxy must not be the pre-existing T_a
+        proxy_rules = [
+            p for p in lifted.productions
+            if p.is_terminal_rule and p.body[0] == Terminal("a")
+        ]
+        assert proxy_rules and all(p.head != Nonterminal("T_a") for p in proxy_rules)
+
+
+class TestBinarize:
+    def test_long_body_split(self):
+        grammar = parse_grammar("S -> A B C D\nA -> a\nB -> a\nC -> a\nD -> a",
+                                terminals=["a"])
+        result = binarize(grammar)
+        assert all(len(p.body) <= 2 for p in result.productions)
+
+    def test_language_preserved_on_chain(self):
+        grammar = parse_grammar("S -> A A A\nA -> a", terminals=["a"])
+        result = to_cnf(grammar)
+        assert cyk_recognize(result, Nonterminal("S"), ["a", "a", "a"])
+        assert not cyk_recognize(result, Nonterminal("S"), ["a", "a"])
+
+
+class TestEliminateEpsilon:
+    def test_no_epsilon_rules_remain(self):
+        grammar = parse_grammar("S -> A B\nA -> a | eps\nB -> b", terminals=["a", "b"])
+        result = eliminate_epsilon(grammar)
+        assert not any(p.is_epsilon for p in result.productions)
+
+    def test_nullable_variants_added(self):
+        grammar = parse_grammar("S -> A B\nA -> a | eps\nB -> b", terminals=["a", "b"])
+        result = eliminate_epsilon(grammar)
+        bodies = {p.body for p in result.productions if p.head == Nonterminal("S")}
+        assert (Nonterminal("B"),) in bodies           # A dropped
+        assert (Nonterminal("A"), Nonterminal("B")) in bodies
+
+    def test_fully_nullable_body_not_emitted_empty(self):
+        grammar = parse_grammar("S -> A A\nA -> eps | a", terminals=["a"])
+        result = eliminate_epsilon(grammar)
+        assert all(p.body for p in result.productions)
+
+
+class TestEliminateUnitRules:
+    def test_unit_chain_collapsed(self):
+        grammar = parse_grammar("A -> B\nB -> C\nC -> c", terminals=["c"])
+        result = eliminate_unit_rules(grammar)
+        assert not any(p.is_unit_rule for p in result.productions)
+        heads = {p.head for p in result.productions if p.body == (Terminal("c"),)}
+        assert heads == {Nonterminal("A"), Nonterminal("B"), Nonterminal("C")}
+
+    def test_unit_cycle_terminates(self):
+        grammar = parse_grammar("A -> B | a\nB -> A | b", terminals=["a", "b"])
+        result = eliminate_unit_rules(grammar)
+        assert not any(p.is_unit_rule for p in result.productions)
+
+
+class TestToCnf:
+    def test_result_is_cnf(self, anbn_grammar, dyck_grammar):
+        assert to_cnf(anbn_grammar).is_cnf
+        assert to_cnf(dyck_grammar).is_cnf
+
+    def test_keeps_all_original_nonterminals(self):
+        grammar = parse_grammar("S -> A\nA -> eps", terminals=[])
+        result = to_cnf(grammar)
+        # A only derived ε, so it has no productions — but stays in N.
+        assert Nonterminal("A") in result.nonterminals
+
+    def test_ensure_cnf_identity_for_cnf(self, ab_cnf_grammar):
+        assert ensure_cnf(ab_cnf_grammar) is ab_cnf_grammar
+
+    def test_anbn_language(self, anbn_grammar):
+        result = to_cnf(anbn_grammar)
+        start = Nonterminal("S")
+        assert cyk_recognize(result, start, ["a", "b"])
+        assert cyk_recognize(result, start, ["a", "a", "b", "b"])
+        assert not cyk_recognize(result, start, ["a", "a", "b"])
+        assert not cyk_recognize(result, start, ["b", "a"])
+
+    def test_paper_query1_normalizes(self):
+        from repro.grammar.builders import same_generation_query1
+
+        result = to_cnf(same_generation_query1())
+        assert result.is_cnf
+        start = Nonterminal("S")
+        assert cyk_recognize(result, start, ["type_r", "type"])
+        assert cyk_recognize(
+            result, start,
+            ["subClassOf_r", "type_r", "type", "subClassOf"],
+        )
+        assert not cyk_recognize(result, start, ["type", "type_r"])
+
+
+# ----------------------------------------------------------------------
+# Property tests: CNF preserves every non-terminal's (ε-free) language.
+# ----------------------------------------------------------------------
+
+_LABELS = ["a", "b"]
+
+
+@st.composite
+def random_grammars(draw) -> CFG:
+    """Small random grammars over non-terminals S,A,B and labels a,b —
+    ε-rules, unit rules and long bodies all allowed."""
+    nonterminal_names = ["S", "A", "B"]
+    n_rules = draw(st.integers(min_value=1, max_value=6))
+    productions = []
+    for _ in range(n_rules):
+        head = Nonterminal(draw(st.sampled_from(nonterminal_names)))
+        body_length = draw(st.integers(min_value=0, max_value=3))
+        body = []
+        for _ in range(body_length):
+            if draw(st.booleans()):
+                body.append(Terminal(draw(st.sampled_from(_LABELS))))
+            else:
+                body.append(Nonterminal(draw(st.sampled_from(nonterminal_names))))
+        productions.append(Production(head, tuple(body)))
+    return CFG(productions)
+
+
+@st.composite
+def random_words(draw) -> list[str]:
+    return draw(st.lists(st.sampled_from(_LABELS), min_size=1, max_size=5))
+
+
+@given(grammar=random_grammars(), word=random_words())
+@settings(max_examples=150, deadline=None)
+def test_cnf_preserves_nonempty_language(grammar: CFG, word: list[str]):
+    """Earley on the original grammar agrees with CYK on the CNF
+    grammar, for every original non-terminal and non-empty word."""
+    normalized = to_cnf(grammar)
+    oracle = EarleyRecognizer(grammar)
+    for nonterminal in grammar.nonterminals:
+        expected = oracle.recognizes(nonterminal, word)
+        actual = cyk_recognize(normalized, nonterminal, word)
+        assert actual == expected, (
+            f"{nonterminal} on {word}: original={expected} cnf={actual}\n"
+            f"original:\n{grammar.to_text()}\ncnf:\n{normalized.to_text()}"
+        )
+
+
+@given(grammar=random_grammars())
+@settings(max_examples=100, deadline=None)
+def test_to_cnf_always_produces_cnf(grammar: CFG):
+    assert to_cnf(grammar).is_cnf

@@ -1,0 +1,114 @@
+"""Tests for the grammar text DSL."""
+
+import pytest
+
+from repro.errors import GrammarParseError
+from repro.grammar.parser import parse_grammar, parse_production
+from repro.grammar.symbols import Nonterminal, Terminal
+
+
+def test_single_rule():
+    grammar = parse_grammar("S -> a", terminals=["a"])
+    assert len(grammar) == 1
+    assert grammar.productions[0].body == (Terminal("a"),)
+
+
+def test_alternatives_split_on_pipe():
+    grammar = parse_grammar("S -> a | b | a b", terminals=["a", "b"])
+    assert len(grammar) == 3
+
+
+def test_comments_and_blank_lines_skipped():
+    grammar = parse_grammar(
+        """
+        # full-line comment
+        S -> a  # trailing comment
+        """,
+        terminals=["a"],
+    )
+    assert len(grammar) == 1
+
+
+def test_unicode_arrow():
+    grammar = parse_grammar("S → a", terminals=["a"])
+    assert len(grammar) == 1
+
+
+def test_heads_heuristic_infers_nonterminals():
+    # B appears as a head, so it is a non-terminal; 'x' never does.
+    grammar = parse_grammar("S -> B x\nB -> x")
+    assert Nonterminal("B") in grammar.nonterminals
+    assert Terminal("x") in grammar.terminals
+
+
+def test_quoted_tokens_are_terminals():
+    grammar = parse_grammar("S -> 'S' S")
+    # quoted S is a terminal even though S is a head
+    body = grammar.productions[0].body
+    assert body == (Terminal("S"), Nonterminal("S"))
+
+
+def test_explicit_nonterminals_override_heuristic():
+    grammar = parse_grammar("S -> B", nonterminals=["B"])
+    assert grammar.productions[0].body == (Nonterminal("B"),)
+
+
+def test_epsilon_body():
+    for token in ("eps", "epsilon", "ε"):
+        grammar = parse_grammar(f"S -> a | {token}", terminals=["a"])
+        assert any(p.is_epsilon for p in grammar.productions)
+
+
+def test_epsilon_mixed_with_symbols_rejected():
+    with pytest.raises(GrammarParseError):
+        parse_grammar("S -> a eps", terminals=["a"])
+
+
+def test_missing_arrow_rejected():
+    with pytest.raises(GrammarParseError) as excinfo:
+        parse_grammar("S a b")
+    assert excinfo.value.line_number == 1
+
+
+def test_multi_symbol_head_rejected():
+    with pytest.raises(GrammarParseError):
+        parse_grammar("S B -> a")
+
+
+def test_empty_text_rejected():
+    with pytest.raises(GrammarParseError):
+        parse_grammar("   \n  # just a comment\n")
+
+
+def test_conflicting_declarations_rejected():
+    with pytest.raises(GrammarParseError):
+        parse_grammar("S -> a", terminals=["a"], nonterminals=["a"])
+
+
+def test_head_declared_terminal_rejected():
+    with pytest.raises(GrammarParseError):
+        parse_grammar("S -> a", terminals=["S", "a"])
+
+
+def test_parse_production_single():
+    p = parse_production("A -> x y", terminals=["x", "y"])
+    assert p.head == Nonterminal("A")
+    assert len(p.body) == 2
+
+
+def test_parse_production_rejects_alternatives():
+    with pytest.raises(GrammarParseError):
+        parse_production("A -> x | y", terminals=["x", "y"])
+
+
+def test_paper_query1_grammar_parses():
+    text = """
+    S -> subClassOf_r S subClassOf
+    S -> type_r S type
+    S -> subClassOf_r subClassOf
+    S -> type_r type
+    """
+    grammar = parse_grammar(text)
+    assert len(grammar) == 4
+    assert grammar.nonterminals == {Nonterminal("S")}
+    assert len(grammar.terminals) == 4

@@ -1,0 +1,89 @@
+"""Tests for Production shape predicates and helpers."""
+
+import pytest
+
+from repro.grammar.production import Production, production
+from repro.grammar.symbols import Nonterminal, Terminal
+
+
+def test_epsilon_production():
+    p = Production(Nonterminal("A"), ())
+    assert p.is_epsilon
+    assert not p.is_cnf
+    assert str(p) == "A -> eps"
+
+
+def test_terminal_rule():
+    p = Production(Nonterminal("A"), (Terminal("x"),))
+    assert p.is_terminal_rule
+    assert p.is_cnf
+    assert not p.is_binary_rule
+    assert not p.is_unit_rule
+
+
+def test_binary_rule():
+    p = Production(Nonterminal("A"), (Nonterminal("B"), Nonterminal("C")))
+    assert p.is_binary_rule
+    assert p.is_cnf
+
+
+def test_unit_rule():
+    p = Production(Nonterminal("A"), (Nonterminal("B"),))
+    assert p.is_unit_rule
+    assert not p.is_cnf
+
+
+def test_mixed_pair_is_not_binary_rule():
+    p = Production(Nonterminal("A"), (Terminal("x"), Nonterminal("B")))
+    assert not p.is_binary_rule
+    assert not p.is_cnf
+
+
+def test_long_rule_not_cnf():
+    p = production("A", "B", "C", "D")
+    assert not p.is_cnf
+    assert len(p.body) == 3
+
+
+def test_head_must_be_nonterminal():
+    with pytest.raises(TypeError):
+        Production(Terminal("x"), ())  # type: ignore[arg-type]
+
+
+def test_body_type_checked():
+    with pytest.raises(TypeError):
+        Production(Nonterminal("A"), ("x",))  # type: ignore[arg-type]
+
+
+def test_nonterminals_iterates_head_and_body():
+    p = production("A", "B", "c", "D", terminals={"c"})
+    assert list(p.nonterminals()) == [
+        Nonterminal("A"), Nonterminal("B"), Nonterminal("D")
+    ]
+
+
+def test_terminals_iterates_body_only():
+    p = production("A", "b", "C", "b", terminals={"b"})
+    assert list(p.terminals()) == [Terminal("b"), Terminal("b")]
+
+
+def test_production_helper_classifies_by_terminal_set():
+    p = production("S", "a", "S", "b", terminals={"a", "b"})
+    assert p.body == (Terminal("a"), Nonterminal("S"), Terminal("b"))
+
+
+def test_production_helper_accepts_symbol_instances():
+    p = production("S", Terminal("a"), Nonterminal("B"))
+    assert p.body == (Terminal("a"), Nonterminal("B"))
+
+
+def test_productions_hashable_and_equal():
+    p1 = production("S", "a", terminals={"a"})
+    p2 = production("S", "a", terminals={"a"})
+    assert p1 == p2
+    assert len({p1, p2}) == 1
+
+
+def test_str_renders_body():
+    p = production("S", "a", "B", terminals={"a"})
+    assert str(p) == "S -> a B"

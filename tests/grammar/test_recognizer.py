@@ -1,0 +1,90 @@
+"""Tests for the CYK and Earley recognizers (the test oracles themselves)."""
+
+import pytest
+
+from repro.errors import NotInNormalFormError
+from repro.grammar.parser import parse_grammar
+from repro.grammar.recognizer import (
+    EarleyRecognizer,
+    cyk_recognize,
+    derives,
+    language_sample,
+)
+from repro.grammar.symbols import Nonterminal
+
+S = Nonterminal("S")
+
+
+class TestCYK:
+    def test_accepts_anbn(self, ab_cnf_grammar):
+        assert cyk_recognize(ab_cnf_grammar, S, ["a", "b"])
+        assert cyk_recognize(ab_cnf_grammar, S, ["a", "a", "a", "b", "b", "b"])
+
+    def test_rejects_non_members(self, ab_cnf_grammar):
+        assert not cyk_recognize(ab_cnf_grammar, S, ["a"])
+        assert not cyk_recognize(ab_cnf_grammar, S, ["b", "a"])
+        assert not cyk_recognize(ab_cnf_grammar, S, ["a", "b", "a"])
+
+    def test_rejects_empty_word(self, ab_cnf_grammar):
+        assert not cyk_recognize(ab_cnf_grammar, S, [])
+
+    def test_requires_cnf(self, anbn_grammar):
+        with pytest.raises(NotInNormalFormError):
+            cyk_recognize(anbn_grammar, S, ["a", "b"])
+
+    def test_queries_any_nonterminal(self, ab_cnf_grammar):
+        assert cyk_recognize(ab_cnf_grammar, Nonterminal("A"), ["a"])
+        assert not cyk_recognize(ab_cnf_grammar, Nonterminal("A"), ["b"])
+
+
+class TestEarley:
+    def test_accepts_original_grammar(self, anbn_grammar):
+        recognizer = EarleyRecognizer(anbn_grammar)
+        assert recognizer.recognizes(S, ["a", "b"])
+        assert recognizer.recognizes(S, ["a", "a", "b", "b"])
+        assert not recognizer.recognizes(S, ["a", "b", "b"])
+
+    def test_epsilon_word(self):
+        grammar = parse_grammar("S -> eps | a S", terminals=["a"])
+        recognizer = EarleyRecognizer(grammar)
+        assert recognizer.recognizes(S, [])
+        assert recognizer.recognizes(S, ["a", "a"])
+
+    def test_nullable_in_middle(self):
+        grammar = parse_grammar("S -> a N b\nN -> eps | n", terminals=["a", "b", "n"])
+        recognizer = EarleyRecognizer(grammar)
+        assert recognizer.recognizes(S, ["a", "b"])
+        assert recognizer.recognizes(S, ["a", "n", "b"])
+        assert not recognizer.recognizes(S, ["a", "n", "n", "b"])
+
+    def test_left_recursion(self):
+        grammar = parse_grammar("S -> S a | a", terminals=["a"])
+        recognizer = EarleyRecognizer(grammar)
+        assert recognizer.recognizes(S, ["a"] * 5)
+        assert not recognizer.recognizes(S, [])
+
+    def test_unit_cycle(self):
+        grammar = parse_grammar("S -> A\nA -> S | a", terminals=["a"])
+        recognizer = EarleyRecognizer(grammar)
+        assert recognizer.recognizes(S, ["a"])
+        assert not recognizer.recognizes(S, ["a", "a"])
+
+    def test_derives_helper(self, dyck_grammar):
+        assert derives(dyck_grammar, S, ["a", "b", "a", "b"])
+        assert not derives(dyck_grammar, S, ["a", "b", "a"])
+
+
+class TestLanguageSample:
+    def test_anbn_enumeration(self, anbn_grammar):
+        words = language_sample(anbn_grammar, S, max_length=4)
+        assert words == [("a", "b"), ("a", "a", "b", "b")]
+
+    def test_includes_epsilon_when_derivable(self):
+        grammar = parse_grammar("S -> eps | a", terminals=["a"])
+        words = language_sample(grammar, S, max_length=1)
+        assert () in words and ("a",) in words
+
+    def test_dyck_counts(self, dyck_grammar):
+        words = language_sample(dyck_grammar, S, max_length=4)
+        # ab, abab, aabb
+        assert len(words) == 3

@@ -1,0 +1,91 @@
+"""Tests for grammar symbols and inverse-label conventions."""
+
+import pytest
+
+from repro.grammar.symbols import (
+    EPSILON,
+    Nonterminal,
+    Terminal,
+    fresh_nonterminal,
+    inverse_label,
+    is_inverse_label,
+)
+
+
+class TestTerminal:
+    def test_equality_by_label(self):
+        assert Terminal("a") == Terminal("a")
+        assert Terminal("a") != Terminal("b")
+
+    def test_hashable(self):
+        assert len({Terminal("a"), Terminal("a"), Terminal("b")}) == 2
+
+    def test_str(self):
+        assert str(Terminal("subClassOf")) == "subClassOf"
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(ValueError):
+            Terminal("")
+
+    def test_inverse_property_round_trips(self):
+        t = Terminal("subClassOf")
+        assert t.inverse == Terminal("subClassOf_r")
+        assert t.inverse.inverse == t
+
+    def test_terminal_not_equal_nonterminal(self):
+        assert Terminal("x") != Nonterminal("x")
+
+
+class TestNonterminal:
+    def test_equality_by_name(self):
+        assert Nonterminal("S") == Nonterminal("S")
+        assert Nonterminal("S") != Nonterminal("S1")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Nonterminal("")
+
+    def test_repr_contains_name(self):
+        assert "S" in repr(Nonterminal("S"))
+
+
+class TestEpsilon:
+    def test_singleton(self):
+        assert EPSILON is type(EPSILON)()
+
+    def test_equality_and_hash(self):
+        assert EPSILON == type(EPSILON)()
+        assert hash(EPSILON) == hash(type(EPSILON)())
+
+    def test_str(self):
+        assert str(EPSILON) == "eps"
+
+
+class TestInverseLabels:
+    def test_forward_to_inverse(self):
+        assert inverse_label("type") == "type_r"
+
+    def test_inverse_to_forward(self):
+        assert inverse_label("type_r") == "type"
+
+    def test_involution(self):
+        for label in ["a", "subClassOf", "x_r", "type_r"]:
+            assert inverse_label(inverse_label(label)) == label
+
+    def test_is_inverse_label(self):
+        assert is_inverse_label("a_r")
+        assert not is_inverse_label("a")
+        # the bare suffix is not an inverse label
+        assert not is_inverse_label("_r")
+
+    def test_label_that_is_only_suffix_gains_suffix(self):
+        assert inverse_label("_r") == "_r_r"
+
+
+class TestFreshNonterminal:
+    def test_no_collision_returns_base(self):
+        assert fresh_nonterminal("X", set()) == Nonterminal("X")
+
+    def test_collision_appends_counter(self):
+        taken = {Nonterminal("X"), Nonterminal("X1")}
+        assert fresh_nonterminal("X", taken) == Nonterminal("X2")

@@ -1,0 +1,172 @@
+"""Tests for graph generators, including the paper-specific constructions."""
+
+import pytest
+
+from repro.graph.generators import (
+    binary_tree,
+    chain,
+    cycle,
+    grid,
+    paper_example_graph,
+    random_graph,
+    repeat_graph,
+    two_cycles,
+    word_chain,
+    worst_case_dyck_graph,
+)
+
+
+class TestPaperExampleGraph:
+    def test_matches_figure6_initial_matrix(self):
+        """The edge set must produce exactly the paper's T0."""
+        graph = paper_example_graph()
+        assert graph.node_count == 3
+        assert graph.has_edge(0, "subClassOf_r", 0)
+        assert graph.has_edge(0, "type_r", 1)
+        assert graph.has_edge(1, "type_r", 2)
+        assert graph.has_edge(2, "subClassOf", 0)
+        assert graph.has_edge(2, "type", 2)
+        assert graph.edge_count == 5
+
+
+class TestChain:
+    def test_shape(self):
+        graph = chain(3)
+        assert graph.node_count == 4
+        assert graph.edge_count == 3
+        assert graph.has_edge(0, "a", 1)
+
+    def test_zero_length(self):
+        graph = chain(0)
+        assert graph.node_count == 1
+        assert graph.edge_count == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            chain(-1)
+
+
+class TestWordChain:
+    def test_spells_word(self):
+        graph = word_chain(["a", "b", "a"])
+        assert graph.has_edge(0, "a", 1)
+        assert graph.has_edge(1, "b", 2)
+        assert graph.has_edge(2, "a", 3)
+
+    def test_empty_word(self):
+        graph = word_chain([])
+        assert graph.node_count == 1
+
+
+class TestCycle:
+    def test_wraps_around(self):
+        graph = cycle(3)
+        assert graph.has_edge(2, "a", 0)
+        assert graph.edge_count == 3
+
+    def test_self_loop(self):
+        graph = cycle(1)
+        assert graph.has_edge(0, "a", 0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            cycle(0)
+
+
+class TestTwoCycles:
+    def test_shares_node_zero(self):
+        graph = two_cycles(2, 3)
+        assert graph.node_count == 2 + 3 - 1
+        a_pairs = graph.edge_pairs("a")
+        b_pairs = graph.edge_pairs("b")
+        assert len(a_pairs) == 2
+        assert len(b_pairs) == 3
+        assert any(i == 0 for i, _ in a_pairs)
+        assert any(i == 0 for i, _ in b_pairs)
+
+    def test_single_node_cycles(self):
+        graph = two_cycles(1, 1)
+        assert graph.has_edge(0, "a", 0)
+        assert graph.has_edge(0, "b", 0)
+
+    def test_worst_case_helper(self):
+        graph = worst_case_dyck_graph(3)
+        assert graph.edge_pairs("a") and graph.edge_pairs("b")
+
+
+class TestBinaryTree:
+    def test_edges_point_to_parent(self):
+        graph = binary_tree(2)
+        assert graph.node_count == 7
+        assert graph.edge_count == 6
+        # children 1,2 point at root 0
+        assert graph.has_edge(1, "subClassOf", 0)
+        assert graph.has_edge(2, "subClassOf", 0)
+
+    def test_depth_zero(self):
+        graph = binary_tree(0)
+        assert graph.node_count == 1
+
+
+class TestGrid:
+    def test_shape(self):
+        graph = grid(2, 3)
+        assert graph.node_count == 6
+        # right edges: 2 rows * 2, down edges: 1 row * 3
+        assert len(graph.edge_pairs("a")) == 4
+        assert len(graph.edge_pairs("b")) == 3
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            grid(0, 3)
+
+
+class TestRandomGraph:
+    def test_deterministic_by_seed(self):
+        g1 = random_graph(10, 30, ["a", "b"], seed=7)
+        g2 = random_graph(10, 30, ["a", "b"], seed=7)
+        assert g1 == g2
+
+    def test_different_seeds_differ(self):
+        g1 = random_graph(10, 30, ["a", "b"], seed=1)
+        g2 = random_graph(10, 30, ["a", "b"], seed=2)
+        assert g1 != g2
+
+    def test_bounds(self):
+        graph = random_graph(5, 10, ["a"])
+        assert graph.node_count == 5
+        assert graph.edge_count <= 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_graph(0, 1, ["a"])
+        with pytest.raises(ValueError):
+            random_graph(1, 1, [])
+
+
+class TestRepeatGraph:
+    def test_disjoint_copies(self):
+        base = cycle(3)
+        repeated = repeat_graph(base, 4)
+        assert repeated.node_count == 12
+        assert repeated.edge_count == 12
+        assert repeated.has_edge((0, 0), "a", (0, 1))
+        assert repeated.has_edge((3, 2), "a", (3, 0))
+        # no cross-copy edges
+        assert not repeated.has_edge((0, 2), "a", (1, 0))
+
+    def test_paper_g_construction_scales_triples(self):
+        """g1 = 8 copies of funding: triple counts multiply exactly."""
+        base = cycle(5)
+        repeated = repeat_graph(base, 8)
+        assert repeated.edge_count == 8 * base.edge_count
+
+    def test_connected_variant(self):
+        base = cycle(2)
+        repeated = repeat_graph(base, 3, connect=True, bridge_label="br")
+        assert repeated.has_edge((0, 0), "br", (1, 0))
+        assert repeated.has_edge((1, 0), "br", (2, 0))
+
+    def test_invalid_copies(self):
+        with pytest.raises(ValueError):
+            repeat_graph(cycle(2), 0)

@@ -1,0 +1,101 @@
+"""Tests for RDF triple parsing and the paper's graph conversion."""
+
+import io
+
+import pytest
+
+from repro.errors import GraphParseError
+from repro.graph.rdf import (
+    graph_to_triples,
+    parse_triple_line,
+    parse_triples,
+    read_triples,
+    shorten_iri,
+    triples_to_graph,
+)
+
+
+class TestParseTripleLine:
+    def test_plain_tokens(self):
+        assert parse_triple_line("alpha knows beta .") == ("alpha", "knows", "beta")
+
+    def test_without_trailing_dot(self):
+        assert parse_triple_line("a p b") == ("a", "p", "b")
+
+    def test_iri_form(self):
+        line = "<http://x/a> <http://www.w3.org/2000/01/rdf-schema#subClassOf> <http://x/b> ."
+        assert parse_triple_line(line) == (
+            "http://x/a",
+            "http://www.w3.org/2000/01/rdf-schema#subClassOf",
+            "http://x/b",
+        )
+
+    def test_literal_object(self):
+        assert parse_triple_line('<a> <p> "some text" .') == ("a", "p", "some text")
+
+    def test_typed_literal_object(self):
+        line = '<a> <p> "42"^^<http://www.w3.org/2001/XMLSchema#int> .'
+        assert parse_triple_line(line) == ("a", "p", "42")
+
+    def test_blank_and_comment_lines(self):
+        assert parse_triple_line("") is None
+        assert parse_triple_line("   ") is None
+        assert parse_triple_line("# comment") is None
+
+    def test_malformed_raises_with_line_number(self):
+        with pytest.raises(GraphParseError) as excinfo:
+            parse_triple_line("onlyonetoken", line_number=7)
+        assert excinfo.value.line_number == 7
+
+
+class TestShortenIri:
+    def test_well_known_predicates(self):
+        assert shorten_iri("http://www.w3.org/2000/01/rdf-schema#subClassOf") == "subClassOf"
+        assert shorten_iri("http://www.w3.org/1999/02/22-rdf-syntax-ns#type") == "type"
+
+    def test_fragment(self):
+        assert shorten_iri("http://example.org/onto#Pizza") == "Pizza"
+
+    def test_path_segment(self):
+        assert shorten_iri("http://example.org/onto/Pizza") == "Pizza"
+
+    def test_opaque_string_unchanged(self):
+        assert shorten_iri("plain") == "plain"
+
+
+class TestTriplesToGraph:
+    def test_paper_conversion_adds_inverse(self):
+        graph = triples_to_graph([("o", "p", "s")])
+        assert graph.has_edge("o", "p", "s")
+        assert graph.has_edge("s", "p_r", "o")
+        assert graph.edge_count == 2
+
+    def test_without_inverses(self):
+        graph = triples_to_graph([("o", "p", "s")], add_inverses=False)
+        assert graph.edge_count == 1
+
+    def test_shortening_applied(self):
+        graph = triples_to_graph(
+            [("http://x#A", "http://www.w3.org/2000/01/rdf-schema#subClassOf",
+              "http://x#B")]
+        )
+        assert graph.has_edge("A", "subClassOf", "B")
+        assert graph.has_edge("B", "subClassOf_r", "A")
+
+
+class TestRoundTrip:
+    def test_parse_then_export(self):
+        text = "a subClassOf b .\nb subClassOf c .\n"
+        triples = parse_triples(text)
+        graph = triples_to_graph(triples)
+        exported = sorted(graph_to_triples(graph))
+        assert exported == [("a", "subClassOf", "b"), ("b", "subClassOf", "c")]
+
+    def test_read_triples_stream(self):
+        stream = io.StringIO("a p b .\n# comment\nc q d\n")
+        assert list(read_triples(stream)) == [("a", "p", "b"), ("c", "q", "d")]
+
+    def test_parse_triples_reports_bad_line(self):
+        with pytest.raises(GraphParseError) as excinfo:
+            parse_triples("a p b .\nbroken\n")
+        assert excinfo.value.line_number == 2

@@ -1,0 +1,59 @@
+"""Tests for graph statistics and adjacency-matrix extraction."""
+
+from repro.graph.generators import two_cycles
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.matrices import adjacency_matrices, boolean_adjacency, label_pair_sets
+from repro.graph.rdf import triples_to_graph
+from repro.graph.stats import graph_stats
+
+
+class TestGraphStats:
+    def test_counts(self):
+        stats = graph_stats(two_cycles(2, 3))
+        assert stats.node_count == 4
+        assert stats.edge_count == 5
+        assert stats.label_counts == {"a": 2, "b": 3}
+
+    def test_density(self):
+        stats = graph_stats(two_cycles(2, 3))
+        assert stats.density == 5 / 16
+
+    def test_empty_graph(self):
+        stats = graph_stats(LabeledGraph())
+        assert stats.density == 0.0
+        assert stats.triple_count == 0
+
+    def test_triple_count_ignores_inverse_labels(self):
+        graph = triples_to_graph([("a", "p", "b"), ("b", "q", "c")])
+        stats = graph_stats(graph)
+        assert stats.edge_count == 4
+        assert stats.triple_count == 2
+
+    def test_as_dict(self):
+        data = graph_stats(two_cycles(2, 3)).as_dict()
+        assert data["node_count"] == 4
+        assert data["label_counts"]["b"] == 3
+
+
+class TestAdjacencyMatrices:
+    def test_one_matrix_per_label(self, backend_name):
+        matrices = adjacency_matrices(two_cycles(2, 3), backend=backend_name)
+        assert set(matrices) == {"a", "b"}
+        assert matrices["a"].nnz() == 2
+        assert matrices["b"].nnz() == 3
+
+    def test_entries_match_edges(self, backend_name):
+        graph = two_cycles(2, 3)
+        matrices = adjacency_matrices(graph, backend=backend_name)
+        for label, matrix in matrices.items():
+            assert matrix.to_pair_set() == graph.edge_pairs(label)
+
+    def test_label_pair_sets(self):
+        graph = two_cycles(2, 3)
+        pair_sets = label_pair_sets(graph)
+        assert pair_sets["a"] == graph.edge_pairs("a")
+
+    def test_boolean_adjacency_unions_labels(self, backend_name):
+        graph = LabeledGraph.from_edges([(0, "a", 1), (0, "b", 1), (1, "a", 2)])
+        matrix = boolean_adjacency(graph, backend=backend_name)
+        assert matrix.to_pair_set() == {(0, 1), (1, 2)}

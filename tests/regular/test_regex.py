@@ -1,0 +1,80 @@
+"""Tests for the regex parser and AST."""
+
+import pytest
+
+from repro.errors import GrammarParseError
+from repro.regular.regex import (
+    Concat,
+    Label,
+    Optional_,
+    Plus,
+    Star,
+    Union,
+    parse_regex,
+    regex_labels,
+)
+
+
+def test_single_label():
+    assert parse_regex("a") == Label("a")
+
+
+def test_multichar_labels():
+    assert parse_regex("subClassOf_r") == Label("subClassOf_r")
+
+
+def test_concatenation():
+    assert parse_regex("a b") == Concat(Label("a"), Label("b"))
+
+
+def test_union():
+    assert parse_regex("a | b") == Union(Label("a"), Label("b"))
+
+
+def test_precedence_concat_over_union():
+    assert parse_regex("a b | c") == Union(
+        Concat(Label("a"), Label("b")), Label("c")
+    )
+
+
+def test_postfix_operators():
+    assert parse_regex("a*") == Star(Label("a"))
+    assert parse_regex("a+") == Plus(Label("a"))
+    assert parse_regex("a?") == Optional_(Label("a"))
+
+
+def test_stacked_postfix():
+    assert parse_regex("a*?") == Optional_(Star(Label("a")))
+
+
+def test_parentheses_group():
+    assert parse_regex("(a b)*") == Star(Concat(Label("a"), Label("b")))
+
+
+def test_nested_expression():
+    node = parse_regex("(a | b)+ c")
+    assert node == Concat(Plus(Union(Label("a"), Label("b"))), Label("c"))
+
+
+def test_empty_rejected():
+    with pytest.raises(GrammarParseError):
+        parse_regex("   ")
+
+
+def test_unbalanced_paren_rejected():
+    with pytest.raises(GrammarParseError):
+        parse_regex("(a b")
+
+
+def test_dangling_operator_rejected():
+    with pytest.raises(GrammarParseError):
+        parse_regex("| a")
+
+
+def test_bad_character_rejected():
+    with pytest.raises(GrammarParseError):
+        parse_regex("a & b")
+
+
+def test_regex_labels():
+    assert regex_labels(parse_regex("(a b)* | c+")) == {"a", "b", "c"}

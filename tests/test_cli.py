@@ -1,0 +1,104 @@
+"""Tests for the repro-cfpq command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.graph.generators import two_cycles, word_chain
+from repro.graph.io import save_graph_file
+
+
+@pytest.fixture
+def chain_file(tmp_path):
+    path = tmp_path / "chain.txt"
+    save_graph_file(word_chain(["a", "a", "b", "b"]), str(path))
+    return str(path)
+
+
+@pytest.fixture
+def grammar_file(tmp_path):
+    path = tmp_path / "anbn.cfg"
+    path.write_text("S -> a S b\nS -> a b\n")
+    return str(path)
+
+
+class TestQueryCommand:
+    def test_named_grammar(self, chain_file, capsys):
+        assert main(["query", "--graph", chain_file,
+                     "--grammar-name", "dyck1", "--start", "S"]) == 0
+        out = capsys.readouterr().out
+        assert "2 pairs" in out
+        assert "0 -> 4" in out
+
+    def test_grammar_file(self, chain_file, grammar_file, capsys):
+        assert main(["query", "--graph", chain_file,
+                     "--grammar", grammar_file]) == 0
+        assert "2 pairs" in capsys.readouterr().out
+
+    def test_json_output(self, chain_file, capsys):
+        assert main(["query", "--graph", chain_file,
+                     "--grammar-name", "dyck1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 2
+        assert ["0", "4"] in payload["pairs"]
+
+    def test_backend_flag(self, chain_file, capsys):
+        for backend in ["dense", "sparse", "pyset"]:
+            assert main(["query", "--graph", chain_file,
+                         "--grammar-name", "dyck1",
+                         "--backend", backend]) == 0
+
+    def test_missing_grammar_exits(self, chain_file):
+        with pytest.raises(SystemExit):
+            main(["query", "--graph", chain_file])
+
+    def test_unknown_start_reports_error(self, chain_file, capsys):
+        code = main(["query", "--graph", chain_file,
+                     "--grammar-name", "dyck1", "--start", "Zzz"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestPathCommand:
+    def test_witness_path(self, chain_file, capsys):
+        assert main(["path", "--graph", chain_file,
+                     "--grammar-name", "dyck1",
+                     "--source", "0", "--target", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "length 4" in out
+
+    def test_json_path(self, chain_file, capsys):
+        assert main(["path", "--graph", chain_file,
+                     "--grammar-name", "dyck1",
+                     "--source", "1", "--target", "3", "--json"]) == 0
+        edges = json.loads(capsys.readouterr().out)
+        assert edges == [["1", "a", "2"], ["2", "b", "3"]]
+
+    def test_no_path_is_error(self, chain_file, capsys):
+        code = main(["path", "--graph", chain_file,
+                     "--grammar-name", "dyck1",
+                     "--source", "4", "--target", "0"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestRdfInput:
+    def test_rdf_flag_applies_paper_conversion(self, tmp_path, capsys):
+        rdf = tmp_path / "data.nt"
+        rdf.write_text("b subClassOf a .\nc subClassOf a .\n")
+        # co-parent query: b and c share parent a
+        grammar = tmp_path / "sg.cfg"
+        grammar.write_text("S -> subClassOf subClassOf_r\n")
+        assert main(["query", "--graph", str(rdf), "--rdf",
+                     "--grammar", str(grammar), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 4  # (b,b), (b,c), (c,b), (c,c)
+
+
+class TestTablesCommand:
+    def test_small_table(self, capsys):
+        assert main(["tables", "table2", "--max-triples", "260"]) == 0
+        out = capsys.readouterr().out
+        assert "skos" in out
+        assert "Table 2" in out

@@ -1,0 +1,71 @@
+"""Tests for the rpq / generate-dataset / stats CLI subcommands."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.graph.generators import word_chain
+from repro.graph.io import save_graph_file
+
+
+@pytest.fixture
+def chain_file(tmp_path):
+    path = tmp_path / "chain.txt"
+    save_graph_file(word_chain(["a", "a", "b"]), str(path))
+    return str(path)
+
+
+class TestRpqCommand:
+    def test_plus_query(self, chain_file, capsys):
+        assert main(["rpq", "--graph", chain_file, "--regex", "a+"]) == 0
+        out = capsys.readouterr().out
+        assert "3 pairs" in out
+
+    def test_json(self, chain_file, capsys):
+        assert main(["rpq", "--graph", chain_file, "--regex", "a b",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 1
+        assert payload["pairs"] == [["1", "3"]]
+
+    def test_bad_regex_is_reported(self, chain_file, capsys):
+        assert main(["rpq", "--graph", chain_file, "--regex", "(a"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestGenerateDataset:
+    def test_list(self, capsys):
+        assert main(["generate-dataset", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "skos" in out and "g3" in out
+
+    def test_materialize_and_reload(self, tmp_path, capsys):
+        output = str(tmp_path / "skos.txt")
+        assert main(["generate-dataset", "skos", "--output", output]) == 0
+        assert "wrote" in capsys.readouterr().out
+        # round-trip: the file is a loadable graph with the right size
+        assert main(["stats", "--graph", output]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["triple_count"] == 252
+        assert stats["edge_count"] == 504
+
+    def test_unknown_dataset(self, capsys):
+        assert main(["generate-dataset", "nope"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestStatsCommand:
+    def test_stats_json(self, chain_file, capsys):
+        assert main(["stats", "--graph", chain_file]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["node_count"] == 4
+        assert stats["label_counts"] == {"a": 2, "b": 1}
+
+    def test_stats_rdf(self, tmp_path, capsys):
+        rdf = tmp_path / "t.nt"
+        rdf.write_text("x p y .\n")
+        assert main(["stats", "--graph", str(rdf), "--rdf"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["edge_count"] == 2
+        assert stats["triple_count"] == 1

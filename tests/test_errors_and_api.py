@@ -1,0 +1,58 @@
+"""Tests for the exception hierarchy and the top-level public API."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if (isinstance(obj, type) and issubclass(obj, Exception)
+                    and obj is not errors.ReproError):
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_parse_errors_carry_location(self):
+        error = errors.GrammarParseError("bad", line_number=3, line_text="x y z")
+        assert error.line_number == 3
+        assert "line 3" in str(error)
+        assert "x y z" in str(error)
+
+    def test_unknown_backend_lists_available(self):
+        error = errors.UnknownBackendError("gpu", ["dense", "sparse"])
+        assert "gpu" in str(error)
+        assert "dense" in str(error)
+
+    def test_catching_base_class(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.PathNotFoundError("nope")
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_quickstart_from_docstring(self):
+        """The module docstring example must actually run."""
+        from repro import CFPQEngine, parse_grammar
+        from repro.graph import two_cycles
+
+        grammar = parse_grammar("S -> a S b | a b", terminals=["a", "b"])
+        engine = CFPQEngine(two_cycles(2, 3), grammar)
+        assert engine.relational("S")
+        assert engine.single_path("S", 0, 0)
+
+    def test_one_import_workflow(self):
+        """End-to-end through only top-level names."""
+        grammar = repro.parse_grammar("S -> e | e S", terminals=["e"])
+        graph = repro.LabeledGraph.from_edges([
+            ("a", "e", "b"), ("b", "e", "c"),
+        ])
+        pairs = repro.cfpq(graph, grammar, "S")
+        assert pairs == {("a", "b"), ("a", "c"), ("b", "c")}

@@ -1,0 +1,52 @@
+"""Integration tests: the example scripts must run cleanly.
+
+Each example carries its own internal assertions (witness validation,
+incremental-vs-batch equality, ...), so a zero exit status is a real
+correctness signal, not just a smoke test.  The ontology benchmark
+example is excluded here — it times solvers over many datasets and
+belongs to the benchmark suite's runtime budget.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "single_path_extraction.py",
+    "static_analysis_points_to.py",
+    "rna_secondary_structure.py",
+    "dynamic_graph_updates.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True, text=True, timeout=120,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\n{result.stdout[-2000:]}\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{script} produced no output"
+
+
+def test_quickstart_reproduces_figure9():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True, text=True, timeout=120,
+    )
+    assert "R_S = [(0, 0), (0, 2), (1, 2)]" in result.stdout
+    assert "k = 6" in result.stdout
+
+
+def test_all_examples_exist():
+    present = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert set(FAST_EXAMPLES) <= present
+    assert "same_generation_ontologies.py" in present
+    assert len(present) >= 6  # ≥3 required; we ship six
