@@ -2,9 +2,12 @@
 
 A complete reproduction of Azimov & Grigorev (2018): context-free path
 query evaluation under the relational and single-path semantics reduced
-to a matrix transitive closure, with dense/sparse/pure-Python boolean
-matrix backends, the worklist and GLL-style baselines, the paper's
-evaluation datasets and the benchmark harness for Tables 1 and 2.
+to a matrix transitive closure, with five interchangeable boolean
+matrix backends (dense / sparse / pyset / bitset / setmatrix), a
+strategy-pluggable closure engine (semi-naive ``delta`` by default,
+``naive`` as the oracle, ``blocked`` for bounded working sets), the
+worklist and GLL-style baselines, the paper's evaluation datasets and
+the benchmark harness for Tables 1 and 2.
 
 Quickstart::
 
@@ -17,6 +20,7 @@ Quickstart::
     print(engine.single_path("S", 0, 0))
 """
 
+from .core.closure import available_strategies, run_closure
 from .core.engine import CFPQEngine, cfpq
 from .core.incremental import IncrementalCFPQ
 from .core.path_index import PathIndex
@@ -29,7 +33,7 @@ from .grammar import CFG, Nonterminal, Production, Terminal, parse_grammar, to_c
 from .graph import LabeledGraph, load_graph_file, load_rdf_graph, triples_to_graph
 from .regular import solve_rpq
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CFG",
@@ -43,8 +47,10 @@ __all__ = [
     "ReproError",
     "Terminal",
     "__version__",
+    "available_strategies",
     "build_single_path_index",
     "cfpq",
+    "run_closure",
     "extract_path",
     "load_graph_file",
     "load_rdf_graph",

@@ -22,12 +22,15 @@ import argparse
 import json
 import sys
 
+from .core.closure import available_strategies
 from .core.engine import CFPQEngine
+from .core.matrix_cfpq import DEFAULT_STRATEGY
 from .errors import ReproError
 from .grammar.builders import GRAMMAR_REGISTRY, get_grammar
 from .grammar.parser import parse_grammar
 from .graph.io import load_graph_file
 from .graph.rdf import load_rdf_graph
+from .matrices.base import available_backends, default_backend
 
 
 def _load_grammar(args: argparse.Namespace):
@@ -55,13 +58,18 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         choices=sorted(GRAMMAR_REGISTRY),
                         help="built-in grammar")
     parser.add_argument("--start", default="S", help="start non-terminal")
-    parser.add_argument("--backend", default="sparse",
-                        choices=["dense", "sparse", "pyset"])
+    parser.add_argument("--backend", default=default_backend(),
+                        choices=available_backends())
+    parser.add_argument("--strategy", default=DEFAULT_STRATEGY,
+                        choices=available_strategies(),
+                        help="closure strategy (delta = semi-naive, "
+                             "naive = full re-multiplication, "
+                             "blocked = tiled products)")
 
 
 def cmd_query(args: argparse.Namespace) -> int:
     engine = CFPQEngine(_load_graph(args), _load_grammar(args),
-                        backend=args.backend)
+                        backend=args.backend, strategy=args.strategy)
     pairs = sorted(engine.relational(args.start), key=str)
     if args.json:
         print(json.dumps({"start": args.start, "count": len(pairs),
@@ -75,7 +83,7 @@ def cmd_query(args: argparse.Namespace) -> int:
 
 def cmd_path(args: argparse.Namespace) -> int:
     engine = CFPQEngine(_load_graph(args), _load_grammar(args),
-                        backend=args.backend)
+                        backend=args.backend, strategy=args.strategy)
     graph = engine.graph
 
     def coerce(token: str):
@@ -174,8 +182,8 @@ def build_parser() -> argparse.ArgumentParser:
                      help="treat the graph file as RDF triples")
     rpq.add_argument("--regex", required=True,
                      help="label regex, e.g. 'subClassOf_r+ subClassOf+'")
-    rpq.add_argument("--backend", default="sparse",
-                     choices=["dense", "sparse", "pyset", "bitset"])
+    rpq.add_argument("--backend", default=default_backend(),
+                     choices=available_backends())
     rpq.add_argument("--json", action="store_true")
     rpq.set_defaults(handler=cmd_rpq)
 

@@ -9,6 +9,15 @@ from .blocked import (
     boolean_closure_blocked,
     split_into_tiles,
 )
+from .closure import (
+    ClosureResult,
+    STRATEGIES,
+    available_strategies,
+    fixpoint_history,
+    get_strategy,
+    register_strategy,
+    run_closure,
+)
 from .conjunctive import (
     ConjunctiveGrammar,
     ConjunctiveRule,
@@ -45,6 +54,7 @@ from .single_path import (
     path_word,
 )
 from .transitive_closure import (
+    boolean_closure_delta,
     boolean_closure_incremental,
     boolean_closure_naive,
     boolean_closure_warshall,
@@ -57,6 +67,8 @@ __all__ = [
     "AllPathEnumerator",
     "BlockedStats",
     "CFPQEngine",
+    "ClosureResult",
+    "STRATEGIES",
     "IncrementalCFPQ",
     "PathIndex",
     "TileDeviceSimulator",
@@ -73,8 +85,10 @@ __all__ = [
     "TerminalRule",
     "anbncn_grammar",
     "assemble_from_tiles",
+    "available_strategies",
     "blocked_multiply",
     "boolean_closure_blocked",
+    "boolean_closure_delta",
     "boolean_closure_incremental",
     "boolean_closure_naive",
     "boolean_closure_warshall",
@@ -86,11 +100,15 @@ __all__ = [
     "closure_valiant",
     "count_paths",
     "extract_path",
+    "fixpoint_history",
+    "get_strategy",
     "initial_boolean_matrices",
     "iter_single_paths",
     "path_is_valid",
     "path_word",
+    "register_strategy",
     "relations_from_matrix",
+    "run_closure",
     "solve_conjunctive_approx",
     "solve_matrix",
     "solve_matrix_relations",

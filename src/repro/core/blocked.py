@@ -21,6 +21,10 @@ a "device memory" capacity (in tiles) and counts tile loads/evictions
 property that makes the approach viable on real hardware — without
 needing a GPU.  A round-robin scheduler records how tile tasks would
 spread over k devices.
+
+The tiled product also backs the ``blocked`` strategy of the unified
+closure engine (:mod:`repro.core.closure`), which runs the full CFPQ
+rule loop tile-by-tile on any backend.
 """
 
 from __future__ import annotations
@@ -155,8 +159,14 @@ def blocked_multiply(left_tiles: dict[TileIndex, BooleanMatrix],
                 products += 1
                 if task_counter is not None:
                     task_counter[owner] = task_counter.get(owner, 0) + 1
-                accumulator = (product if accumulator is None
-                               else accumulator.union(product))
+                if accumulator is None:
+                    accumulator = product
+                elif accumulator.supports_inplace:
+                    # The accumulator is a fresh product tile we own, so
+                    # the in-place kernel avoids one allocation per k.
+                    accumulator.union_update(product)
+                else:
+                    accumulator = accumulator.union(product)
             if accumulator is not None:
                 result[(bi, bj)] = accumulator
     return result, products
@@ -192,17 +202,14 @@ def boolean_closure_blocked(matrix: BooleanMatrix, tile_size: int,
         )
         total_products += products
         changed = False
-        merged: dict[TileIndex, BooleanMatrix] = {}
         for index, tile in tiles.items():
             addition = square.get(index)
             if addition is None:
-                merged[index] = tile
                 continue
-            union = tile.union(addition)
-            if union.nnz() != tile.nnz():
+            union, delta = backend_obj.union_update(tile, addition)
+            if delta.nnz():
                 changed = True
-            merged[index] = union
-        tiles = merged
+            tiles[index] = union
         if not changed:
             break
 

@@ -1,0 +1,296 @@
+"""Unified, strategy-pluggable closure engine.
+
+Algorithm 1's hot loop is ``M_A ← M_A ∪ (M_B × M_C)`` over all pair
+rules until nothing changes.  This module owns that loop and lets the
+iteration *strategy* vary independently of the matrix *backend*:
+
+* ``naive``   — re-multiply every pair rule over the full matrices each
+  round; byte-for-byte the historical behavior, kept as the
+  differential-testing oracle.
+* ``delta``   — semi-naive evaluation: track per-non-terminal frontier
+  matrices ``ΔM_A`` (the entries added last round), index the pair
+  rules by body symbol so a change in ``M_B`` only re-fires rules
+  mentioning ``B``, and multiply ``ΔM_B × M_C`` / ``M_B × ΔM_C``
+  instead of full products.  The least fixpoint is identical (the
+  closure is monotone — Theorem 3's argument); the work per round
+  shrinks with the frontier.
+* ``blocked`` — the naive rule loop with every product computed
+  tile-by-tile via :mod:`repro.core.blocked`, bounding the working set
+  per product (the paper's §7 multi-GPU / out-of-core direction).
+
+All strategies run on any registered matrix backend through the mutable
+kernel API (``MatrixBackend.union_update`` / ``mxm_into``), which falls
+back to value semantics for backends without in-place support.
+
+Strategies are registered by name so downstream code can plug in its
+own; ``run_closure`` is the single entry point the solvers route
+through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable, Iterable
+
+from ..errors import UnknownStrategyError
+from ..matrices.base import BooleanMatrix, MatrixBackend, get_backend
+
+#: A pair rule ``A -> B C`` as (head, left-body, right-body).  Symbols
+#: are any hashable keys into the matrices mapping (non-terminals in
+#: practice).
+PairRule = tuple[Hashable, Hashable, Hashable]
+
+#: Default tile edge for the blocked strategy.
+DEFAULT_TILE_SIZE = 64
+
+
+@dataclass
+class ClosureResult:
+    """Outcome of one closure run (the matrices are closed in place)."""
+
+    matrices: dict
+    iterations: int
+    multiplications: int
+    #: New entries merged per round — the semi-naive frontier sizes for
+    #: ``delta``, total growth per round for the other strategies.
+    delta_nnz_per_round: tuple[int, ...] = ()
+
+
+#: A closure strategy: closes *matrices* (mutating the mapping and/or
+#: the matrices) under *pair_rules* on *backend*.
+ClosureStrategy = Callable[..., ClosureResult]
+
+_STRATEGIES: dict[str, ClosureStrategy] = {}
+
+
+def register_strategy(name: str, strategy: ClosureStrategy,
+                      ) -> ClosureStrategy:
+    """Register *strategy* under *name* (idempotent overwrite)."""
+    _STRATEGIES[name] = strategy
+    return strategy
+
+
+def get_strategy(name: str) -> ClosureStrategy:
+    """Resolve a strategy by name."""
+    try:
+        return _STRATEGIES[name]
+    except KeyError:
+        raise UnknownStrategyError(name, list(_STRATEGIES)) from None
+
+
+def available_strategies() -> list[str]:
+    """Names of all registered closure strategies."""
+    return sorted(_STRATEGIES)
+
+
+def run_closure(matrices: dict, pair_rules: Iterable[PairRule],
+                backend: "str | MatrixBackend",
+                strategy: str = "delta",
+                **options) -> ClosureResult:
+    """Close *matrices* under *pair_rules* with the named strategy.
+
+    The matrices mapping is updated in place (and, for mutation-capable
+    backends, the matrices themselves are grown in place).  Extra
+    keyword options are strategy-specific (``tile_size`` for
+    ``blocked``).
+    """
+    backend_obj = get_backend(backend)
+    return get_strategy(strategy)(matrices, list(pair_rules), backend_obj,
+                                  **options)
+
+
+# ----------------------------------------------------------------------
+# Generic fixpoint driver (shared with the set-matrix oracle)
+# ----------------------------------------------------------------------
+
+def fixpoint_history(initial, step: Callable, equal: Callable,
+                     max_iterations: int | None = None) -> list:
+    """Iterate ``following = step(current)`` from *initial*, recording
+    every state, until ``equal(following, current)`` (or the iteration
+    cap).  Returns ``[T0, T1, ..., Tk]``; at the natural fixpoint the
+    last two entries are equal.  This is the abstract shape shared by
+    the paper-literal set-matrix closure and the boolean engines."""
+    history = [initial]
+    while True:
+        current = history[-1]
+        following = step(current)
+        history.append(following)
+        if equal(following, current):
+            return history
+        if max_iterations is not None and len(history) - 1 >= max_iterations:
+            return history
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+def closure_naive(matrices: dict, pair_rules: list[PairRule],
+                  backend: MatrixBackend, **_options) -> ClosureResult:
+    """Full re-multiplication of every rule each round — Algorithm 1
+    verbatim, the differential oracle for the cleverer strategies."""
+    iterations = 0
+    multiplications = 0
+    growth: list[int] = []
+    changed = True
+    while changed:
+        changed = False
+        iterations += 1
+        round_new = 0
+        for head, left, right in pair_rules:
+            product = matrices[left].multiply(matrices[right])
+            multiplications += 1
+            merged, delta = backend.union_update(matrices[head], product)
+            matrices[head] = merged
+            new_entries = delta.nnz()
+            if new_entries:
+                changed = True
+                round_new += new_entries
+        growth.append(round_new)
+    return ClosureResult(matrices=matrices, iterations=iterations,
+                         multiplications=multiplications,
+                         delta_nnz_per_round=tuple(growth))
+
+
+def closure_delta(matrices: dict, pair_rules: list[PairRule],
+                  backend: MatrixBackend, **_options) -> ClosureResult:
+    """Semi-naive delta propagation over a symbol worklist.
+
+    ``frontier[A]`` accumulates the entries added to ``M_A`` since the
+    last time ``A`` was propagated.  Popping ``A`` fires only the rules
+    whose body mentions ``A``, multiplying the frontier against the
+    *current* full matrices — ``ΔM_A × M_C`` / ``M_B × ΔM_A`` instead
+    of full products — and merges the results immediately, so facts
+    discovered early in a round feed later products of the same round
+    (Gauss–Seidel order, like the naive loop's in-place updates).
+    Deltas keep accumulating until their symbol is popped, which keeps
+    products few and batched rather than one per tiny frontier.
+
+    The least fixpoint is identical to ``naive`` (the closure is
+    monotone; every new fact is eventually propagated through every
+    rule mentioning its symbol — Theorem 3's argument bounds the
+    rounds).
+    """
+    rules_by_left: dict[Hashable, list[tuple[Hashable, Hashable]]] = {}
+    rules_by_right: dict[Hashable, list[tuple[Hashable, Hashable]]] = {}
+    for head, left, right in pair_rules:
+        rules_by_left.setdefault(left, []).append((head, right))
+        rules_by_right.setdefault(right, []).append((head, left))
+
+    frontier: dict[Hashable, BooleanMatrix] = {
+        symbol: backend.clone(matrix)
+        for symbol, matrix in matrices.items()
+        if matrix.nnz()
+    }
+
+    iterations = 0
+    multiplications = 0
+    growth: list[int] = []
+
+    def merge(head: Hashable, product: BooleanMatrix) -> int:
+        merged, delta = backend.union_update(matrices[head], product)
+        matrices[head] = merged
+        delta_nnz = delta.nnz()
+        if delta_nnz:
+            accumulated = frontier.get(head)
+            if accumulated is None:
+                frontier[head] = delta
+            else:
+                frontier[head], _ = backend.union_update(accumulated, delta)
+        return delta_nnz
+
+    while frontier:
+        iterations += 1
+        round_new = 0
+        # One round = drain the symbols queued at its start; symbols
+        # (re)gaining a frontier mid-round run in the next round unless
+        # they were still waiting in this one.
+        for symbol in list(frontier):
+            delta_matrix = frontier.pop(symbol, None)
+            if delta_matrix is None:
+                continue
+            for head, right in rules_by_left.get(symbol, ()):
+                right_matrix = matrices[right]
+                if right_matrix.nnz() == 0:
+                    continue
+                multiplications += 1
+                round_new += merge(
+                    head, delta_matrix.multiply(right_matrix)
+                )
+            for head, left in rules_by_right.get(symbol, ()):
+                left_matrix = matrices[left]
+                if left_matrix.nnz() == 0:
+                    continue
+                multiplications += 1
+                round_new += merge(
+                    head, left_matrix.multiply(delta_matrix)
+                )
+        growth.append(round_new)
+    return ClosureResult(matrices=matrices, iterations=iterations,
+                         multiplications=multiplications,
+                         delta_nnz_per_round=tuple(growth))
+
+
+def closure_blocked(matrices: dict, pair_rules: list[PairRule],
+                    backend: MatrixBackend,
+                    tile_size: int = DEFAULT_TILE_SIZE,
+                    **_options) -> ClosureResult:
+    """The naive rule loop with tiled products (bounded working set).
+
+    Every matrix is partitioned into ``tile_size``-square tiles once;
+    each rule product runs tile-by-tile through
+    :func:`repro.core.blocked.blocked_multiply`.  ``multiplications``
+    counts *tile* products — the unit of work a device would schedule.
+    """
+    from .blocked import assemble_from_tiles, blocked_multiply, split_into_tiles
+
+    if not matrices:
+        return ClosureResult(matrices=matrices, iterations=0,
+                             multiplications=0)
+    size = next(iter(matrices.values())).shape[0]
+    grid = max(1, (size + tile_size - 1) // tile_size)
+    tiles = {
+        symbol: split_into_tiles(matrix, tile_size, backend)
+        for symbol, matrix in matrices.items()
+    }
+
+    iterations = 0
+    multiplications = 0
+    growth: list[int] = []
+    changed = True
+    while changed and size:
+        changed = False
+        iterations += 1
+        round_new = 0
+        for head, left, right in pair_rules:
+            product_tiles, products = blocked_multiply(
+                tiles[left], tiles[right], grid
+            )
+            multiplications += products
+            head_tiles = tiles[head]
+            for index, product_tile in product_tiles.items():
+                merged, delta = backend.union_update(
+                    head_tiles[index], product_tile
+                )
+                head_tiles[index] = merged
+                new_entries = delta.nnz()
+                if new_entries:
+                    changed = True
+                    round_new += new_entries
+        growth.append(round_new)
+
+    for symbol in matrices:
+        matrices[symbol] = assemble_from_tiles(
+            tiles[symbol], size, tile_size, backend
+        )
+    return ClosureResult(matrices=matrices, iterations=iterations,
+                         multiplications=multiplications,
+                         delta_nnz_per_round=tuple(growth))
+
+
+register_strategy("naive", closure_naive)
+register_strategy("delta", closure_delta)
+register_strategy("blocked", closure_blocked)
+
+#: The strategy names bundled with the library.
+STRATEGIES = ("naive", "delta", "blocked")

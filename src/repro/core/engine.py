@@ -14,7 +14,7 @@ Typical use::
     all_paths = engine.all_paths("S", 0, 3, max_length=10)
 
 The engine normalizes the grammar a single time, caches the solved
-closure per (semantics, backend), and maps results back to the caller's
+closure per (backend, strategy), and maps results back to the caller's
 node objects.
 """
 
@@ -27,8 +27,9 @@ from ..grammar.cfg import CFG
 from ..grammar.cnf import ensure_cnf
 from ..grammar.symbols import Nonterminal
 from ..graph.labeled_graph import LabeledGraph
+from ..matrices.base import default_backend
 from .allpath import AllPathEnumerator
-from .matrix_cfpq import MatrixCFPQResult, solve_matrix
+from .matrix_cfpq import DEFAULT_STRATEGY, MatrixCFPQResult, solve_matrix
 from .relations import ContextFreeRelations
 from .single_path import (
     Path,
@@ -51,48 +52,60 @@ class CFPQEngine:
     grammar:
         Any context-free grammar; normalized to CNF internally.
     backend:
-        Default boolean matrix backend (``"sparse"``, ``"dense"`` or
-        ``"pyset"``); overridable per call.
+        Default boolean matrix backend (``"sparse"``, ``"dense"``,
+        ``"pyset"``, ``"bitset"`` or ``"setmatrix"``); overridable per
+        call.  None picks the best registered one (``sparse`` when
+        SciPy is installed).
+    strategy:
+        Default closure strategy (``"delta"`` / ``"naive"`` /
+        ``"blocked"``); overridable per call.
     """
 
     def __init__(self, graph: LabeledGraph, grammar: CFG,
-                 backend: str = "sparse"):
+                 backend: str | None = None,
+                 strategy: str = DEFAULT_STRATEGY):
         self.graph = graph
         self.original_grammar = grammar
         self.grammar = ensure_cnf(grammar)
-        self.backend = backend
-        self._matrix_results: dict[str, MatrixCFPQResult] = {}
+        self.backend = backend or default_backend()
+        self.strategy = strategy
+        self._matrix_results: dict[tuple[str, str], MatrixCFPQResult] = {}
         self._single_path_index: SinglePathIndex | None = None
         self._all_path_enumerator: AllPathEnumerator | None = None
 
     # ------------------------------------------------------------------
     # Relational semantics
     # ------------------------------------------------------------------
-    def solve(self, backend: str | None = None) -> MatrixCFPQResult:
+    def solve(self, backend: str | None = None,
+              strategy: str | None = None) -> MatrixCFPQResult:
         """Run (and cache) the boolean-matrix closure."""
-        backend_name = backend or self.backend
-        if backend_name not in self._matrix_results:
-            self._matrix_results[backend_name] = solve_matrix(
-                self.graph, self.grammar, backend=backend_name, normalize=False
+        key = (backend or self.backend, strategy or self.strategy)
+        if key not in self._matrix_results:
+            self._matrix_results[key] = solve_matrix(
+                self.graph, self.grammar, backend=key[0], normalize=False,
+                strategy=key[1],
             )
-        return self._matrix_results[backend_name]
+        return self._matrix_results[key]
 
-    def relations(self, backend: str | None = None) -> ContextFreeRelations:
+    def relations(self, backend: str | None = None,
+                  strategy: str | None = None) -> ContextFreeRelations:
         """All relations ``R_A`` (including CNF helper non-terminals)."""
-        return self.solve(backend).relations
+        return self.solve(backend, strategy).relations
 
     def relational(self, start: Nonterminal | str,
                    backend: str | None = None,
+                   strategy: str | None = None,
                    ) -> frozenset[tuple[Hashable, Hashable]]:
         """``R_S`` for the queried start non-terminal, as node objects —
         the paper's relational query semantics."""
         start_nt = _as_nonterminal(start)
         self.grammar.require_nonterminal(start_nt)
-        return self.relations(backend).node_pairs(start_nt)
+        return self.relations(backend, strategy).node_pairs(start_nt)
 
-    def count(self, start: Nonterminal | str, backend: str | None = None) -> int:
+    def count(self, start: Nonterminal | str, backend: str | None = None,
+              strategy: str | None = None) -> int:
         """``|R_S|`` — the paper's #results."""
-        return len(self.relational(start, backend))
+        return len(self.relational(start, backend, strategy))
 
     # ------------------------------------------------------------------
     # Single-path semantics (Section 5)
@@ -126,14 +139,18 @@ class CFPQEngine:
     # ------------------------------------------------------------------
     # Bounded all-path semantics (§7 future work)
     # ------------------------------------------------------------------
-    def all_paths(self, start: Nonterminal | str, source: Hashable,
-                  target: Hashable, max_length: int) -> frozenset[Path]:
-        """All witness paths of length ≤ *max_length*."""
+    def all_path_enumerator(self) -> AllPathEnumerator:
+        """The all-path enumerator, built once and cached."""
         if self._all_path_enumerator is None:
             self._all_path_enumerator = AllPathEnumerator(
                 self.graph, self.grammar, normalize=False
             )
-        return self._all_path_enumerator.paths(
+        return self._all_path_enumerator
+
+    def all_paths(self, start: Nonterminal | str, source: Hashable,
+                  target: Hashable, max_length: int) -> frozenset[Path]:
+        """All witness paths of length ≤ *max_length*."""
+        return self.all_path_enumerator().paths(
             _as_nonterminal(start), source, target, max_length
         )
 
@@ -145,7 +162,8 @@ class CFPQEngine:
         """Dispatch on *semantics* (``relational`` | ``single-path`` |
         ``all-path``); see the specific methods for the result types."""
         if semantics == "relational":
-            return self.relational(start, backend=kwargs.get("backend"))
+            return self.relational(start, backend=kwargs.get("backend"),
+                                   strategy=kwargs.get("strategy"))
         if semantics == "single-path":
             index = self.single_path_index()
             start_nt = _as_nonterminal(start)
@@ -161,11 +179,7 @@ class CFPQEngine:
             if max_length is None:
                 raise SemanticsError("all-path semantics requires max_length=")
             start_nt = _as_nonterminal(start)
-            if self._all_path_enumerator is None:
-                self._all_path_enumerator = AllPathEnumerator(
-                    self.graph, self.grammar, normalize=False
-                )
-            enumerator = self._all_path_enumerator
+            enumerator = self.all_path_enumerator()
             return {
                 (self.graph.node_at(i), self.graph.node_at(j)): paths
                 for i in range(self.graph.node_count)
@@ -180,9 +194,11 @@ class CFPQEngine:
 
 
 def cfpq(graph: LabeledGraph, grammar: CFG, start: Nonterminal | str,
-         backend: str = "sparse") -> frozenset[tuple[Hashable, Hashable]]:
+         backend: str | None = None, strategy: str = DEFAULT_STRATEGY,
+         ) -> frozenset[tuple[Hashable, Hashable]]:
     """One-shot relational CFPQ: ``R_start`` as node-object pairs."""
-    return CFPQEngine(graph, grammar, backend=backend).relational(start)
+    return CFPQEngine(graph, grammar, backend=backend,
+                      strategy=strategy).relational(start)
 
 
 def _as_nonterminal(value: Nonterminal | str) -> Nonterminal:

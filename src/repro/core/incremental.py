@@ -15,6 +15,11 @@ differential-testing angle: after any insertion sequence the
 incremental state must equal a from-scratch solve (property-tested in
 ``tests/core/test_incremental.py``).
 
+The *initial* solve routes through the matrix closure engine
+(:mod:`repro.core.closure`, ``delta`` strategy) — the same semi-naive
+idea at matrix granularity — and only per-edge propagation afterwards
+runs at tuple granularity.
+
 Deletions are *not* supported: under deletion the fixpoint is no longer
 monotone and requires support counting; ``remove_edge`` raises to make
 the contract explicit.
@@ -41,7 +46,8 @@ class IncrementalCFPQ:
     >>> solver.relations().pairs("S")       # updated answer
     """
 
-    def __init__(self, graph: LabeledGraph, grammar: CFG):
+    def __init__(self, graph: LabeledGraph, grammar: CFG,
+                 backend: str = "pyset", strategy: str = "delta"):
         self.graph = graph
         self.grammar = ensure_cnf(grammar)
 
@@ -60,14 +66,20 @@ class IncrementalCFPQ:
         self._edge_insertions = 0
         self._propagated_facts = 0
 
-        # Initial solve: seed every existing edge and run to fixpoint.
-        initial: deque[tuple[Nonterminal, int, int]] = deque()
-        for i, label, j in graph.edges_by_id():
-            for head in self.grammar.heads_for_terminal(Terminal(label)):
-                if (i, j) not in self._facts[head]:
-                    self._record(head, i, j)
-                    initial.append((head, i, j))
-        self._propagate(initial)
+        # Initial solve: run the matrix closure engine to the fixpoint
+        # and seed the tuple-level indexes from the closed matrices.
+        from .matrix_cfpq import solve_matrix
+
+        result = solve_matrix(graph, self.grammar, backend=backend,
+                              normalize=False, strategy=strategy)
+        for nonterminal, matrix in result.matrices.items():
+            for i, j in matrix.nonzero_pairs():
+                self._record(nonterminal, i, j)
+        # Keep the stats contract of the worklist-seeded version: every
+        # initially derived fact counts as one propagation.
+        self._propagated_facts = sum(
+            len(pairs) for pairs in self._facts.values()
+        )
 
     # ------------------------------------------------------------------
     # Mutation

@@ -14,10 +14,13 @@ The closure loop becomes::
         for (A → B C) in P:  M_A ← M_A ∪ (M_B × M_C)
 
 which is exactly what the paper's dGPU/sCPU/sGPU implementations run on
-CUBLAS/Math.NET/CUSPARSE.  Here the boolean kernel is supplied by a
-pluggable backend (:mod:`repro.matrices`): ``dense`` (NumPy) stands in
-for dGPU, ``sparse`` (SciPy CSR) for sCPU/sGPU, ``pyset`` is the
-pure-Python reference.
+CUBLAS/Math.NET/CUSPARSE.  Here both halves are pluggable: the boolean
+kernel comes from a matrix backend (:mod:`repro.matrices`) and the
+iteration order from a closure *strategy*
+(:mod:`repro.core.closure`) — ``delta`` (semi-naive frontier
+propagation, the default), ``naive`` (the literal loop above, kept as
+the differential oracle) or ``blocked`` (tiled products with a bounded
+working set).
 """
 
 from __future__ import annotations
@@ -28,8 +31,17 @@ from ..grammar.cfg import CFG
 from ..grammar.cnf import ensure_cnf
 from ..grammar.symbols import Nonterminal, Terminal
 from ..graph.labeled_graph import LabeledGraph
-from ..matrices.base import BooleanMatrix, MatrixBackend, get_backend
+from ..matrices.base import (
+    BooleanMatrix,
+    MatrixBackend,
+    default_backend,
+    get_backend,
+)
+from .closure import run_closure
 from .relations import ContextFreeRelations
+
+#: Default closure strategy for the production solver.
+DEFAULT_STRATEGY = "delta"
 
 
 @dataclass(frozen=True)
@@ -42,6 +54,10 @@ class MatrixCFPQStats:
     nonterminal_count: int
     backend: str
     nnz_per_nonterminal: dict[str, int] = field(default_factory=dict)
+    strategy: str = "naive"
+    #: New entries merged per closure round (the semi-naive frontier
+    #: sizes when ``strategy == "delta"``).
+    delta_nnz_per_round: tuple[int, ...] = ()
 
     @property
     def total_entries(self) -> int:
@@ -81,8 +97,10 @@ def initial_boolean_matrices(graph: LabeledGraph, grammar: CFG,
 
 
 def solve_matrix(graph: LabeledGraph, grammar: CFG,
-                 backend: "str | MatrixBackend" = "sparse",
-                 normalize: bool = True) -> MatrixCFPQResult:
+                 backend: "str | MatrixBackend | None" = None,
+                 normalize: bool = True,
+                 strategy: str = DEFAULT_STRATEGY,
+                 **strategy_options) -> MatrixCFPQResult:
     """Run the boolean-decomposed Algorithm 1.
 
     Parameters
@@ -92,8 +110,12 @@ def solve_matrix(graph: LabeledGraph, grammar: CFG,
     grammar:
         The query grammar ``G``; normalized to CNF when *normalize*.
     backend:
-        Boolean matrix backend name or instance
-        (``dense`` / ``sparse`` / ``pyset``).
+        Boolean matrix backend name or instance (``dense`` / ``sparse``
+        / ``pyset`` / ``bitset`` / ``setmatrix``); None picks the best
+        registered one (``sparse`` when SciPy is installed).
+    strategy:
+        Closure strategy name (``delta`` / ``naive`` / ``blocked``);
+        extra keyword options (e.g. ``tile_size``) are forwarded to it.
 
     Returns
     -------
@@ -102,7 +124,8 @@ def solve_matrix(graph: LabeledGraph, grammar: CFG,
     """
     working_grammar = ensure_cnf(grammar) if normalize else grammar
     working_grammar.require_cnf("the matrix CFPQ engine")
-    backend_obj = get_backend(backend)
+    backend_obj = get_backend(backend if backend is not None
+                              else default_backend())
 
     matrices = initial_boolean_matrices(graph, working_grammar, backend_obj)
     pair_rules = [
@@ -110,40 +133,34 @@ def solve_matrix(graph: LabeledGraph, grammar: CFG,
         for rule in working_grammar.binary_rules
     ]
 
-    iterations = 0
-    multiplications = 0
-    changed = True
-    while changed:
-        changed = False
-        iterations += 1
-        for head, left, right in pair_rules:
-            product = matrices[left].multiply(matrices[right])  # type: ignore[index]
-            multiplications += 1
-            updated = matrices[head].union(product)
-            if updated.nnz() != matrices[head].nnz():
-                matrices[head] = updated
-                changed = True
+    closure = run_closure(matrices, pair_rules, backend_obj,
+                          strategy=strategy, **strategy_options)
+    matrices = closure.matrices
 
     relations = ContextFreeRelations(
         graph,
         {nt: matrix.to_pair_set() for nt, matrix in matrices.items()},
     )
     stats = MatrixCFPQStats(
-        iterations=iterations,
-        multiplications=multiplications,
+        iterations=closure.iterations,
+        multiplications=closure.multiplications,
         node_count=graph.node_count,
         nonterminal_count=len(working_grammar.nonterminals),
         backend=backend_obj.name,
         nnz_per_nonterminal={
             nt.name: matrix.nnz() for nt, matrix in matrices.items()
         },
+        strategy=strategy,
+        delta_nnz_per_round=closure.delta_nnz_per_round,
     )
     return MatrixCFPQResult(matrices=matrices, relations=relations, stats=stats)
 
 
 def solve_matrix_relations(graph: LabeledGraph, grammar: CFG,
-                           backend: "str | MatrixBackend" = "sparse",
-                           normalize: bool = True) -> ContextFreeRelations:
+                           backend: "str | MatrixBackend | None" = None,
+                           normalize: bool = True,
+                           strategy: str = DEFAULT_STRATEGY,
+                           ) -> ContextFreeRelations:
     """Convenience wrapper returning only the relations."""
     return solve_matrix(graph, grammar, backend=backend,
-                        normalize=normalize).relations
+                        normalize=normalize, strategy=strategy).relations

@@ -9,7 +9,11 @@
 
 This implementation exists for clarity and as a differential-testing
 oracle; the boolean-decomposed engine in
-:mod:`repro.core.matrix_cfpq` is the production path.
+:mod:`repro.core.matrix_cfpq` is the production path.  The fixpoint
+iteration runs on the generic driver shared with the closure engine
+(:func:`repro.core.closure.fixpoint_history` via
+:func:`repro.core.transitive_closure.closure_cf_history`), so all
+solvers iterate through one piece of loop machinery.
 """
 
 from __future__ import annotations

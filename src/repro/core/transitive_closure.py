@@ -10,28 +10,27 @@ For a square set-valued matrix ``a`` the paper defines two closures:
 and Theorem 1 proves ``a+ = a_cf``.  We implement both (over
 :class:`~repro.matrices.setmatrix.SetMatrix`) so the equivalence is
 checkable, plus boolean closures and the closure *strategies* the
-paper's §7 future work points at (repeated squaring; block multiply).
+paper's §7 future work points at (repeated squaring; semi-naive delta;
+block multiply).  The fixpoint iteration itself is the generic driver
+from :mod:`repro.core.closure`, shared with the CFPQ engine.
 """
 
 from __future__ import annotations
 
 from ..matrices.base import BooleanMatrix, get_backend
 from ..matrices.setmatrix import SetMatrix
+from .closure import fixpoint_history
+
+
+def _square_step(current: SetMatrix) -> SetMatrix:
+    return current.union(current.multiply(current))
 
 
 def closure_cf(matrix: SetMatrix, max_iterations: int | None = None) -> SetMatrix:
     """The paper's closure ``a_cf``: iterate ``a ← a ∪ (a × a)`` to the
     fixpoint.  Termination is Theorem 3 (≤ |V|²·|N| strict growths)."""
-    current = matrix
-    iterations = 0
-    while True:
-        following = current.union(current.multiply(current))
-        iterations += 1
-        if following == current:
-            return current
-        current = following
-        if max_iterations is not None and iterations >= max_iterations:
-            return current
+    return fixpoint_history(matrix, _square_step, SetMatrix.__eq__,
+                            max_iterations=max_iterations)[-1]
 
 
 def closure_valiant(matrix: SetMatrix, max_power: int) -> SetMatrix:
@@ -62,15 +61,8 @@ def closure_cf_history(matrix: SetMatrix,
     """Like :func:`closure_cf` but returning the whole iteration history
     ``[T0, T1, ..., Tk]`` (used to reproduce the paper's §4.3 figures;
     the fixpoint is reached when the last two entries are equal)."""
-    history = [matrix]
-    while True:
-        current = history[-1]
-        following = current.union(current.multiply(current))
-        history.append(following)
-        if following == current:
-            return history
-        if max_iterations is not None and len(history) - 1 >= max_iterations:
-            return history
+    return fixpoint_history(matrix, _square_step, SetMatrix.__eq__,
+                            max_iterations=max_iterations)
 
 
 # ----------------------------------------------------------------------
@@ -105,6 +97,25 @@ def boolean_closure_incremental(matrix: BooleanMatrix) -> BooleanMatrix:
         current = following
 
 
+def boolean_closure_delta(matrix: BooleanMatrix) -> BooleanMatrix:
+    """Semi-naive boolean transitive closure: keep a frontier ``Δ`` of
+    entries added last round and extend only through it
+    (``Δ×T ∪ T×Δ``), merging with the in-place kernel so the delta of
+    genuinely-new pairs falls out of the union itself.  Same least
+    fixpoint as :func:`boolean_closure_naive`, strictly less work per
+    round once the frontier shrinks."""
+    if not matrix.is_square:
+        raise ValueError("transitive closure requires a square matrix")
+    backend = get_backend(_backend_of(matrix))
+    current = backend.clone(matrix)
+    frontier = backend.clone(matrix)
+    while frontier.nnz():
+        pending = frontier.multiply(current)
+        pending, _ = backend.mxm_into(current, frontier, pending)
+        current, frontier = backend.union_update(current, pending)
+    return current
+
+
 def boolean_closure_warshall(matrix: BooleanMatrix) -> BooleanMatrix:
     """Floyd–Warshall-style boolean closure over the pair set — the
     O(|V|³) textbook reference the matrix variants are tested against."""
@@ -132,17 +143,9 @@ def boolean_closure_warshall(matrix: BooleanMatrix) -> BooleanMatrix:
 
 
 def _backend_of(matrix: BooleanMatrix) -> str:
-    from ..matrices.bitset import BitsetMatrix
-    from ..matrices.dense import DenseMatrix
-    from ..matrices.pyset import PySetMatrix
-    from ..matrices.sparse import SparseMatrix
-
-    if isinstance(matrix, DenseMatrix):
-        return "dense"
-    if isinstance(matrix, SparseMatrix):
-        return "sparse"
-    if isinstance(matrix, PySetMatrix):
-        return "pyset"
-    if isinstance(matrix, BitsetMatrix):
-        return "bitset"
-    raise TypeError(f"unknown matrix type {type(matrix).__name__}")
+    name = getattr(matrix, "backend_name", "abstract")
+    if name == "abstract":
+        raise TypeError(
+            f"matrix type {type(matrix).__name__} declares no backend_name"
+        )
+    return name

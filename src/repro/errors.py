@@ -88,6 +88,18 @@ class EngineError(ReproError):
     """Base class for query-engine errors."""
 
 
+class UnknownStrategyError(EngineError):
+    """Raised when a closure strategy name is not registered."""
+
+    def __init__(self, name: str, available: list[str]):
+        self.name = name
+        self.available = sorted(available)
+        super().__init__(
+            f"unknown closure strategy {name!r}; "
+            f"available: {', '.join(self.available)}"
+        )
+
+
 class SemanticsError(EngineError):
     """Raised when an unsupported query semantics is requested."""
 

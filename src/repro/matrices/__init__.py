@@ -1,6 +1,12 @@
-"""Boolean matrix substrate with interchangeable backends."""
+"""Boolean matrix substrate with interchangeable backends.
 
-from .bitset import BitsetBackend, BitsetMatrix
+The pure-Python backends (``pyset``, ``setmatrix``) are always
+available; the NumPy/SciPy-backed ones (``dense``, ``bitset``,
+``sparse``) are optional extras and simply stay unregistered when their
+dependency is missing (install ``repro-cfpq[backends]`` to get all
+five).
+"""
+
 from .base import (
     BooleanMatrix,
     MatrixBackend,
@@ -9,10 +15,28 @@ from .base import (
     get_backend,
     register_backend,
 )
-from .dense import DenseBackend, DenseMatrix
 from .pyset import PySetBackend, PySetMatrix
-from .setmatrix import SetMatrix, initial_matrix
-from .sparse import SparseBackend, SparseMatrix
+from .setmatrix import (
+    RowSetMatrix,
+    SetMatrix,
+    SetMatrixBackend,
+    initial_matrix,
+)
+
+try:
+    from .dense import DenseBackend, DenseMatrix
+except ImportError:  # pragma: no cover - numpy missing
+    DenseBackend = DenseMatrix = None  # type: ignore[assignment,misc]
+
+try:
+    from .bitset import BitsetBackend, BitsetMatrix
+except ImportError:  # pragma: no cover - numpy missing
+    BitsetBackend = BitsetMatrix = None  # type: ignore[assignment,misc]
+
+try:
+    from .sparse import SparseBackend, SparseMatrix
+except ImportError:  # pragma: no cover - scipy missing
+    SparseBackend = SparseMatrix = None  # type: ignore[assignment,misc]
 
 __all__ = [
     "BitsetBackend",
@@ -24,7 +48,9 @@ __all__ = [
     "Pair",
     "PySetBackend",
     "PySetMatrix",
+    "RowSetMatrix",
     "SetMatrix",
+    "SetMatrixBackend",
     "SparseBackend",
     "SparseMatrix",
     "available_backends",

@@ -12,10 +12,25 @@ mirror the design with interchangeable backends behind one interface:
 * ``pyset``  — pure-Python sets of coordinate pairs (reference
   implementation, no third-party arithmetic).
 
-Backends are value-semantics *immutable*: every operation returns a new
-matrix.  That keeps the closure loop honest (``T ← T ∪ T×T``) and makes
-fixpoint detection (`nnz` stability / equality) trivial and backend
-independent.
+The value-semantics operations (``multiply``/``union``/``transpose``)
+return new matrices, which keeps the closure loop honest
+(``T ← T ∪ T×T``) and makes fixpoint detection (`nnz` stability /
+equality) trivial and backend independent.
+
+On top of that sits an explicit **mutable kernel API** powering the
+delta-driven closure engine (:mod:`repro.core.closure`):
+
+* ``union_update(other) -> delta`` — in-place element-wise OR that
+  returns the matrix of *genuinely new* entries (the semi-naive
+  frontier),
+* ``difference(other)`` — entries set here but not in *other*,
+* ``MatrixBackend.mxm_into(left, right, accum)`` — accumulate a boolean
+  product into an existing matrix, again returning the delta.
+
+Every bundled backend implements the kernels natively; third-party
+backends that only provide the immutable API keep working because
+:meth:`MatrixBackend.union_update` / :meth:`MatrixBackend.mxm_into`
+fall back to value semantics when ``supports_inplace`` is False.
 """
 
 from __future__ import annotations
@@ -30,9 +45,24 @@ Pair = tuple[int, int]
 
 
 class BooleanMatrix(abc.ABC):
-    """An immutable square-or-rectangular boolean matrix."""
+    """A square-or-rectangular boolean matrix.
+
+    The core algebra (``multiply``/``union``/``transpose``) is
+    value-semantics; backends that set ``supports_inplace`` additionally
+    expose the in-place kernels ``union_update`` and ``difference``.
+    """
 
     __slots__ = ()
+
+    #: Registry key of the backend this matrix belongs to (e.g.
+    #: ``"dense"``); ``"abstract"`` for third-party types that predate
+    #: the kernel API.
+    backend_name: str = "abstract"
+
+    #: True when :meth:`union_update` genuinely mutates this matrix.
+    #: Third-party immutable backends leave this False and are served by
+    #: the value-semantics fallback in :meth:`MatrixBackend.union_update`.
+    supports_inplace: bool = False
 
     # -- shape ----------------------------------------------------------
     @property
@@ -77,6 +107,37 @@ class BooleanMatrix(abc.ABC):
 
     def __or__(self, other: "BooleanMatrix") -> "BooleanMatrix":
         return self.union(other)
+
+    # -- mutable kernels ---------------------------------------------------
+    def difference(self, other: "BooleanMatrix") -> "BooleanMatrix":
+        """Entries True here and False in *other* (``self \\ other``).
+
+        Generic fallback via coordinate sets; the result is a ``pyset``
+        matrix, which interoperates with every backend.  Bundled
+        backends override this with a native kernel returning their own
+        type.
+        """
+        self._require_same_shape(other)
+        pairs = set(self.nonzero_pairs()) - set(other.nonzero_pairs())
+        from .pyset import BACKEND as _pyset_backend
+
+        rows, cols = self.shape
+        return _pyset_backend.from_pairs(rows, pairs, cols=cols)
+
+    def union_update(self, other: "BooleanMatrix") -> "BooleanMatrix":
+        """In-place element-wise OR of *other* into this matrix.
+
+        Returns the **delta**: a matrix holding exactly the entries that
+        were newly set by this call (empty when *other* adds nothing).
+        Only available when ``supports_inplace`` is True; immutable
+        backends are served by :meth:`MatrixBackend.union_update`, which
+        emulates this with value semantics.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no in-place union kernel; route "
+            "through MatrixBackend.union_update for the value-semantics "
+            "fallback"
+        )
 
     # -- comparisons -------------------------------------------------------
     def same_pairs(self, other: "BooleanMatrix") -> bool:
@@ -144,6 +205,42 @@ class MatrixBackend(abc.ABC):
         ]
         return self.from_pairs(n_rows, pairs, cols=n_cols)
 
+    def clone(self, matrix: BooleanMatrix) -> BooleanMatrix:
+        """An independent copy of *matrix* (mutating one never affects
+        the other).  Generic coordinate round-trip; backends override
+        with a storage-level copy."""
+        rows, cols = matrix.shape
+        return self.from_pairs(rows, matrix.nonzero_pairs(), cols=cols)
+
+    # -- mutable kernel entry points --------------------------------------
+    def union_update(self, target: BooleanMatrix, other: BooleanMatrix,
+                     ) -> tuple[BooleanMatrix, BooleanMatrix]:
+        """Merge *other* into *target*; return ``(merged, delta)``.
+
+        ``delta`` holds exactly the genuinely-new entries.  When the
+        target supports in-place mutation, ``merged is target`` and no
+        re-allocation happens; otherwise a value-semantics fallback
+        builds the union, so third-party immutable backends keep
+        working.
+        """
+        if target.supports_inplace:
+            return target, target.union_update(other)
+        delta = other.difference(target)
+        if delta.nnz() == 0:
+            return target, delta
+        return target.union(delta), delta
+
+    def mxm_into(self, left: BooleanMatrix, right: BooleanMatrix,
+                 accum: BooleanMatrix,
+                 ) -> tuple[BooleanMatrix, BooleanMatrix]:
+        """Accumulate the boolean product ``left × right`` into *accum*;
+        return ``(merged_accum, delta)``.
+
+        Default: multiply then :meth:`union_update`.  Backends may fuse
+        the two (e.g. OR packed rows straight into the accumulator).
+        """
+        return self.union_update(accum, left.multiply(right))
+
     def __repr__(self) -> str:
         return f"<MatrixBackend {self.name}>"
 
@@ -174,13 +271,41 @@ def available_backends() -> list[str]:
     return sorted(_REGISTRY)
 
 
+#: Preference order for :func:`default_backend`.
+_DEFAULT_PREFERENCE = ("sparse", "dense", "bitset", "setmatrix", "pyset")
+
+
+def default_backend() -> str:
+    """The best registered backend: ``sparse`` when SciPy is present,
+    degrading through the NumPy and pure-Python backends otherwise, so
+    entry-point defaults keep working on a dependency-free install."""
+    _ensure_default_backends()
+    for name in _DEFAULT_PREFERENCE:
+        if name in _REGISTRY:
+            return name
+    return next(iter(_REGISTRY))
+
+
 def _ensure_default_backends() -> None:
     # Imported lazily to avoid import cycles; modules self-register.
+    # NumPy/SciPy-backed modules are optional extras: when the import
+    # fails the pure-Python backends (pyset, setmatrix) remain usable.
     if "dense" not in _REGISTRY:
-        from . import dense  # noqa: F401
+        try:
+            from . import dense  # noqa: F401
+        except ImportError:  # pragma: no cover - numpy missing
+            pass
     if "sparse" not in _REGISTRY:
-        from . import sparse  # noqa: F401
+        try:
+            from . import sparse  # noqa: F401
+        except ImportError:  # pragma: no cover - scipy missing
+            pass
     if "pyset" not in _REGISTRY:
         from . import pyset  # noqa: F401
     if "bitset" not in _REGISTRY:
-        from . import bitset  # noqa: F401
+        try:
+            from . import bitset  # noqa: F401
+        except ImportError:  # pragma: no cover - numpy missing
+            pass
+    if "setmatrix" not in _REGISTRY:
+        from . import setmatrix  # noqa: F401

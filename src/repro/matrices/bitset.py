@@ -27,15 +27,24 @@ def _word_count(cols: int) -> int:
 
 
 class BitsetMatrix(BooleanMatrix):
-    """Immutable bit-packed boolean matrix (rows × ceil(cols/64) words)."""
+    """Bit-packed boolean matrix (rows × ceil(cols/64) words).
+
+    The constructor **takes ownership** of the word array (no copy):
+    the in-place kernels OR whole rows into it, so pass a copy if you
+    keep a reference.  Read-only arrays are copied defensively.
+    """
 
     __slots__ = ("_words", "_cols")
+
+    backend_name = "bitset"
+    supports_inplace = True
 
     def __init__(self, words: np.ndarray, cols: int):
         if words.ndim != 2 or words.dtype != np.uint64:
             raise ValueError("bitset matrix requires a 2-D uint64 word array")
+        if not words.flags.writeable:
+            words = words.copy()
         self._words = words
-        self._words.setflags(write=False)
         self._cols = cols
 
     @property
@@ -97,6 +106,18 @@ class BitsetMatrix(BooleanMatrix):
             transposed[j, i // _WORD] |= np.uint64(1) << np.uint64(i % _WORD)
         return BitsetMatrix(transposed, rows)
 
+    def difference(self, other: BooleanMatrix) -> "BitsetMatrix":
+        self._require_same_shape(other)
+        other_bits = _as_bitset(other)
+        return BitsetMatrix(self._words & ~other_bits._words, self._cols)
+
+    def union_update(self, other: BooleanMatrix) -> "BitsetMatrix":
+        self._require_same_shape(other)
+        other_words = _as_bitset(other)._words
+        delta = other_words & ~self._words
+        self._words |= other_words
+        return BitsetMatrix(delta, self._cols)
+
 
 _POPCOUNT_TABLE = np.array([bin(b).count("1") for b in range(256)],
                            dtype=np.uint32)
@@ -133,6 +154,53 @@ class BitsetBackend(MatrixBackend):
                 raise ValueError(f"pair {(i, j)} outside shape {(size, actual_cols)}")
             words[i, j // _WORD] |= np.uint64(1) << np.uint64(j % _WORD)
         return BitsetMatrix(words, actual_cols)
+
+    def clone(self, matrix: BooleanMatrix) -> BitsetMatrix:
+        bits = _as_bitset(matrix)
+        return BitsetMatrix(bits._words.copy(), bits._cols)
+
+    def mxm_into(self, left: BooleanMatrix, right: BooleanMatrix,
+                 accum: BooleanMatrix,
+                 ) -> tuple[BooleanMatrix, BooleanMatrix]:
+        """Fused product-accumulate: OR the packed right-matrix rows
+        straight into the accumulator's rows, one row buffer at a time,
+        skipping the whole-matrix product temporary."""
+        if not isinstance(accum, BitsetMatrix) or accum is left or accum is right:
+            # The unfused path multiplies before mutating, so operand
+            # aliasing stays safe.
+            return super().mxm_into(left, right, accum)
+        left._require_chainable(right)
+        left_bits = _as_bitset(left)
+        right_bits = _as_bitset(right)
+        if (left_bits.shape[0], right_bits._cols) != accum.shape:
+            from ..errors import DimensionMismatchError
+
+            raise DimensionMismatchError(
+                f"cannot accumulate {(left_bits.shape[0], right_bits._cols)} "
+                f"into {accum.shape}"
+            )
+        right_words = right_bits._words
+        delta_words = np.zeros_like(accum._words)
+        row_buffer = np.zeros(right_words.shape[1], dtype=np.uint64)
+        for i in range(left_bits.shape[0]):
+            row = left_bits._words[i]
+            nonzero_word_indexes = np.nonzero(row)[0]
+            if not len(nonzero_word_indexes):
+                continue
+            row_buffer[:] = 0
+            for w in nonzero_word_indexes.tolist():
+                value = int(row[w])
+                base = w * _WORD
+                while value:
+                    low = value & -value
+                    k = base + low.bit_length() - 1
+                    np.bitwise_or(row_buffer, right_words[k], out=row_buffer)
+                    value ^= low
+            np.bitwise_and(row_buffer, ~accum._words[i],
+                           out=delta_words[i])
+            np.bitwise_or(accum._words[i], row_buffer,
+                          out=accum._words[i])
+        return accum, BitsetMatrix(delta_words, accum._cols)
 
 
 BACKEND = register_backend(BitsetBackend())

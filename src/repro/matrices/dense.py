@@ -5,6 +5,10 @@ matrices multiplied with CUBLAS): identical algorithm and data layout,
 CPU arithmetic instead of GPU.  Dense storage is O(|V|²) regardless of
 sparsity, which is exactly why the paper omits dGPU numbers for the
 large g1–g3 graphs — this backend reproduces that collapse.
+
+The mutable kernels are genuine in-place array operations
+(``self |= other`` on the boolean buffer), so the delta closure engine
+never re-allocates the accumulator matrices.
 """
 
 from __future__ import annotations
@@ -17,15 +21,27 @@ from .base import BooleanMatrix, MatrixBackend, Pair, register_backend
 
 
 class DenseMatrix(BooleanMatrix):
-    """Immutable wrapper over a ``numpy.ndarray`` of dtype bool."""
+    """Wrapper over a ``numpy.ndarray`` of dtype bool.
+
+    The constructor **takes ownership** of a writable bool array (no
+    copy): the in-place kernels mutate it, so pass a copy if you keep a
+    reference (:meth:`DenseBackend.from_numpy` does).  Read-only arrays
+    are copied defensively; :meth:`to_numpy` hands out a read-only
+    view.
+    """
 
     __slots__ = ("_array",)
+
+    backend_name = "dense"
+    supports_inplace = True
 
     def __init__(self, array: np.ndarray):
         if array.ndim != 2:
             raise ValueError("dense matrix requires a 2-D array")
-        self._array = array.astype(bool, copy=False)
-        self._array.setflags(write=False)
+        array = array.astype(bool, copy=False)
+        if not array.flags.writeable:
+            array = array.copy()
+        self._array = array
 
     @property
     def shape(self) -> tuple[int, int]:
@@ -58,9 +74,21 @@ class DenseMatrix(BooleanMatrix):
     def transpose(self) -> "DenseMatrix":
         return DenseMatrix(self._array.T.copy())
 
+    def difference(self, other: BooleanMatrix) -> "DenseMatrix":
+        self._require_same_shape(other)
+        return DenseMatrix(self._array & ~_as_array(other))
+
+    def union_update(self, other: BooleanMatrix) -> "DenseMatrix":
+        self._require_same_shape(other)
+        delta = _as_array(other) & ~self._array
+        self._array |= delta
+        return DenseMatrix(delta)
+
     def to_numpy(self) -> np.ndarray:
         """A read-only view of the underlying boolean array."""
-        return self._array
+        view = self._array.view()
+        view.setflags(write=False)
+        return view
 
 
 def _as_array(matrix: BooleanMatrix) -> np.ndarray:
@@ -91,6 +119,9 @@ class DenseBackend(MatrixBackend):
     def from_numpy(self, array: np.ndarray) -> DenseMatrix:
         """Wrap an existing array (copied, coerced to bool)."""
         return DenseMatrix(np.array(array, dtype=bool))
+
+    def clone(self, matrix: BooleanMatrix) -> DenseMatrix:
+        return DenseMatrix(_as_array(matrix).copy())
 
 
 BACKEND = register_backend(DenseBackend())

@@ -1,9 +1,14 @@
 """Pure-Python boolean matrix backend (sets of coordinate pairs).
 
-The dependency-free reference implementation: a matrix is a frozenset of
-(row, column) pairs plus a shape.  Slowest of the three backends but the
-easiest to audit; the property tests use it as the ground truth the
+The dependency-free reference implementation: a matrix is a set of
+(row, column) pairs plus a shape.  Slowest of the bundled backends but
+the easiest to audit; the property tests use it as the ground truth the
 NumPy/SciPy backends must agree with.
+
+The value-semantics operations return fresh matrices; the mutable
+kernels (``union_update`` / ``difference``) work directly on the
+internal pair set and keep the per-row index coherent, so the delta
+closure engine can grow a matrix without rebuilding it.
 """
 
 from __future__ import annotations
@@ -15,13 +20,16 @@ from .base import BooleanMatrix, MatrixBackend, Pair, register_backend
 
 
 class PySetMatrix(BooleanMatrix):
-    """Immutable coordinate-set boolean matrix."""
+    """Coordinate-set boolean matrix with in-place union support."""
 
     __slots__ = ("_shape", "_pairs", "_rows_index")
 
+    backend_name = "pyset"
+    supports_inplace = True
+
     def __init__(self, shape: tuple[int, int], pairs: Iterable[Pair]):
         self._shape = shape
-        pair_set = frozenset(pairs)
+        pair_set = set(pairs)
         for i, j in pair_set:
             if not (0 <= i < shape[0] and 0 <= j < shape[1]):
                 raise ValueError(f"pair {(i, j)} outside shape {shape}")
@@ -29,7 +37,7 @@ class PySetMatrix(BooleanMatrix):
         rows_index: dict[int, set[int]] = defaultdict(set)
         for i, j in pair_set:
             rows_index[i].add(j)
-        self._rows_index = {i: frozenset(js) for i, js in rows_index.items()}
+        self._rows_index = dict(rows_index)
 
     @property
     def shape(self) -> tuple[int, int]:
@@ -47,9 +55,7 @@ class PySetMatrix(BooleanMatrix):
     def multiply(self, other: BooleanMatrix) -> "PySetMatrix":
         self._require_chainable(other)
         # Index other's rows: k -> columns j with other[k, j].
-        other_rows: dict[int, set[int]] = defaultdict(set)
-        for k, j in other.nonzero_pairs():
-            other_rows[k].add(j)
+        other_rows = _rows_of(other)
         result: set[Pair] = set()
         for i, ks in self._rows_index.items():
             for k in ks:
@@ -67,6 +73,28 @@ class PySetMatrix(BooleanMatrix):
             ((j, i) for i, j in self._pairs),
         )
 
+    def difference(self, other: BooleanMatrix) -> "PySetMatrix":
+        self._require_same_shape(other)
+        return PySetMatrix(self._shape,
+                           self._pairs - set(other.nonzero_pairs()))
+
+    def union_update(self, other: BooleanMatrix) -> "PySetMatrix":
+        self._require_same_shape(other)
+        new_pairs = set(other.nonzero_pairs()) - self._pairs
+        self._pairs |= new_pairs
+        for i, j in new_pairs:
+            self._rows_index.setdefault(i, set()).add(j)
+        return PySetMatrix(self._shape, new_pairs)
+
+
+def _rows_of(matrix: BooleanMatrix) -> dict[int, set[int]]:
+    if isinstance(matrix, PySetMatrix):
+        return matrix._rows_index
+    rows: dict[int, set[int]] = defaultdict(set)
+    for k, j in matrix.nonzero_pairs():
+        rows[k].add(j)
+    return rows
+
 
 class PySetBackend(MatrixBackend):
     """Factory for :class:`PySetMatrix`."""
@@ -79,6 +107,10 @@ class PySetBackend(MatrixBackend):
     def from_pairs(self, size: int, pairs: Iterable[Pair],
                    cols: int | None = None) -> PySetMatrix:
         return PySetMatrix((size, cols if cols is not None else size), pairs)
+
+    def clone(self, matrix: BooleanMatrix) -> PySetMatrix:
+        rows, cols = matrix.shape
+        return PySetMatrix((rows, cols), matrix.nonzero_pairs())
 
 
 BACKEND = register_backend(PySetBackend())

@@ -1,5 +1,5 @@
 """Matrices whose elements are *subsets of non-terminals* — the paper's
-direct formalization (Section 2).
+direct formalization (Section 2) — plus their boolean projection.
 
 The paper defines, for a grammar ``G = (N, Σ, P)``:
 
@@ -11,6 +11,13 @@ The paper defines, for a grammar ``G = (N, Σ, P)``:
 implementation used by :mod:`repro.core.naive_closure`, the §4.3 worked
 example and the Theorem 1 equivalence tests; the production engines use
 the boolean decomposition instead.
+
+The module also hosts the **setmatrix** boolean backend
+(:class:`RowSetMatrix` / :class:`SetMatrixBackend`): one fixed
+non-terminal slice of a :class:`SetMatrix` stored as per-row adjacency
+sets — the same layout SetMatrix uses internally, projected to booleans
+so it can plug into the generic closure engine beside the other
+backends.
 """
 
 from __future__ import annotations
@@ -20,6 +27,7 @@ from typing import Iterable, Iterator, Mapping
 from ..errors import DimensionMismatchError
 from ..grammar.cfg import CFG
 from ..grammar.symbols import Nonterminal
+from .base import BooleanMatrix, MatrixBackend, register_backend
 
 #: Cell coordinates.
 Pair = tuple[int, int]
@@ -169,6 +177,140 @@ class SetMatrix:
     def __repr__(self) -> str:
         return (f"SetMatrix(size={self._size}, filled_cells={len(self._cells)}, "
                 f"entries={self.nonterminal_count()})")
+
+
+class RowSetMatrix(BooleanMatrix):
+    """Boolean matrix stored as per-row column sets (``i -> {j}``).
+
+    The boolean projection of one non-terminal slice of a
+    :class:`SetMatrix`: the row-major adjacency-set layout makes the
+    boolean product a union of row sets and gives O(1) in-place cell
+    insertion, so the mutable kernels are native.
+    """
+
+    __slots__ = ("_shape", "_rows", "_nnz")
+
+    backend_name = "setmatrix"
+    supports_inplace = True
+
+    def __init__(self, shape: Pair, pairs: Iterable[Pair]):
+        self._shape = shape
+        rows: dict[int, set[int]] = {}
+        count = 0
+        for i, j in pairs:
+            if not (0 <= i < shape[0] and 0 <= j < shape[1]):
+                raise ValueError(f"pair {(i, j)} outside shape {shape}")
+            row = rows.setdefault(i, set())
+            if j not in row:
+                row.add(j)
+                count += 1
+        self._rows = rows
+        self._nnz = count
+
+    @property
+    def shape(self) -> Pair:
+        return self._shape
+
+    def __getitem__(self, index: Pair) -> bool:
+        i, j = index
+        return j in self._rows.get(i, ())
+
+    def nonzero_pairs(self) -> Iterator[Pair]:
+        for i, columns in self._rows.items():
+            for j in columns:
+                yield (i, j)
+
+    def nnz(self) -> int:
+        return self._nnz
+
+    def multiply(self, other: BooleanMatrix) -> "RowSetMatrix":
+        self._require_chainable(other)
+        other_rows = _boolean_rows_of(other)
+        result = RowSetMatrix((self._shape[0], other.shape[1]), ())
+        for i, ks in self._rows.items():
+            merged: set[int] = set()
+            for k in ks:
+                columns = other_rows.get(k)
+                if columns:
+                    merged |= columns
+            if merged:
+                result._rows[i] = merged
+                result._nnz += len(merged)
+        return result
+
+    def union(self, other: BooleanMatrix) -> "RowSetMatrix":
+        self._require_same_shape(other)
+        result = SetMatrixBackend._copy(self)
+        result.union_update(other)
+        return result
+
+    def transpose(self) -> "RowSetMatrix":
+        return RowSetMatrix(
+            (self._shape[1], self._shape[0]),
+            ((j, i) for i, j in self.nonzero_pairs()),
+        )
+
+    def difference(self, other: BooleanMatrix) -> "RowSetMatrix":
+        self._require_same_shape(other)
+        other_rows = _boolean_rows_of(other)
+        result = RowSetMatrix(self._shape, ())
+        for i, columns in self._rows.items():
+            kept = columns - other_rows.get(i, set())
+            if kept:
+                result._rows[i] = kept
+                result._nnz += len(kept)
+        return result
+
+    def union_update(self, other: BooleanMatrix) -> "RowSetMatrix":
+        self._require_same_shape(other)
+        delta = RowSetMatrix(self._shape, ())
+        for i, columns in _boolean_rows_of(other).items():
+            row = self._rows.setdefault(i, set())
+            fresh = columns - row
+            if fresh:
+                row |= fresh
+                self._nnz += len(fresh)
+                delta._rows[i] = set(fresh)
+                delta._nnz += len(fresh)
+        return delta
+
+
+def _boolean_rows_of(matrix: BooleanMatrix) -> dict[int, set[int]]:
+    if isinstance(matrix, RowSetMatrix):
+        return matrix._rows
+    rows: dict[int, set[int]] = {}
+    for i, j in matrix.nonzero_pairs():
+        rows.setdefault(i, set()).add(j)
+    return rows
+
+
+class SetMatrixBackend(MatrixBackend):
+    """Factory for :class:`RowSetMatrix`, registered as ``setmatrix``."""
+
+    name = "setmatrix"
+
+    def zeros(self, rows: int, cols: int | None = None) -> RowSetMatrix:
+        return RowSetMatrix((rows, cols if cols is not None else rows), ())
+
+    def from_pairs(self, size: int, pairs: Iterable[Pair],
+                   cols: int | None = None) -> RowSetMatrix:
+        return RowSetMatrix((size, cols if cols is not None else size), pairs)
+
+    def clone(self, matrix: BooleanMatrix) -> RowSetMatrix:
+        if isinstance(matrix, RowSetMatrix):
+            return self._copy(matrix)
+        rows, cols = matrix.shape
+        return RowSetMatrix((rows, cols), matrix.nonzero_pairs())
+
+    @staticmethod
+    def _copy(matrix: "RowSetMatrix") -> "RowSetMatrix":
+        clone = RowSetMatrix(matrix._shape, ())
+        clone._rows = {i: set(columns) for i, columns in matrix._rows.items()}
+        clone._nnz = matrix._nnz
+        return clone
+
+
+BACKEND = register_backend(SetMatrixBackend())
 
 
 def initial_matrix(graph_size: int, grammar: CFG,

@@ -19,9 +19,18 @@ from .base import BooleanMatrix, MatrixBackend, Pair, register_backend
 
 
 class SparseMatrix(BooleanMatrix):
-    """Immutable wrapper over a ``scipy.sparse.csr_matrix`` of dtype bool."""
+    """Wrapper over a ``scipy.sparse.csr_matrix`` of dtype bool.
+
+    CSR has no cheap cell-level insertion, so ``union_update`` mutates
+    at the wrapper level: it rebinds the internal CSR to the merged
+    matrix (keeping this object's identity stable for the closure
+    engine) and computes the delta with one sparse ``>`` comparison.
+    """
 
     __slots__ = ("_matrix",)
+
+    backend_name = "sparse"
+    supports_inplace = True
 
     def __init__(self, matrix: sp.spmatrix):
         csr = matrix.tocsr().astype(bool)
@@ -52,6 +61,18 @@ class SparseMatrix(BooleanMatrix):
 
     def transpose(self) -> "SparseMatrix":
         return SparseMatrix(self._matrix.T)
+
+    def difference(self, other: BooleanMatrix) -> "SparseMatrix":
+        self._require_same_shape(other)
+        return SparseMatrix(self._matrix > _as_csr(other))
+
+    def union_update(self, other: BooleanMatrix) -> "SparseMatrix":
+        self._require_same_shape(other)
+        delta = (_as_csr(other) > self._matrix).tocsr()
+        delta.eliminate_zeros()
+        if delta.nnz:
+            self._matrix = (self._matrix + delta).tocsr()
+        return SparseMatrix(delta)
 
     def to_scipy(self) -> sp.csr_matrix:
         """The underlying CSR matrix (do not mutate)."""
@@ -93,6 +114,9 @@ class SparseBackend(MatrixBackend):
     def from_scipy(self, matrix: sp.spmatrix) -> SparseMatrix:
         """Wrap an existing SciPy sparse matrix."""
         return SparseMatrix(matrix)
+
+    def clone(self, matrix: BooleanMatrix) -> SparseMatrix:
+        return SparseMatrix(_as_csr(matrix).copy())
 
 
 BACKEND = register_backend(SparseBackend())

@@ -31,7 +31,19 @@ class TestRelational:
         sparse = engine.relational("S")
         dense = engine.relational("S", backend="dense")
         assert sparse == dense
-        assert set(engine._matrix_results) == {"sparse", "dense"}
+        assert set(engine._matrix_results) == {
+            ("sparse", engine.strategy), ("dense", engine.strategy)
+        }
+
+    def test_strategy_override_cached_separately(self, anbn_grammar,
+                                                 aabb_chain):
+        engine = CFPQEngine(aabb_chain, anbn_grammar, strategy="delta")
+        delta = engine.relational("S")
+        naive = engine.relational("S", strategy="naive")
+        assert delta == naive
+        assert set(engine._matrix_results) == {
+            (engine.backend, "delta"), (engine.backend, "naive")
+        }
 
     def test_solve_result_cached(self, anbn_grammar, aabb_chain):
         engine = CFPQEngine(aabb_chain, anbn_grammar)
