@@ -22,11 +22,19 @@ Quickstart::
 
 from .core.closure import available_strategies, run_closure
 from .core.engine import CFPQEngine, cfpq
-from .core.incremental import IncrementalCFPQ
-from .core.path_index import PathIndex
+from .core.incremental import IncrementalCFPQ, IncrementalSinglePathCFPQ
+from .core.path_index import AllPathIndex, PathIndex
 from .core.matrix_cfpq import solve_matrix, solve_matrix_relations
 from .core.naive_closure import solve_naive
 from .core.relations import ContextFreeRelations
+from .core.semiring import (
+    LENGTH_SEMIRING,
+    WITNESS_SEMIRING,
+    AnnotatedBackend,
+    AnnotatedMatrix,
+    Semiring,
+    solve_annotated,
+)
 from .core.single_path import build_single_path_index, extract_path
 from .errors import ReproError
 from .grammar import CFG, Nonterminal, Production, Terminal, parse_grammar, to_cnf
@@ -36,22 +44,30 @@ from .regular import solve_rpq
 __version__ = "1.1.0"
 
 __all__ = [
+    "AllPathIndex",
+    "AnnotatedBackend",
+    "AnnotatedMatrix",
     "CFG",
     "CFPQEngine",
     "ContextFreeRelations",
     "IncrementalCFPQ",
+    "IncrementalSinglePathCFPQ",
+    "LENGTH_SEMIRING",
     "LabeledGraph",
     "Nonterminal",
     "PathIndex",
     "Production",
     "ReproError",
+    "Semiring",
     "Terminal",
+    "WITNESS_SEMIRING",
     "__version__",
     "available_strategies",
     "build_single_path_index",
     "cfpq",
     "run_closure",
     "extract_path",
+    "solve_annotated",
     "load_graph_file",
     "load_rdf_graph",
     "parse_grammar",

@@ -81,20 +81,22 @@ def cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _coerce_node(graph, token: str):
+    """Interpret a CLI node token as an int node when the graph knows it
+    as one, falling back to the raw string."""
+    try:
+        candidate = int(token)
+    except ValueError:
+        candidate = token
+    return candidate if graph.has_node(candidate) else token
+
+
 def cmd_path(args: argparse.Namespace) -> int:
     engine = CFPQEngine(_load_graph(args), _load_grammar(args),
                         backend=args.backend, strategy=args.strategy)
     graph = engine.graph
-
-    def coerce(token: str):
-        try:
-            candidate = int(token)
-        except ValueError:
-            candidate = token
-        return candidate if graph.has_node(candidate) else token
-
-    path = engine.single_path(args.start, coerce(args.source),
-                              coerce(args.target))
+    path = engine.single_path(args.start, _coerce_node(graph, args.source),
+                              _coerce_node(graph, args.target))
     if args.json:
         print(json.dumps([[str(graph.node_at(i)), label, str(graph.node_at(j))]
                           for i, label, j in path]))
@@ -102,6 +104,32 @@ def cmd_path(args: argparse.Namespace) -> int:
         print(f"path of length {len(path)}:")
         for i, label, j in path:
             print(f"  {graph.node_at(i)} -{label}-> {graph.node_at(j)}")
+    return 0
+
+
+def cmd_all_paths(args: argparse.Namespace) -> int:
+    engine = CFPQEngine(_load_graph(args), _load_grammar(args),
+                        backend=args.backend, strategy=args.strategy)
+    graph = engine.graph
+    paths = sorted(engine.all_paths(args.start,
+                                    _coerce_node(graph, args.source),
+                                    _coerce_node(graph, args.target),
+                                    max_length=args.max_length),
+                   key=lambda path: (len(path), path))
+    if args.json:
+        print(json.dumps([
+            [[str(graph.node_at(i)), label, str(graph.node_at(j))]
+             for i, label, j in path]
+            for path in paths
+        ]))
+    else:
+        print(f"{len(paths)} paths of length <= {args.max_length}:")
+        for path in paths:
+            rendered = " ".join(
+                f"{graph.node_at(i)} -{label}-> {graph.node_at(j)}"
+                for i, label, j in path
+            )
+            print(f"  [{len(path)}] {rendered}")
     return 0
 
 
@@ -170,6 +198,18 @@ def build_parser() -> argparse.ArgumentParser:
     path.add_argument("--target", required=True)
     path.add_argument("--json", action="store_true")
     path.set_defaults(handler=cmd_path)
+
+    all_paths = subparsers.add_parser(
+        "paths", help="bounded all-path semantics"
+    )
+    _add_common(all_paths)
+    all_paths.add_argument("--source", required=True)
+    all_paths.add_argument("--target", required=True)
+    all_paths.add_argument("--max-length", type=int, default=8,
+                           help="path length bound (all-path answers are "
+                                "infinite on cyclic graphs without one)")
+    all_paths.add_argument("--json", action="store_true")
+    all_paths.set_defaults(handler=cmd_all_paths)
 
     tables = subparsers.add_parser("tables", help="reproduce paper tables")
     tables.add_argument("table", choices=["table1", "table2", "both"])

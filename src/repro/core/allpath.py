@@ -1,20 +1,33 @@
-"""All-path query semantics, bounded (paper §7 future work).
+"""All-path query semantics, bounded (paper §7 future work), on the
+semiring-generalized closure engine.
 
 The all-path semantics must present **all** paths for every triple
 ``(A, m, n)``.  On cyclic graphs that set is infinite (the paper cites
 Hellings' annotated grammars as one fix); the tractable variant we
-implement enumerates all paths **up to a length bound**, driven by the
-same CNF decomposition the closure uses:
+implement enumerates all paths **up to a length bound**:
 
     paths(A, i, j, ≤L) =
         { (i,x,j) | (A → x) ∈ P, (i,x,j) ∈ E }                    (L ≥ 1)
       ∪ { p1 ++ p2 | (A → B C) ∈ P, r ∈ V,
-                     p1 ∈ paths(B, i, r, ≤L-1), p2 ∈ paths(C, r, j, ≤L-1),
-                     |p1| + |p2| ≤ L }
+                     p1 ∈ paths(B, i, r, =l1), p2 ∈ paths(C, r, j, =l2),
+                     l1 + l2 ≤ L }
 
-memoized on ``(A, i, j, L)``.  The relational projection of the bounded
-answer converges to ``R_A`` as L grows (test-checked), which is how the
-module doubles as an independent oracle for small graphs.
+In semiring terms, the candidate rules ``(A → B C, r)`` per triple are
+exactly the **witness semiring** annotation computed by
+:func:`repro.core.closure.run_closure`
+(:class:`repro.core.semiring.WitnessSemiring`: ⊕ = set union, so the
+fixpoint cell holds every decomposition — the paper's "midpoint index"
+reading of §7).  :class:`AllPathEnumerator` therefore wraps
+:class:`repro.core.path_index.AllPathIndex` — the engine-built parse
+forest — and enumerates from it by *exact* path length, which strictly
+decreases at every split: termination on cyclic graphs is structural,
+not guarded by a memo (the pre-semiring recursive enumerator seeded its
+memo with partial results and could return incomplete path sets when
+re-entered on a cycle).
+
+The relational projection of the bounded answer converges to ``R_A`` as
+L grows (test-checked), which is how the module doubles as an
+independent oracle for small graphs.
 """
 
 from __future__ import annotations
@@ -23,25 +36,27 @@ from typing import Hashable, Iterator
 
 from ..grammar.cfg import CFG
 from ..grammar.cnf import ensure_cnf
-from ..grammar.symbols import Nonterminal, Terminal
+from ..grammar.symbols import Nonterminal
 from ..graph.labeled_graph import LabeledGraph
+from .path_index import AllPathIndex
 from .single_path import Path
 
 
 class AllPathEnumerator:
-    """Enumerates all derivation paths up to a length bound."""
+    """Enumerates all derivation paths up to a length bound.
+
+    Built on the witness-semiring closure: construction runs the
+    unified engine once (any *strategy*: ``delta`` default, ``naive``,
+    ``blocked``); enumeration walks the resulting midpoint index.
+    """
 
     def __init__(self, graph: LabeledGraph, grammar: CFG,
-                 normalize: bool = True):
+                 normalize: bool = True, strategy: str | None = None):
         self.graph = graph
         self.grammar = ensure_cnf(grammar) if normalize else grammar
         self.grammar.require_cnf("all-path enumeration")
-        self._edges: dict[tuple[int, int], list[str]] = {}
-        self._nodes_by_source: dict[int, set[int]] = {}
-        for i, label, j in graph.edges_by_id():
-            self._edges.setdefault((i, j), []).append(label)
-            self._nodes_by_source.setdefault(i, set()).add(j)
-        self._memo: dict[tuple[Nonterminal, int, int, int], frozenset[Path]] = {}
+        self.index = AllPathIndex.build(graph, self.grammar,
+                                        strategy=strategy)
 
     def paths(self, nonterminal: Nonterminal | str, source: Hashable,
               target: Hashable, max_length: int) -> frozenset[Path]:
@@ -50,55 +65,29 @@ class AllPathEnumerator:
         if isinstance(nonterminal, str):
             nonterminal = Nonterminal(nonterminal)
         self.grammar.require_nonterminal(nonterminal)
-        source_id = self.graph.node_id(source)
-        target_id = self.graph.node_id(target)
-        return self._paths(nonterminal, source_id, target_id, max_length)
-
-    def _paths(self, head: Nonterminal, i: int, j: int,
-               budget: int) -> frozenset[Path]:
-        if budget < 1:
-            return frozenset()
-        key = (head, i, j, budget)
-        cached = self._memo.get(key)
-        if cached is not None:
-            return cached
-        # Guard against re-entrant cycles: seed the memo with the empty
-        # set; any path found strictly within the budget is added below.
-        self._memo[key] = frozenset()
-
-        found: set[Path] = set()
-        for label in self._edges.get((i, j), ()):
-            if head in self.grammar.heads_for_terminal(Terminal(label)):
-                found.add(((i, label, j),))
-
-        if budget >= 2:
-            for rule in self.grammar.productions_for(head):
-                if not rule.is_binary_rule:
-                    continue
-                left, right = rule.body  # type: ignore[misc]
-                for r in range(self.graph.node_count):
-                    for left_path in self._paths(left, i, r, budget - 1):  # type: ignore[arg-type]
-                        remaining = budget - len(left_path)
-                        if remaining < 1:
-                            continue
-                        for right_path in self._paths(right, r, j, remaining):  # type: ignore[arg-type]
-                            found.add(left_path + right_path)
-
-        result = frozenset(found)
-        self._memo[key] = result
-        return result
+        return frozenset(
+            self.index.iter_paths(nonterminal, source, target, max_length)
+        )
 
     def relation_pairs(self, nonterminal: Nonterminal | str,
                        max_length: int) -> frozenset[tuple[int, int]]:
         """Pairs (i, j) with at least one bounded path — converges to
-        ``R_A`` as *max_length* grows."""
+        ``R_A`` as *max_length* grows.
+
+        A pair qualifies iff its minimal witness length fits the bound,
+        so this reads the forest's shortest-witness lengths instead of
+        enumerating.
+        """
         if isinstance(nonterminal, str):
             nonterminal = Nonterminal(nonterminal)
+        self.grammar.require_nonterminal(nonterminal)
         pairs: set[tuple[int, int]] = set()
-        for i in range(self.graph.node_count):
-            for j in range(self.graph.node_count):
-                if self._paths(nonterminal, i, j, max_length):
-                    pairs.add((i, j))
+        for i, j in self.index.relations.pairs(nonterminal):
+            shortest = self.index.shortest_path_length(
+                nonterminal, self.graph.node_at(i), self.graph.node_at(j)
+            )
+            if shortest is not None and shortest <= max_length:
+                pairs.add((i, j))
         return frozenset(pairs)
 
     def iter_paths(self, nonterminal: Nonterminal | str, max_length: int,
@@ -106,9 +95,12 @@ class AllPathEnumerator:
         """Yield every (i, j, path) with ``|path| ≤ max_length``."""
         if isinstance(nonterminal, str):
             nonterminal = Nonterminal(nonterminal)
+        self.grammar.require_nonterminal(nonterminal)
         for i in range(self.graph.node_count):
             for j in range(self.graph.node_count):
-                for path in sorted(self._paths(nonterminal, i, j, max_length)):
+                bounded = self.paths(nonterminal, self.graph.node_at(i),
+                                     self.graph.node_at(j), max_length)
+                for path in sorted(bounded):
                     yield (i, j, path)
 
 

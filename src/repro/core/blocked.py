@@ -42,38 +42,18 @@ def split_into_tiles(matrix: BooleanMatrix, tile_size: int,
                      backend: MatrixBackend) -> dict[TileIndex, BooleanMatrix]:
     """Partition a square matrix into ceil(n/tile_size)² tiles.
 
-    Edge tiles are padded to full tile size (padding cells stay False
-    and never affect the boolean product).
+    Delegates to :meth:`MatrixBackend.split_into_tiles` so backends with
+    per-cell payloads (the semiring-annotated adapter) can keep them and
+    record tile offsets; edge tiles are padded to full tile size.
     """
-    if tile_size < 1:
-        raise ValueError("tile_size must be positive")
-    n = matrix.shape[0]
-    grid = (n + tile_size - 1) // tile_size
-    buckets: dict[TileIndex, list[tuple[int, int]]] = {
-        (bi, bj): [] for bi in range(grid) for bj in range(grid)
-    }
-    for i, j in matrix.nonzero_pairs():
-        buckets[(i // tile_size, j // tile_size)].append(
-            (i % tile_size, j % tile_size)
-        )
-    return {
-        index: backend.from_pairs(tile_size, pairs)
-        for index, pairs in buckets.items()
-    }
+    return backend.split_into_tiles(matrix, tile_size)
 
 
 def assemble_from_tiles(tiles: dict[TileIndex, BooleanMatrix], size: int,
                         tile_size: int,
                         backend: MatrixBackend) -> BooleanMatrix:
     """Inverse of :func:`split_into_tiles` (drops the padding)."""
-    pairs = []
-    for (bi, bj), tile in tiles.items():
-        base_i, base_j = bi * tile_size, bj * tile_size
-        for ti, tj in tile.nonzero_pairs():
-            i, j = base_i + ti, base_j + tj
-            if i < size and j < size:
-                pairs.append((i, j))
-    return backend.from_pairs(size, pairs)
+    return backend.assemble_from_tiles(tiles, size, tile_size)
 
 
 @dataclass

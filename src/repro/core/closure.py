@@ -20,7 +20,12 @@ iteration *strategy* vary independently of the matrix *backend*:
 
 All strategies run on any registered matrix backend through the mutable
 kernel API (``MatrixBackend.union_update`` / ``mxm_into``), which falls
-back to value semantics for backends without in-place support.
+back to value semantics for backends without in-place support.  The
+backend need not be boolean: the semiring-annotated adapter
+(:mod:`repro.core.semiring`) implements the same kernels over
+length- and witness-annotated cells, which is how the single-path and
+all-path semantics run on this exact loop — a strategy improvement
+lands on every query semantics at once.
 
 Strategies are registered by name so downstream code can plug in its
 own; ``run_closure`` is the single entry point the solvers route

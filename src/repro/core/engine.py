@@ -70,8 +70,8 @@ class CFPQEngine:
         self.backend = backend or default_backend()
         self.strategy = strategy
         self._matrix_results: dict[tuple[str, str], MatrixCFPQResult] = {}
-        self._single_path_index: SinglePathIndex | None = None
-        self._all_path_enumerator: AllPathEnumerator | None = None
+        self._single_path_indexes: dict[str, SinglePathIndex] = {}
+        self._all_path_enumerators: dict[str, AllPathEnumerator] = {}
 
     # ------------------------------------------------------------------
     # Relational semantics
@@ -110,28 +110,38 @@ class CFPQEngine:
     # ------------------------------------------------------------------
     # Single-path semantics (Section 5)
     # ------------------------------------------------------------------
-    def single_path_index(self) -> SinglePathIndex:
-        """The length-annotated closure, built once."""
-        if self._single_path_index is None:
-            self._single_path_index = build_single_path_index(
-                self.graph, self.grammar, normalize=False
+    def single_path_index(self, strategy: str | None = None,
+                          ) -> SinglePathIndex:
+        """The length-annotated closure, built once per strategy.
+
+        Runs on the same semiring-generalized closure engine as the
+        relational answer; every strategy yields identical annotations,
+        so overriding *strategy* only changes how the fixpoint is
+        iterated.
+        """
+        key = strategy or self.strategy
+        if key not in self._single_path_indexes:
+            self._single_path_indexes[key] = build_single_path_index(
+                self.graph, self.grammar, normalize=False, strategy=key
             )
-        return self._single_path_index
+        return self._single_path_indexes[key]
 
     def single_path(self, start: Nonterminal | str, source: Hashable,
-                    target: Hashable) -> Path:
+                    target: Hashable, strategy: str | None = None) -> Path:
         """One witness path for ``(start, source, target)``; raises
         :class:`~repro.errors.PathNotFoundError` when the pair is not in
         the relation."""
         start_nt = _as_nonterminal(start)
         self.grammar.require_nonterminal(start_nt)
-        return extract_path(self.single_path_index(), start_nt, source, target)
+        return extract_path(self.single_path_index(strategy), start_nt,
+                            source, target)
 
     def path_length(self, start: Nonterminal | str, source: Hashable,
-                    target: Hashable) -> int | None:
+                    target: Hashable, strategy: str | None = None,
+                    ) -> int | None:
         """The recorded witness-path length ``l_A``, or None."""
         start_nt = _as_nonterminal(start)
-        index = self.single_path_index()
+        index = self.single_path_index(strategy)
         return index.length_of(
             start_nt, self.graph.node_id(source), self.graph.node_id(target)
         )
@@ -139,18 +149,21 @@ class CFPQEngine:
     # ------------------------------------------------------------------
     # Bounded all-path semantics (§7 future work)
     # ------------------------------------------------------------------
-    def all_path_enumerator(self) -> AllPathEnumerator:
-        """The all-path enumerator, built once and cached."""
-        if self._all_path_enumerator is None:
-            self._all_path_enumerator = AllPathEnumerator(
-                self.graph, self.grammar, normalize=False
+    def all_path_enumerator(self, strategy: str | None = None,
+                            ) -> AllPathEnumerator:
+        """The all-path enumerator, built once per strategy and cached."""
+        key = strategy or self.strategy
+        if key not in self._all_path_enumerators:
+            self._all_path_enumerators[key] = AllPathEnumerator(
+                self.graph, self.grammar, normalize=False, strategy=key
             )
-        return self._all_path_enumerator
+        return self._all_path_enumerators[key]
 
     def all_paths(self, start: Nonterminal | str, source: Hashable,
-                  target: Hashable, max_length: int) -> frozenset[Path]:
+                  target: Hashable, max_length: int,
+                  strategy: str | None = None) -> frozenset[Path]:
         """All witness paths of length ≤ *max_length*."""
-        return self.all_path_enumerator().paths(
+        return self.all_path_enumerator(strategy).paths(
             _as_nonterminal(start), source, target, max_length
         )
 
@@ -165,7 +178,7 @@ class CFPQEngine:
             return self.relational(start, backend=kwargs.get("backend"),
                                    strategy=kwargs.get("strategy"))
         if semantics == "single-path":
-            index = self.single_path_index()
+            index = self.single_path_index(kwargs.get("strategy"))
             start_nt = _as_nonterminal(start)
             return {
                 (self.graph.node_at(i), self.graph.node_at(j)):
@@ -179,7 +192,7 @@ class CFPQEngine:
             if max_length is None:
                 raise SemanticsError("all-path semantics requires max_length=")
             start_nt = _as_nonterminal(start)
-            enumerator = self.all_path_enumerator()
+            enumerator = self.all_path_enumerator(kwargs.get("strategy"))
             return {
                 (self.graph.node_at(i), self.graph.node_at(j)): paths
                 for i in range(self.graph.node_count)

@@ -66,20 +66,25 @@ class IncrementalCFPQ:
         self._edge_insertions = 0
         self._propagated_facts = 0
 
-        # Initial solve: run the matrix closure engine to the fixpoint
-        # and seed the tuple-level indexes from the closed matrices.
-        from .matrix_cfpq import solve_matrix
-
-        result = solve_matrix(graph, self.grammar, backend=backend,
-                              normalize=False, strategy=strategy)
-        for nonterminal, matrix in result.matrices.items():
-            for i, j in matrix.nonzero_pairs():
-                self._record(nonterminal, i, j)
+        self._seed_from_engine(backend, strategy)
         # Keep the stats contract of the worklist-seeded version: every
         # initially derived fact counts as one propagation.
         self._propagated_facts = sum(
             len(pairs) for pairs in self._facts.values()
         )
+
+    def _seed_from_engine(self, backend: str, strategy: str) -> None:
+        """Initial solve: run the matrix closure engine to the fixpoint
+        and seed the tuple-level indexes from the closed matrices.
+        Annotated subclasses override this to seed from the semiring
+        engine instead."""
+        from .matrix_cfpq import solve_matrix
+
+        result = solve_matrix(self.graph, self.grammar, backend=backend,
+                              normalize=False, strategy=strategy)
+        for nonterminal, matrix in result.matrices.items():
+            for i, j in matrix.nonzero_pairs():
+                self._record(nonterminal, i, j)
 
     # ------------------------------------------------------------------
     # Mutation
@@ -164,3 +169,108 @@ class IncrementalCFPQ:
                         worklist.append((head, k, j))
                         derived += 1
         return derived
+
+
+class IncrementalSinglePathCFPQ(IncrementalCFPQ):
+    """Incremental solver that also maintains Section-5 witness lengths.
+
+    The initial solve seeds both the relational facts *and* their
+    length annotations from the semiring-generalized closure engine
+    (:func:`repro.core.semiring.solve_annotated` over the length
+    semiring) — the same engine :func:`~repro.core.single_path.build_single_path_index`
+    runs — so the starting annotation is the canonical minimal witness
+    length per fact.  Edge insertions propagate at tuple granularity
+    with the same min-merge rule: a new edge contributes length-1 base
+    facts, and any fact whose recorded length *improves* re-enters the
+    worklist, keeping ``length_of`` equal to a from-scratch
+    :class:`~repro.core.single_path.SinglePathIndex` after every
+    insertion (property-tested).
+    """
+
+    def __init__(self, graph: LabeledGraph, grammar: CFG,
+                 strategy: str = "delta"):
+        self._lengths: dict[tuple[Nonterminal, int, int], int] = {}
+        super().__init__(graph, grammar, strategy=strategy)
+
+    def _seed_from_engine(self, backend: str, strategy: str) -> None:
+        from .semiring import LENGTH_SEMIRING, solve_annotated
+
+        result = solve_annotated(self.graph, self.grammar, LENGTH_SEMIRING,
+                                 strategy=strategy, normalize=False)
+        for nonterminal, matrix in result.matrices.items():
+            for i, j, length in matrix.nonzero_cells():
+                self._record(nonterminal, i, j)
+                self._lengths[(nonterminal, i, j)] = length
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def length_of(self, nonterminal: Nonterminal | str, source: Hashable,
+                  target: Hashable) -> int | None:
+        """The maintained witness length for ``(A, source, target)``, or
+        None when the pair is not in ``R_A``."""
+        if isinstance(nonterminal, str):
+            nonterminal = Nonterminal(nonterminal)
+        return self._lengths.get(
+            (nonterminal, self.graph.node_id(source),
+             self.graph.node_id(target))
+        )
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_edge(self, source: Hashable, label: str, target: Hashable) -> int:
+        """Insert an edge; returns the number of facts added *or whose
+        recorded length improved*."""
+        already_present = self.graph.has_edge(source, label, target)
+        self.graph.add_edge(source, label, target)
+        self._edge_insertions += 1
+        if already_present:
+            return 0
+
+        i = self.graph.node_id(source)
+        j = self.graph.node_id(target)
+        worklist: deque[tuple[Nonterminal, int, int]] = deque()
+        changed = 0
+        for head in self.grammar.heads_for_terminal(Terminal(label)):
+            if self._improve(head, i, j, 1):
+                worklist.append((head, i, j))
+                changed += 1
+        return changed + self._propagate_lengths(worklist)
+
+    # ------------------------------------------------------------------
+    # Engine
+    # ------------------------------------------------------------------
+    def _improve(self, nonterminal: Nonterminal, i: int, j: int,
+                 length: int) -> bool:
+        key = (nonterminal, i, j)
+        current = self._lengths.get(key)
+        if current is None:
+            self._record(nonterminal, i, j)
+            self._lengths[key] = length
+            return True
+        if length < current:
+            self._lengths[key] = length
+            return True
+        return False
+
+    def _propagate_lengths(self, worklist: deque[tuple[Nonterminal, int, int]],
+                           ) -> int:
+        changed = 0
+        while worklist:
+            nonterminal, i, j = worklist.popleft()
+            self._propagated_facts += 1
+            base = self._lengths[(nonterminal, i, j)]
+            for head, right in self._rules_by_left.get(nonterminal, ()):
+                for k in list(self._by_source.get((right, j), ())):
+                    candidate = base + self._lengths[(right, j, k)]
+                    if self._improve(head, i, k, candidate):
+                        worklist.append((head, i, k))
+                        changed += 1
+            for head, left in self._rules_by_right.get(nonterminal, ()):
+                for k in list(self._by_target.get((left, i), ())):
+                    candidate = self._lengths[(left, k, i)] + base
+                    if self._improve(head, k, j, candidate):
+                        worklist.append((head, k, j))
+                        changed += 1
+        return changed

@@ -1,30 +1,34 @@
-"""Derivation index: a parse-forest view over the closed matrices.
+"""Derivation index: the all-path parse forest over the closed matrices.
 
 The paper's §7 asks whether parse forests — the natural answer
 representation for the *all-path* semantics — can be built by matrix
 multiplication on graphs, as Okhotin [19] does for linear inputs.  The
-key observation this module implements: once the relational closure is
-computed, the forest is *implicitly present* in the final matrices.
-For a pair ``(i, j) ∈ R_A`` every derivation decomposes as either
+semiring-generalized closure answers it directly: running
+:func:`repro.core.closure.run_closure` over the **witness semiring**
+(:class:`repro.core.semiring.WitnessSemiring`) annotates every cell
+``(A, i, j)`` with its complete *midpoint index* — every terminal edge
+``(i, x, j)`` with ``(A → x) ∈ P`` and every binary split
+``(A → B C, r)`` with ``(i, r) ∈ R_B`` and ``(r, j) ∈ R_C``.  That is
+the shared packed forest (an SPPF in parsing terms: nodes ``(A, i, j)``,
+packed children per split), computed by the same strategy-pluggable
+engine (``naive`` / ``delta`` / ``blocked``) as the relational answer.
 
-* a terminal edge ``(i, x, j)`` with ``(A → x) ∈ P``, or
-* a split ``(A → B C, r)`` with ``(i, r) ∈ R_B`` and ``(r, j) ∈ R_C``,
-
-and both alternatives are directly readable from the closed relations —
-no re-parsing required.  :class:`PathIndex` materializes this shared
-forest (an SPPF in parsing terms: nodes ``(A, i, j)``, packed children
-per split) and supports:
+:class:`AllPathIndex` wraps the annotated closure and supports:
 
 * :meth:`splits` / :meth:`terminal_edges` — forest inspection;
 * :meth:`count_paths` — the number of distinct derivation paths up to a
   length bound, by dynamic programming over the forest (no enumeration);
 * :meth:`iter_paths` — lazy enumeration in order of increasing length;
 * :meth:`shortest_path_length` — minimal witness length per pair (the
-  quantity Hellings' single-path algorithm computes [12]).
+  quantity Hellings' single-path algorithm computes [12], and exactly
+  the length-semiring annotation of
+  :mod:`repro.core.single_path` — cross-checked in the tests).
 
 Cycles in the graph make the forest cyclic (infinitely many paths); the
 DP and the enumerator are bound-parameterized, which is the standard
 annotated-grammar-free way to keep the all-path answer finite (§7).
+Enumeration recurses on *exact* path lengths, which strictly decrease
+at every split, so it terminates on cyclic forests by construction.
 """
 
 from __future__ import annotations
@@ -37,22 +41,33 @@ from ..grammar.cfg import CFG
 from ..grammar.cnf import ensure_cnf
 from ..grammar.symbols import Nonterminal, Terminal
 from ..graph.labeled_graph import LabeledGraph
-from .matrix_cfpq import solve_matrix
 from .relations import ContextFreeRelations
+from .semiring import WITNESS_SEMIRING, solve_annotated
 from .single_path import Path
 
 #: One binary split of (A, i, j): (left nonterminal, right nonterminal, mid).
 Split = tuple[Nonterminal, Nonterminal, int]
 
 
-class PathIndex:
-    """The implicit parse forest of one CFPQ evaluation."""
+class AllPathIndex:
+    """The implicit parse forest of one CFPQ evaluation.
+
+    Build it with :meth:`build` (runs the witness-semiring closure and
+    stores the midpoint index per forest node) or construct it directly
+    from pre-computed relations, in which case splits are derived on
+    demand from the row views — both paths yield the same forest.
+    """
 
     def __init__(self, graph: LabeledGraph, grammar: CFG,
-                 relations: ContextFreeRelations):
+                 relations: ContextFreeRelations,
+                 splits_index: dict[tuple[Nonterminal, int, int],
+                                    tuple[Split, ...]] | None = None):
         self.graph = graph
         self.grammar = grammar
         self.relations = relations
+        #: Midpoint index from the witness closure; None when built from
+        #: bare relations (splits computed on demand instead).
+        self._splits_index = splits_index
         # (i, j) -> labels of edges i -> j (for terminal derivations)
         self._edge_labels: dict[tuple[int, int], list[str]] = defaultdict(list)
         for i, label, j in graph.edges_by_id():
@@ -64,17 +79,43 @@ class PathIndex:
             for i, j in relations.pairs(nonterminal):
                 rows[i].add(j)
             self._rows[nonterminal] = dict(rows)
+        # Exact-length enumeration memo: (A, i, j, length) -> paths.
+        self._length_memo: dict[tuple[Nonterminal, int, int, int],
+                                tuple[Path, ...]] = {}
+        # Shortest-witness cache shared across queries: one Dijkstra run
+        # settles every node of the reachable sub-forest, and the
+        # sub-forest is closed under children, so those minima are
+        # globally correct and reusable.
+        self._shortest_cache: dict[tuple[Nonterminal, int, int], int] = {}
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
     @classmethod
     def build(cls, graph: LabeledGraph, grammar: CFG,
-              backend: str = "sparse") -> "PathIndex":
-        """Run the matrix engine and wrap its closed relations."""
+              strategy: str | None = None) -> "AllPathIndex":
+        """Run the witness-semiring closure engine and wrap its forest.
+
+        *strategy* selects the closure strategy (engine default when
+        None); every strategy produces the identical forest.
+        """
         cnf = ensure_cnf(grammar)
-        result = solve_matrix(graph, cnf, backend=backend, normalize=False)
-        return cls(graph, cnf, result.relations)
+        result = solve_annotated(graph, cnf, WITNESS_SEMIRING,
+                                 strategy=strategy, normalize=False)
+        pairs_by_nonterminal: dict[Nonterminal, set[tuple[int, int]]] = {}
+        splits_index: dict[tuple[Nonterminal, int, int], tuple[Split, ...]] = {}
+        for nonterminal, matrix in result.matrices.items():
+            pairs_by_nonterminal[nonterminal] = set(matrix.nonzero_pairs())
+            for i, j, witnesses in matrix.nonzero_cells():
+                splits = sorted(
+                    ((entry[1], entry[2], entry[3])
+                     for entry in witnesses if entry[0] == "split"),
+                    key=lambda split: (split[0].name, split[1].name, split[2]),
+                )
+                if splits:
+                    splits_index[(nonterminal, i, j)] = tuple(splits)
+        relations = ContextFreeRelations(graph, pairs_by_nonterminal)
+        return cls(graph, cnf, relations, splits_index=splits_index)
 
     # ------------------------------------------------------------------
     # Forest structure
@@ -89,6 +130,8 @@ class PathIndex:
 
     def splits(self, nonterminal: Nonterminal, i: int, j: int) -> list[Split]:
         """All binary decompositions of the forest node ``(A, i, j)``."""
+        if self._splits_index is not None:
+            return list(self._splits_index.get((nonterminal, i, j), ()))
         found: list[Split] = []
         for rule in self.grammar.productions_for(nonterminal):
             if not rule.is_binary_rule:
@@ -177,40 +220,53 @@ class PathIndex:
     def iter_paths(self, nonterminal: Nonterminal | str, source: Hashable,
                    target: Hashable, max_length: int) -> Iterator[Path]:
         """Enumerate all distinct paths of length ≤ *max_length*, in
-        non-decreasing length order."""
+        non-decreasing length order.
+
+        Terminates on cyclic graphs: the recursion is on *exact* path
+        lengths, which strictly decrease at every split.
+        """
         nonterminal = _as_nonterminal(nonterminal)
         i = self.graph.node_id(source)
         j = self.graph.node_id(target)
         if not self.node_exists(nonterminal, i, j):
             return
         emitted: set[Path] = set()
-        # Breadth via best-first on partial derivations: a frontier item
-        # is (length, path) for completed derivations of (A, i, j).
         for length in range(1, max_length + 1):
-            for path in self._paths_of_length(nonterminal, i, j, length,
-                                              frozenset()):
+            for path in self._paths_of_length(nonterminal, i, j, length):
                 if path not in emitted:
                     emitted.add(path)
                     yield path
 
     def _paths_of_length(self, head: Nonterminal, i: int, j: int,
-                         length: int,
-                         in_progress: frozenset) -> Iterator[Path]:
-        """All derivation paths of (head, i, j) of *exactly* `length`."""
+                         length: int) -> tuple[Path, ...]:
+        """All derivation paths of (head, i, j) of *exactly* `length`.
+
+        Memoized; safe on cyclic forests because every split recurses on
+        strictly smaller lengths (1 ≤ l1 < length), so (head, i, j,
+        length) can never re-enter itself.
+        """
         key = (head, i, j, length)
-        if key in in_progress:   # cyclic re-entry cannot shorten length
-            return
-        marker = in_progress | {key}
+        cached = self._length_memo.get(key)
+        if cached is not None:
+            return cached
+        found: list[Path] = []
         if length == 1:
-            for label in self.terminal_edges(head, i, j):
-                yield ((i, label, j),)
-            return
-        for left, right, r in self.splits(head, i, j):
-            for l1 in range(1, length):
-                for left_path in self._paths_of_length(left, i, r, l1, marker):
-                    for right_path in self._paths_of_length(
-                            right, r, j, length - l1, marker):
-                        yield left_path + right_path
+            found = [((i, label, j),)
+                     for label in self.terminal_edges(head, i, j)]
+        else:
+            seen: set[Path] = set()
+            for left, right, r in self.splits(head, i, j):
+                for l1 in range(1, length):
+                    for left_path in self._paths_of_length(left, i, r, l1):
+                        for right_path in self._paths_of_length(
+                                right, r, j, length - l1):
+                            combined = left_path + right_path
+                            if combined not in seen:
+                                seen.add(combined)
+                                found.append(combined)
+        result = tuple(found)
+        self._length_memo[key] = result
+        return result
 
     # ------------------------------------------------------------------
     # Shortest witnesses
@@ -225,6 +281,9 @@ class PathIndex:
         j = self.graph.node_id(target)
         if not self.node_exists(nonterminal, i, j):
             return None
+        cached = self._shortest_cache.get((nonterminal, i, j))
+        if cached is not None:
+            return cached
 
         # Collect the reachable sub-forest, then run a priority-queue
         # relaxation from terminal leaves upward.
@@ -245,7 +304,7 @@ class PathIndex:
                 dependents[right_node].append((node, left_node, right_node))
                 stack.extend((left_node, right_node))
 
-        heap: list[tuple[int, tuple[Nonterminal, int, int]]] = []
+        heap: list[tuple[int, tuple[str, int, int]]] = []
         for node in nodes:
             head, a, b = node
             if self.terminal_edges(head, a, b):
@@ -268,7 +327,12 @@ class PathIndex:
                     best[parent] = candidate
                     heapq.heappush(heap, (candidate, _node_key(parent)))
 
+        self._shortest_cache.update(best)
         return best.get((nonterminal, i, j))
+
+
+#: Historical name of the forest index (pre-semiring API).
+PathIndex = AllPathIndex
 
 
 def _node_key(node: tuple[Nonterminal, int, int]) -> tuple[str, int, int]:

@@ -1,0 +1,544 @@
+"""Semiring-generalized closure: one engine, three query semantics.
+
+The paper computes three answers with three bespoke fixpoint loops:
+relational (Algorithm 1), single-path (Section 5: cells annotated with
+a path length), and all-path (Section 7: cells must expose every
+derivation).  All three are the *same* least fixpoint
+
+    M_A  ←  M_A ⊕ (M_B ⊗ M_C)        for every pair rule A → B C
+
+over different annotation **semirings** — the shape the GraphBLAS line
+of CFPQ work (Azimov et al.'s later Kronecker/matrix engines, GraphBLAS
+CFPQ) makes explicit.  This module supplies:
+
+* :class:`Semiring` — the annotation algebra: ``identity`` (the seed a
+  terminal edge contributes), ``multiply`` (⊗ — combine a left and a
+  right sub-derivation across a midpoint), ``add`` (⊕ — fold competing
+  candidates for one cell inside a product) and ``merge`` — the
+  cell-level rule applied when a product lands on an occupied cell.
+  The default ``merge`` is **absorb-on-first-write**: the recorded
+  annotation is kept untouched, matching the paper's Section 5 rule
+  that "the non-terminal A is not added ... with an associated path
+  length l2 for all l2 ≠ l1".
+* :class:`BooleanSemiring` — relational semantics (presence only).
+* :class:`LengthSemiring` — single-path semantics.  Strengthens the
+  never-update rule to its canonical, confluent form: a strictly
+  *shorter* candidate replaces the recorded length and re-enters the
+  frontier.  Every strategy (naive / delta / blocked) then converges to
+  the identical least fixpoint — the minimal witness length per cell —
+  instead of an iteration-order-dependent one, which is what makes the
+  cross-strategy differential tests byte-for-byte exact.  Recorded
+  lengths remain exactly what Theorem 5 needs: each admits a concrete
+  path recoverable by the midpoint search of
+  :func:`repro.core.single_path.extract_path`.
+* :class:`WitnessSemiring` — all-path semantics.  A cell's annotation
+  is the *midpoint index*: the set of terminal edges and binary splits
+  ``(B, C, r)`` that derive it.  ⊕/merge is set union, so the fixpoint
+  holds every decomposition and the parse forest
+  (:class:`repro.core.path_index.AllPathIndex`) is read off directly.
+* :class:`AnnotatedMatrix` / :class:`AnnotatedBackend` — the adapter
+  implementing the mutable kernel API (``union_update`` /
+  ``difference`` / ``mxm_into`` / tiling) over annotated cells, so
+  :func:`repro.core.closure.run_closure` — including the ``delta`` and
+  ``blocked`` strategies — runs unchanged on all three semirings.
+
+Termination: ``merge`` must be monotone w.r.t. a well-founded order
+(absorb: no change ever; length: non-negative integers decrease;
+witness: finite sets grow), so every strategy's worklist drains.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Iterator, Mapping
+
+from ..grammar.symbols import Terminal
+from ..matrices.base import BooleanMatrix, MatrixBackend, Pair
+
+#: A witness-set entry: ``("edge", label)`` for a terminal derivation or
+#: ``("split", left_symbol, right_symbol, midpoint)`` for a binary one.
+WitnessEntry = tuple
+
+
+class Semiring(abc.ABC):
+    """The annotation algebra threaded through the closure kernels.
+
+    ``add``/``multiply``/``identity`` are the semiring operations; the
+    extra ``merge`` hook is the paper's cell-update rule.  Annotation
+    values must be immutable (they are shared between matrices, deltas
+    and tiles).
+    """
+
+    #: Registry-style display name (``boolean`` / ``length`` / ``witness``).
+    name: str = "abstract"
+
+    #: True when ``multiply`` reads operand annotation *values*, so a
+    #: refined annotation must re-enter the semi-naive frontier (the
+    #: length semiring: shorter operands produce shorter products).
+    #: Semirings whose ⊗ depends only on cell *presence* (witness:
+    #: products emit the rule/midpoint, never the operand sets) leave
+    #: this False — their refinements are merged in place but re-firing
+    #: rules over them is provably a no-op, so the engine skips it.
+    refinement_feeds_products: bool = True
+
+    @abc.abstractmethod
+    def identity(self, label: str | None = None):
+        """The ⊗-unit seed a single terminal edge contributes (length 1,
+        an ``("edge", label)`` witness, ...)."""
+
+    @abc.abstractmethod
+    def multiply(self, left, right, midpoint: int,
+                 left_symbol: Hashable, right_symbol: Hashable):
+        """⊗: combine a left and a right annotation across *midpoint*.
+
+        *left_symbol* / *right_symbol* are the body non-terminals of the
+        rule being fired (the tags of the operand matrices) — provenance
+        the witness semiring records and the others ignore.
+        """
+
+    @abc.abstractmethod
+    def add(self, left, right):
+        """⊕: fold two candidate annotations for the same output cell of
+        one product.  Must be associative, commutative and idempotent so
+        the fold order inside a product cannot leak into the result."""
+
+    def merge(self, existing, incoming) -> tuple[object, bool]:
+        """Cell-level merge when a product lands on an occupied cell;
+        returns ``(value, changed)``.
+
+        Default: **absorb-on-first-write** — keep the recorded
+        annotation untouched (the paper's never-update rule).  Override
+        only with a monotone refinement (see :class:`LengthSemiring`);
+        a ``changed`` result re-enters the semi-naive frontier.
+        """
+        return existing, False
+
+
+class BooleanSemiring(Semiring):
+    """Relational semantics: a cell is merely present (value ``True``)."""
+
+    name = "boolean"
+
+    def identity(self, label: str | None = None) -> bool:
+        return True
+
+    def multiply(self, left, right, midpoint, left_symbol, right_symbol) -> bool:
+        return True
+
+    def add(self, left, right) -> bool:
+        return True
+
+
+class LengthSemiring(Semiring):
+    """Single-path semantics: the annotation is a witness-path length.
+
+    ⊗ adds lengths (concatenating the sub-paths), ⊕ keeps the minimum.
+    ``merge`` keeps the minimum too: a strictly shorter candidate
+    replaces the recorded length and is re-propagated, so the fixpoint
+    is the canonical minimal witness length — identical for every
+    closure strategy and backend.  (The paper's plain first-write rule
+    also terminates but records whichever length the iteration order
+    happened to find first; the min refinement is the confluent closure
+    of that rule and still satisfies Theorem 5: every recorded length
+    admits a concrete path, recovered by the same midpoint search.)
+    """
+
+    name = "length"
+
+    def identity(self, label: str | None = None) -> int:
+        return 1
+
+    def multiply(self, left: int, right: int, midpoint, left_symbol,
+                 right_symbol) -> int:
+        return left + right
+
+    def add(self, left: int, right: int) -> int:
+        return left if left <= right else right
+
+    def merge(self, existing: int, incoming: int) -> tuple[int, bool]:
+        if incoming < existing:
+            return incoming, True
+        return existing, False
+
+
+class WitnessSemiring(Semiring):
+    """All-path semantics: the annotation is the cell's midpoint index.
+
+    A value is a frozenset of :data:`WitnessEntry` — every terminal
+    edge and every binary split ``(left, right, midpoint)`` that derives
+    the cell.  ⊕ and ``merge`` are set union (monotone and finite, so
+    every strategy terminates at the complete index); at the fixpoint a
+    cell's set holds *all* decompositions, i.e. the packed parse-forest
+    node of the paper's Section 7 question.
+
+    ⊗ emits the firing rule's provenance and never reads the operand
+    sets, so growing a cell's witness set cannot change any downstream
+    product: completeness only needs every rule to fire once after both
+    operand *cells* exist, which cell-presence deltas already guarantee.
+    ``refinement_feeds_products`` is False accordingly.
+    """
+
+    name = "witness"
+    refinement_feeds_products = False
+
+    def identity(self, label: str | None = None) -> frozenset:
+        if label is None:
+            return frozenset()
+        return frozenset({("edge", label)})
+
+    def multiply(self, left, right, midpoint: int, left_symbol,
+                 right_symbol) -> frozenset:
+        return frozenset({("split", left_symbol, right_symbol, midpoint)})
+
+    def add(self, left: frozenset, right: frozenset) -> frozenset:
+        return left | right
+
+    def merge(self, existing: frozenset,
+              incoming: frozenset) -> tuple[frozenset, bool]:
+        if incoming <= existing:
+            return existing, False
+        return existing | incoming, True
+
+
+#: Shared singleton instances (the semirings are stateless).
+BOOLEAN_SEMIRING = BooleanSemiring()
+LENGTH_SEMIRING = LengthSemiring()
+WITNESS_SEMIRING = WitnessSemiring()
+
+
+class AnnotatedMatrix(BooleanMatrix):
+    """A boolean matrix whose True cells carry semiring annotations.
+
+    Implements the full mutable kernel API of
+    :class:`repro.matrices.base.BooleanMatrix`, so the closure engine
+    cannot tell it apart from a plain boolean backend; ``multiply`` runs
+    the semiring ⊗/⊕ instead of ∧/∨ and ``union_update`` applies the
+    semiring ``merge`` per cell.
+
+    ``symbol`` tags the matrix with the non-terminal it represents (the
+    provenance ⊗ receives); ``row_offset``/``col_offset`` locate a tile
+    inside the full matrix so tiled products still report *global*
+    midpoints to the semiring.
+    """
+
+    __slots__ = ("semiring", "_shape", "_cells", "_rows_index", "symbol",
+                 "row_offset", "col_offset")
+
+    backend_name = "annotated"
+    supports_inplace = True
+
+    def __init__(self, semiring: Semiring, shape: tuple[int, int],
+                 cells: "Mapping[Pair, object] | Iterable[tuple[int, int, object]]" = (),
+                 symbol: Hashable = None,
+                 row_offset: int = 0, col_offset: int = 0):
+        self.semiring = semiring
+        self._shape = shape
+        self.symbol = symbol
+        self.row_offset = row_offset
+        self.col_offset = col_offset
+        if isinstance(cells, Mapping):
+            cell_map = dict(cells)
+        else:
+            cell_map = {(i, j): value for i, j, value in cells}
+        for i, j in cell_map:
+            if not (0 <= i < shape[0] and 0 <= j < shape[1]):
+                raise ValueError(f"cell {(i, j)} outside shape {shape}")
+        self._cells = cell_map
+        rows_index: dict[int, set[int]] = {}
+        for i, j in cell_map:
+            rows_index.setdefault(i, set()).add(j)
+        self._rows_index = rows_index
+
+    # -- shape / element access -------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self._shape
+
+    def __getitem__(self, index: Pair) -> bool:
+        return index in self._cells
+
+    def value_at(self, i: int, j: int):
+        """The annotation at (i, j), or None when the cell is False."""
+        return self._cells.get((i, j))
+
+    def nonzero_pairs(self) -> Iterator[Pair]:
+        return iter(self._cells)
+
+    def nonzero_cells(self) -> Iterator[tuple[int, int, object]]:
+        """Iterate ``(i, j, annotation)`` over all True cells."""
+        for (i, j), value in self._cells.items():
+            yield (i, j, value)
+
+    def nnz(self) -> int:
+        return len(self._cells)
+
+    # -- algebra ----------------------------------------------------------
+    def multiply(self, other: BooleanMatrix) -> "AnnotatedMatrix":
+        self._require_chainable(other)
+        semiring = self.semiring
+        other_cells, other_rows = _cells_of(other, semiring)
+        out: dict[Pair, object] = {}
+        for i, ks in self._rows_index.items():
+            for k in ks:
+                row = other_rows.get(k)
+                if not row:
+                    continue
+                left_value = self._cells[(i, k)]
+                midpoint = self.col_offset + k
+                for j in row:
+                    candidate = semiring.multiply(
+                        left_value, other_cells[(k, j)], midpoint,
+                        self.symbol, getattr(other, "symbol", None),
+                    )
+                    current = out.get((i, j))
+                    out[(i, j)] = (candidate if current is None
+                                   else semiring.add(current, candidate))
+        return AnnotatedMatrix(
+            semiring, (self._shape[0], other.shape[1]), out,
+            symbol=None, row_offset=self.row_offset,
+            col_offset=getattr(other, "col_offset", 0),
+        )
+
+    def union(self, other: BooleanMatrix) -> "AnnotatedMatrix":
+        self._require_same_shape(other)
+        semiring = self.semiring
+        merged = dict(self._cells)
+        other_cells, _rows = _cells_of(other, semiring)
+        for pair, incoming in other_cells.items():
+            existing = merged.get(pair)
+            if existing is None:
+                merged[pair] = incoming
+            else:
+                merged[pair], _changed = semiring.merge(existing, incoming)
+        return AnnotatedMatrix(semiring, self._shape, merged,
+                               symbol=self.symbol,
+                               row_offset=self.row_offset,
+                               col_offset=self.col_offset)
+
+    def transpose(self) -> "AnnotatedMatrix":
+        return AnnotatedMatrix(
+            self.semiring, (self._shape[1], self._shape[0]),
+            {(j, i): value for (i, j), value in self._cells.items()},
+            symbol=self.symbol, row_offset=self.col_offset,
+            col_offset=self.row_offset,
+        )
+
+    # -- mutable kernels --------------------------------------------------
+    def difference(self, other: BooleanMatrix) -> "AnnotatedMatrix":
+        self._require_same_shape(other)
+        other_pairs = set(other.nonzero_pairs())
+        return AnnotatedMatrix(
+            self.semiring, self._shape,
+            {pair: value for pair, value in self._cells.items()
+             if pair not in other_pairs},
+            symbol=self.symbol, row_offset=self.row_offset,
+            col_offset=self.col_offset,
+        )
+
+    def union_update(self, other: BooleanMatrix) -> "AnnotatedMatrix":
+        """In-place ⊕-merge; the returned delta holds every new cell,
+        plus — when the semiring's products read annotation values
+        (``refinement_feeds_products``) — every cell whose annotation
+        the semiring ``merge`` refined, so such refinements re-enter the
+        semi-naive frontier.  Value-blind semirings (witness) merge
+        refinements in place but keep them out of the delta: re-firing
+        rules over them cannot change any product."""
+        self._require_same_shape(other)
+        semiring = self.semiring
+        propagate_refinements = semiring.refinement_feeds_products
+        other_cells, _rows = _cells_of(other, semiring)
+        delta: dict[Pair, object] = {}
+        for pair, incoming in other_cells.items():
+            existing = self._cells.get(pair)
+            if existing is None:
+                self._cells[pair] = incoming
+                self._rows_index.setdefault(pair[0], set()).add(pair[1])
+                delta[pair] = incoming
+            else:
+                merged, changed = semiring.merge(existing, incoming)
+                if changed:
+                    self._cells[pair] = merged
+                    if propagate_refinements:
+                        delta[pair] = merged
+        return AnnotatedMatrix(semiring, self._shape, delta,
+                               symbol=self.symbol,
+                               row_offset=self.row_offset,
+                               col_offset=self.col_offset)
+
+
+def _cells_of(matrix: BooleanMatrix, semiring: Semiring,
+              ) -> tuple[dict[Pair, object], dict[int, set[int]]]:
+    """The (cells, rows-index) view of any operand matrix.
+
+    Plain boolean operands (interoperability with the relational
+    backends) are lifted by annotating every True cell with the semiring
+    identity.
+    """
+    if isinstance(matrix, AnnotatedMatrix):
+        return matrix._cells, matrix._rows_index
+    cells: dict[Pair, object] = {}
+    rows: dict[int, set[int]] = {}
+    unit = semiring.identity()
+    for i, j in matrix.nonzero_pairs():
+        cells[(i, j)] = unit
+        rows.setdefault(i, set()).add(j)
+    return cells, rows
+
+
+class AnnotatedBackend(MatrixBackend):
+    """Factory adapting one :class:`Semiring` to the kernel API.
+
+    ``run_closure`` treats this exactly like the boolean backends; the
+    tiling hooks preserve annotations, tags and tile offsets so the
+    ``blocked`` strategy reports correct global midpoints.
+    """
+
+    def __init__(self, semiring: Semiring):
+        self.semiring = semiring
+        self.name = f"annotated[{semiring.name}]"
+
+    def zeros(self, rows: int, cols: int | None = None) -> AnnotatedMatrix:
+        return AnnotatedMatrix(
+            self.semiring, (rows, cols if cols is not None else rows)
+        )
+
+    def from_pairs(self, size: int, pairs: Iterable[Pair],
+                   cols: int | None = None) -> AnnotatedMatrix:
+        unit = self.semiring.identity()
+        return AnnotatedMatrix(
+            self.semiring, (size, cols if cols is not None else size),
+            {(i, j): unit for i, j in pairs},
+        )
+
+    def from_cells(self, shape: tuple[int, int],
+                   cells: Mapping[Pair, object],
+                   symbol: Hashable = None) -> AnnotatedMatrix:
+        """Build a matrix from explicit ``(i, j) -> annotation`` cells."""
+        return AnnotatedMatrix(self.semiring, shape, cells, symbol=symbol)
+
+    def clone(self, matrix: BooleanMatrix) -> AnnotatedMatrix:
+        if isinstance(matrix, AnnotatedMatrix):
+            return AnnotatedMatrix(matrix.semiring, matrix.shape,
+                                   matrix._cells, symbol=matrix.symbol,
+                                   row_offset=matrix.row_offset,
+                                   col_offset=matrix.col_offset)
+        rows, cols = matrix.shape
+        return self.from_pairs(rows, matrix.nonzero_pairs(), cols=cols)
+
+    # -- tiling hooks (the blocked strategy) ------------------------------
+    def split_into_tiles(self, matrix: BooleanMatrix, tile_size: int,
+                         ) -> dict[tuple[int, int], AnnotatedMatrix]:
+        if tile_size < 1:
+            raise ValueError("tile_size must be positive")
+        if not isinstance(matrix, AnnotatedMatrix):
+            return super().split_into_tiles(matrix, tile_size)
+        n = matrix.shape[0]
+        grid = (n + tile_size - 1) // tile_size
+        buckets: dict[tuple[int, int], dict[Pair, object]] = {
+            (bi, bj): {} for bi in range(grid) for bj in range(grid)
+        }
+        for i, j, value in matrix.nonzero_cells():
+            buckets[(i // tile_size, j // tile_size)][
+                (i % tile_size, j % tile_size)] = value
+        return {
+            (bi, bj): AnnotatedMatrix(
+                self.semiring, (tile_size, tile_size), cells,
+                symbol=matrix.symbol,
+                row_offset=bi * tile_size, col_offset=bj * tile_size,
+            )
+            for (bi, bj), cells in buckets.items()
+        }
+
+    def assemble_from_tiles(self, tiles: dict, size: int, tile_size: int,
+                            ) -> AnnotatedMatrix:
+        cells: dict[Pair, object] = {}
+        symbol = None
+        for (bi, bj), tile in tiles.items():
+            symbol = symbol if symbol is not None else getattr(tile, "symbol", None)
+            base_i, base_j = bi * tile_size, bj * tile_size
+            tile_cells, _rows = _cells_of(tile, self.semiring)
+            for (ti, tj), value in tile_cells.items():
+                i, j = base_i + ti, base_j + tj
+                if i < size and j < size:
+                    cells[(i, j)] = value
+        return AnnotatedMatrix(self.semiring, (size, size), cells,
+                               symbol=symbol)
+
+
+@dataclass
+class AnnotatedClosureResult:
+    """Outcome of :func:`solve_annotated` — closed annotated matrices
+    plus the engine stats of the underlying :func:`run_closure` call."""
+
+    matrices: dict
+    iterations: int
+    multiplications: int
+    delta_nnz_per_round: tuple[int, ...] = ()
+
+    def cells(self) -> dict[tuple[int, int], dict]:
+        """The Section-5 cell view: ``(i, j) -> {symbol: annotation}``."""
+        merged: dict[tuple[int, int], dict] = {}
+        for symbol, matrix in self.matrices.items():
+            for i, j, value in matrix.nonzero_cells():
+                merged.setdefault((i, j), {})[symbol] = value
+        return merged
+
+
+def initial_annotated_matrices(graph, grammar, semiring: Semiring,
+                               ) -> dict:
+    """Annotated matrix initialization (Algorithm 1 lines 6-7): seed
+    ``M_A[i, j]`` with ⊕-folded edge identities for every edge
+    ``(i, x, j)`` with ``A → x``."""
+    n = graph.node_count
+    matrices = {
+        nt: {} for nt in grammar.nonterminals
+    }
+    for i, label, j in graph.edges_by_id():
+        heads = grammar.heads_for_terminal(Terminal(label))
+        if not heads:
+            continue
+        seed = semiring.identity(label)
+        for head in heads:
+            cells = matrices[head]
+            existing = cells.get((i, j))
+            cells[(i, j)] = (seed if existing is None
+                             else semiring.add(existing, seed))
+    return {
+        nt: AnnotatedMatrix(semiring, (n, n), cells, symbol=nt)
+        for nt, cells in matrices.items()
+    }
+
+
+def solve_annotated(graph, grammar, semiring: Semiring,
+                    strategy: str | None = None,
+                    normalize: bool = True,
+                    **strategy_options) -> AnnotatedClosureResult:
+    """Run the unified closure engine over *semiring*-annotated matrices.
+
+    This is the single code path behind the single-path and all-path
+    semantics: any registered strategy (``naive`` / ``delta`` /
+    ``blocked`` / plug-ins) closes the annotated matrices through
+    exactly the same kernels the relational solver uses.
+    """
+    from ..grammar.cnf import ensure_cnf
+    from .closure import run_closure
+    from .matrix_cfpq import DEFAULT_STRATEGY
+
+    working_grammar = ensure_cnf(grammar) if normalize else grammar
+    working_grammar.require_cnf("the annotated CFPQ engine")
+    backend = AnnotatedBackend(semiring)
+    matrices = initial_annotated_matrices(graph, working_grammar, semiring)
+    pair_rules = [
+        (rule.head, rule.body[0], rule.body[1])
+        for rule in working_grammar.binary_rules
+    ]
+    closure = run_closure(matrices, pair_rules, backend,
+                          strategy=strategy or DEFAULT_STRATEGY,
+                          **strategy_options)
+    return AnnotatedClosureResult(
+        matrices=closure.matrices,
+        iterations=closure.iterations,
+        multiplications=closure.multiplications,
+        delta_nnz_per_round=closure.delta_nnz_per_round,
+    )

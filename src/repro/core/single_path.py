@@ -1,19 +1,29 @@
-"""Single-path query semantics (Section 5 of the paper).
+"""Single-path query semantics (Section 5 of the paper), on the
+semiring-generalized closure engine.
 
 The relational answer says *that* a path exists; the single-path
 semantics must also *present one path* per triple ``(A, m, n)``.  The
-paper modifies the closure to store, with each non-terminal in a cell, a
-**path length**: cells hold pairs ``(A, l_A)``; initialization uses
-length 1; when ``A`` enters cell ``(i, j)`` through ``A → B C`` with
-``(B, l_B) ∈ a[i,r]`` and ``(C, l_C) ∈ a[r,j]`` its length is
-``l_A = l_B + l_C``.  Crucially, once ``A`` is recorded in a cell its
-length is **never updated** (the paper: "the non-terminal A is not added
-... with an associated path length l2 for all l2 ≠ l1") — so lengths are
-well-defined, though not necessarily minimal.
+paper's Section 5 modifies the closure to store, with each non-terminal
+in a cell, a **path length**: cells hold pairs ``(A, l_A)``;
+initialization uses length 1; when ``A`` enters cell ``(i, j)`` through
+``A → B C`` with ``(B, l_B) ∈ a[i,r]`` and ``(C, l_C) ∈ a[r,j]`` its
+length is ``l_A = l_B + l_C``, and a recorded length is never replaced
+by a *different* derivation's length (the paper: "the non-terminal A is
+not added ... with an associated path length l2 for all l2 ≠ l1").
 
-A concrete path of exactly that length is then recovered by the simple
-recursive search the paper sketches after Theorem 5: split on the
-midpoint ``r`` and rule ``A → B C`` whose recorded lengths add up.
+In semiring terms (this module's formulation) that is exactly the
+closure ``M_A ← M_A ⊕ (M_B ⊗ M_C)`` over the **length semiring**
+(:class:`repro.core.semiring.LengthSemiring`): ⊗ adds sub-path lengths
+across the midpoint, ⊕/merge keeps the minimum — the canonical,
+iteration-order-free form of the paper's no-update rule (see the
+semiring module docstring).  The index is therefore built by the same
+strategy-pluggable engine (:func:`repro.core.closure.run_closure`) as
+the relational answer: ``naive``, semi-naive ``delta`` and tiled
+``blocked`` all yield byte-identical annotations.
+
+A concrete path of exactly the recorded length is recovered by the
+simple recursive search the paper sketches after Theorem 5: split on
+the midpoint ``r`` and rule ``A → B C`` whose recorded lengths add up.
 
 :class:`SinglePathIndex` holds the annotated closure;
 :func:`extract_path` performs the search, and
@@ -31,6 +41,7 @@ from ..grammar.cnf import ensure_cnf
 from ..grammar.symbols import Nonterminal, Terminal
 from ..graph.labeled_graph import LabeledGraph
 from .relations import ContextFreeRelations
+from .semiring import LENGTH_SEMIRING, solve_annotated
 
 #: A path is a sequence of labeled edges (source_id, label, target_id).
 PathEdge = tuple[int, str, int]
@@ -72,66 +83,23 @@ class SinglePathIndex:
 
 
 def build_single_path_index(graph: LabeledGraph, grammar: CFG,
-                            normalize: bool = True) -> SinglePathIndex:
-    """Compute the length-annotated transitive closure of Section 5."""
+                            normalize: bool = True,
+                            strategy: str | None = None,
+                            ) -> SinglePathIndex:
+    """Compute the length-annotated transitive closure of Section 5.
+
+    The fixpoint runs on :func:`repro.core.closure.run_closure` over the
+    length semiring, so any registered closure *strategy* (``delta`` by
+    default, ``naive``, ``blocked``, plug-ins) applies; all strategies
+    produce identical annotations.
+    """
     working_grammar = ensure_cnf(grammar) if normalize else grammar
     working_grammar.require_cnf("single-path CFPQ")
-
-    cells: _Cells = {}
-    for i, label, j in graph.edges_by_id():
-        heads = working_grammar.heads_for_terminal(Terminal(label))
-        if not heads:
-            continue
-        entries = cells.setdefault((i, j), {})
-        for head in heads:
-            # Initialization: all path lengths are 1 (single edges).
-            entries.setdefault(head, 1)
-
-    pair_rules = [
-        (rule.head, rule.body[0], rule.body[1])
-        for rule in working_grammar.binary_rules
-    ]
-
-    iterations = 0
-    changed = True
-    while changed:
-        changed = False
-        iterations += 1
-        # Snapshot of row index: i -> {r: entries} for the product pass.
-        by_row: dict[int, list[tuple[int, dict[Nonterminal, int]]]] = {}
-        for (i, r), entries in cells.items():
-            by_row.setdefault(i, []).append((r, entries))
-        by_col: dict[int, list[tuple[int, dict[Nonterminal, int]]]] = {}
-        for (r, j), entries in cells.items():
-            by_col.setdefault(r, []).append((j, entries))
-
-        additions: list[tuple[int, int, Nonterminal, int]] = []
-        for head, left, right in pair_rules:
-            for i, row_entries in by_row.items():
-                for r, left_entries in row_entries:
-                    left_length = left_entries.get(left)  # type: ignore[arg-type]
-                    if left_length is None:
-                        continue
-                    for j, right_entries in by_col.get(r, ()):
-                        right_length = right_entries.get(right)  # type: ignore[arg-type]
-                        if right_length is None:
-                            continue
-                        existing = cells.get((i, j), {}).get(head)
-                        if existing is None:
-                            additions.append(
-                                (i, j, head, left_length + right_length)
-                            )
-        for i, j, head, length in additions:
-            entries = cells.setdefault((i, j), {})
-            # First write wins — the paper's "never update" rule; two
-            # different rules may propose lengths for the same cell in
-            # one sweep, the earlier proposal is kept.
-            if head not in entries:
-                entries[head] = length
-                changed = True
-
-    return SinglePathIndex(graph=graph, grammar=working_grammar, cells=cells,
-                           iterations=iterations)
+    result = solve_annotated(graph, working_grammar, LENGTH_SEMIRING,
+                             strategy=strategy, normalize=False)
+    return SinglePathIndex(graph=graph, grammar=working_grammar,
+                           cells=result.cells(),
+                           iterations=result.iterations)
 
 
 def extract_path(index: SinglePathIndex, nonterminal: Nonterminal | str,

@@ -241,6 +241,45 @@ class MatrixBackend(abc.ABC):
         """
         return self.union_update(accum, left.multiply(right))
 
+    # -- tiling hooks (the blocked closure strategy) ----------------------
+    def split_into_tiles(self, matrix: BooleanMatrix, tile_size: int,
+                         ) -> dict[tuple[int, int], BooleanMatrix]:
+        """Partition a square matrix into ceil(n/tile_size)² tiles.
+
+        Edge tiles are padded to full tile size (padding cells stay
+        False and never affect the product).  The coordinate round-trip
+        here loses per-cell payloads, so backends whose matrices carry
+        more than presence (the annotated adapter) override both tiling
+        hooks.
+        """
+        if tile_size < 1:
+            raise ValueError("tile_size must be positive")
+        n = matrix.shape[0]
+        grid = (n + tile_size - 1) // tile_size
+        buckets: dict[tuple[int, int], list[Pair]] = {
+            (bi, bj): [] for bi in range(grid) for bj in range(grid)
+        }
+        for i, j in matrix.nonzero_pairs():
+            buckets[(i // tile_size, j // tile_size)].append(
+                (i % tile_size, j % tile_size)
+            )
+        return {
+            index: self.from_pairs(tile_size, pairs)
+            for index, pairs in buckets.items()
+        }
+
+    def assemble_from_tiles(self, tiles: dict, size: int, tile_size: int,
+                            ) -> BooleanMatrix:
+        """Inverse of :meth:`split_into_tiles` (drops the padding)."""
+        pairs = []
+        for (bi, bj), tile in tiles.items():
+            base_i, base_j = bi * tile_size, bj * tile_size
+            for ti, tj in tile.nonzero_pairs():
+                i, j = base_i + ti, base_j + tj
+                if i < size and j < size:
+                    pairs.append((i, j))
+        return self.from_pairs(size, pairs)
+
     def __repr__(self) -> str:
         return f"<MatrixBackend {self.name}>"
 

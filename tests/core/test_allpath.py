@@ -70,6 +70,50 @@ class TestOnCycles:
             previous = current
 
 
+class TestCycleRegression:
+    """Regression for the pre-semiring enumerator's cycle handling.
+
+    The old recursive enumerator seeded its memo with partial results
+    and could return *incomplete* path sets when re-entered on a cycle;
+    the engine-backed enumerator recurses on exact path lengths (which
+    strictly decrease at every split), so cyclic graphs terminate by
+    construction and the answer is complete.
+    """
+
+    def test_cyclic_enumeration_terminates_with_distinct_paths(
+            self, dyck_grammar):
+        graph = two_cycles(1, 1)  # an a-loop and a b-loop on one node
+        cnf = to_cnf(dyck_grammar)
+        enumerator = AllPathEnumerator(graph, cnf, normalize=False)
+        listed = list(enumerator.iter_paths(S, max_length=8))
+        # Terminated (we got here), every path distinct and sound.
+        assert len(listed) == len(set(listed))
+        for i, j, path in listed:
+            assert path[0][0] == i and path[-1][2] == j
+            assert len(path) <= 8
+            assert cyk_recognize(cnf, S, list(path_word(path)))
+
+    def test_cyclic_count_is_complete(self, dyck_grammar):
+        """On the two-loop graph the Dyck words of length ≤ 2k are the
+        balanced ab-words — Catalan-counted; the old memo guard
+        undercounted re-entrant cells."""
+        graph = two_cycles(1, 1)
+        enumerator = AllPathEnumerator(graph, dyck_grammar)
+        # Dyck words of length 2, 4, 6: 1, 2, 5 (Catalan numbers).
+        assert len(enumerator.paths(S, 0, 0, max_length=2)) == 1
+        assert len(enumerator.paths(S, 0, 0, max_length=4)) == 1 + 2
+        assert len(enumerator.paths(S, 0, 0, max_length=6)) == 1 + 2 + 5
+
+    def test_cycle_through_multiple_nodes(self, dyck_grammar):
+        graph = two_cycles(2, 3)
+        cnf = to_cnf(dyck_grammar)
+        enumerator = AllPathEnumerator(graph, cnf, normalize=False)
+        paths = enumerator.paths(S, 0, 0, max_length=14)
+        assert paths, "S(0,0) has witnesses within the bound"
+        assert all(len(p) <= 14 for p in paths)
+        assert len({path_word(p) for p in paths}) == len(paths)
+
+
 class TestCountPaths:
     def test_chain_has_exactly_one(self, anbn_grammar):
         assert count_paths(word_chain(["a", "b"]), anbn_grammar, S, 4) == 1

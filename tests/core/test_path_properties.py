@@ -1,0 +1,134 @@
+"""Property tests for path extraction and all-path enumeration.
+
+The guarantees the paper states (Lemma 5.1 / Theorem 5 and the §7
+forest reading), checked on seeded random grammars × graphs rather than
+only the worked examples: every path any semantics returns must be
+
+(a) a real, contiguous path in the graph,
+(b) derivable from the queried non-terminal (CYK on its label word),
+(c) of exactly the recorded length / within the requested bound,
+
+plus the cross-semantics coherence properties that fall out of the
+shared semiring engine: the single-path annotation *is* the minimal
+witness length the all-path forest computes, and the bounded all-path
+answer always contains the single-path witness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.path_index import AllPathIndex
+from repro.core.single_path import (
+    build_single_path_index,
+    extract_path,
+    path_is_valid,
+    path_word,
+)
+from repro.grammar.recognizer import cyk_recognize
+from repro.graph.generators import random_graph, two_cycles
+
+from test_semiring_differential import STRATEGIES, make_case
+
+SEEDS = tuple(range(8))
+
+
+def _paths_are_contiguous(graph, path) -> bool:
+    previous = None
+    for i, label, j in path:
+        if previous is not None and i != previous:
+            return False
+        if not graph.has_edge(graph.node_at(i), label, graph.node_at(j)):
+            return False
+        previous = j
+    return True
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_extracted_path_properties(seed):
+    graph, grammar = make_case(seed)
+    index = build_single_path_index(graph, grammar, normalize=False)
+    for (i, j), entries in index.cells.items():
+        for nonterminal, length in entries.items():
+            path = extract_path(index, nonterminal, graph.node_at(i),
+                                graph.node_at(j))
+            assert path[0][0] == i and path[-1][2] == j
+            assert path_is_valid(index, path)                       # (a)
+            assert cyk_recognize(grammar, nonterminal,
+                                 list(path_word(path)))             # (b)
+            assert len(path) == length                              # (c)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_enumerated_path_properties(seed):
+    graph, grammar = make_case(seed, max_nodes=4, max_edges=8)
+    index = AllPathIndex.build(graph, grammar)
+    bound = 5
+    for nonterminal in grammar.nonterminals:
+        for i, j in index.relations.pairs(nonterminal):
+            enumerated = list(index.iter_paths(
+                nonterminal, graph.node_at(i), graph.node_at(j), bound))
+            assert len(enumerated) == len(set(enumerated))  # distinct
+            for path in enumerated:
+                assert path[0][0] == i and path[-1][2] == j
+                assert _paths_are_contiguous(graph, path)           # (a)
+                assert cyk_recognize(grammar, nonterminal,
+                                     list(path_word(path)))         # (b)
+                assert len(path) <= bound                           # (c)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_single_path_annotation_is_minimal_witness_length(seed):
+    """The length semiring's ⊕ = min makes Section 5's annotation the
+    forest's shortest witness — the two modules must agree exactly."""
+    graph, grammar = make_case(seed)
+    index = build_single_path_index(graph, grammar, normalize=False)
+    forest = AllPathIndex.build(graph, grammar)
+    for (i, j), entries in index.cells.items():
+        for nonterminal, length in entries.items():
+            assert forest.shortest_path_length(
+                nonterminal, graph.node_at(i), graph.node_at(j)
+            ) == length, (nonterminal, i, j)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_bounded_answer_contains_single_path_witness(seed, strategy):
+    graph, grammar = make_case(seed, max_nodes=4, max_edges=8)
+    index = build_single_path_index(graph, grammar, normalize=False,
+                                    strategy=strategy)
+    forest = AllPathIndex.build(graph, grammar, strategy=strategy)
+    for (i, j), entries in index.cells.items():
+        for nonterminal, length in entries.items():
+            if length > 5:
+                continue
+            witness = extract_path(index, nonterminal, graph.node_at(i),
+                                   graph.node_at(j))
+            bounded = set(forest.iter_paths(
+                nonterminal, graph.node_at(i), graph.node_at(j), length))
+            assert witness in bounded
+
+
+def test_enumeration_on_dense_cyclic_graph_terminates_and_is_sound():
+    """A denser cyclic case than two_cycles: every bounded path is a
+    distinct, valid, derivable walk."""
+    graph = random_graph(4, 14, ["a", "b"], seed=11)
+    graph.add_edge(0, "a", 0)  # guarantee a self-loop cycle
+    _graph2, grammar = make_case(1)
+    index = AllPathIndex.build(graph, grammar)
+    for nonterminal in grammar.nonterminals:
+        for i, j in index.relations.pairs(nonterminal):
+            paths = list(index.iter_paths(nonterminal, graph.node_at(i),
+                                          graph.node_at(j), 5))
+            assert len(paths) == len(set(paths))
+            for path in paths:
+                assert _paths_are_contiguous(graph, path)
+                assert cyk_recognize(grammar, nonterminal,
+                                     list(path_word(path)))
+
+
+def test_cyclic_graph_shortest_first_order(dyck_grammar):
+    index = AllPathIndex.build(two_cycles(1, 1), dyck_grammar)
+    lengths = [len(p) for p in index.iter_paths("S", 0, 0, max_length=8)]
+    assert lengths[0] == 2
+    assert lengths == sorted(lengths)

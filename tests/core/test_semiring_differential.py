@@ -1,0 +1,309 @@
+"""Differential harness: the semiring engine vs the legacy loops.
+
+The bespoke fixpoint loops that used to live in ``single_path.py`` and
+``allpath.py`` were deleted when both semantics moved onto the unified
+closure engine (:mod:`repro.core.semiring`).  They survive here as
+**oracles**: a tuple-level re-implementation of the Section 5
+length-annotated closure, and a brute-force walk enumerator checked by
+CYK.  For deterministic random grammars × random graphs the harness
+asserts, across every closure strategy (including tiled ``blocked``
+with a tile smaller than the graph) and every boolean backend:
+
+* the annotated engine's **relational projection** equals the boolean
+  engine's answer on every backend × strategy cell;
+* the recorded **single-path lengths** are byte-identical to the legacy
+  loop's (and therefore identical across strategies);
+* every **extracted path** is a real path of exactly the recorded
+  length whose labeling derives from the queried non-terminal;
+* the bounded **all-path answer** equals brute-force walk enumeration
+  filtered by CYK, and the midpoint index is identical across
+  strategies;
+* the **incremental annotated solver** stays equal to a from-scratch
+  index after every insertion.
+
+One deliberate strengthening in the length oracle: the legacy loop
+recorded whichever length its iteration order found first (sound, but
+order-dependent — the reason it could never be compared across
+strategies exactly); the oracle merges candidate lengths with ``min``,
+the canonical confluent form of the paper's never-update rule, which is
+precisely what :class:`repro.core.semiring.LengthSemiring` computes.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.allpath import AllPathEnumerator
+from repro.core.incremental import IncrementalSinglePathCFPQ
+from repro.core.matrix_cfpq import solve_matrix_relations
+from repro.core.path_index import AllPathIndex
+from repro.core.semiring import (
+    BOOLEAN_SEMIRING,
+    LENGTH_SEMIRING,
+    WITNESS_SEMIRING,
+    solve_annotated,
+)
+from repro.core.single_path import (
+    build_single_path_index,
+    extract_path,
+    path_is_valid,
+    path_word,
+)
+from repro.grammar.cfg import CFG
+from repro.grammar.cnf import to_cnf
+from repro.grammar.production import Production
+from repro.grammar.recognizer import cyk_recognize
+from repro.grammar.symbols import Nonterminal, Terminal
+from repro.graph.generators import random_graph
+from repro.matrices.base import available_backends
+
+STRATEGIES = ("naive", "delta", "blocked")
+SEEDS = tuple(range(10))
+_LABELS = ("a", "b")
+_NONTERMINALS = ("S", "A", "B")
+
+
+# ----------------------------------------------------------------------
+# Deterministic random cases (seeded at call time, never at import)
+# ----------------------------------------------------------------------
+
+def make_case(seed: int, max_nodes: int = 5, max_edges: int = 12,
+              ) -> tuple:
+    """One random (graph, CNF grammar) pair, fully determined by *seed*."""
+    rng = random.Random(0xC0FFEE ^ seed)
+    productions = []
+    for _ in range(rng.randint(1, 6)):
+        head = Nonterminal(rng.choice(_NONTERMINALS))
+        body = []
+        for _ in range(rng.randint(0, 3)):
+            if rng.random() < 0.5:
+                body.append(Terminal(rng.choice(_LABELS)))
+            else:
+                body.append(Nonterminal(rng.choice(_NONTERMINALS)))
+        productions.append(Production(head, tuple(body)))
+    grammar = to_cnf(CFG(productions))
+    graph = random_graph(rng.randint(2, max_nodes),
+                         rng.randint(1, max_edges),
+                         list(_LABELS), seed=rng.randint(0, 10_000))
+    return graph, grammar
+
+
+# ----------------------------------------------------------------------
+# Oracles (the legacy loops, kept for differential testing only)
+# ----------------------------------------------------------------------
+
+def legacy_single_path_cells(graph, grammar) -> dict:
+    """The pre-semiring Section 5 fixpoint at tuple granularity:
+    ``(i, j) -> {A: l_A}`` with edge initialization 1 and
+    ``l_A = l_B + l_C`` through every rule ``A → B C``, candidates
+    merged with min (see the module docstring)."""
+    cells: dict[tuple[int, int], dict[Nonterminal, int]] = {}
+    for i, label, j in graph.edges_by_id():
+        for head in grammar.heads_for_terminal(Terminal(label)):
+            cells.setdefault((i, j), {}).setdefault(head, 1)
+    pair_rules = [
+        (rule.head, rule.body[0], rule.body[1])
+        for rule in grammar.binary_rules
+    ]
+    changed = True
+    while changed:
+        changed = False
+        by_col: dict[int, list[tuple[int, dict]]] = {}
+        for (r, j), entries in cells.items():
+            by_col.setdefault(r, []).append((j, entries))
+        additions: list[tuple[int, int, Nonterminal, int]] = []
+        for head, left, right in pair_rules:
+            for (i, r), left_entries in cells.items():
+                left_length = left_entries.get(left)
+                if left_length is None:
+                    continue
+                for j, right_entries in by_col.get(r, ()):
+                    right_length = right_entries.get(right)
+                    if right_length is None:
+                        continue
+                    additions.append(
+                        (i, j, head, left_length + right_length)
+                    )
+        for i, j, head, length in additions:
+            entries = cells.setdefault((i, j), {})
+            existing = entries.get(head)
+            if existing is None or length < existing:
+                entries[head] = length
+                changed = True
+    return cells
+
+
+def brute_force_paths(graph, grammar, nonterminal, source_id: int,
+                      target_id: int, max_length: int) -> frozenset:
+    """Every walk of length ≤ *max_length* from source to target whose
+    label word derives from *nonterminal* — checked edge-by-edge with
+    CYK, completely independent of the closure machinery."""
+    out_edges = graph.out_edges_index()
+    found: set = set()
+
+    def extend(node: int, path: tuple) -> None:
+        if path and node == target_id:
+            word = [label for _i, label, _j in path]
+            if cyk_recognize(grammar, nonterminal, word):
+                found.add(path)
+        if len(path) == max_length:
+            return
+        for label, successor in out_edges.get(node, ()):
+            extend(successor, path + ((node, label, successor),))
+
+    extend(source_id, ())
+    return frozenset(found)
+
+
+# ----------------------------------------------------------------------
+# Single-path differentials
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_single_path_lengths_byte_identical_across_strategies(seed):
+    graph, grammar = make_case(seed)
+    oracle = legacy_single_path_cells(graph, grammar)
+    for strategy in STRATEGIES:
+        index = build_single_path_index(graph, grammar, normalize=False,
+                                        strategy=strategy)
+        assert index.cells == oracle, strategy
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_single_path_lengths_survive_real_tiling(seed):
+    """blocked with a tile edge smaller than the graph exercises the
+    offset bookkeeping of the annotated tiles."""
+    graph, grammar = make_case(seed)
+    oracle = legacy_single_path_cells(graph, grammar)
+    result = solve_annotated(graph, grammar, LENGTH_SEMIRING,
+                             strategy="blocked", normalize=False,
+                             tile_size=2)
+    assert result.cells() == oracle
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_extracted_paths_realize_recorded_lengths(seed, strategy):
+    graph, grammar = make_case(seed)
+    index = build_single_path_index(graph, grammar, normalize=False,
+                                    strategy=strategy)
+    for (i, j), entries in index.cells.items():
+        for nonterminal, length in entries.items():
+            path = extract_path(index, nonterminal, graph.node_at(i),
+                                graph.node_at(j))
+            assert len(path) == length
+            assert path_is_valid(index, path)
+            assert cyk_recognize(grammar, nonterminal,
+                                 list(path_word(path)))
+
+
+# ----------------------------------------------------------------------
+# Relational projection vs every boolean backend × strategy
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", SEEDS[:6])
+def test_relational_projection_matches_all_backends_and_strategies(seed):
+    graph, grammar = make_case(seed)
+    projections = {}
+    for semiring in (BOOLEAN_SEMIRING, LENGTH_SEMIRING, WITNESS_SEMIRING):
+        for strategy in STRATEGIES:
+            result = solve_annotated(graph, grammar, semiring,
+                                     strategy=strategy, normalize=False)
+            projections[(semiring.name, strategy)] = {
+                nt: frozenset(matrix.nonzero_pairs())
+                for nt, matrix in result.matrices.items()
+            }
+    reference = next(iter(projections.values()))
+    for key, projection in projections.items():
+        assert projection == reference, key
+    for backend in available_backends():
+        for strategy in STRATEGIES:
+            relations = solve_matrix_relations(graph, grammar,
+                                               backend=backend,
+                                               normalize=False,
+                                               strategy=strategy)
+            for nonterminal, pairs in reference.items():
+                assert relations.pairs(nonterminal) == pairs, (
+                    backend, strategy, nonterminal
+                )
+
+
+# ----------------------------------------------------------------------
+# All-path differentials
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", SEEDS[:6])
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_bounded_all_paths_match_brute_force(seed, strategy):
+    graph, grammar = make_case(seed, max_nodes=4, max_edges=8)
+    enumerator = AllPathEnumerator(graph, grammar, normalize=False,
+                                   strategy=strategy)
+    bound = 4
+    for nonterminal in grammar.nonterminals:
+        for i in range(graph.node_count):
+            for j in range(graph.node_count):
+                expected = brute_force_paths(graph, grammar, nonterminal,
+                                             i, j, bound)
+                actual = enumerator.paths(nonterminal, graph.node_at(i),
+                                          graph.node_at(j), bound)
+                assert actual == expected, (nonterminal, i, j)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_midpoint_index_identical_across_strategies(seed):
+    graph, grammar = make_case(seed)
+    forests = []
+    for strategy in STRATEGIES:
+        index = AllPathIndex.build(graph, grammar, strategy=strategy)
+        forests.append({
+            (nonterminal, i, j): tuple(index.splits(nonterminal, i, j))
+            for nonterminal in grammar.nonterminals
+            for i, j in index.relations.pairs(nonterminal)
+        })
+    assert forests[0] == forests[1] == forests[2]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_engine_forest_matches_on_demand_splits(seed):
+    """The witness annotation must equal the splits derived on demand
+    from the bare relations (the pre-semiring computation path)."""
+    graph, grammar = make_case(seed)
+    engine_index = AllPathIndex.build(graph, grammar)
+    legacy_index = AllPathIndex(graph, grammar, engine_index.relations)
+    assert legacy_index._splits_index is None
+    for nonterminal in grammar.nonterminals:
+        for i, j in engine_index.relations.pairs(nonterminal):
+            assert (sorted(engine_index.splits(nonterminal, i, j),
+                           key=_split_key)
+                    == sorted(legacy_index.splits(nonterminal, i, j),
+                              key=_split_key)), (nonterminal, i, j)
+
+
+def _split_key(split):
+    left, right, mid = split
+    return (left.name, right.name, mid)
+
+
+# ----------------------------------------------------------------------
+# Incremental annotated solver vs from-scratch index
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", SEEDS[:6])
+def test_incremental_lengths_track_from_scratch_index(seed):
+    graph, grammar = make_case(seed)
+    rng = random.Random(0xFEED ^ seed)
+    solver = IncrementalSinglePathCFPQ(graph, to_cnf(grammar))
+    for _ in range(4):
+        source = rng.randrange(graph.node_count)
+        target = rng.randrange(graph.node_count)
+        solver.add_edge(source, rng.choice(_LABELS), target)
+        rebuilt = build_single_path_index(graph, solver.grammar,
+                                          normalize=False)
+        expected = {
+            (nt, i, j): length
+            for (i, j), entries in rebuilt.cells.items()
+            for nt, length in entries.items()
+        }
+        assert solver._lengths == expected
