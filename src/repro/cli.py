@@ -25,6 +25,7 @@ import sys
 from .core.closure import available_strategies
 from .core.engine import CFPQEngine
 from .core.matrix_cfpq import DEFAULT_STRATEGY
+from .core.tiles import available_schedulers
 from .errors import ReproError
 from .grammar.builders import GRAMMAR_REGISTRY, get_grammar
 from .grammar.parser import parse_grammar
@@ -64,20 +65,66 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         choices=available_strategies(),
                         help="closure strategy (delta = semi-naive, "
                              "naive = full re-multiplication, "
-                             "blocked = tiled products)")
+                             "blocked = frontier-aware tiled products, "
+                             "autotune = pick per round)")
+    parser.add_argument("--scheduler", default=None,
+                        choices=available_schedulers(),
+                        help="tile scheduler for the blocked strategy "
+                             "(default: $REPRO_SCHEDULER or serial)")
+    parser.add_argument("--tile-size", type=int, default=None,
+                        help="tile edge for the blocked strategy "
+                             "(default 64)")
+
+
+def _strategy_options(args: argparse.Namespace) -> dict:
+    """The closure options implied by the CLI flags."""
+    options = {}
+    if getattr(args, "scheduler", None) is not None:
+        options["scheduler"] = args.scheduler
+    if getattr(args, "tile_size", None) is not None:
+        options["tile_size"] = args.tile_size
+    return options
+
+
+def _stats_payload(engine: CFPQEngine) -> dict:
+    """The solver stats of the engine's default (backend, strategy) run,
+    as plain JSON (used by ``query --stats``)."""
+    stats = engine.solve().stats
+    payload = {
+        "backend": stats.backend,
+        "strategy": stats.strategy,
+        "iterations": stats.iterations,
+        "multiplications": stats.multiplications,
+        "total_entries": stats.total_entries,
+        "delta_nnz_per_round": list(stats.delta_nnz_per_round),
+    }
+    blocked = stats.details.get("blocked")
+    if blocked is not None:
+        payload["blocked"] = blocked.as_dict()
+    autotune = stats.details.get("autotune")
+    if autotune is not None:
+        payload["autotune"] = autotune
+    return payload
 
 
 def cmd_query(args: argparse.Namespace) -> int:
     engine = CFPQEngine(_load_graph(args), _load_grammar(args),
-                        backend=args.backend, strategy=args.strategy)
+                        backend=args.backend, strategy=args.strategy,
+                        **_strategy_options(args))
     pairs = sorted(engine.relational(args.start), key=str)
     if args.json:
-        print(json.dumps({"start": args.start, "count": len(pairs),
-                          "pairs": [[str(a), str(b)] for a, b in pairs]}))
+        document = {"start": args.start, "count": len(pairs),
+                    "pairs": [[str(a), str(b)] for a, b in pairs]}
+        if args.stats:
+            document["stats"] = _stats_payload(engine)
+        print(json.dumps(document))
     else:
         print(f"R_{args.start}: {len(pairs)} pairs")
         for source, target in pairs:
             print(f"  {source} -> {target}")
+        if args.stats:
+            print("stats:")
+            print(json.dumps(_stats_payload(engine), indent=2))
     return 0
 
 
@@ -93,7 +140,8 @@ def _coerce_node(graph, token: str):
 
 def cmd_path(args: argparse.Namespace) -> int:
     engine = CFPQEngine(_load_graph(args), _load_grammar(args),
-                        backend=args.backend, strategy=args.strategy)
+                        backend=args.backend, strategy=args.strategy,
+                        **_strategy_options(args))
     graph = engine.graph
     path = engine.single_path(args.start, _coerce_node(graph, args.source),
                               _coerce_node(graph, args.target))
@@ -109,7 +157,8 @@ def cmd_path(args: argparse.Namespace) -> int:
 
 def cmd_all_paths(args: argparse.Namespace) -> int:
     engine = CFPQEngine(_load_graph(args), _load_grammar(args),
-                        backend=args.backend, strategy=args.strategy)
+                        backend=args.backend, strategy=args.strategy,
+                        **_strategy_options(args))
     graph = engine.graph
     paths = sorted(engine.all_paths(args.start,
                                     _coerce_node(graph, args.source),
@@ -190,6 +239,9 @@ def build_parser() -> argparse.ArgumentParser:
     query = subparsers.add_parser("query", help="relational semantics")
     _add_common(query)
     query.add_argument("--json", action="store_true")
+    query.add_argument("--stats", action="store_true",
+                       help="print solver stats (iterations, per-round "
+                            "frontier sizes, per-tile/scheduler stats)")
     query.set_defaults(handler=cmd_query)
 
     path = subparsers.add_parser("path", help="single-path semantics")

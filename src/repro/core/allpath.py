@@ -51,12 +51,14 @@ class AllPathEnumerator:
     """
 
     def __init__(self, graph: LabeledGraph, grammar: CFG,
-                 normalize: bool = True, strategy: str | None = None):
+                 normalize: bool = True, strategy: str | None = None,
+                 **strategy_options):
         self.graph = graph
         self.grammar = ensure_cnf(grammar) if normalize else grammar
         self.grammar.require_cnf("all-path enumeration")
         self.index = AllPathIndex.build(graph, self.grammar,
-                                        strategy=strategy)
+                                        strategy=strategy,
+                                        **strategy_options)
 
     def paths(self, nonterminal: Nonterminal | str, source: Hashable,
               target: Hashable, max_length: int) -> frozenset[Path]:

@@ -96,15 +96,42 @@ class TileDeviceSimulator:
 
 @dataclass(frozen=True)
 class BlockedStats:
-    """Instrumentation of a blocked closure run."""
+    """Instrumentation of a blocked closure run.
+
+    ``tiles_skipped_by_frontier`` counts tile products whose operands
+    were both nonzero but which the frontier-aware strategy proved
+    redundant (neither operand tile changed last round); the
+    all-tiles-every-round behavior would have multiplied exactly
+    ``tile_products + tiles_skipped_by_frontier`` tiles.
+    ``scheduler_wall_time_s`` is the wall time spent inside the named
+    tile scheduler's ``run`` (compute only — merging is excluded).
+    """
 
     tile_size: int
     grid: int
     tile_products: int
     iterations: int
-    device_loads: int
-    device_evictions: int
-    tasks_per_device: dict[int, int]
+    device_loads: int = 0
+    device_evictions: int = 0
+    tasks_per_device: dict = field(default_factory=dict)
+    tiles_skipped_by_frontier: int = 0
+    scheduler: str = "serial"
+    scheduler_wall_time_s: float = 0.0
+
+    def as_dict(self) -> dict:
+        """Plain-JSON view (the CLI ``--stats`` rendering)."""
+        return {
+            "tile_size": self.tile_size,
+            "grid": self.grid,
+            "tile_products": self.tile_products,
+            "iterations": self.iterations,
+            "device_loads": self.device_loads,
+            "device_evictions": self.device_evictions,
+            "tasks_per_device": dict(self.tasks_per_device),
+            "tiles_skipped_by_frontier": self.tiles_skipped_by_frontier,
+            "scheduler": self.scheduler,
+            "scheduler_wall_time_s": self.scheduler_wall_time_s,
+        }
 
 
 def blocked_multiply(left_tiles: dict[TileIndex, BooleanMatrix],

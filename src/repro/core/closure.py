@@ -14,9 +14,21 @@ iteration *strategy* vary independently of the matrix *backend*:
   instead of full products.  The least fixpoint is identical (the
   closure is monotone — Theorem 3's argument); the work per round
   shrinks with the frontier.
-* ``blocked`` — the naive rule loop with every product computed
-  tile-by-tile via :mod:`repro.core.blocked`, bounding the working set
-  per product (the paper's §7 multi-GPU / out-of-core direction).
+* ``blocked`` — a **frontier-aware parallel tile engine**: matrices are
+  partitioned once into tiles, the frontier is tracked at *tile*
+  granularity, and a round only schedules the (rule, I, J, K) tasks
+  whose K-side or I-side input tile changed last round.  Each round's
+  independent tile tasks form an explicit DAG executed on a pluggable
+  scheduler (``serial`` / ``threads`` / ``process`` — see
+  :mod:`repro.core.tiles`); merging happens in canonical key order, so
+  the closure is byte-identical across schedulers and task orderings.
+  This is the paper's §7 multi-GPU / out-of-core direction with the
+  semi-naive trick pushed down to the device-task grain.
+* ``autotune`` — picks the round executor from live signals: the
+  matrix size routes huge workloads to the frontier-aware blocked
+  engine up front, and per round the frontier density
+  (``delta_nnz_per_round`` vs total nnz) chooses between a semi-naive
+  delta round and a full naive round.
 
 All strategies run on any registered matrix backend through the mutable
 kernel API (``MatrixBackend.union_update`` / ``mxm_into``), which falls
@@ -34,7 +46,8 @@ through.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Callable, Hashable, Iterable
 
 from ..errors import UnknownStrategyError
@@ -59,6 +72,10 @@ class ClosureResult:
     #: New entries merged per round — the semi-naive frontier sizes for
     #: ``delta``, total growth per round for the other strategies.
     delta_nnz_per_round: tuple[int, ...] = ()
+    #: Strategy-specific instrumentation: ``blocked`` stores a
+    #: :class:`repro.core.blocked.BlockedStats` under ``"blocked"``,
+    #: ``autotune`` its per-round decisions under ``"autotune"``.
+    details: dict = field(default_factory=dict)
 
 
 #: A closure strategy: closes *matrices* (mutating the mapping and/or
@@ -239,63 +256,292 @@ def closure_delta(matrices: dict, pair_rules: list[PairRule],
 def closure_blocked(matrices: dict, pair_rules: list[PairRule],
                     backend: MatrixBackend,
                     tile_size: int = DEFAULT_TILE_SIZE,
+                    scheduler: "str | None" = None,
+                    frontier: bool = True,
+                    task_order: "Callable | None" = None,
                     **_options) -> ClosureResult:
-    """The naive rule loop with tiled products (bounded working set).
+    """Frontier-aware tiled closure on a pluggable scheduler.
 
-    Every matrix is partitioned into ``tile_size``-square tiles once;
-    each rule product runs tile-by-tile through
-    :func:`repro.core.blocked.blocked_multiply`.  ``multiplications``
-    counts *tile* products — the unit of work a device would schedule.
+    Every matrix is partitioned into ``tile_size``-square tiles once.
+    Per round, a (rule, I, J, K) tile task is generated only when the
+    K-side input tile ``left[I, K]`` or the I-side input tile
+    ``right[K, J]`` changed last round (round 1: every nonzero tile
+    counts as changed, reproducing the full first round).  Tasks
+    targeting the same output tile form one mul-accumulate group; the
+    groups of a round are independent and run on *scheduler*
+    (``serial`` / ``threads`` / ``process``; None honours
+    ``$REPRO_SCHEDULER``).  All group products are computed before any
+    merge, and merging walks the groups in canonical key order, so the
+    result is byte-identical for every scheduler and for any task
+    permutation (*task_order* exists for the determinism tests: it may
+    reorder the group list before scheduling).
+
+    The least fixpoint equals ``naive``'s: whenever an input tile
+    changes at round r, every task reading it re-fires at round r+1
+    with the full current tiles, which is the semi-naive completeness
+    argument at tile granularity; monotone growth bounds the rounds.
+
+    ``multiplications`` counts *tile* products — the unit of work a
+    device would schedule.  ``details["blocked"]`` carries a
+    :class:`repro.core.blocked.BlockedStats` with the frontier savings
+    (``tiles_skipped_by_frontier``) and the scheduler wall time.
     """
-    from .blocked import assemble_from_tiles, blocked_multiply, split_into_tiles
+    from .blocked import BlockedStats, assemble_from_tiles, split_into_tiles
+    from .tiles import resolve_scheduler
 
     if not matrices:
         return ClosureResult(matrices=matrices, iterations=0,
                              multiplications=0)
+    scheduler_obj = resolve_scheduler(scheduler)
     size = next(iter(matrices.values())).shape[0]
     grid = max(1, (size + tile_size - 1) // tile_size)
     tiles = {
         symbol: split_into_tiles(matrix, tile_size, backend)
         for symbol, matrix in matrices.items()
     }
+    nonzero: dict[Hashable, set] = {
+        symbol: {index for index, tile in symbol_tiles.items() if tile.nnz()}
+        for symbol, symbol_tiles in tiles.items()
+    }
+    # Round 1 treats every nonzero tile as freshly changed.
+    changed: dict[Hashable, set] = {
+        symbol: set(indexes) for symbol, indexes in nonzero.items() if indexes
+    }
 
     iterations = 0
-    multiplications = 0
+    tile_products = 0
+    tiles_skipped = 0
+    scheduler_seconds = 0.0
     growth: list[int] = []
-    changed = True
+
     while changed and size:
-        changed = False
         iterations += 1
+        # Index the nonzero tiles by their inner coordinate K once per
+        # round: as left operand (I, K) grouped by K, as right operand
+        # (K, J) grouped by K.
+        left_by_k: dict[Hashable, dict[int, list[int]]] = {}
+        right_by_k: dict[Hashable, dict[int, list[int]]] = {}
+        for symbol, indexes in nonzero.items():
+            by_col: dict[int, list[int]] = {}
+            by_row: dict[int, list[int]] = {}
+            for (a, b) in indexes:
+                by_col.setdefault(b, []).append(a)   # left tile (I, K=b)
+                by_row.setdefault(a, []).append(b)   # right tile (K=a, J)
+            left_by_k[symbol] = by_col
+            right_by_k[symbol] = by_row
+
+        groups: dict[tuple, set[int]] = {}
+        full_products = 0
+        for rule_index, (head, left, right) in enumerate(pair_rules):
+            left_cols = left_by_k.get(left)
+            right_rows = right_by_k.get(right)
+            if not left_cols or not right_rows:
+                continue
+            for k in left_cols.keys() & right_rows.keys():
+                full_products += len(left_cols[k]) * len(right_rows[k])
+            if frontier:
+                fired: set[tuple[int, int, int]] = set()
+                for (i, k) in changed.get(left, ()):
+                    for j in right_rows.get(k, ()):
+                        fired.add((i, j, k))
+                for (k, j) in changed.get(right, ()):
+                    for i in left_cols.get(k, ()):
+                        fired.add((i, j, k))
+            else:
+                fired = {
+                    (i, j, k)
+                    for k in left_cols.keys() & right_rows.keys()
+                    for i in left_cols[k]
+                    for j in right_rows[k]
+                }
+            for (i, j, k) in fired:
+                groups.setdefault((rule_index, i, j), set()).add(k)
+
+        ordered = [
+            (key, [
+                (tiles[pair_rules[key[0]][1]][(key[1], k)],
+                 tiles[pair_rules[key[0]][2]][(k, key[2])])
+                for k in sorted(ks)
+            ])
+            for key, ks in sorted(groups.items())
+        ]
+        round_products = sum(len(pairs) for _key, pairs in ordered)
+        tile_products += round_products
+        tiles_skipped += full_products - round_products
+        if task_order is not None:
+            ordered = task_order(ordered)
+
+        started = time.perf_counter()
+        results = scheduler_obj.run(ordered)
+        scheduler_seconds += time.perf_counter() - started
+
+        by_key = {key: result for (key, _pairs), result in
+                  zip(ordered, results)}
+        next_changed: dict[Hashable, set] = {}
         round_new = 0
-        for head, left, right in pair_rules:
-            product_tiles, products = blocked_multiply(
-                tiles[left], tiles[right], grid
+        for key in sorted(by_key):
+            rule_index, i, j = key
+            head = pair_rules[rule_index][0]
+            merged, delta = backend.union_update(
+                tiles[head][(i, j)], by_key[key]
             )
-            multiplications += products
-            head_tiles = tiles[head]
-            for index, product_tile in product_tiles.items():
-                merged, delta = backend.union_update(
-                    head_tiles[index], product_tile
-                )
-                head_tiles[index] = merged
-                new_entries = delta.nnz()
-                if new_entries:
-                    changed = True
-                    round_new += new_entries
+            tiles[head][(i, j)] = merged
+            new_entries = delta.nnz()
+            if new_entries:
+                round_new += new_entries
+                next_changed.setdefault(head, set()).add((i, j))
+                nonzero[head].add((i, j))
         growth.append(round_new)
+        changed = next_changed
 
     for symbol in matrices:
         matrices[symbol] = assemble_from_tiles(
             tiles[symbol], size, tile_size, backend
         )
+    stats = BlockedStats(
+        tile_size=tile_size,
+        grid=grid,
+        tile_products=tile_products,
+        iterations=iterations,
+        tiles_skipped_by_frontier=tiles_skipped,
+        scheduler=scheduler_obj.name,
+        scheduler_wall_time_s=scheduler_seconds,
+    )
     return ClosureResult(matrices=matrices, iterations=iterations,
-                         multiplications=multiplications,
-                         delta_nnz_per_round=tuple(growth))
+                         multiplications=tile_products,
+                         delta_nnz_per_round=tuple(growth),
+                         details={"blocked": stats})
+
+
+#: Autotune: run blocked-parallel when matrices are at least this large
+#: *and* a parallel scheduler is configured.
+AUTOTUNE_BLOCKED_MIN_SIZE = 2048
+
+#: Autotune: a round whose frontier holds at least this fraction of all
+#: stored entries runs as a full naive round instead of a delta round.
+AUTOTUNE_DENSE_FRONTIER_RATIO = 0.5
+
+
+def closure_autotune(matrices: dict, pair_rules: list[PairRule],
+                     backend: MatrixBackend,
+                     tile_size: int = DEFAULT_TILE_SIZE,
+                     scheduler: "str | None" = None,
+                     blocked_min_size: int = AUTOTUNE_BLOCKED_MIN_SIZE,
+                     dense_frontier_ratio: float = AUTOTUNE_DENSE_FRONTIER_RATIO,
+                     **options) -> ClosureResult:
+    """Strategy-aware autotuning: pick the executor per round.
+
+    Two live signals drive the choice:
+
+    * **matrix size × configured hardware** — when a parallel tile
+      scheduler is declared (``scheduler=`` or ``$REPRO_SCHEDULER``
+      naming anything but ``serial``) and the matrices are at least
+      ``blocked_min_size`` nodes, the whole run is routed to the
+      frontier-aware blocked engine: that is the regime where the
+      bounded per-tile working set and the task pool beat whole-matrix
+      products.  On serial hardware whole-matrix kernels always win, so
+      no size routes to tiling;
+    * **frontier density** (``delta_nnz_per_round`` of the previous
+      round vs the total stored entries) — a dense frontier means a
+      delta round would multiply nearly-full matrices *twice* per rule
+      (``Δleft × right`` and ``left × Δright``), so the round runs
+      naive (one full product per rule); a sparse frontier runs
+      semi-naive.
+
+    Every mix of round executors converges to the same least fixpoint
+    (each round's merge is monotone, and both round types propagate
+    every frontier entry through every rule mentioning its symbol).
+    The decisions land in ``details["autotune"]``.
+    """
+    from .tiles import resolve_scheduler
+
+    if not matrices:
+        return ClosureResult(matrices=matrices, iterations=0,
+                             multiplications=0)
+    size = next(iter(matrices.values())).shape[0]
+    scheduler_obj = resolve_scheduler(scheduler)
+    if size >= blocked_min_size and scheduler_obj.name != "serial":
+        result = closure_blocked(matrices, pair_rules, backend,
+                                 tile_size=tile_size,
+                                 scheduler=scheduler_obj, **options)
+        result.details["autotune"] = {
+            "mode": "blocked-parallel",
+            "reason": (f"size {size} >= {blocked_min_size} on scheduler "
+                       f"{scheduler_obj.name!r}"),
+            "rounds": ["blocked"] * result.iterations,
+        }
+        return result
+
+    frontier: dict[Hashable, BooleanMatrix] = {
+        symbol: backend.clone(matrix)
+        for symbol, matrix in matrices.items()
+        if matrix.nnz()
+    }
+    iterations = 0
+    multiplications = 0
+    growth: list[int] = []
+    rounds: list[str] = []
+
+    while frontier:
+        iterations += 1
+        total_nnz = sum(matrix.nnz() for matrix in matrices.values())
+        frontier_nnz = sum(matrix.nnz() for matrix in frontier.values())
+        dense_frontier = (total_nnz > 0
+                          and frontier_nnz >= dense_frontier_ratio * total_nnz)
+        rounds.append("naive" if dense_frontier else "delta")
+        next_frontier: dict[Hashable, BooleanMatrix] = {}
+
+        def merge(head: Hashable, product: BooleanMatrix) -> int:
+            merged, delta = backend.union_update(matrices[head], product)
+            matrices[head] = merged
+            delta_nnz = delta.nnz()
+            if delta_nnz:
+                accumulated = next_frontier.get(head)
+                if accumulated is None:
+                    next_frontier[head] = delta
+                else:
+                    next_frontier[head], _ = backend.union_update(
+                        accumulated, delta
+                    )
+            return delta_nnz
+
+        round_new = 0
+        if dense_frontier:
+            for head, left, right in pair_rules:
+                left_matrix, right_matrix = matrices[left], matrices[right]
+                if left_matrix.nnz() == 0 or right_matrix.nnz() == 0:
+                    continue
+                multiplications += 1
+                round_new += merge(head, left_matrix.multiply(right_matrix))
+        else:
+            for head, left, right in pair_rules:
+                delta_left = frontier.get(left)
+                if delta_left is not None and matrices[right].nnz():
+                    multiplications += 1
+                    round_new += merge(
+                        head, delta_left.multiply(matrices[right])
+                    )
+                delta_right = frontier.get(right)
+                if delta_right is not None and matrices[left].nnz():
+                    multiplications += 1
+                    round_new += merge(
+                        head, matrices[left].multiply(delta_right)
+                    )
+        growth.append(round_new)
+        frontier = next_frontier
+
+    return ClosureResult(
+        matrices=matrices, iterations=iterations,
+        multiplications=multiplications,
+        delta_nnz_per_round=tuple(growth),
+        details={"autotune": {"mode": "rounds", "rounds": rounds}},
+    )
 
 
 register_strategy("naive", closure_naive)
 register_strategy("delta", closure_delta)
 register_strategy("blocked", closure_blocked)
+register_strategy("autotune", closure_autotune)
 
 #: The strategy names bundled with the library.
-STRATEGIES = ("naive", "delta", "blocked")
+STRATEGIES = ("naive", "delta", "blocked", "autotune")

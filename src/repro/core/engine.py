@@ -58,17 +58,23 @@ class CFPQEngine:
         SciPy is installed).
     strategy:
         Default closure strategy (``"delta"`` / ``"naive"`` /
-        ``"blocked"``); overridable per call.
+        ``"blocked"`` / ``"autotune"``); overridable per call.
+    strategy_options:
+        Extra keyword options forwarded to every closure run — e.g.
+        ``tile_size=128, scheduler="process"`` for the blocked tile
+        engine.
     """
 
     def __init__(self, graph: LabeledGraph, grammar: CFG,
                  backend: str | None = None,
-                 strategy: str = DEFAULT_STRATEGY):
+                 strategy: str = DEFAULT_STRATEGY,
+                 **strategy_options):
         self.graph = graph
         self.original_grammar = grammar
         self.grammar = ensure_cnf(grammar)
         self.backend = backend or default_backend()
         self.strategy = strategy
+        self.strategy_options = strategy_options
         self._matrix_results: dict[tuple[str, str], MatrixCFPQResult] = {}
         self._single_path_indexes: dict[str, SinglePathIndex] = {}
         self._all_path_enumerators: dict[str, AllPathEnumerator] = {}
@@ -83,7 +89,7 @@ class CFPQEngine:
         if key not in self._matrix_results:
             self._matrix_results[key] = solve_matrix(
                 self.graph, self.grammar, backend=key[0], normalize=False,
-                strategy=key[1],
+                strategy=key[1], **self.strategy_options,
             )
         return self._matrix_results[key]
 
@@ -122,7 +128,8 @@ class CFPQEngine:
         key = strategy or self.strategy
         if key not in self._single_path_indexes:
             self._single_path_indexes[key] = build_single_path_index(
-                self.graph, self.grammar, normalize=False, strategy=key
+                self.graph, self.grammar, normalize=False, strategy=key,
+                **self.strategy_options,
             )
         return self._single_path_indexes[key]
 
@@ -155,7 +162,8 @@ class CFPQEngine:
         key = strategy or self.strategy
         if key not in self._all_path_enumerators:
             self._all_path_enumerators[key] = AllPathEnumerator(
-                self.graph, self.grammar, normalize=False, strategy=key
+                self.graph, self.grammar, normalize=False, strategy=key,
+                **self.strategy_options,
             )
         return self._all_path_enumerators[key]
 

@@ -58,6 +58,10 @@ class MatrixCFPQStats:
     #: New entries merged per closure round (the semi-naive frontier
     #: sizes when ``strategy == "delta"``).
     delta_nnz_per_round: tuple[int, ...] = ()
+    #: Strategy-specific instrumentation forwarded from the closure run
+    #: (``blocked``: per-tile stats incl. tiles skipped by the frontier
+    #: and scheduler wall time; ``autotune``: per-round decisions).
+    details: dict = field(default_factory=dict)
 
     @property
     def total_entries(self) -> int:
@@ -152,6 +156,7 @@ def solve_matrix(graph: LabeledGraph, grammar: CFG,
         },
         strategy=strategy,
         delta_nnz_per_round=closure.delta_nnz_per_round,
+        details=closure.details,
     )
     return MatrixCFPQResult(matrices=matrices, relations=relations, stats=stats)
 

@@ -93,15 +93,18 @@ class AllPathIndex:
     # ------------------------------------------------------------------
     @classmethod
     def build(cls, graph: LabeledGraph, grammar: CFG,
-              strategy: str | None = None) -> "AllPathIndex":
+              strategy: str | None = None,
+              **strategy_options) -> "AllPathIndex":
         """Run the witness-semiring closure engine and wrap its forest.
 
         *strategy* selects the closure strategy (engine default when
-        None); every strategy produces the identical forest.
+        None; extra keyword options such as ``tile_size`` / ``scheduler``
+        are forwarded); every strategy produces the identical forest.
         """
         cnf = ensure_cnf(grammar)
         result = solve_annotated(graph, cnf, WITNESS_SEMIRING,
-                                 strategy=strategy, normalize=False)
+                                 strategy=strategy, normalize=False,
+                                 **strategy_options)
         pairs_by_nonterminal: dict[Nonterminal, set[tuple[int, int]]] = {}
         splits_index: dict[tuple[Nonterminal, int, int], tuple[Split, ...]] = {}
         for nonterminal, matrix in result.matrices.items():

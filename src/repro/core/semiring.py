@@ -206,6 +206,35 @@ BOOLEAN_SEMIRING = BooleanSemiring()
 LENGTH_SEMIRING = LengthSemiring()
 WITNESS_SEMIRING = WitnessSemiring()
 
+#: Name → singleton registry, used by the process tile scheduler to
+#: rebuild annotated tiles on the worker side of the pipe.
+SEMIRINGS: dict[str, Semiring] = {
+    semiring.name: semiring
+    for semiring in (BOOLEAN_SEMIRING, LENGTH_SEMIRING, WITNESS_SEMIRING)
+}
+
+
+def register_semiring(semiring: Semiring) -> Semiring:
+    """Register *semiring* under its name (required for third-party
+    semirings to work with the ``process`` tile scheduler; note the
+    workers inherit runtime registrations only under the ``fork`` start
+    method — under ``spawn`` the registration must happen at import
+    time of a module the workers also import)."""
+    SEMIRINGS[semiring.name] = semiring
+    return semiring
+
+
+def get_semiring(name: str) -> Semiring:
+    """Resolve a registered semiring by name."""
+    try:
+        return SEMIRINGS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown semiring {name!r}; registered: {sorted(SEMIRINGS)} "
+            "(register custom semirings with register_semiring to use "
+            "the process tile scheduler)"
+        ) from None
+
 
 class AnnotatedMatrix(BooleanMatrix):
     """A boolean matrix whose True cells carry semiring annotations.
@@ -450,6 +479,25 @@ class AnnotatedBackend(MatrixBackend):
             for (bi, bj), cells in buckets.items()
         }
 
+    # -- tile payloads (process-pool scheduler) ---------------------------
+    def tile_payload(self, matrix: BooleanMatrix) -> tuple:
+        """Annotated tiles travel as their cell dict plus the provenance
+        fields (symbol, offsets) and the semiring *name* — the worker
+        resolves the semiring from the registry instead of unpickling
+        backend objects."""
+        if not isinstance(matrix, AnnotatedMatrix):
+            return ("annotated", self.semiring.name, matrix.shape, None,
+                    0, 0, tuple(
+                        (pair, self.semiring.identity())
+                        for pair in matrix.nonzero_pairs()
+                    ))
+        return ("annotated", matrix.semiring.name, matrix.shape,
+                matrix.symbol, matrix.row_offset, matrix.col_offset,
+                tuple(matrix._cells.items()))
+
+    def tile_from_payload(self, payload: tuple) -> AnnotatedMatrix:
+        return annotated_tile_from_payload(payload)
+
     def assemble_from_tiles(self, tiles: dict, size: int, tile_size: int,
                             ) -> AnnotatedMatrix:
         cells: dict[Pair, object] = {}
@@ -464,6 +512,14 @@ class AnnotatedBackend(MatrixBackend):
                     cells[(i, j)] = value
         return AnnotatedMatrix(self.semiring, (size, size), cells,
                                symbol=symbol)
+
+
+def annotated_tile_from_payload(payload: tuple) -> AnnotatedMatrix:
+    """Rebuild an annotated tile from its :meth:`AnnotatedBackend.tile_payload`."""
+    _kind, semiring_name, shape, symbol, row_offset, col_offset, cells = payload
+    return AnnotatedMatrix(get_semiring(semiring_name), shape, dict(cells),
+                           symbol=symbol, row_offset=row_offset,
+                           col_offset=col_offset)
 
 
 @dataclass

@@ -85,18 +85,20 @@ class SinglePathIndex:
 def build_single_path_index(graph: LabeledGraph, grammar: CFG,
                             normalize: bool = True,
                             strategy: str | None = None,
-                            ) -> SinglePathIndex:
+                            **strategy_options) -> SinglePathIndex:
     """Compute the length-annotated transitive closure of Section 5.
 
     The fixpoint runs on :func:`repro.core.closure.run_closure` over the
     length semiring, so any registered closure *strategy* (``delta`` by
-    default, ``naive``, ``blocked``, plug-ins) applies; all strategies
-    produce identical annotations.
+    default, ``naive``, ``blocked``, plug-ins) applies — extra keyword
+    options (``tile_size``, ``scheduler``) are forwarded to it; all
+    strategies produce identical annotations.
     """
     working_grammar = ensure_cnf(grammar) if normalize else grammar
     working_grammar.require_cnf("single-path CFPQ")
     result = solve_annotated(graph, working_grammar, LENGTH_SEMIRING,
-                             strategy=strategy, normalize=False)
+                             strategy=strategy, normalize=False,
+                             **strategy_options)
     return SinglePathIndex(graph=graph, grammar=working_grammar,
                            cells=result.cells(),
                            iterations=result.iterations)

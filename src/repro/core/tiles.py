@@ -1,0 +1,242 @@
+"""Tile-task scheduling: the parallel grain of the blocked closure.
+
+The frontier-aware blocked strategy (:func:`repro.core.closure.closure_blocked`)
+expresses each closure round as a DAG of independent **tile-task
+groups**: one group per output tile ``(rule, I, J)``, holding the
+mul-accumulate chain over the inner index ``K``
+
+    out[I, J]  =  ⋁_K  left[I, K] × right[K, J]      (K restricted to
+                                                      frontier-reachable
+                                                      tasks)
+
+Groups never share an output, so they can run in any order and on any
+executor; the per-round barrier (compute everything, then merge in
+canonical key order) makes the closure byte-identical regardless of the
+scheduler or the completion order — that property is what the
+differential tests in ``tests/core/test_tile_scheduler.py`` lock.
+
+Three schedulers are bundled:
+
+* ``serial``  — compute groups inline (the reference executor);
+* ``threads`` — a shared :class:`~concurrent.futures.ThreadPoolExecutor`;
+  NumPy's kernels release the GIL on the word/array operations, so the
+  bitset and dense backends genuinely overlap;
+* ``process`` — a shared :class:`~concurrent.futures.ProcessPoolExecutor`.
+  Tiles cross the pipe as **payloads** — plain tuples of raw word/bool/
+  index buffers produced by :meth:`MatrixBackend.tile_payload` — never as
+  pickled matrix objects, so the IPC cost is the buffer bytes, not a
+  Python object graph.
+
+``resolve_scheduler(None)`` honours the ``REPRO_SCHEDULER`` environment
+variable (CI runs the tier-1 suite with ``REPRO_SCHEDULER=process`` to
+catch pickling/ownership bugs) and falls back to ``serial``.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+
+from ..errors import UnknownSchedulerError
+from ..matrices.base import BooleanMatrix, get_backend
+
+#: Environment variable supplying the default scheduler name.
+SCHEDULER_ENV = "REPRO_SCHEDULER"
+
+
+def compute_group(pairs) -> BooleanMatrix:
+    """Run one group's mul-accumulate chain; returns the product tile.
+
+    Accumulation uses ``union_update`` on the freshly-owned first
+    product (matching the historical ``blocked_multiply`` accumulator
+    semantics — for annotated tiles that is the semiring cell merge).
+    """
+    accumulator = None
+    for left, right in pairs:
+        product = left.multiply(right)
+        if accumulator is None:
+            accumulator = product
+        elif accumulator.supports_inplace:
+            accumulator.union_update(product)
+        else:
+            accumulator = accumulator.union(product)
+    return accumulator
+
+
+def tile_payload_of(matrix: BooleanMatrix) -> tuple:
+    """Serialize *matrix* through its backend's payload hook."""
+    backend_name = matrix.backend_name
+    if backend_name == "annotated":
+        from .semiring import AnnotatedBackend
+
+        return AnnotatedBackend(matrix.semiring).tile_payload(matrix)
+    if backend_name == "abstract":
+        # Third-party matrix types without a registered backend travel
+        # as generic coordinate payloads (rebuilt on the pyset backend).
+        rows, cols = matrix.shape
+        return ("pyset", rows, cols, tuple(matrix.nonzero_pairs()))
+    return get_backend(backend_name).tile_payload(matrix)
+
+
+def matrix_from_payload(payload: tuple) -> BooleanMatrix:
+    """Rebuild a tile from any backend's payload (worker-side entry)."""
+    kind = payload[0]
+    if kind == "annotated":
+        from .semiring import annotated_tile_from_payload
+
+        return annotated_tile_from_payload(payload)
+    return get_backend(kind).tile_from_payload(payload)
+
+
+def _compute_group_from_payloads(pair_payloads) -> tuple:
+    """Process-pool worker: deserialize, compute, reserialize."""
+    pairs = [
+        (matrix_from_payload(left), matrix_from_payload(right))
+        for left, right in pair_payloads
+    ]
+    return tile_payload_of(compute_group(pairs))
+
+
+class TileScheduler:
+    """Executes a list of tile-task groups; results keep input order.
+
+    ``run(groups)`` takes ``[(key, pairs), ...]`` and returns the
+    product tiles aligned with the input — the caller owns merge order,
+    so a scheduler can complete work in any order it likes.
+    """
+
+    name = "abstract"
+
+    def run(self, groups) -> list:
+        raise NotImplementedError
+
+
+class SerialScheduler(TileScheduler):
+    """In-process reference executor."""
+
+    name = "serial"
+
+    def run(self, groups) -> list:
+        return [compute_group(pairs) for _key, pairs in groups]
+
+
+def _pool_workers() -> int:
+    return max(1, min(os.cpu_count() or 1, 8))
+
+
+class ThreadScheduler(TileScheduler):
+    """Shared thread pool; tiles are passed by reference (no copies).
+
+    Safe because the blocked round is a compute/merge barrier: no tile
+    mutates while any group still reads it.
+    """
+
+    name = "threads"
+
+    def __init__(self) -> None:
+        self._executor: Executor | None = None
+
+    def _pool(self) -> Executor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=_pool_workers(),
+                thread_name_prefix="repro-tile",
+            )
+            atexit.register(self._executor.shutdown)
+        return self._executor
+
+    def run(self, groups) -> list:
+        if len(groups) <= 1:
+            return SerialScheduler().run(groups)
+        return list(self._pool().map(compute_group,
+                                     [pairs for _key, pairs in groups]))
+
+
+class ProcessScheduler(TileScheduler):
+    """Shared process pool; tiles cross the pipe as raw-buffer payloads.
+
+    The pool is created lazily and reused across closure runs (worker
+    start-up is far more expensive than a round), and the chunked map
+    amortizes IPC over several groups per message.  The ``fork`` start
+    method is preferred when the platform offers it, so that runtime
+    registrations (:func:`repro.core.semiring.register_semiring`,
+    custom backends) are inherited by the workers; under ``spawn``
+    (e.g. macOS default) workers re-import the library and only the
+    bundled backends/semirings resolve.
+    """
+
+    name = "process"
+
+    def __init__(self) -> None:
+        self._executor: Executor | None = None
+
+    def _pool(self) -> Executor:
+        if self._executor is None:
+            context = None
+            if "fork" in multiprocessing.get_all_start_methods():
+                context = multiprocessing.get_context("fork")
+            self._executor = ProcessPoolExecutor(
+                max_workers=_pool_workers(),
+                mp_context=context,
+            )
+            atexit.register(self._executor.shutdown)
+        return self._executor
+
+    def run(self, groups) -> list:
+        if len(groups) <= 1:
+            return SerialScheduler().run(groups)
+        # Many groups share operand tiles (a hot right tile appears in
+        # one group per output row); encode each distinct tile once.
+        payload_cache: dict[int, tuple] = {}
+
+        def encode(tile) -> tuple:
+            payload = payload_cache.get(id(tile))
+            if payload is None:
+                payload = tile_payload_of(tile)
+                payload_cache[id(tile)] = payload
+            return payload
+
+        payloads = [
+            tuple((encode(left), encode(right)) for left, right in pairs)
+            for _key, pairs in groups
+        ]
+        chunksize = max(1, len(payloads) // (4 * _pool_workers()))
+        results = self._pool().map(_compute_group_from_payloads, payloads,
+                                   chunksize=chunksize)
+        return [matrix_from_payload(result) for result in results]
+
+
+_SCHEDULERS: dict[str, TileScheduler] = {}
+
+
+def register_scheduler(scheduler: TileScheduler) -> TileScheduler:
+    """Register *scheduler* under ``scheduler.name`` (idempotent)."""
+    _SCHEDULERS[scheduler.name] = scheduler
+    return scheduler
+
+
+def available_schedulers() -> list[str]:
+    """Names of all registered tile schedulers."""
+    return sorted(_SCHEDULERS)
+
+
+def resolve_scheduler(name: "str | TileScheduler | None") -> TileScheduler:
+    """Resolve a scheduler by name; None → ``$REPRO_SCHEDULER`` → serial."""
+    if isinstance(name, TileScheduler):
+        return name
+    if name is None:
+        name = os.environ.get(SCHEDULER_ENV) or "serial"
+    try:
+        return _SCHEDULERS[name]
+    except KeyError:
+        raise UnknownSchedulerError(name, list(_SCHEDULERS)) from None
+
+
+register_scheduler(SerialScheduler())
+register_scheduler(ThreadScheduler())
+register_scheduler(ProcessScheduler())
+
+#: The scheduler names bundled with the library.
+SCHEDULERS = ("serial", "threads", "process")

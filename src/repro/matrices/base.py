@@ -280,6 +280,25 @@ class MatrixBackend(abc.ABC):
                     pairs.append((i, j))
         return self.from_pairs(size, pairs)
 
+    # -- tile payloads (process-pool scheduler) ---------------------------
+    def tile_payload(self, matrix: BooleanMatrix) -> tuple:
+        """Serialize a tile as a plain tuple of raw buffers/coordinates.
+
+        Payloads cross the process boundary of the ``process`` tile
+        scheduler, so they must be cheap to pickle: no matrix objects,
+        only primitive containers.  The first element is the backend
+        registry key the worker resolves to deserialize.  The generic
+        form ships the coordinate list; array-storage backends override
+        with their raw word/bool/index buffers.
+        """
+        rows, cols = matrix.shape
+        return (self.name, rows, cols, tuple(matrix.nonzero_pairs()))
+
+    def tile_from_payload(self, payload: tuple) -> BooleanMatrix:
+        """Inverse of :meth:`tile_payload` for this backend's payloads."""
+        _name, rows, cols, pairs = payload
+        return self.from_pairs(rows, pairs, cols=cols)
+
     def __repr__(self) -> str:
         return f"<MatrixBackend {self.name}>"
 

@@ -6,13 +6,19 @@ individual cells — the classic bitset trick used by high-performance
 Boolean-matrix CFPQ implementations (and, conceptually, by the GPU
 kernels the paper targets: one machine word processes 64 matrix cells).
 
-The product is computed row-wise: for row ``i`` of the left matrix,
-OR together the packed rows ``k`` of the right matrix for every set
-bit ``k`` — O(rows · nnz-rows · words) word operations.
+The product kernel is fully vectorized: the left operand is bit-expanded
+once (``np.unpackbits``), the set-bit coordinates select ("gather") the
+packed right-matrix rows, and one segmented ``np.bitwise_or.reduceat``
+folds each output row — no Python inner loop, so the word-level
+parallelism the paper attributes to the GPU actually reaches NumPy's C
+kernels.  The historical per-row/per-bit loop survives as
+:meth:`BitsetMatrix.multiply_rowloop`, the reference the benchmark suite
+measures the vectorized kernel against.
 """
 
 from __future__ import annotations
 
+import sys
 from typing import Iterable, Iterator
 
 import numpy as np
@@ -21,9 +27,65 @@ from .base import BooleanMatrix, MatrixBackend, Pair, register_backend
 
 _WORD = 64
 
+#: The byte-view kernels (unpackbits/packbits on a uint8 view of the
+#: word array) assume bit j of word w lives in byte j//8 — true only on
+#: little-endian hosts, since bits are *written* value-wise
+#: (``1 << j % 64``).  Big-endian hosts take the endian-agnostic
+#: fallbacks instead.
+_LITTLE_ENDIAN = sys.byteorder == "little"
+
+#: Upper bound on set left bits gathered per ``reduceat`` chunk: caps
+#: the peak temporary at ``_GATHER_CHUNK_BITS × row_bytes(right)``
+#: (≈ 32 MB at 4096 columns) instead of ``nnz(left) × row_bytes`` —
+#: which on dense operands would be O(n³/8).
+_GATHER_CHUNK_BITS = 1 << 16
+
 
 def _word_count(cols: int) -> int:
     return max(1, (cols + _WORD - 1) // _WORD)
+
+
+def _multiply_words(left_words: np.ndarray, right_words: np.ndarray,
+                    inner: int) -> np.ndarray:
+    """The vectorized packed product: for every set bit (i, k) of the
+    left operand OR the packed right row ``k`` into output row ``i``.
+
+    Implemented as bit-expansion + gather + segmented
+    ``np.bitwise_or.reduceat`` over the gathered rows (``np.nonzero``
+    returns coordinates row-major, so each output row is one contiguous
+    segment).  The gather runs in row-aligned chunks of at most
+    :data:`_GATHER_CHUNK_BITS` set bits, bounding the temporary
+    working set on dense operands.  Returns a fresh writable word array.
+    """
+    rows = left_words.shape[0]
+    out = np.zeros((rows, right_words.shape[1]), dtype=np.uint64)
+    if rows == 0 or inner == 0:
+        return out
+    bits = np.unpackbits(left_words.view(np.uint8), axis=1,
+                         bitorder="little")[:, :inner]
+    row_idx, k_idx = np.nonzero(bits)
+    total = len(row_idx)
+    if not total:
+        return out
+    # Global segment starts: one segment per nonzero output row.
+    starts = np.concatenate(([0], np.flatnonzero(np.diff(row_idx)) + 1))
+    segment = 0
+    while segment < len(starts):
+        begin = int(starts[segment])
+        # Extend to whole row segments until the chunk budget is hit;
+        # a single row denser than the budget still goes in one piece
+        # (its gather is bounded by inner × row_bytes).
+        segment_end = int(np.searchsorted(starts, begin + _GATHER_CHUNK_BITS,
+                                          side="right"))
+        segment_end = max(segment_end, segment + 1)
+        end = (int(starts[segment_end]) if segment_end < len(starts)
+               else total)
+        gathered = right_words[k_idx[begin:end]]
+        sub_starts = starts[segment:segment_end] - begin
+        out[row_idx[starts[segment:segment_end]]] = \
+            np.bitwise_or.reduceat(gathered, sub_starts, axis=0)
+        segment = segment_end
+    return out
 
 
 class BitsetMatrix(BooleanMatrix):
@@ -31,7 +93,9 @@ class BitsetMatrix(BooleanMatrix):
 
     The constructor **takes ownership** of the word array (no copy):
     the in-place kernels OR whole rows into it, so pass a copy if you
-    keep a reference.  Read-only arrays are copied defensively.
+    keep a reference.  Read-only arrays are copied defensively; the
+    kernels construct their results through :meth:`_wrap`, which skips
+    that check entirely (they only ever produce fresh writable buffers).
     """
 
     __slots__ = ("_words", "_cols")
@@ -46,6 +110,23 @@ class BitsetMatrix(BooleanMatrix):
             words = words.copy()
         self._words = words
         self._cols = cols
+
+    @classmethod
+    def _wrap(cls, words: np.ndarray, cols: int) -> "BitsetMatrix":
+        """Kernel fast path: wrap a word buffer we know we own.
+
+        Skips the defensive-copy check of ``__init__`` — every kernel
+        result is a fresh writable uint64 array, and the assertions
+        (compiled out under ``-O``) keep that invariant honest.
+        """
+        assert words.ndim == 2 and words.dtype == np.uint64, \
+            "_wrap requires a 2-D uint64 word array"
+        assert words.flags.writeable, \
+            "_wrap requires a writable (owned) buffer"
+        matrix = cls.__new__(cls)
+        matrix._words = words
+        matrix._cols = cols
+        return matrix
 
     @property
     def shape(self) -> tuple[int, int]:
@@ -73,6 +154,19 @@ class BitsetMatrix(BooleanMatrix):
 
     def multiply(self, other: BooleanMatrix) -> "BitsetMatrix":
         self._require_chainable(other)
+        if not _LITTLE_ENDIAN:  # pragma: no cover - exotic hosts
+            return self.multiply_rowloop(other)
+        other_bits = _as_bitset(other)
+        product = _multiply_words(self._words, other_bits._words,
+                                  self.shape[1])
+        return BitsetMatrix._wrap(product, other_bits._cols)
+
+    def multiply_rowloop(self, other: BooleanMatrix) -> "BitsetMatrix":
+        """The seed scalar kernel: per row, walk every set bit in Python
+        and OR the matching packed right rows.  Kept as the reference
+        implementation the vectorized :meth:`multiply` is differentially
+        tested and benchmarked against (``BENCH_backends.json``)."""
+        self._require_chainable(other)
         other_bits = _as_bitset(other)
         rows = self.shape[0]
         result = np.zeros((rows, other_bits._words.shape[1]), dtype=np.uint64)
@@ -92,31 +186,47 @@ class BitsetMatrix(BooleanMatrix):
                     k = base + low.bit_length() - 1
                     np.bitwise_or(accumulator, right_words[k], out=accumulator)
                     value ^= low
-        return BitsetMatrix(result, other_bits._cols)
+        return BitsetMatrix._wrap(result, other_bits._cols)
 
     def union(self, other: BooleanMatrix) -> "BitsetMatrix":
         self._require_same_shape(other)
         other_bits = _as_bitset(other)
-        return BitsetMatrix(self._words | other_bits._words, self._cols)
+        return BitsetMatrix._wrap(self._words | other_bits._words, self._cols)
 
     def transpose(self) -> "BitsetMatrix":
         rows, cols = self.shape
-        transposed = np.zeros((cols, _word_count(rows)), dtype=np.uint64)
-        for i, j in self.nonzero_pairs():
-            transposed[j, i // _WORD] |= np.uint64(1) << np.uint64(i % _WORD)
-        return BitsetMatrix(transposed, rows)
+        if rows == 0 or cols == 0 or not _LITTLE_ENDIAN:
+            transposed = np.zeros((cols, _word_count(rows)), dtype=np.uint64)
+            for i, j in self.nonzero_pairs():  # pragma: no cover - BE hosts
+                transposed[j, i // _WORD] |= np.uint64(1) << np.uint64(
+                    i % _WORD)
+            return BitsetMatrix._wrap(transposed, rows)
+        bits = np.unpackbits(self._words.view(np.uint8), axis=1,
+                             bitorder="little")[:, :cols]
+        padded = np.zeros((cols, _word_count(rows) * _WORD), dtype=np.uint8)
+        padded[:, :rows] = bits.T
+        transposed = np.packbits(padded, axis=1,
+                                 bitorder="little").view(np.uint64)
+        return BitsetMatrix._wrap(np.ascontiguousarray(transposed), rows)
 
     def difference(self, other: BooleanMatrix) -> "BitsetMatrix":
         self._require_same_shape(other)
         other_bits = _as_bitset(other)
-        return BitsetMatrix(self._words & ~other_bits._words, self._cols)
+        # self & ~other with a single allocation: invert into the output
+        # buffer, then AND in place.
+        out = np.bitwise_not(other_bits._words)
+        np.bitwise_and(out, self._words, out=out)
+        return BitsetMatrix._wrap(out, self._cols)
 
     def union_update(self, other: BooleanMatrix) -> "BitsetMatrix":
         self._require_same_shape(other)
         other_words = _as_bitset(other)._words
-        delta = other_words & ~self._words
-        self._words |= other_words
-        return BitsetMatrix(delta, self._cols)
+        # Exact delta with one allocation (the returned matrix): merged
+        # = self | other, delta = merged ^ self, then merge in place.
+        delta = np.bitwise_or(self._words, other_words)
+        np.bitwise_xor(delta, self._words, out=delta)
+        np.bitwise_or(self._words, delta, out=self._words)
+        return BitsetMatrix._wrap(delta, self._cols)
 
 
 _POPCOUNT_TABLE = np.array([bin(b).count("1") for b in range(256)],
@@ -130,7 +240,7 @@ def _as_bitset(matrix: BooleanMatrix) -> BitsetMatrix:
     words = np.zeros((rows, _word_count(cols)), dtype=np.uint64)
     for i, j in matrix.nonzero_pairs():
         words[i, j // _WORD] |= np.uint64(1) << np.uint64(j % _WORD)
-    return BitsetMatrix(words, cols)
+    return BitsetMatrix._wrap(words, cols)
 
 
 class BitsetBackend(MatrixBackend):
@@ -140,7 +250,7 @@ class BitsetBackend(MatrixBackend):
 
     def zeros(self, rows: int, cols: int | None = None) -> BitsetMatrix:
         actual_cols = cols if cols is not None else rows
-        return BitsetMatrix(
+        return BitsetMatrix._wrap(
             np.zeros((rows, _word_count(actual_cols)), dtype=np.uint64),
             actual_cols,
         )
@@ -153,21 +263,22 @@ class BitsetBackend(MatrixBackend):
             if not (0 <= i < size and 0 <= j < actual_cols):
                 raise ValueError(f"pair {(i, j)} outside shape {(size, actual_cols)}")
             words[i, j // _WORD] |= np.uint64(1) << np.uint64(j % _WORD)
-        return BitsetMatrix(words, actual_cols)
+        return BitsetMatrix._wrap(words, actual_cols)
 
     def clone(self, matrix: BooleanMatrix) -> BitsetMatrix:
         bits = _as_bitset(matrix)
-        return BitsetMatrix(bits._words.copy(), bits._cols)
+        return BitsetMatrix._wrap(bits._words.copy(), bits._cols)
 
     def mxm_into(self, left: BooleanMatrix, right: BooleanMatrix,
                  accum: BooleanMatrix,
                  ) -> tuple[BooleanMatrix, BooleanMatrix]:
-        """Fused product-accumulate: OR the packed right-matrix rows
-        straight into the accumulator's rows, one row buffer at a time,
-        skipping the whole-matrix product temporary."""
-        if not isinstance(accum, BitsetMatrix) or accum is left or accum is right:
-            # The unfused path multiplies before mutating, so operand
-            # aliasing stays safe.
+        """Fused product-accumulate on packed words: the vectorized
+        product buffer is reused in place to compute the exact delta
+        (``merged ^ old``) and then ORed into the accumulator — no
+        temporaries beyond the product itself."""
+        if not isinstance(accum, BitsetMatrix) or not _LITTLE_ENDIAN:
+            # The unfused path multiplies before mutating (and routes
+            # big-endian hosts through the scalar kernel).
             return super().mxm_into(left, right, accum)
         left._require_chainable(right)
         left_bits = _as_bitset(left)
@@ -179,28 +290,27 @@ class BitsetBackend(MatrixBackend):
                 f"cannot accumulate {(left_bits.shape[0], right_bits._cols)} "
                 f"into {accum.shape}"
             )
-        right_words = right_bits._words
-        delta_words = np.zeros_like(accum._words)
-        row_buffer = np.zeros(right_words.shape[1], dtype=np.uint64)
-        for i in range(left_bits.shape[0]):
-            row = left_bits._words[i]
-            nonzero_word_indexes = np.nonzero(row)[0]
-            if not len(nonzero_word_indexes):
-                continue
-            row_buffer[:] = 0
-            for w in nonzero_word_indexes.tolist():
-                value = int(row[w])
-                base = w * _WORD
-                while value:
-                    low = value & -value
-                    k = base + low.bit_length() - 1
-                    np.bitwise_or(row_buffer, right_words[k], out=row_buffer)
-                    value ^= low
-            np.bitwise_and(row_buffer, ~accum._words[i],
-                           out=delta_words[i])
-            np.bitwise_or(accum._words[i], row_buffer,
-                          out=accum._words[i])
-        return accum, BitsetMatrix(delta_words, accum._cols)
+        product = _multiply_words(left_bits._words, right_bits._words,
+                                  left_bits.shape[1])
+        # product -> merged -> delta, all in the product buffer; safe
+        # even when accum aliases an operand (the product is computed
+        # before accum mutates).
+        np.bitwise_or(product, accum._words, out=product)
+        np.bitwise_xor(product, accum._words, out=product)
+        np.bitwise_or(accum._words, product, out=accum._words)
+        return accum, BitsetMatrix._wrap(product, accum._cols)
+
+    # -- tile payloads (process-pool scheduler) ---------------------------
+    def tile_payload(self, matrix: BooleanMatrix) -> tuple:
+        bits = _as_bitset(matrix)
+        rows, cols = bits.shape
+        return ("bitset", rows, cols, bits._words.tobytes())
+
+    def tile_from_payload(self, payload: tuple) -> BitsetMatrix:
+        _kind, rows, cols, raw = payload
+        words = np.frombuffer(raw, dtype=np.uint64).reshape(
+            rows, _word_count(cols)).copy()
+        return BitsetMatrix._wrap(words, cols)
 
 
 BACKEND = register_backend(BitsetBackend())

@@ -118,5 +118,23 @@ class SparseBackend(MatrixBackend):
     def clone(self, matrix: BooleanMatrix) -> SparseMatrix:
         return SparseMatrix(_as_csr(matrix).copy())
 
+    # -- tile payloads (process-pool scheduler) ---------------------------
+    def tile_payload(self, matrix: BooleanMatrix) -> tuple:
+        """CSR structure as raw index buffers (bool data is implicit)."""
+        csr = _as_csr(matrix)
+        rows, cols = csr.shape
+        return ("sparse", rows, cols,
+                csr.indptr.astype(np.int64).tobytes(),
+                csr.indices.astype(np.int64).tobytes())
+
+    def tile_from_payload(self, payload: tuple) -> SparseMatrix:
+        _kind, rows, cols, indptr_raw, indices_raw = payload
+        indptr = np.frombuffer(indptr_raw, dtype=np.int64)
+        indices = np.frombuffer(indices_raw, dtype=np.int64)
+        data = np.ones(len(indices), dtype=bool)
+        return SparseMatrix(
+            sp.csr_matrix((data, indices, indptr), shape=(rows, cols))
+        )
+
 
 BACKEND = register_backend(SparseBackend())

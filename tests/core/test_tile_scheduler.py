@@ -1,0 +1,248 @@
+"""Differential tests for the frontier-aware parallel tile engine.
+
+The blocked strategy must be a pure implementation detail: whatever
+scheduler executes the tile-task DAG (``serial`` in-process, ``threads``
+pool, ``process`` pool with raw-buffer payloads) and whatever order the
+tasks run in, the closure — boolean relations and length/witness
+annotations alike — must be byte-identical to the ``naive`` oracle.
+These tests reuse the deterministic random cases of the semiring
+differential harness (:mod:`tests.core.test_semiring_differential`).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.closure import run_closure
+from repro.core.matrix_cfpq import solve_matrix
+from repro.core.semiring import (
+    LENGTH_SEMIRING,
+    WITNESS_SEMIRING,
+    solve_annotated,
+)
+from repro.core.tiles import (
+    SCHEDULERS,
+    available_schedulers,
+    matrix_from_payload,
+    resolve_scheduler,
+    tile_payload_of,
+)
+from repro.errors import UnknownSchedulerError
+from repro.matrices.base import available_backends, get_backend
+
+from test_semiring_differential import make_case
+
+SEEDS = tuple(range(6))
+
+
+# ----------------------------------------------------------------------
+# Registry / resolution
+# ----------------------------------------------------------------------
+
+class TestSchedulerRegistry:
+    def test_bundled_schedulers_registered(self):
+        assert set(SCHEDULERS) <= set(available_schedulers())
+
+    def test_unknown_scheduler(self):
+        with pytest.raises(UnknownSchedulerError) as excinfo:
+            resolve_scheduler("gpu-cluster")
+        assert "serial" in str(excinfo.value)
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCHEDULER", "threads")
+        assert resolve_scheduler(None).name == "threads"
+        monkeypatch.delenv("REPRO_SCHEDULER")
+        assert resolve_scheduler(None).name == "serial"
+
+
+# ----------------------------------------------------------------------
+# Payload round-trips (the process scheduler's wire format)
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("backend_name", available_backends())
+def test_payload_round_trip(backend_name):
+    backend = get_backend(backend_name)
+    matrix = backend.from_pairs(7, [(0, 6), (3, 3), (6, 0), (5, 2)], cols=9)
+    payload = tile_payload_of(matrix)
+    assert isinstance(payload, tuple)
+    rebuilt = matrix_from_payload(payload)
+    assert rebuilt.shape == matrix.shape
+    assert rebuilt.same_pairs(matrix)
+
+
+def test_annotated_payload_round_trip():
+    graph, grammar = make_case(0)
+    result = solve_annotated(graph, grammar, LENGTH_SEMIRING,
+                             normalize=False)
+    for matrix in result.matrices.values():
+        rebuilt = matrix_from_payload(tile_payload_of(matrix))
+        assert rebuilt.same_pairs(matrix)
+        assert {(i, j): v for i, j, v in rebuilt.nonzero_cells()} == \
+            {(i, j): v for i, j, v in matrix.nonzero_cells()}
+        assert rebuilt.symbol == matrix.symbol
+
+
+# ----------------------------------------------------------------------
+# Scheduler × strategy × backend × semiring differential
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_schedulers_byte_identical_boolean(seed):
+    """Every (scheduler × backend) blocked run equals the naive oracle."""
+    graph, grammar = make_case(seed)
+    oracle = solve_matrix(graph, grammar, normalize=False, strategy="naive")
+    for scheduler in SCHEDULERS:
+        for backend in available_backends():
+            result = solve_matrix(graph, grammar, backend=backend,
+                                  normalize=False, strategy="blocked",
+                                  tile_size=2, scheduler=scheduler)
+            assert result.relations.same_as(oracle.relations), \
+                (scheduler, backend)
+            assert (result.stats.nnz_per_nonterminal
+                    == oracle.stats.nnz_per_nonterminal), (scheduler, backend)
+
+
+@pytest.mark.parametrize("seed", SEEDS[:4])
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
+def test_schedulers_byte_identical_annotations(seed, scheduler):
+    """Length and witness annotations survive every scheduler exactly —
+    including the raw-buffer payload round trip of ``process``."""
+    graph, grammar = make_case(seed)
+    for semiring in (LENGTH_SEMIRING, WITNESS_SEMIRING):
+        reference = solve_annotated(graph, grammar, semiring,
+                                    strategy="naive", normalize=False)
+        tiled = solve_annotated(graph, grammar, semiring,
+                                strategy="blocked", normalize=False,
+                                tile_size=2, scheduler=scheduler)
+        assert tiled.cells() == reference.cells(), (scheduler, semiring.name)
+
+
+@pytest.mark.parametrize("seed", SEEDS[:4])
+def test_autotune_matches_oracle(seed):
+    graph, grammar = make_case(seed)
+    oracle = solve_matrix(graph, grammar, normalize=False, strategy="naive")
+    result = solve_matrix(graph, grammar, normalize=False,
+                          strategy="autotune")
+    assert result.relations.same_as(oracle.relations)
+    assert result.stats.details["autotune"]["rounds"]
+
+
+@pytest.mark.parametrize("seed", SEEDS[:3])
+def test_autotune_blocked_parallel_route(seed):
+    """The size×scheduler route to the tile engine: with the threshold
+    lowered every case qualifies, and the result must still equal the
+    oracle while recording the blocked-parallel decision."""
+    graph, grammar = make_case(seed)
+    oracle = solve_matrix(graph, grammar, normalize=False, strategy="naive")
+    result = solve_matrix(graph, grammar, normalize=False,
+                          strategy="autotune", scheduler="threads",
+                          blocked_min_size=1, tile_size=2)
+    assert result.relations.same_as(oracle.relations)
+    autotune = result.stats.details["autotune"]
+    assert autotune["mode"] == "blocked-parallel"
+    assert "threads" in autotune["reason"]
+    assert result.stats.details["blocked"].scheduler == "threads"
+
+
+# ----------------------------------------------------------------------
+# Determinism under task-order shuffling
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_closure_deterministic_under_task_shuffling(seed):
+    """Merging happens in canonical key order, so any permutation of the
+    scheduled task list yields the identical closure and stats."""
+    graph, grammar = make_case(seed)
+    reference = solve_matrix(graph, grammar, normalize=False,
+                             strategy="blocked", tile_size=2)
+    for shuffle_seed in range(3):
+        rng = random.Random(shuffle_seed)
+
+        def shuffled(groups):
+            groups = list(groups)
+            rng.shuffle(groups)
+            return groups
+
+        result = solve_matrix(graph, grammar, normalize=False,
+                              strategy="blocked", tile_size=2,
+                              task_order=shuffled)
+        assert result.relations.same_as(reference.relations), shuffle_seed
+        assert (result.stats.multiplications
+                == reference.stats.multiplications), shuffle_seed
+        assert (result.stats.delta_nnz_per_round
+                == reference.stats.delta_nnz_per_round), shuffle_seed
+
+
+# ----------------------------------------------------------------------
+# Frontier accounting
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_frontier_accounting_exact(seed):
+    """products(frontier) + skipped(frontier) == products(all-tiles),
+    with identical closures — the frontier only removes provably
+    redundant work."""
+    graph, grammar = make_case(seed)
+    frontier = solve_matrix(graph, grammar, normalize=False,
+                            strategy="blocked", tile_size=2)
+    full = solve_matrix(graph, grammar, normalize=False,
+                        strategy="blocked", tile_size=2, frontier=False)
+    assert frontier.relations.same_as(full.relations)
+    fs = frontier.stats.details["blocked"]
+    ns = full.stats.details["blocked"]
+    assert fs.tiles_skipped_by_frontier == 0 or \
+        fs.tile_products < ns.tile_products
+    assert fs.tile_products + fs.tiles_skipped_by_frontier \
+        == ns.tile_products
+    assert ns.tiles_skipped_by_frontier == 0
+
+
+def test_frontier_strictly_fewer_tiles_on_funding_x8():
+    """The acceptance workload: on funding×8 (the paper's g1) the
+    frontier-aware engine must multiply strictly fewer tiles than the
+    all-tiles-every-round blocked loop, for the same answer."""
+    from repro.datasets.registry import build_graph
+    from repro.grammar.builders import same_generation_query1
+    from repro.grammar.cnf import to_cnf
+    from repro.graph.generators import repeat_graph
+
+    grammar = to_cnf(same_generation_query1())
+    graph = repeat_graph(build_graph("funding"), 8)
+    frontier = solve_matrix(graph, grammar, backend="bitset",
+                            normalize=False, strategy="blocked",
+                            tile_size=256)
+    full = solve_matrix(graph, grammar, backend="bitset", normalize=False,
+                        strategy="blocked", tile_size=256, frontier=False)
+    assert frontier.relations.same_as(full.relations)
+    fs = frontier.stats.details["blocked"]
+    ns = full.stats.details["blocked"]
+    assert fs.tile_products < ns.tile_products
+    assert fs.tiles_skipped_by_frontier > 0
+    assert fs.tile_products + fs.tiles_skipped_by_frontier \
+        == ns.tile_products
+
+
+# ----------------------------------------------------------------------
+# Stats surface
+# ----------------------------------------------------------------------
+
+def test_blocked_stats_expose_scheduler_and_wall_time():
+    graph, grammar = make_case(1)
+    result = solve_matrix(graph, grammar, normalize=False,
+                          strategy="blocked", tile_size=2,
+                          scheduler="threads")
+    stats = result.stats.details["blocked"]
+    assert stats.scheduler == "threads"
+    assert stats.scheduler_wall_time_s >= 0.0
+    rendered = stats.as_dict()
+    assert rendered["tiles_skipped_by_frontier"] == \
+        stats.tiles_skipped_by_frontier
+    assert rendered["scheduler"] == "threads"
+
+
+def test_run_closure_empty_matrices_blocked():
+    result = run_closure({}, [], "pyset", strategy="blocked")
+    assert result.iterations == 0
+    assert result.multiplications == 0
