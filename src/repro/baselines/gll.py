@@ -127,9 +127,12 @@ def solve_gll(graph: LabeledGraph, grammar: CFG,
               ) -> ContextFreeRelations:
     """Evaluate ``R_A`` for the requested non-terminals (default: all).
 
-    Note: ε-rules make ``(i, i)`` pairs appear for nullable symbols —
-    the matrix engine drops ε by normalization, so comparisons restrict
-    to non-empty-path pairs or use ε-free grammars (as the paper does).
+    ε-rules make ``(i, i)`` pairs appear for nullable symbols — the
+    empty-path facts the paper's relation semantics requires.  The
+    matrix engine seeds the same diagonals from the nullable set
+    recorded during normalization (``CFG.nullable_diagonal``), so the
+    two agree exactly (locked in
+    ``tests/core/test_random_grammar_agreement.py``).
     """
     solver = GLLSolver(graph, grammar)
     if nonterminals is None:

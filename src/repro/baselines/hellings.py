@@ -43,7 +43,11 @@ def solve_hellings(graph: LabeledGraph, grammar: CFG,
             by_target[(nonterminal, j)].add(i)
             worklist.append((nonterminal, i, j))
 
-    # Base facts from terminal rules (Algorithm 1's initialization).
+    # Base facts from terminal rules (Algorithm 1's initialization),
+    # plus the empty-path diagonal for originally-nullable symbols.
+    for nonterminal in working_grammar.nullable_diagonal:
+        for i in range(graph.node_count):
+            add_fact(nonterminal, i, i)
     for i, label, j in graph.edges_by_id():
         for head in working_grammar.heads_for_terminal(Terminal(label)):
             add_fact(head, i, j)

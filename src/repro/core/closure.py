@@ -115,10 +115,48 @@ def run_closure(matrices: dict, pair_rules: Iterable[PairRule],
     backends, the matrices themselves are grown in place).  Extra
     keyword options are strategy-specific (``tile_size`` for
     ``blocked``).
+
+    All bundled strategies accept ``initial_frontier`` — a mapping
+    ``symbol -> delta matrix`` of entries *not yet merged* into
+    *matrices*.  When given, the run merges the seeds and propagates
+    only their consequences instead of re-deriving from scratch; this
+    is the batch-incremental entry point (:mod:`repro.core.incremental`
+    seeds it with the facts contributed by an edge-insertion batch).
     """
     backend_obj = get_backend(backend)
     return get_strategy(strategy)(matrices, list(pair_rules), backend_obj,
                                   **options)
+
+
+def seed_frontier(matrices: dict, initial_frontier: dict,
+                  backend: MatrixBackend) -> dict:
+    """Merge *initial_frontier* seeds into *matrices* and return the
+    exact per-symbol deltas (the genuinely new / refined entries) to
+    start a semi-naive run from.  Symbols absent from *matrices* and
+    seeds that add nothing are dropped."""
+    frontier: dict[Hashable, BooleanMatrix] = {}
+    for symbol, seed in initial_frontier.items():
+        if symbol not in matrices or seed.nnz() == 0:
+            continue
+        merged, delta = backend.union_update(matrices[symbol], seed)
+        matrices[symbol] = merged
+        if delta.nnz():
+            frontier[symbol] = delta
+    return frontier
+
+
+def _symbol_frontier(matrices: dict, initial_frontier: "dict | None",
+                     backend: MatrixBackend) -> dict:
+    """The starting symbol → delta frontier of a semi-naive run: the
+    merged seeds when *initial_frontier* is given, else a clone of
+    every nonzero matrix (the from-scratch case)."""
+    if initial_frontier is not None:
+        return seed_frontier(matrices, initial_frontier, backend)
+    return {
+        symbol: backend.clone(matrix)
+        for symbol, matrix in matrices.items()
+        if matrix.nnz()
+    }
 
 
 # ----------------------------------------------------------------------
@@ -148,9 +186,18 @@ def fixpoint_history(initial, step: Callable, equal: Callable,
 # ----------------------------------------------------------------------
 
 def closure_naive(matrices: dict, pair_rules: list[PairRule],
-                  backend: MatrixBackend, **_options) -> ClosureResult:
+                  backend: MatrixBackend,
+                  initial_frontier: "dict | None" = None,
+                  **_options) -> ClosureResult:
     """Full re-multiplication of every rule each round — Algorithm 1
-    verbatim, the differential oracle for the cleverer strategies."""
+    verbatim, the differential oracle for the cleverer strategies.
+
+    ``initial_frontier`` seeds are merged up front; the naive loop has
+    no frontier to exploit, so the run is a full re-closure (correct,
+    just not incremental — the semi-naive strategies are the fast path
+    for seeded runs)."""
+    if initial_frontier is not None:
+        seed_frontier(matrices, initial_frontier, backend)
     iterations = 0
     multiplications = 0
     growth: list[int] = []
@@ -175,7 +222,9 @@ def closure_naive(matrices: dict, pair_rules: list[PairRule],
 
 
 def closure_delta(matrices: dict, pair_rules: list[PairRule],
-                  backend: MatrixBackend, **_options) -> ClosureResult:
+                  backend: MatrixBackend,
+                  initial_frontier: "dict | None" = None,
+                  **_options) -> ClosureResult:
     """Semi-naive delta propagation over a symbol worklist.
 
     ``frontier[A]`` accumulates the entries added to ``M_A`` since the
@@ -192,6 +241,13 @@ def closure_delta(matrices: dict, pair_rules: list[PairRule],
     monotone; every new fact is eventually propagated through every
     rule mentioning its symbol — Theorem 3's argument bounds the
     rounds).
+
+    With ``initial_frontier`` the run starts from the merged seed
+    deltas instead of the full matrices: only consequences of the seeds
+    are re-derived, which is what makes batch edge insertion
+    incremental (the matrices must already be closed; monotonicity then
+    gives the same least fixpoint as a from-scratch run on the seeded
+    inputs).
     """
     rules_by_left: dict[Hashable, list[tuple[Hashable, Hashable]]] = {}
     rules_by_right: dict[Hashable, list[tuple[Hashable, Hashable]]] = {}
@@ -199,11 +255,7 @@ def closure_delta(matrices: dict, pair_rules: list[PairRule],
         rules_by_left.setdefault(left, []).append((head, right))
         rules_by_right.setdefault(right, []).append((head, left))
 
-    frontier: dict[Hashable, BooleanMatrix] = {
-        symbol: backend.clone(matrix)
-        for symbol, matrix in matrices.items()
-        if matrix.nnz()
-    }
+    frontier = _symbol_frontier(matrices, initial_frontier, backend)
 
     iterations = 0
     multiplications = 0
@@ -259,6 +311,7 @@ def closure_blocked(matrices: dict, pair_rules: list[PairRule],
                     scheduler: "str | None" = None,
                     frontier: bool = True,
                     task_order: "Callable | None" = None,
+                    initial_frontier: "dict | None" = None,
                     **_options) -> ClosureResult:
     """Frontier-aware tiled closure on a pluggable scheduler.
 
@@ -293,6 +346,11 @@ def closure_blocked(matrices: dict, pair_rules: list[PairRule],
         return ClosureResult(matrices=matrices, iterations=0,
                              multiplications=0)
     scheduler_obj = resolve_scheduler(scheduler)
+    seed_deltas = None
+    if initial_frontier is not None:
+        # Merge the seeds before tiling so the tiles hold the seeded
+        # state; the exact deltas locate the initially-changed tiles.
+        seed_deltas = seed_frontier(matrices, initial_frontier, backend)
     size = next(iter(matrices.values())).shape[0]
     grid = max(1, (size + tile_size - 1) // tile_size)
     tiles = {
@@ -303,10 +361,23 @@ def closure_blocked(matrices: dict, pair_rules: list[PairRule],
         symbol: {index for index, tile in symbol_tiles.items() if tile.nnz()}
         for symbol, symbol_tiles in tiles.items()
     }
-    # Round 1 treats every nonzero tile as freshly changed.
-    changed: dict[Hashable, set] = {
-        symbol: set(indexes) for symbol, indexes in nonzero.items() if indexes
-    }
+    if seed_deltas is None:
+        # Round 1 treats every nonzero tile as freshly changed.
+        changed: dict[Hashable, set] = {
+            symbol: set(indexes)
+            for symbol, indexes in nonzero.items() if indexes
+        }
+    else:
+        # Seeded run: only the tiles an inserted entry landed in count
+        # as changed — the tile-granular insertion frontier.
+        changed = {}
+        for symbol, delta in seed_deltas.items():
+            touched = {
+                (i // tile_size, j // tile_size)
+                for i, j in delta.nonzero_pairs()
+            }
+            if touched:
+                changed[symbol] = touched
 
     iterations = 0
     tile_products = 0
@@ -428,6 +499,7 @@ def closure_autotune(matrices: dict, pair_rules: list[PairRule],
                      scheduler: "str | None" = None,
                      blocked_min_size: int = AUTOTUNE_BLOCKED_MIN_SIZE,
                      dense_frontier_ratio: float = AUTOTUNE_DENSE_FRONTIER_RATIO,
+                     initial_frontier: "dict | None" = None,
                      **options) -> ClosureResult:
     """Strategy-aware autotuning: pick the executor per round.
 
@@ -463,7 +535,9 @@ def closure_autotune(matrices: dict, pair_rules: list[PairRule],
     if size >= blocked_min_size and scheduler_obj.name != "serial":
         result = closure_blocked(matrices, pair_rules, backend,
                                  tile_size=tile_size,
-                                 scheduler=scheduler_obj, **options)
+                                 scheduler=scheduler_obj,
+                                 initial_frontier=initial_frontier,
+                                 **options)
         result.details["autotune"] = {
             "mode": "blocked-parallel",
             "reason": (f"size {size} >= {blocked_min_size} on scheduler "
@@ -472,11 +546,7 @@ def closure_autotune(matrices: dict, pair_rules: list[PairRule],
         }
         return result
 
-    frontier: dict[Hashable, BooleanMatrix] = {
-        symbol: backend.clone(matrix)
-        for symbol, matrix in matrices.items()
-        if matrix.nnz()
-    }
+    frontier = _symbol_frontier(matrices, initial_frontier, backend)
     iterations = 0
     multiplications = 0
     growth: list[int] = []

@@ -176,6 +176,33 @@ class CFPQEngine:
         )
 
     # ------------------------------------------------------------------
+    # Incremental maintenance
+    # ------------------------------------------------------------------
+    def incremental(self, single_path: bool = False):
+        """An incremental solver over this engine's graph, grammar and
+        closure configuration (backend / strategy / strategy options).
+
+        The returned :class:`~repro.core.incremental.IncrementalCFPQ`
+        (or, with *single_path*, the length-maintaining
+        :class:`~repro.core.incremental.IncrementalSinglePathCFPQ`)
+        supports batch ``add_edges`` and DRed ``remove_edges`` and keeps
+        the relations at the fixpoint after every update.  Note it
+        mutates ``self.graph`` — cached engine results are built for the
+        graph at call time and are not refreshed by the solver.
+        """
+        from .incremental import IncrementalCFPQ, IncrementalSinglePathCFPQ
+
+        if single_path:
+            return IncrementalSinglePathCFPQ(
+                self.graph, self.grammar, strategy=self.strategy,
+                **self.strategy_options,
+            )
+        return IncrementalCFPQ(
+            self.graph, self.grammar, backend=self.backend,
+            strategy=self.strategy, **self.strategy_options,
+        )
+
+    # ------------------------------------------------------------------
     # Uniform entry point
     # ------------------------------------------------------------------
     def evaluate(self, start: Nonterminal | str, semantics: str = "relational",

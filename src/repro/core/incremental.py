@@ -1,55 +1,103 @@
-"""Incremental CFPQ: maintaining relations under edge insertions.
+"""Incremental CFPQ: maintaining relations under edge insertions *and*
+deletions.
 
-Graph databases mutate; recomputing the whole closure per inserted edge
-wastes the work already done.  Because Algorithm 1's fixpoint is a
-*monotone* least fixpoint (Theorem 3's argument: facts are only ever
-added), the closure supports **semi-naive delta propagation**: after an
-initial solve, inserting edge ``(u, x, v)`` seeds the worklist with the
-new base facts ``{(A, u, v) | (A → x) ∈ P}`` and propagates only their
-consequences through the pair rules — exactly the Hellings step, but
-started from the delta instead of from scratch.
+Graph databases mutate; recomputing the whole closure per update wastes
+the work already done.  Two complementary engines keep the relations
+``R_A`` at the fixpoint:
+
+**Insertions** exploit that Algorithm 1's fixpoint is a *monotone*
+least fixpoint (Theorem 3's argument: facts are only ever added), so
+the closure supports semi-naive delta propagation at two granularities:
+
+* :meth:`IncrementalCFPQ.add_edge` — tuple-granular: seed a worklist
+  with the new base facts ``{(A, u, v) | (A → x) ∈ P}`` and propagate
+  only their consequences through the pair rules (the Hellings step
+  started from the delta);
+* :meth:`IncrementalCFPQ.add_edges` — **matrix-granular batch path**:
+  convert the whole insertion batch into per-non-terminal delta
+  matrices and hand them to the closure engine as an
+  ``initial_frontier`` (:func:`repro.core.closure.run_closure`), so a
+  bulk load runs as a handful of frontier × matrix products instead of
+  one worklist pop per derived fact.  The solver's ``strategy`` /
+  ``scheduler`` / ``tile_size`` options apply: with
+  ``strategy="blocked"`` the inserted edges become a *tile-granular*
+  frontier on the parallel tile engine of :mod:`repro.core.tiles`.
+
+**Deletions** break monotonicity, so :meth:`IncrementalCFPQ.remove_edges`
+runs support-counted **delete-and-rederive** (DRed) over the same
+machinery: every fact carries its *derivation supports* (the terminal
+edges, ``("empty",)`` nullability marks and binary ``(rule, midpoint)``
+splits that derive it in one step).  Removing edges (1) **over-deletes**
+the downward closure of the touched facts — count-blind, which is what
+makes the phase sound on cyclic derivations where support counts alone
+would keep self-supporting facts alive — while discarding the
+invalidated supports, then (2) **re-derives**: the over-deleted facts
+whose remaining supports are non-empty are exactly the ones one-step
+derivable from the survivors, and one ``initial_frontier`` closure run
+seeded with them restores everything still derivable.  Support sets are
+built lazily on the first deletion (one O(#derivations) recount) and
+maintained exactly by every later per-tuple and batch insertion;
+insertion-only workloads never pay for them.
+
+:class:`IncrementalSinglePathCFPQ` layers the Section-5 length
+annotations on the same engine: batches run the closure over the
+length-semiring adapter (:mod:`repro.core.semiring`), and deletions
+recompute the lengths of the affected facts from the surviving
+canonical lengths, so :meth:`~IncrementalSinglePathCFPQ.length_of`
+equals a from-scratch :class:`~repro.core.single_path.SinglePathIndex`
+after every update.
 
 This realizes the dynamic-graph direction implied by the paper's
 "graph databases" motivation, and it doubles as yet another
-differential-testing angle: after any insertion sequence the
-incremental state must equal a from-scratch solve (property-tested in
-``tests/core/test_incremental.py``).
-
-The *initial* solve routes through the matrix closure engine
-(:mod:`repro.core.closure`, ``delta`` strategy) — the same semi-naive
-idea at matrix granularity — and only per-edge propagation afterwards
-runs at tuple granularity.
-
-Deletions are *not* supported: under deletion the fixpoint is no longer
-monotone and requires support counting; ``remove_edge`` raises to make
-the contract explicit.
+differential-testing angle: after any interleaved insert/delete
+sequence the incremental state must equal a from-scratch solve
+(property-tested in ``tests/core/test_incremental.py``).
 """
 
 from __future__ import annotations
 
 from collections import defaultdict, deque
-from typing import Hashable
+from typing import Hashable, Iterable
 
 from ..grammar.cfg import CFG
 from ..grammar.cnf import ensure_cnf
 from ..grammar.symbols import Nonterminal, Terminal
-from ..graph.labeled_graph import LabeledGraph
+from ..graph.labeled_graph import Edge, LabeledGraph
+from .closure import run_closure
 from .relations import ContextFreeRelations
+
+#: A derived fact ``(A, i, j)`` by dense node ids.
+Fact = tuple[Nonterminal, int, int]
+
+#: One one-step derivation of a fact: ``("edge", label)`` for a base
+#: edge, ``("empty",)`` for the empty path of a nullable non-terminal,
+#: ``("split", B, C, r)`` for a pair rule applied at midpoint ``r``.
+Support = tuple
 
 
 class IncrementalCFPQ:
-    """A CFPQ solver whose graph can grow after the initial solve.
+    """A CFPQ solver whose graph can mutate after the initial solve.
 
     >>> solver = IncrementalCFPQ(graph, grammar)
     >>> solver.relations().pairs("S")
-    >>> solver.add_edge("u", "a", "v")      # propagates incrementally
-    >>> solver.relations().pairs("S")       # updated answer
+    >>> solver.add_edge("u", "a", "v")       # tuple-granular propagation
+    >>> solver.add_edges(batch)              # matrix-granular batch
+    >>> solver.remove_edges(batch)           # DRed delete + re-derive
+    >>> solver.relations().pairs("S")        # always at the fixpoint
+
+    All mutators return the number of facts that entered (``add_*``) or
+    left (``remove_*``) the relations — the seeded base facts count,
+    matching :class:`IncrementalSinglePathCFPQ`.
     """
 
     def __init__(self, graph: LabeledGraph, grammar: CFG,
-                 backend: str = "pyset", strategy: str = "delta"):
+                 backend: str = "pyset", strategy: str = "delta",
+                 **strategy_options):
         self.graph = graph
         self.grammar = ensure_cnf(grammar)
+        self.backend = backend
+        self.strategy = strategy
+        self.strategy_options = strategy_options
 
         self._facts: dict[Nonterminal, set[tuple[int, int]]] = defaultdict(set)
         self._by_source: dict[tuple[Nonterminal, int], set[int]] = defaultdict(set)
@@ -58,13 +106,29 @@ class IncrementalCFPQ:
             defaultdict(list)
         self._rules_by_right: dict[Nonterminal, list[tuple[Nonterminal, Nonterminal]]] = \
             defaultdict(list)
+        self._bodies_for_head: dict[Nonterminal, list[tuple[Nonterminal, Nonterminal]]] = \
+            defaultdict(list)
+        self._pair_rules: list[tuple[Nonterminal, Nonterminal, Nonterminal]] = []
         for rule in self.grammar.binary_rules:
             left, right = rule.body  # type: ignore[misc]
             self._rules_by_left[left].append((rule.head, right))   # type: ignore[index,arg-type]
             self._rules_by_right[right].append((rule.head, left))  # type: ignore[index,arg-type]
+            self._bodies_for_head[rule.head].append((left, right))  # type: ignore[arg-type]
+            self._pair_rules.append((rule.head, left, right))       # type: ignore[arg-type]
+        self._terminals_for_head: dict[Nonterminal, list[str]] = defaultdict(list)
+        for rule in self.grammar.terminal_rules:
+            self._terminals_for_head[rule.head].append(rule.body[0].label)  # type: ignore[union-attr]
+        self._nullable = self.grammar.nullable_diagonal
+
+        #: fact -> its current one-step derivation supports.  None until
+        #: the first deletion: insertion-only workloads never build it.
+        self._supports: dict[Fact, set[Support]] | None = None
 
         self._edge_insertions = 0
+        self._edge_removals = 0
+        self._batch_updates = 0
         self._propagated_facts = 0
+        self._facts_removed = 0
 
         self._seed_from_engine(backend, strategy)
         # Keep the stats contract of the worklist-seeded version: every
@@ -81,42 +145,193 @@ class IncrementalCFPQ:
         from .matrix_cfpq import solve_matrix
 
         result = solve_matrix(self.graph, self.grammar, backend=backend,
-                              normalize=False, strategy=strategy)
+                              normalize=False, strategy=strategy,
+                              **self.strategy_options)
         for nonterminal, matrix in result.matrices.items():
             for i, j in matrix.nonzero_pairs():
                 self._record(nonterminal, i, j)
 
     # ------------------------------------------------------------------
-    # Mutation
+    # Mutation: insertion
     # ------------------------------------------------------------------
     def add_edge(self, source: Hashable, label: str, target: Hashable) -> int:
-        """Insert an edge and propagate its consequences.
+        """Insert one edge and propagate its consequences at tuple
+        granularity.
 
-        Returns the number of *new* derived facts (0 when the edge adds
-        nothing, e.g. a duplicate).
+        Returns the number of **new facts** — seeded base facts,
+        nullable-diagonal facts of freshly created nodes and everything
+        derived from them (0 when the edge adds nothing, e.g. a
+        duplicate).  Once deletion support is active the propagation
+        additionally maintains the derivation supports, so single-edge
+        inserts stay O(delta) instead of re-running the batch path.
         """
+        supports = self._supports
         already_present = self.graph.has_edge(source, label, target)
+        new_nodes = [node for node in dict.fromkeys((source, target))
+                     if not self.graph.has_node(node)]
         self.graph.add_edge(source, label, target)
         self._edge_insertions += 1
-        if already_present:
+
+        delta: deque[Fact] = deque()
+        seeded = 0
+        for node in new_nodes:
+            node_id = self.graph.node_id(node)
+            for head in self._nullable:
+                if (node_id, node_id) not in self._facts[head]:
+                    self._record(head, node_id, node_id)
+                    delta.append((head, node_id, node_id))
+                    seeded += 1
+                    if supports is not None:
+                        supports[(head, node_id, node_id)] = {("empty",)}
+        if not already_present:
+            i = self.graph.node_id(source)
+            j = self.graph.node_id(target)
+            for head in self.grammar.heads_for_terminal(Terminal(label)):
+                if (i, j) not in self._facts[head]:
+                    self._record(head, i, j)
+                    delta.append((head, i, j))
+                    seeded += 1
+                    if supports is not None:
+                        supports[(head, i, j)] = {("edge", label)}
+                elif supports is not None:
+                    # The fact pre-exists: the fresh edge still becomes
+                    # one of its derivation supports.
+                    supports[(head, i, j)].add(("edge", label))
+        return seeded + self._propagate(delta)
+
+    def add_edges(self, edges: Iterable[Edge]) -> int:
+        """Insert a batch of edges through the matrix-granular path.
+
+        The batch is converted into per-non-terminal seed matrices (base
+        facts of the new edges plus nullable diagonals of new nodes) and
+        closed by one ``initial_frontier`` run of the configured closure
+        strategy — no per-tuple worklist.  Returns the number of new
+        facts.
+        """
+        edges = list(edges)
+        nodes_before = self.graph.node_count
+        new_edges: list[tuple[int, str, int]] = []
+        for source, label, target in edges:
+            self._edge_insertions += 1
+            if self.graph.has_edge(source, label, target):
+                continue
+            self.graph.add_edge(source, label, target)
+            new_edges.append((self.graph.node_id(source), label,
+                              self.graph.node_id(target)))
+
+        seeds: dict[Nonterminal, dict[tuple[int, int], object]] = {}
+        for head in self._nullable:
+            for i in range(nodes_before, self.graph.node_count):
+                seeds.setdefault(head, {})[(i, i)] = self._diagonal_seed_value()
+        for i, label, j in new_edges:
+            value = self._edge_seed_value(label)
+            for head in self.grammar.heads_for_terminal(Terminal(label)):
+                seeds.setdefault(head, {}).setdefault((i, j), value)
+        if not seeds:
+            return 0
+        new_facts = self._run_batch(seeds)
+        self._register_edge_supports(new_edges)
+        return new_facts
+
+    # ------------------------------------------------------------------
+    # Mutation: deletion (support-counted DRed)
+    # ------------------------------------------------------------------
+    def remove_edge(self, source: Hashable, label: str,
+                    target: Hashable) -> int:
+        """Remove one edge; returns the number of facts that left the
+        relations (see :meth:`remove_edges`)."""
+        return self.remove_edges([(source, label, target)])
+
+    def remove_edges(self, edges: Iterable[Edge]) -> int:
+        """Remove a batch of edges with delete-and-rederive.
+
+        Phase 1 *over-deletes* the downward closure of every fact a
+        removed edge supported (count-blind — sound even when facts
+        support each other in cycles), discarding the invalidated
+        supports along the way.  Phase 2 *re-derives*: over-deleted
+        facts whose surviving supports are non-empty re-enter as the
+        ``initial_frontier`` of one closure run, which restores every
+        fact still derivable.  Returns the number of facts permanently
+        removed from the relations.
+        """
+        self._ensure_supports()
+        assert self._supports is not None
+        supports = self._supports
+
+        worklist: deque[Fact] = deque()
+        for source, label, target in edges:
+            self._edge_removals += 1
+            if not self.graph.remove_edge(source, label, target):
+                continue
+            i = self.graph.node_id(source)
+            j = self.graph.node_id(target)
+            for head in self.grammar.heads_for_terminal(Terminal(label)):
+                fact = (head, i, j)
+                recorded = supports.get(fact)
+                if recorded is not None:
+                    recorded.discard(("edge", label))
+                if (i, j) in self._facts.get(head, ()):
+                    worklist.append(fact)
+
+        # Phase 1: over-delete the downward closure, invalidating every
+        # support an over-deleted fact provided.  The tuple indexes
+        # still reflect the pre-deletion database, which is exactly the
+        # over-approximation DRed's deletion phase needs.
+        overdeleted: set[Fact] = set()
+        while worklist:
+            fact = worklist.popleft()
+            if fact in overdeleted:
+                continue
+            overdeleted.add(fact)
+            nonterminal, i, j = fact
+            for head, right in self._rules_by_left.get(nonterminal, ()):
+                for k in self._by_source.get((right, j), ()):
+                    consequence = (head, i, k)
+                    recorded = supports.get(consequence)
+                    if recorded is not None:
+                        recorded.discard(("split", nonterminal, right, j))
+                    if consequence not in overdeleted:
+                        worklist.append(consequence)
+            for head, left in self._rules_by_right.get(nonterminal, ()):
+                for k in self._by_target.get((left, i), ()):
+                    consequence = (head, k, j)
+                    recorded = supports.get(consequence)
+                    if recorded is not None:
+                        recorded.discard(("split", left, nonterminal, i))
+                    if consequence not in overdeleted:
+                        worklist.append(consequence)
+
+        if not overdeleted:
             return 0
 
-        i = self.graph.node_id(source)
-        j = self.graph.node_id(target)
-        delta: deque[tuple[Nonterminal, int, int]] = deque()
-        for head in self.grammar.heads_for_terminal(Terminal(label)):
-            if (i, j) not in self._facts[head]:
-                self._record(head, i, j)
-                delta.append((head, i, j))
-        return self._propagate(delta)
+        for fact in overdeleted:
+            nonterminal, i, j = fact
+            self._facts[nonterminal].discard((i, j))
+            self._by_source[(nonterminal, i)].discard(j)
+            self._by_target[(nonterminal, j)].discard(i)
+            self._on_fact_removed(fact)
 
-    def remove_edge(self, source: Hashable, label: str,
-                    target: Hashable) -> None:
-        """Deletions break fixpoint monotonicity; not supported."""
-        raise NotImplementedError(
-            "incremental deletion requires support counting; re-build the "
-            "solver instead"
-        )
+        # Phase 2: a surviving support means the fact is one-step
+        # derivable from facts outside the over-deleted set — exactly
+        # the re-derivation seeds.
+        seeds: dict[Nonterminal, dict[tuple[int, int], object]] = {}
+        for fact in overdeleted:
+            remaining = supports.get(fact)
+            if remaining:
+                nonterminal, i, j = fact
+                seeds.setdefault(nonterminal, {})[(i, j)] = \
+                    self._rederive_seed_value(fact, remaining)
+        if seeds:
+            self._run_batch(seeds)
+
+        removed = 0
+        for fact in overdeleted:
+            nonterminal, i, j = fact
+            if (i, j) not in self._facts.get(nonterminal, ()):
+                supports.pop(fact, None)
+                removed += 1
+        self._facts_removed += removed
+        return removed
 
     # ------------------------------------------------------------------
     # Queries
@@ -136,22 +351,184 @@ class IncrementalCFPQ:
 
     @property
     def stats(self) -> dict[str, int]:
-        """Instrumentation: insertions seen, facts propagated in total."""
+        """Instrumentation: updates seen, facts propagated/removed, and
+        the size of the DRed support index (0 until a deletion
+        activates it)."""
         return {
             "edge_insertions": self._edge_insertions,
+            "edge_removals": self._edge_removals,
+            "batch_updates": self._batch_updates,
             "propagated_facts": self._propagated_facts,
+            "facts_removed": self._facts_removed,
             "total_facts": sum(len(pairs) for pairs in self._facts.values()),
+            "support_entries": (
+                sum(len(entry) for entry in self._supports.values())
+                if self._supports is not None else 0
+            ),
         }
 
     # ------------------------------------------------------------------
-    # Engine
+    # Batch engine (shared by add_edges and the re-derive phase)
+    # ------------------------------------------------------------------
+    def _run_batch(self, seeds: dict) -> int:
+        """Close the current state with *seeds* as the initial frontier;
+        absorb and return the number of facts that appeared."""
+        n = self.graph.node_count
+        matrices = self._matrices_from_state(n)
+        result = run_closure(matrices, self._pair_rules,
+                             self._batch_backend(),
+                             strategy=self.strategy,
+                             initial_frontier=self._seed_matrices(n, seeds),
+                             **self.strategy_options)
+        self._batch_updates += 1
+        new_facts = self._absorb(result.matrices)
+        self._propagated_facts += len(new_facts)
+        self._refresh_supports(new_facts)
+        return len(new_facts)
+
+    def _batch_backend(self):
+        from ..matrices.base import get_backend
+
+        return get_backend(self.backend)
+
+    def _matrices_from_state(self, n: int) -> dict:
+        backend = self._batch_backend()
+        return {
+            nt: backend.from_pairs(n, self._facts.get(nt, ()))
+            for nt in self.grammar.nonterminals
+        }
+
+    def _seed_matrices(self, n: int, seeds: dict) -> dict:
+        backend = self._batch_backend()
+        return {
+            nt: backend.from_pairs(n, cells.keys())
+            for nt, cells in seeds.items()
+        }
+
+    def _absorb(self, matrices: dict) -> list[Fact]:
+        """Record the closed matrices into the tuple indexes; returns
+        the facts that were not present before.  Index updates are
+        bulk-grouped by row/column so absorbing a large batch costs set
+        operations, not one ``_record`` call per fact."""
+        new_facts: list[Fact] = []
+        for nonterminal, matrix in matrices.items():
+            known = self._facts[nonterminal]
+            fresh = matrix.to_pair_set() - known
+            if not fresh:
+                continue
+            known |= fresh
+            self._index_pairs(nonterminal, fresh)
+            new_facts.extend((nonterminal, i, j) for i, j in fresh)
+        return new_facts
+
+    def _index_pairs(self, nonterminal: Nonterminal,
+                     pairs: Iterable[tuple[int, int]]) -> None:
+        rows: dict[int, list[int]] = {}
+        cols: dict[int, list[int]] = {}
+        for i, j in pairs:
+            rows.setdefault(i, []).append(j)
+            cols.setdefault(j, []).append(i)
+        for i, targets in rows.items():
+            self._by_source[(nonterminal, i)].update(targets)
+        for j, sources in cols.items():
+            self._by_target[(nonterminal, j)].update(sources)
+
+    def _edge_seed_value(self, label: str):
+        return True
+
+    def _diagonal_seed_value(self):
+        return True
+
+    def _rederive_seed_value(self, fact: Fact, remaining: set):
+        return True
+
+    def _on_fact_removed(self, fact: Fact) -> None:
+        """Hook for annotated subclasses (drop per-fact annotations)."""
+
+    # ------------------------------------------------------------------
+    # Derivation supports (DRed bookkeeping)
+    # ------------------------------------------------------------------
+    def _ensure_supports(self) -> None:
+        """Build the fact → supports index on first use (one recount
+        over the current facts; later updates maintain it)."""
+        if self._supports is not None:
+            return
+        self._supports = {
+            (nonterminal, i, j): self._compute_supports(nonterminal, i, j)
+            for nonterminal, pairs in self._facts.items()
+            for (i, j) in pairs
+        }
+
+    def _compute_supports(self, nonterminal: Nonterminal, i: int,
+                          j: int) -> set[Support]:
+        """All one-step derivations of ``(A, i, j)`` from the current
+        graph and fact indexes."""
+        found: set[Support] = set()
+        if i == j and nonterminal in self._nullable:
+            found.add(("empty",))
+        for label in self._terminals_for_head.get(nonterminal, ()):
+            if self.graph.has_edge_id(i, label, j):
+                found.add(("edge", label))
+        for left, right in self._bodies_for_head.get(nonterminal, ()):
+            for r in self._by_source.get((left, i), ()):
+                if j in self._by_source.get((right, r), ()):
+                    found.add(("split", left, right, r))
+        return found
+
+    def _register_edge_supports(self,
+                                new_edges: list[tuple[int, str, int]],
+                                ) -> None:
+        """A freshly inserted edge is a new base support of its head
+        facts even when those facts already existed (e.g. the pair was
+        derivable through another label or a pair rule); without this
+        the next deletion would over-delete them with no surviving
+        support to re-derive from."""
+        if self._supports is None:
+            return
+        for i, label, j in new_edges:
+            for head in self.grammar.heads_for_terminal(Terminal(label)):
+                recorded = self._supports.get((head, i, j))
+                if recorded is not None:
+                    recorded.add(("edge", label))
+
+    def _refresh_supports(self, new_facts: list[Fact]) -> None:
+        """After a batch added *new_facts*: compute their supports and
+        register the supports they newly provide to consequences."""
+        if self._supports is None:
+            return
+        supports = self._supports
+        for fact in new_facts:
+            supports[fact] = self._compute_supports(*fact)
+        for nonterminal, i, j in new_facts:
+            for head, right in self._rules_by_left.get(nonterminal, ()):
+                for k in self._by_source.get((right, j), ()):
+                    recorded = supports.get((head, i, k))
+                    if recorded is not None:
+                        recorded.add(("split", nonterminal, right, j))
+            for head, left in self._rules_by_right.get(nonterminal, ()):
+                for k in self._by_target.get((left, i), ()):
+                    recorded = supports.get((head, k, j))
+                    if recorded is not None:
+                        recorded.add(("split", left, nonterminal, i))
+
+    # ------------------------------------------------------------------
+    # Tuple-granular engine
     # ------------------------------------------------------------------
     def _record(self, nonterminal: Nonterminal, i: int, j: int) -> None:
         self._facts[nonterminal].add((i, j))
         self._by_source[(nonterminal, i)].add(j)
         self._by_target[(nonterminal, j)].add(i)
 
-    def _propagate(self, worklist: deque[tuple[Nonterminal, int, int]]) -> int:
+    def _propagate(self, worklist: deque[Fact]) -> int:
+        """Tuple-granular consequence propagation.
+
+        With the DRed support index active, every enumerated one-step
+        derivation is registered as a support of its consequence —
+        including consequences that already exist, which is what keeps
+        the index exact (every derivation of a delta fact involves at
+        least one delta operand, and each such combination is
+        enumerated when that operand pops)."""
+        supports = self._supports
         derived = 0
         while worklist:
             nonterminal, i, j = worklist.popleft()
@@ -162,12 +539,24 @@ class IncrementalCFPQ:
                         self._record(head, i, k)
                         worklist.append((head, i, k))
                         derived += 1
+                        if supports is not None:
+                            supports[(head, i, k)] = \
+                                {("split", nonterminal, right, j)}
+                    elif supports is not None:
+                        supports[(head, i, k)].add(
+                            ("split", nonterminal, right, j))
             for head, left in self._rules_by_right.get(nonterminal, ()):
                 for k in list(self._by_target.get((left, i), ())):
                     if (k, j) not in self._facts[head]:
                         self._record(head, k, j)
                         worklist.append((head, k, j))
                         derived += 1
+                        if supports is not None:
+                            supports[(head, k, j)] = \
+                                {("split", left, nonterminal, i)}
+                    elif supports is not None:
+                        supports[(head, k, j)].add(
+                            ("split", left, nonterminal, i))
         return derived
 
 
@@ -179,24 +568,36 @@ class IncrementalSinglePathCFPQ(IncrementalCFPQ):
     (:func:`repro.core.semiring.solve_annotated` over the length
     semiring) — the same engine :func:`~repro.core.single_path.build_single_path_index`
     runs — so the starting annotation is the canonical minimal witness
-    length per fact.  Edge insertions propagate at tuple granularity
-    with the same min-merge rule: a new edge contributes length-1 base
-    facts, and any fact whose recorded length *improves* re-enters the
-    worklist, keeping ``length_of`` equal to a from-scratch
+    length per fact.
+
+    * :meth:`add_edge` propagates at tuple granularity with the min-merge
+      rule: a fact whose recorded length *improves* re-enters the
+      worklist.
+    * :meth:`add_edges` runs the batch closure over the length-semiring
+      matrix adapter, whose ``union_update`` feeds refinements back into
+      the semi-naive frontier.
+    * :meth:`remove_edges` (inherited DRed) drops the lengths of the
+      over-deleted facts and recomputes the affected submatrix from the
+      surviving canonical lengths — survivors outside the downward
+      closure cannot change, so their annotations are reused as-is.
+
+    ``length_of`` therefore equals a from-scratch
     :class:`~repro.core.single_path.SinglePathIndex` after every
-    insertion (property-tested).
+    insertion and deletion (property-tested).
     """
 
     def __init__(self, graph: LabeledGraph, grammar: CFG,
-                 strategy: str = "delta"):
-        self._lengths: dict[tuple[Nonterminal, int, int], int] = {}
-        super().__init__(graph, grammar, strategy=strategy)
+                 strategy: str = "delta", **strategy_options):
+        self._lengths: dict[Fact, int] = {}
+        super().__init__(graph, grammar, strategy=strategy,
+                         **strategy_options)
 
     def _seed_from_engine(self, backend: str, strategy: str) -> None:
         from .semiring import LENGTH_SEMIRING, solve_annotated
 
         result = solve_annotated(self.graph, self.grammar, LENGTH_SEMIRING,
-                                 strategy=strategy, normalize=False)
+                                 strategy=strategy, normalize=False,
+                                 **self.strategy_options)
         for nonterminal, matrix in result.matrices.items():
             for i, j, length in matrix.nonzero_cells():
                 self._record(nonterminal, i, j)
@@ -220,57 +621,174 @@ class IncrementalSinglePathCFPQ(IncrementalCFPQ):
     # Mutation
     # ------------------------------------------------------------------
     def add_edge(self, source: Hashable, label: str, target: Hashable) -> int:
-        """Insert an edge; returns the number of facts added *or whose
-        recorded length improved*."""
+        """Insert one edge; returns the number of new facts (length
+        refinements of existing facts propagate but are not counted,
+        matching the base-class contract)."""
+        supports = self._supports
         already_present = self.graph.has_edge(source, label, target)
+        new_nodes = [node for node in dict.fromkeys((source, target))
+                     if not self.graph.has_node(node)]
         self.graph.add_edge(source, label, target)
         self._edge_insertions += 1
-        if already_present:
-            return 0
 
-        i = self.graph.node_id(source)
-        j = self.graph.node_id(target)
-        worklist: deque[tuple[Nonterminal, int, int]] = deque()
-        changed = 0
-        for head in self.grammar.heads_for_terminal(Terminal(label)):
-            if self._improve(head, i, j, 1):
-                worklist.append((head, i, j))
-                changed += 1
-        return changed + self._propagate_lengths(worklist)
+        worklist: deque[Fact] = deque()
+        created = 0
+        for node in new_nodes:
+            node_id = self.graph.node_id(node)
+            for head in self._nullable:
+                added, improved = self._improve(head, node_id, node_id, 0)
+                if added:
+                    created += 1
+                    if supports is not None:
+                        supports[(head, node_id, node_id)] = {("empty",)}
+                if added or improved:
+                    worklist.append((head, node_id, node_id))
+        if not already_present:
+            i = self.graph.node_id(source)
+            j = self.graph.node_id(target)
+            for head in self.grammar.heads_for_terminal(Terminal(label)):
+                added, improved = self._improve(head, i, j, 1)
+                if added:
+                    created += 1
+                    if supports is not None:
+                        supports[(head, i, j)] = {("edge", label)}
+                elif supports is not None:
+                    supports[(head, i, j)].add(("edge", label))
+                if added or improved:
+                    worklist.append((head, i, j))
+        return created + self._propagate_lengths(worklist)
 
     # ------------------------------------------------------------------
-    # Engine
+    # Batch hooks
+    # ------------------------------------------------------------------
+    def _batch_backend(self):
+        from .semiring import LENGTH_SEMIRING, AnnotatedBackend
+
+        return AnnotatedBackend(LENGTH_SEMIRING)
+
+    def _matrices_from_state(self, n: int) -> dict:
+        backend = self._batch_backend()
+        return {
+            nt: backend.from_cells(
+                (n, n),
+                {(i, j): self._lengths[(nt, i, j)]
+                 for (i, j) in self._facts.get(nt, ())},
+                symbol=nt,
+            )
+            for nt in self.grammar.nonterminals
+        }
+
+    def _seed_matrices(self, n: int, seeds: dict) -> dict:
+        backend = self._batch_backend()
+        return {
+            nt: backend.from_cells((n, n), cells, symbol=nt)
+            for nt, cells in seeds.items()
+        }
+
+    def _absorb(self, matrices: dict) -> list[Fact]:
+        new_facts: list[Fact] = []
+        lengths = self._lengths
+        for nonterminal, matrix in matrices.items():
+            known = self._facts[nonterminal]
+            fresh: list[tuple[int, int]] = []
+            for i, j, length in matrix.nonzero_cells():
+                lengths[(nonterminal, i, j)] = length
+                if (i, j) not in known:
+                    fresh.append((i, j))
+            if not fresh:
+                continue
+            known.update(fresh)
+            self._index_pairs(nonterminal, fresh)
+            new_facts.extend((nonterminal, i, j) for i, j in fresh)
+        return new_facts
+
+    def _edge_seed_value(self, label: str) -> int:
+        return 1
+
+    def _diagonal_seed_value(self) -> int:
+        return 0
+
+    def _rederive_seed_value(self, fact: Fact, remaining: set) -> int:
+        """Min length over the surviving one-step derivations — their
+        operands are all survivors, so their canonical lengths are
+        available; the closure run then refines downward if a shorter
+        route re-appears through other re-derived facts."""
+        _nonterminal, i, j = fact
+        best: int | None = None
+        for support in remaining:
+            if support[0] == "empty":
+                candidate = 0
+            elif support[0] == "edge":
+                candidate = 1
+            else:
+                _tag, left, right, r = support
+                left_length = self._lengths.get((left, i, r))
+                right_length = self._lengths.get((right, r, j))
+                if left_length is None or right_length is None:
+                    continue
+                candidate = left_length + right_length
+            if best is None or candidate < best:
+                best = candidate
+        assert best is not None, "re-derivation seed without usable support"
+        return best
+
+    def _on_fact_removed(self, fact: Fact) -> None:
+        self._lengths.pop(fact, None)
+
+    # ------------------------------------------------------------------
+    # Tuple-granular engine
     # ------------------------------------------------------------------
     def _improve(self, nonterminal: Nonterminal, i: int, j: int,
-                 length: int) -> bool:
+                 length: int) -> tuple[bool, bool]:
+        """Record/refine one length; returns ``(added, improved)``."""
         key = (nonterminal, i, j)
         current = self._lengths.get(key)
         if current is None:
             self._record(nonterminal, i, j)
             self._lengths[key] = length
-            return True
+            return True, False
         if length < current:
             self._lengths[key] = length
-            return True
-        return False
+            return False, True
+        return False, False
 
-    def _propagate_lengths(self, worklist: deque[tuple[Nonterminal, int, int]],
-                           ) -> int:
-        changed = 0
+    def _propagate_lengths(self, worklist: deque[Fact]) -> int:
+        supports = self._supports
+        created = 0
         while worklist:
             nonterminal, i, j = worklist.popleft()
             self._propagated_facts += 1
             base = self._lengths[(nonterminal, i, j)]
             for head, right in self._rules_by_left.get(nonterminal, ()):
                 for k in list(self._by_source.get((right, j), ())):
-                    candidate = base + self._lengths[(right, j, k)]
-                    if self._improve(head, i, k, candidate):
+                    other = self._lengths.get((right, j, k))
+                    if other is None:
+                        continue
+                    added, improved = self._improve(head, i, k, base + other)
+                    if added:
+                        created += 1
+                        if supports is not None:
+                            supports[(head, i, k)] = \
+                                {("split", nonterminal, right, j)}
+                    elif supports is not None:
+                        supports[(head, i, k)].add(
+                            ("split", nonterminal, right, j))
+                    if added or improved:
                         worklist.append((head, i, k))
-                        changed += 1
             for head, left in self._rules_by_right.get(nonterminal, ()):
                 for k in list(self._by_target.get((left, i), ())):
-                    candidate = self._lengths[(left, k, i)] + base
-                    if self._improve(head, k, j, candidate):
+                    other = self._lengths.get((left, k, i))
+                    if other is None:
+                        continue
+                    added, improved = self._improve(head, k, j, other + base)
+                    if added:
+                        created += 1
+                        if supports is not None:
+                            supports[(head, k, j)] = \
+                                {("split", left, nonterminal, i)}
+                    elif supports is not None:
+                        supports[(head, k, j)].add(
+                            ("split", left, nonterminal, i))
+                    if added or improved:
                         worklist.append((head, k, j))
-                        changed += 1
-        return changed
+        return created

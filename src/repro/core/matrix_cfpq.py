@@ -83,11 +83,19 @@ def initial_boolean_matrices(graph: LabeledGraph, grammar: CFG,
                              backend: MatrixBackend,
                              ) -> dict[Nonterminal, BooleanMatrix]:
     """Matrix initialization (Algorithm 1 lines 6-7), decomposed:
-    ``M_A[i,j] = 1`` iff some edge ``(i, x, j)`` has a rule ``A → x``."""
+    ``M_A[i,j] = 1`` iff some edge ``(i, x, j)`` has a rule ``A → x``,
+    plus the identity diagonal for every non-terminal that could derive
+    ε before CNF normalization (``ε ∈ L(G_A)`` makes the empty path
+    ``iπi`` a witness for every node — see
+    :attr:`repro.grammar.cfg.CFG.nullable_diagonal`)."""
     n = graph.node_count
     pair_sets: dict[Nonterminal, set[tuple[int, int]]] = {
         nt: set() for nt in grammar.nonterminals
     }
+    diagonal = {(i, i) for i in range(n)}
+    for nt in grammar.nullable_diagonal:
+        if nt in pair_sets:
+            pair_sets[nt] |= diagonal
     for label in graph.labels:
         heads = grammar.heads_for_terminal(Terminal(label))
         if not heads:

@@ -151,6 +151,12 @@ class AllPathIndex:
         """``(i, j) ∈ R_A``."""
         return j in self._rows.get(nonterminal, {}).get(i, ())
 
+    def _has_empty_path(self, nonterminal: Nonterminal, i: int,
+                        j: int) -> bool:
+        """True when the empty path ``iπi`` witnesses ``(i, j) ∈ R_A``
+        (diagonal cell of an originally-nullable non-terminal)."""
+        return i == j and nonterminal in self.grammar.nullable_diagonal
+
     # ------------------------------------------------------------------
     # Path counting (DP over the forest, length-stratified)
     # ------------------------------------------------------------------
@@ -169,11 +175,13 @@ class AllPathIndex:
         nonterminal = _as_nonterminal(nonterminal)
         i = self.graph.node_id(source)
         j = self.graph.node_id(target)
-        return sum(
-            1 for _ in self.iter_paths(nonterminal, source, target, max_length)
-        ) if self._grammar_is_ambiguous() else self._count_dp(
-            nonterminal, i, j, max_length
-        )
+        if self._grammar_is_ambiguous():
+            return sum(
+                1 for _ in self.iter_paths(nonterminal, source, target,
+                                           max_length)
+            )
+        empty = 1 if self._has_empty_path(nonterminal, i, j) else 0
+        return empty + self._count_dp(nonterminal, i, j, max_length)
 
     def _grammar_is_ambiguous(self) -> bool:
         """Cheap over-approximation: a grammar with two rules sharing a
@@ -234,6 +242,9 @@ class AllPathIndex:
         if not self.node_exists(nonterminal, i, j):
             return
         emitted: set[Path] = set()
+        if self._has_empty_path(nonterminal, i, j):
+            emitted.add(())
+            yield ()
         for length in range(1, max_length + 1):
             for path in self._paths_of_length(nonterminal, i, j, length):
                 if path not in emitted:
@@ -284,6 +295,8 @@ class AllPathIndex:
         j = self.graph.node_id(target)
         if not self.node_exists(nonterminal, i, j):
             return None
+        if self._has_empty_path(nonterminal, i, j):
+            return 0
         cached = self._shortest_cache.get((nonterminal, i, j))
         if cached is not None:
             return cached

@@ -87,6 +87,14 @@ class Semiring(abc.ABC):
         """The ⊗-unit seed a single terminal edge contributes (length 1,
         an ``("edge", label)`` witness, ...)."""
 
+    def empty_path(self):
+        """The annotation of the *empty* path ``iπi`` — the seed of the
+        diagonal cell ``(i, i)`` of a nullable non-terminal (``A ⇒* ε``):
+        length 0, an ``("empty",)`` witness, plain presence for the
+        boolean semiring.  Default: the edge identity (correct for
+        presence-only semirings)."""
+        return self.identity()
+
     @abc.abstractmethod
     def multiply(self, left, right, midpoint: int,
                  left_symbol: Hashable, right_symbol: Hashable):
@@ -156,6 +164,9 @@ class LengthSemiring(Semiring):
     def add(self, left: int, right: int) -> int:
         return left if left <= right else right
 
+    def empty_path(self) -> int:
+        return 0
+
     def merge(self, existing: int, incoming: int) -> tuple[int, bool]:
         if incoming < existing:
             return incoming, True
@@ -186,6 +197,9 @@ class WitnessSemiring(Semiring):
         if label is None:
             return frozenset()
         return frozenset({("edge", label)})
+
+    def empty_path(self) -> frozenset:
+        return frozenset({("empty",)})
 
     def multiply(self, left, right, midpoint: int, left_symbol,
                  right_symbol) -> frozenset:
@@ -545,11 +559,21 @@ def initial_annotated_matrices(graph, grammar, semiring: Semiring,
                                ) -> dict:
     """Annotated matrix initialization (Algorithm 1 lines 6-7): seed
     ``M_A[i, j]`` with ⊕-folded edge identities for every edge
-    ``(i, x, j)`` with ``A → x``."""
+    ``(i, x, j)`` with ``A → x``, plus the ``empty_path`` diagonal for
+    every non-terminal the original grammar could derive ε from
+    (:attr:`repro.grammar.cfg.CFG.nullable_diagonal`) — the empty-path
+    ``(i, i)`` facts the paper's relation semantics requires."""
     n = graph.node_count
     matrices = {
         nt: {} for nt in grammar.nonterminals
     }
+    for nt in grammar.nullable_diagonal:
+        cells = matrices.get(nt)
+        if cells is None:
+            continue
+        empty = semiring.empty_path()
+        for i in range(n):
+            cells[(i, i)] = empty
     for i, label, j in graph.edges_by_id():
         heads = grammar.heads_for_terminal(Terminal(label))
         if not heads:

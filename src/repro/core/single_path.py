@@ -121,6 +121,9 @@ def extract_path(index: SinglePathIndex, nonterminal: Nonterminal | str,
         raise PathNotFoundError(
             f"({source!r}, {target!r}) is not in R_{nonterminal}"
         )
+    if length == 0:
+        # Nullable non-terminal: the witness is the empty path i π i.
+        return ()
 
     grammar = index.grammar
     edge_labels: dict[tuple[int, int], list[str]] = {}
@@ -140,12 +143,15 @@ def extract_path(index: SinglePathIndex, nonterminal: Nonterminal | str,
                 continue
             left, right = rule.body  # type: ignore[misc]
             # Scan midpoints r with (left, l_B) ∈ a[i,r], (right, l_C) ∈ a[r,j]
-            # and l_B + l_C == needed.
+            # and l_B + l_C == needed.  Zero-length (nullable-diagonal)
+            # operands are skipped: ε-elimination guarantees an
+            # equivalent strict split, and restricting to l_B >= 1 keeps
+            # the recursion well-founded on cyclic closures.
             for (row, r), entries in index.cells.items():
                 if row != i:
                     continue
                 left_length = entries.get(left)  # type: ignore[arg-type]
-                if left_length is None or left_length >= needed:
+                if left_length is None or left_length < 1 or left_length >= needed:
                     continue
                 right_length = index.cells.get((r, j), {}).get(right)  # type: ignore[arg-type]
                 if right_length is None or left_length + right_length != needed:

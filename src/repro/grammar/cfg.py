@@ -27,8 +27,10 @@ class CFG:
 
     def __init__(self, productions: Iterable[Production],
                  extra_nonterminals: Iterable[Nonterminal] = (),
-                 extra_terminals: Iterable[Terminal] = ()):
+                 extra_terminals: Iterable[Terminal] = (),
+                 nullable_diagonal: Iterable[Nonterminal] = ()):
         self._productions: tuple[Production, ...] = tuple(dict.fromkeys(productions))
+        self._nullable_diagonal = frozenset(nullable_diagonal)
         nonterminals: set[Nonterminal] = set(extra_nonterminals)
         terminals: set[Terminal] = set(extra_terminals)
         for prod in self._productions:
@@ -78,6 +80,20 @@ class CFG:
     def terminals(self) -> frozenset[Terminal]:
         """The alphabet ``Σ``."""
         return self._terminals
+
+    @property
+    def nullable_diagonal(self) -> frozenset[Nonterminal]:
+        """Non-terminals whose relation contains the identity diagonal.
+
+        The paper's relation semantics counts the empty path ``iπi`` for
+        every node, so ``ε ∈ L(G_A)`` puts ``(i, i)`` in ``R_A`` for all
+        ``i``.  CNF normalization drops ε-rules; :func:`~repro.grammar.cnf.to_cnf`
+        records here which *original* non-terminals were nullable so the
+        solvers can seed the diagonal facts the ε-elimination removed.
+        Empty for grammars that never derived ε (including any grammar
+        already in CNF).
+        """
+        return self._nullable_diagonal
 
     def productions_for(self, head: Nonterminal) -> tuple[Production, ...]:
         """Productions whose head is *head* (empty tuple when none)."""

@@ -140,12 +140,22 @@ def to_cnf(grammar: CFG, keep_all_nonterminals: bool = True) -> CFG:
     With ``keep_all_nonterminals`` (the default, required for CFPQ) every
     original non-terminal survives even if it ends up with no productions
     — queries against it simply return the empty relation.
+
+    The DEL step erases which non-terminals could derive ε, but the
+    paper's relation semantics needs them (``ε ∈ L(G_A)`` puts every
+    ``(i, i)`` in ``R_A``), so the result records the *original*
+    grammar's nullable set in :attr:`CFG.nullable_diagonal` for the
+    solvers to seed identity diagonals from.
     """
+    nullable = frozenset(
+        nullable_nonterminals(grammar) | grammar.nullable_diagonal
+    )
     result = eliminate_unit_rules(eliminate_epsilon(binarize(lift_terminals(grammar))))
-    if keep_all_nonterminals:
-        result = CFG(result.productions,
-                     extra_nonterminals=grammar.nonterminals,
-                     extra_terminals=grammar.terminals)
+    extra = grammar.nonterminals if keep_all_nonterminals else result.nonterminals
+    result = CFG(result.productions,
+                 extra_nonterminals=extra,
+                 extra_terminals=grammar.terminals,
+                 nullable_diagonal=nullable & extra)
     assert result.is_cnf, "normalization must produce a CNF grammar"
     return result
 

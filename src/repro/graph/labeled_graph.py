@@ -81,6 +81,35 @@ class LabeledGraph:
         for source, label, target in edges:
             self.add_edge(source, label, target)
 
+    def remove_edge(self, source: Hashable, label: str,
+                    target: Hashable) -> bool:
+        """Remove a labeled edge; returns True when it existed.
+
+        Endpoints stay in the graph (node enumeration is append-only —
+        dense ids held by matrices and incremental solvers must remain
+        stable), so a removed edge may leave isolated nodes behind.
+        """
+        pairs = self._edges_by_label.get(label)
+        if not pairs:
+            return False
+        source_id = self._node_ids.get(source)
+        target_id = self._node_ids.get(target)
+        if source_id is None or target_id is None:
+            return False
+        pair = (source_id, target_id)
+        if pair not in pairs:
+            return False
+        pairs.discard(pair)
+        self._edge_count -= 1
+        return True
+
+    def remove_edges(self, edges: Iterable[Edge]) -> int:
+        """Bulk :meth:`remove_edge`; returns how many actually existed."""
+        return sum(
+            1 for source, label, target in edges
+            if self.remove_edge(source, label, target)
+        )
+
     def with_inverse_edges(self) -> "LabeledGraph":
         """Return a new graph with, for every edge ``(u, x, v)``, the
         extra edge ``(v, x_r, u)`` — the paper's RDF conversion rule
@@ -151,6 +180,11 @@ class LabeledGraph:
         if source_id is None or target_id is None:
             return False
         return (source_id, target_id) in pairs
+
+    def has_edge_id(self, source_id: int, label: str, target_id: int) -> bool:
+        """Membership test for a labeled edge by dense node ids."""
+        pairs = self._edges_by_label.get(label)
+        return bool(pairs) and (source_id, target_id) in pairs
 
     def edges(self) -> Iterator[Edge]:
         """Iterate all edges as (source, label, target) node objects."""

@@ -319,11 +319,17 @@ def initial_matrix(graph_size: int, grammar: CFG,
     ``T[i,j] = {A | (i,x,j) ∈ E ∧ (A→x) ∈ P}``.
 
     Handles parallel edges with different labels by unioning their head
-    sets, exactly as the paper notes below Algorithm 1.
+    sets, exactly as the paper notes below Algorithm 1.  Non-terminals
+    the original grammar could derive ε from
+    (:attr:`repro.grammar.cfg.CFG.nullable_diagonal`) additionally seed
+    every diagonal cell — the empty path ``iπi`` is a witness.
     """
     from ..grammar.symbols import Terminal
 
     cells: dict[Pair, set[Nonterminal]] = {}
+    if grammar.nullable_diagonal:
+        for i in range(graph_size):
+            cells.setdefault((i, i), set()).update(grammar.nullable_diagonal)
     for i, label, j in edges:
         heads = grammar.heads_for_terminal(Terminal(label))
         if heads:

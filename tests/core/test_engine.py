@@ -121,3 +121,29 @@ class TestSemanticsConsistency:
         relational = engine.relational("S")
         single = set(engine.evaluate("S", semantics="single-path"))
         assert single == relational
+
+
+class TestIncrementalEntryPoint:
+    def test_engine_incremental_shares_configuration(self, dyck_grammar):
+        engine = CFPQEngine(two_cycles(2, 3), dyck_grammar,
+                            backend="pyset", strategy="delta")
+        solver = engine.incremental()
+        assert solver.graph is engine.graph
+        assert solver.strategy == "delta"
+        before = engine.relational("S")
+        assert solver.pairs("S") == {
+            (engine.graph.node_id(a), engine.graph.node_id(b))
+            for a, b in before
+        }
+        solver.add_edges([(0, "a", 9), (9, "b", 0)])
+        solver.remove_edge(0, "a", 9)
+        from repro.core.matrix_cfpq import solve_matrix_relations
+
+        assert solver.relations().same_as(
+            solve_matrix_relations(engine.graph, engine.grammar,
+                                   normalize=False))
+
+    def test_engine_incremental_single_path(self, dyck_grammar):
+        engine = CFPQEngine(two_cycles(2, 3), dyck_grammar)
+        solver = engine.incremental(single_path=True)
+        assert solver.length_of("S", 0, 0) == engine.path_length("S", 0, 0)

@@ -33,6 +33,15 @@ from test_semiring_differential import STRATEGIES, make_case
 SEEDS = tuple(range(8))
 
 
+def _word_is_derivable(grammar, nonterminal, path) -> bool:
+    """(b) for any path including the empty one: ε is witnessed by the
+    recorded nullability of the original grammar (the CNF grammar
+    itself cannot derive ε, so CYK cannot check it)."""
+    if not path:
+        return nonterminal in grammar.nullable_diagonal
+    return cyk_recognize(grammar, nonterminal, list(path_word(path)))
+
+
 def _paths_are_contiguous(graph, path) -> bool:
     previous = None
     for i, label, j in path:
@@ -52,10 +61,12 @@ def test_extracted_path_properties(seed):
         for nonterminal, length in entries.items():
             path = extract_path(index, nonterminal, graph.node_at(i),
                                 graph.node_at(j))
-            assert path[0][0] == i and path[-1][2] == j
+            if path:
+                assert path[0][0] == i and path[-1][2] == j
+            else:
+                assert i == j  # empty path: nullable diagonal
             assert path_is_valid(index, path)                       # (a)
-            assert cyk_recognize(grammar, nonterminal,
-                                 list(path_word(path)))             # (b)
+            assert _word_is_derivable(grammar, nonterminal, path)   # (b)
             assert len(path) == length                              # (c)
 
 
@@ -70,10 +81,12 @@ def test_enumerated_path_properties(seed):
                 nonterminal, graph.node_at(i), graph.node_at(j), bound))
             assert len(enumerated) == len(set(enumerated))  # distinct
             for path in enumerated:
-                assert path[0][0] == i and path[-1][2] == j
+                if path:
+                    assert path[0][0] == i and path[-1][2] == j
+                else:
+                    assert i == j  # empty path: nullable diagonal
                 assert _paths_are_contiguous(graph, path)           # (a)
-                assert cyk_recognize(grammar, nonterminal,
-                                     list(path_word(path)))         # (b)
+                assert _word_is_derivable(grammar, nonterminal, path)  # (b)
                 assert len(path) <= bound                           # (c)
 
 
@@ -123,8 +136,7 @@ def test_enumeration_on_dense_cyclic_graph_terminates_and_is_sound():
             assert len(paths) == len(set(paths))
             for path in paths:
                 assert _paths_are_contiguous(graph, path)
-                assert cyk_recognize(grammar, nonterminal,
-                                     list(path_word(path)))
+                assert _word_is_derivable(grammar, nonterminal, path)
 
 
 def test_cyclic_graph_shortest_first_order(dyck_grammar):

@@ -2,9 +2,10 @@
 
 Complements ``test_cross_implementation`` (fixed grammars) by also
 randomizing the *grammar*, including ε-rules, unit rules and long
-bodies — the full CNF pipeline runs inside the loop.  GLL is excluded
-here because it answers ε-queries (reflexive pairs) that normalization
-deliberately drops; its agreement modulo ε is covered separately.
+bodies — the full CNF pipeline runs inside the loop.  Normalization
+records the nullable set (``CFG.nullable_diagonal``), so every solver —
+including GLL, which consumes the original grammar and answers
+ε-queries with reflexive pairs — must now agree *exactly*.
 
 Every case is generated from a ``random.Random`` seeded with a fixed
 constant at *call* time and the suite is parametrized over an explicit
@@ -67,6 +68,7 @@ def test_cnf_solvers_agree_on_random_grammars(seed):
         ("bitset", solve_matrix_relations(graph, cnf, backend="bitset",
                                           normalize=False)),
         ("hellings", solve_hellings(graph, cnf, normalize=False)),
+        ("gll", solve_gll(graph, grammar)),
     ]:
         for nonterminal in grammar.nonterminals:
             assert relations.pairs(nonterminal) == reference.pairs(nonterminal), (
@@ -75,22 +77,21 @@ def test_cnf_solvers_agree_on_random_grammars(seed):
 
 
 @pytest.mark.parametrize("seed", SEEDS[:25])
-def test_gll_agrees_modulo_epsilon(seed):
+def test_gll_agrees_exactly(seed):
     """GLL on the original grammar equals the matrix engine on the CNF
-    grammar up to the reflexive pairs contributed by nullable symbols."""
+    grammar *exactly*: since normalization records the nullable set
+    (``CFG.nullable_diagonal``) the matrix engine seeds the reflexive
+    pairs GLL derives from ε-rules, so no modulo-ε restriction is
+    needed any more."""
     rng = random.Random(~_SEED_BASE ^ seed)
     grammar = make_random_grammar(rng)
     graph = random_graph(4, 10, _LABELS, seed=rng.randint(0, 5000))
     cnf = to_cnf(grammar)
-    nullable = nullable_nonterminals(grammar)
+    assert cnf.nullable_diagonal == nullable_nonterminals(grammar)
     matrix = solve_matrix_relations(graph, cnf, normalize=False)
     gll = solve_gll(graph, grammar)
 
-    reflexive = {(v, v) for v in range(graph.node_count)}
     for nonterminal in grammar.nonterminals:
-        expected = set(matrix.pairs(nonterminal))
-        if nonterminal in nullable:
-            expected |= reflexive
-        assert set(gll.pairs(nonterminal)) == expected, (
+        assert set(gll.pairs(nonterminal)) == set(matrix.pairs(nonterminal)), (
             f"{nonterminal}\n{grammar.to_text()}"
         )

@@ -100,9 +100,17 @@ def legacy_single_path_cells(graph, grammar) -> dict:
     ``l_A = l_B + l_C`` through every rule ``A → B C``, candidates
     merged with min (see the module docstring)."""
     cells: dict[tuple[int, int], dict[Nonterminal, int]] = {}
+    # Empty-path diagonal: originally-nullable non-terminals witness
+    # (i, i) with length 0 (the paper's relation semantics counts the
+    # empty path; to_cnf records the nullable set on the CNF grammar).
+    for head in grammar.nullable_diagonal:
+        for i in range(graph.node_count):
+            cells.setdefault((i, i), {}).setdefault(head, 0)
     for i, label, j in graph.edges_by_id():
         for head in grammar.heads_for_terminal(Terminal(label)):
-            cells.setdefault((i, j), {}).setdefault(head, 1)
+            entries = cells.setdefault((i, j), {})
+            if entries.get(head, 2) > 1:
+                entries[head] = 1
     pair_rules = [
         (rule.head, rule.body[0], rule.body[1])
         for rule in grammar.binary_rules
@@ -142,6 +150,8 @@ def brute_force_paths(graph, grammar, nonterminal, source_id: int,
     CYK, completely independent of the closure machinery."""
     out_edges = graph.out_edges_index()
     found: set = set()
+    if source_id == target_id and nonterminal in grammar.nullable_diagonal:
+        found.add(())  # the empty path, witnessed by A => * eps
 
     def extend(node: int, path: tuple) -> None:
         if path and node == target_id:
@@ -195,8 +205,13 @@ def test_extracted_paths_realize_recorded_lengths(seed, strategy):
                                 graph.node_at(j))
             assert len(path) == length
             assert path_is_valid(index, path)
-            assert cyk_recognize(grammar, nonterminal,
-                                 list(path_word(path)))
+            if length == 0:
+                # Empty path: witnessed by nullability, not by CYK (the
+                # CNF grammar itself cannot derive the empty word).
+                assert i == j and nonterminal in grammar.nullable_diagonal
+            else:
+                assert cyk_recognize(grammar, nonterminal,
+                                     list(path_word(path)))
 
 
 # ----------------------------------------------------------------------

@@ -96,6 +96,82 @@ class TestRdfInput:
         assert payload["count"] == 4  # (b,b), (b,c), (c,b), (c,c)
 
 
+class TestUpdateCommand:
+    def test_insert_file_extends_relation(self, chain_file, tmp_path,
+                                          capsys):
+        insert = tmp_path / "insert.txt"
+        insert.write_text("4 a 5\n5 b 6\n")
+        assert main(["update", "--graph", chain_file,
+                     "--grammar-name", "dyck1", "--start", "S",
+                     "--insert", str(insert), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["facts_added"] > 0
+        assert payload["facts_removed"] == 0
+        assert ["4", "6"] in payload["pairs"]
+
+    def test_delete_file_shrinks_relation(self, chain_file, tmp_path,
+                                          capsys):
+        delete = tmp_path / "delete.txt"
+        delete.write_text("0 a 1\n")
+        assert main(["update", "--graph", chain_file,
+                     "--grammar-name", "dyck1", "--start", "S",
+                     "--delete", str(delete), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["facts_removed"] > 0
+        assert ["0", "4"] not in payload["pairs"]
+        assert ["1", "3"] in payload["pairs"]
+
+    def test_insert_then_delete_with_stats(self, chain_file, tmp_path,
+                                           capsys):
+        insert = tmp_path / "insert.txt"
+        insert.write_text("4 a 5\n5 b 6\n")
+        delete = tmp_path / "delete.txt"
+        delete.write_text("4 a 5\n")
+        assert main(["update", "--graph", chain_file,
+                     "--grammar-name", "dyck1", "--start", "S",
+                     "--insert", str(insert), "--delete", str(delete),
+                     "--stats", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["stats"]["edge_insertions"] == 2
+        assert payload["stats"]["edge_removals"] == 1
+        assert payload["stats"]["support_entries"] > 0
+        assert ["4", "6"] not in payload["pairs"]
+
+    def test_update_matches_fresh_query(self, chain_file, tmp_path,
+                                        capsys):
+        insert = tmp_path / "insert.txt"
+        insert.write_text("4 a 5\n5 b 6\n")
+        assert main(["update", "--graph", chain_file,
+                     "--grammar-name", "dyck1", "--start", "S",
+                     "--insert", str(insert), "--json"]) == 0
+        updated = json.loads(capsys.readouterr().out)
+
+        merged = tmp_path / "merged.txt"
+        merged.write_text(open(chain_file).read() + "4 a 5\n5 b 6\n")
+        assert main(["query", "--graph", str(merged),
+                     "--grammar-name", "dyck1", "--start", "S",
+                     "--json"]) == 0
+        fresh = json.loads(capsys.readouterr().out)
+        assert sorted(map(tuple, updated["pairs"])) == \
+            sorted(map(tuple, fresh["pairs"]))
+
+    def test_update_without_files_exits(self, chain_file):
+        with pytest.raises(SystemExit):
+            main(["update", "--graph", chain_file,
+                  "--grammar-name", "dyck1"])
+
+    def test_update_strategy_options(self, chain_file, tmp_path, capsys):
+        insert = tmp_path / "insert.txt"
+        insert.write_text("4 a 5\n5 b 6\n")
+        assert main(["update", "--graph", chain_file,
+                     "--grammar-name", "dyck1", "--start", "S",
+                     "--insert", str(insert), "--strategy", "blocked",
+                     "--tile-size", "2", "--scheduler", "serial",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert ["4", "6"] in payload["pairs"]
+
+
 class TestTablesCommand:
     def test_small_table(self, capsys):
         assert main(["tables", "table2", "--max-triples", "260"]) == 0
