@@ -6,12 +6,32 @@ over the baseline widens as the graph is repeated.  We repeat the
 funding ontology k times (the exact g1 recipe) for k ∈ {1, 2, 4, 8}
 and benchmark the sparse matrix engine against both baselines.
 
+Two layers (like the other bench scripts):
+
+1. pytest-benchmark tests below;
+2. a machine-readable sweep on the shared measurement harness
+   (:mod:`repro.bench.harness` — the paper-column solver registry).
+   Run this module as a script::
+
+       PYTHONPATH=src python benchmarks/bench_scaling.py \
+           --copies 1 2 4 --solvers sparse gll hellings \
+           --output scaling.json
+
+   Every (workload, solver) cell reports the result count and
+   best-of-repeats wall time; ``agree`` asserts all solvers found the
+   same |R_S|.  ``benchmarks/BENCH_scaling.json`` pins the committed
+   numbers and CI's bench-smoke regression gate re-measures them.
+
 Expected shape: all engines are linear-ish in k on disjoint copies
 (the relation itself is k times larger), with the matrix engine's
 constant factor pulling ahead of the worklist baseline as k grows.
 """
 
 from __future__ import annotations
+
+import argparse
+import json
+import sys
 
 import pytest
 
@@ -22,6 +42,9 @@ from repro.datasets.registry import build_graph
 from repro.graph.generators import repeat_graph
 
 COPIES = (1, 2, 4, 8)
+
+#: The worklist baseline is the slowest; larger workloads skip it.
+HELLINGS_MAX_COPIES = 4
 
 
 def _repeated(copies: int):
@@ -62,3 +85,87 @@ def test_scaling_hellings(benchmark, query1_cnf, copies):
         iterations=1, rounds=1,
     )
     assert relations.count("S") > 0
+
+
+# ----------------------------------------------------------------------
+# Scaling sweep on the shared harness (machine-readable)
+# ----------------------------------------------------------------------
+
+def run_scaling_suite(copies: tuple[int, ...] = (1, 2, 4),
+                      solvers: tuple[str, ...] = ("sparse", "gll",
+                                                  "hellings"),
+                      repeats: int = 2) -> dict:
+    """Measure each harness solver on the repeated funding ontology.
+
+    Returns ``{workloads: {funding_xk: {nodes, edges, agree,
+    solvers: {name: {results, wall_time_s}}}}}`` — the bench-smoke
+    regression gate compares every ``wall_time_s`` leaf.
+    """
+    from repro.bench.harness import SOLVERS, measure
+    from repro.grammar.builders import same_generation_query1
+
+    unknown = set(solvers) - set(SOLVERS)
+    if unknown:
+        raise KeyError(f"unknown solvers: {sorted(unknown)}; "
+                       f"known: {sorted(SOLVERS)}")
+    grammar = same_generation_query1()
+    report: dict = {
+        "benchmark": "scaling sweep (paper g1 recipe: funding × k, Q1)",
+        "workloads": {},
+    }
+    base = build_graph("funding")
+    for k in copies:
+        graph = repeat_graph(base, k)
+        cells: dict = {}
+        counts: set[int] = set()
+        for solver in solvers:
+            if solver == "hellings" and k > HELLINGS_MAX_COPIES:
+                continue
+            measurement = measure(solver, graph, grammar, start="S",
+                                  repeats=repeats)
+            counts.add(measurement.results)
+            cells[solver] = {
+                "results": measurement.results,
+                "wall_time_s": round(measurement.milliseconds / 1000.0, 6),
+            }
+        report["workloads"][f"funding_x{k}"] = {
+            "nodes": graph.node_count,
+            "edges": graph.edge_count,
+            "agree": len(counts) == 1,
+            "solvers": cells,
+        }
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="scaling benchmark on the shared harness "
+                    "(JSON summary)"
+    )
+    parser.add_argument("--copies", type=int, nargs="+", default=[1, 2, 4],
+                        help="funding-ontology repetition factors")
+    parser.add_argument("--solvers", nargs="+",
+                        default=["sparse", "gll", "hellings"],
+                        help="harness solver names (see "
+                             "repro.bench.harness.SOLVERS)")
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="best-of-N timing repeats per cell")
+    parser.add_argument("--output", default=None,
+                        help="write JSON here (default: stdout)")
+    args = parser.parse_args(argv)
+
+    report = run_scaling_suite(copies=tuple(args.copies),
+                               solvers=tuple(args.solvers),
+                               repeats=args.repeats)
+    payload = json.dumps(report, indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as stream:
+            stream.write(payload + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(payload)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

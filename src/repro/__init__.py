@@ -40,6 +40,7 @@ from .errors import ReproError
 from .grammar import CFG, Nonterminal, Production, Terminal, parse_grammar, to_cnf
 from .graph import LabeledGraph, load_graph_file, load_rdf_graph, triples_to_graph
 from .regular import solve_rpq
+from .service import QueryService, load_engine_snapshot, save_engine_snapshot
 
 __version__ = "1.1.0"
 
@@ -57,6 +58,7 @@ __all__ = [
     "Nonterminal",
     "PathIndex",
     "Production",
+    "QueryService",
     "ReproError",
     "Semiring",
     "Terminal",
@@ -68,8 +70,10 @@ __all__ = [
     "run_closure",
     "extract_path",
     "solve_annotated",
+    "load_engine_snapshot",
     "load_graph_file",
     "load_rdf_graph",
+    "save_engine_snapshot",
     "parse_grammar",
     "solve_matrix",
     "solve_matrix_relations",

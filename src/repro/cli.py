@@ -16,6 +16,11 @@ Examples::
     repro-cfpq update --graph graph.txt --grammar-name dyck1 --start S \
         --insert new_edges.txt --delete dead_edges.txt --stats
 
+    # Persist a solved index, then serve queries from the warm snapshot
+    repro-cfpq snapshot --graph graph.txt --grammar-name dyck1 \
+        --output index.snapshot
+    repro-cfpq serve --snapshot index.snapshot --port 7411 --stats
+
     # Reproduce the paper's tables
     repro-cfpq tables table1 --max-triples 700
 """
@@ -232,6 +237,51 @@ def cmd_update(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_snapshot(args: argparse.Namespace) -> int:
+    """Solve the requested semantics and persist the index to a
+    versioned snapshot file (see ``serve --snapshot``)."""
+    from .service.snapshot import save_engine_snapshot
+
+    engine = CFPQEngine(_load_graph(args), _load_grammar(args),
+                        backend=args.backend, strategy=args.strategy,
+                        **_strategy_options(args))
+    size = save_engine_snapshot(args.output, engine,
+                                semantics=tuple(args.semantics))
+    print(f"wrote {args.output}: {size} bytes "
+          f"({', '.join(args.semantics)}; backend {engine.backend})")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve JSONL queries/updates over stdio or TCP."""
+    from .service.query_service import QueryService
+    from .service.server import serve_stream, serve_tcp
+
+    options = _strategy_options(args)
+    if args.snapshot:
+        service = QueryService.from_snapshot(
+            args.snapshot, backend=args.backend, strategy=args.strategy,
+            cache_size=args.cache_size,
+            single_path=True if args.single_path else None, **options,
+        )
+    else:
+        if not args.graph:
+            raise SystemExit("serve requires --graph or --snapshot")
+        service = QueryService(
+            _load_graph(args), _load_grammar(args), backend=args.backend,
+            strategy=args.strategy or DEFAULT_STRATEGY,
+            cache_size=args.cache_size,
+            single_path=args.single_path, **options,
+        )
+    if args.port is not None:
+        serve_tcp(service, host=args.host, port=args.port,
+                  include_stats=args.stats)
+    else:
+        serve_stream(service, sys.stdin, sys.stdout,
+                     include_stats=args.stats)
+    return 0
+
+
 def cmd_tables(args: argparse.Namespace) -> int:
     from .bench.tables import main as tables_main
 
@@ -332,6 +382,68 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print incremental-solver stats (facts "
                              "propagated/removed, support index size)")
     update.set_defaults(handler=cmd_update)
+
+    snapshot = subparsers.add_parser(
+        "snapshot",
+        help="solve and persist the index to a snapshot file",
+        description="Solve the graph under the grammar for the chosen "
+                    "semantics and write a versioned snapshot that "
+                    "`serve --snapshot` (and CFPQEngine.from_snapshot) "
+                    "warm-start from with zero closure rounds.",
+    )
+    _add_common(snapshot)
+    snapshot.add_argument("--output", default="index.snapshot",
+                          help="snapshot file to write")
+    snapshot.add_argument("--semantics", nargs="+",
+                          choices=["relational", "single-path", "all-path"],
+                          default=["relational"],
+                          help="index sections to solve and persist "
+                               "(default: relational only; annotated "
+                               "sections cost their closures once here "
+                               "instead of at every process start)")
+    snapshot.set_defaults(handler=cmd_snapshot)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve JSONL queries/updates (stdio or TCP)",
+        description="Run a query service: one JSON request per input "
+                    "line, one JSON response per output line (see "
+                    "repro.service.server for the protocol).  Reads "
+                    "stdin by default; --port starts a concurrent TCP "
+                    "server instead.",
+    )
+    serve.add_argument("--snapshot",
+                       help="warm-start from a snapshot file instead of "
+                            "solving --graph")
+    serve.add_argument("--graph", help="edge-list graph file (cold start)")
+    serve.add_argument("--rdf", action="store_true",
+                       help="treat the graph file as RDF triples")
+    serve.add_argument("--grammar", help="grammar file in the text DSL")
+    serve.add_argument("--grammar-name", choices=sorted(GRAMMAR_REGISTRY),
+                       help="built-in grammar")
+    serve.add_argument("--backend", default=None,
+                       choices=available_backends(),
+                       help="matrix backend (default: the snapshot's, "
+                            "or the best installed)")
+    serve.add_argument("--strategy", default=None,
+                       choices=available_strategies())
+    serve.add_argument("--scheduler", default=None,
+                       choices=available_schedulers())
+    serve.add_argument("--tile-size", type=int, default=None)
+    serve.add_argument("--single-path", action="store_true",
+                       help="maintain length annotations so single-path "
+                            "and length queries are served")
+    serve.add_argument("--cache-size", type=int, default=1024,
+                       help="LRU result-cache capacity (entries)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=None,
+                       help="serve TCP on this port (0 = ephemeral; the "
+                            "bound address is announced on stderr) "
+                            "instead of stdio")
+    serve.add_argument("--stats", action="store_true",
+                       help="attach cache hit rate / tick latency / "
+                            "snapshot size to every response")
+    serve.set_defaults(handler=cmd_serve)
 
     tables = subparsers.add_parser("tables", help="reproduce paper tables")
     tables.add_argument("table", choices=["table1", "table2", "both"])

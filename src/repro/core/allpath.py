@@ -52,13 +52,16 @@ class AllPathEnumerator:
 
     def __init__(self, graph: LabeledGraph, grammar: CFG,
                  normalize: bool = True, strategy: str | None = None,
+                 index: AllPathIndex | None = None,
                  **strategy_options):
         self.graph = graph
         self.grammar = ensure_cnf(grammar) if normalize else grammar
         self.grammar.require_cnf("all-path enumeration")
-        self.index = AllPathIndex.build(graph, self.grammar,
-                                        strategy=strategy,
-                                        **strategy_options)
+        # A pre-built forest (e.g. restored from a snapshot) skips the
+        # witness-semiring closure entirely.
+        self.index = index if index is not None else AllPathIndex.build(
+            graph, self.grammar, strategy=strategy, **strategy_options
+        )
 
     def paths(self, nonterminal: Nonterminal | str, source: Hashable,
               target: Hashable, max_length: int) -> frozenset[Path]:

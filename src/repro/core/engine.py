@@ -176,6 +176,51 @@ class CFPQEngine:
         )
 
     # ------------------------------------------------------------------
+    # Warm-start adoption (snapshot store)
+    # ------------------------------------------------------------------
+    def adopt_solution(self, result: MatrixCFPQResult,
+                       backend: str | None = None,
+                       strategy: str | None = None) -> None:
+        """Install a pre-computed relational solution into the solve
+        cache, so :meth:`solve`/:meth:`relational` answer without
+        running any closure.  Used by the snapshot loader
+        (:mod:`repro.service.snapshot`); the result must be the closure
+        of this engine's graph and grammar."""
+        self._matrix_results[(backend or self.backend,
+                              strategy or self.strategy)] = result
+
+    def adopt_single_path_index(self, index: SinglePathIndex,
+                                strategy: str | None = None) -> None:
+        """Install a pre-computed length-annotated index (see
+        :meth:`adopt_solution`)."""
+        self._single_path_indexes[strategy or self.strategy] = index
+
+    def adopt_all_path_enumerator(self, enumerator: AllPathEnumerator,
+                                  strategy: str | None = None) -> None:
+        """Install a pre-computed all-path enumerator (see
+        :meth:`adopt_solution`)."""
+        self._all_path_enumerators[strategy or self.strategy] = enumerator
+
+    def save_snapshot(self, path: str,
+                      semantics: tuple[str, ...] = SEMANTICS) -> int:
+        """Persist the solved index to *path* (solving any missing
+        *semantics* first); returns the snapshot size in bytes.  See
+        :mod:`repro.service.snapshot` for the format."""
+        from ..service.snapshot import save_engine_snapshot
+
+        return save_engine_snapshot(path, self, semantics=semantics)
+
+    @classmethod
+    def from_snapshot(cls, path: str, backend: str | None = None,
+                      strategy: str | None = None) -> "CFPQEngine":
+        """Load a warm engine from a snapshot file: every semantics the
+        snapshot carries answers in O(load), with zero closure rounds."""
+        from ..service.snapshot import load_engine_snapshot
+
+        return load_engine_snapshot(path, backend=backend,
+                                    strategy=strategy)
+
+    # ------------------------------------------------------------------
     # Incremental maintenance
     # ------------------------------------------------------------------
     def incremental(self, single_path: bool = False):

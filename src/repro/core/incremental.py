@@ -88,10 +88,23 @@ class IncrementalCFPQ:
     All mutators return the number of facts that entered (``add_*``) or
     left (``remove_*``) the relations — the seeded base facts count,
     matching :class:`IncrementalSinglePathCFPQ`.
+
+    After every mutator call :attr:`last_changes` holds the exact
+    per-non-terminal delta of that call (the cells whose matrix content
+    changed), which is what the query-service layer
+    (:mod:`repro.service.query_service`) uses for fine-grained cache
+    invalidation.
+
+    *warm_state* (a mapping produced by :meth:`export_state`, typically
+    via a snapshot — :mod:`repro.service.snapshot`) seeds the solver
+    from an already-closed fact set instead of running the initial
+    closure: construction is O(|facts|) and
+    :attr:`initial_closure_iterations` is 0.
     """
 
     def __init__(self, graph: LabeledGraph, grammar: CFG,
                  backend: str = "pyset", strategy: str = "delta",
+                 warm_state: "dict | None" = None,
                  **strategy_options):
         self.graph = graph
         self.grammar = ensure_cnf(grammar)
@@ -130,7 +143,15 @@ class IncrementalCFPQ:
         self._propagated_facts = 0
         self._facts_removed = 0
 
-        self._seed_from_engine(backend, strategy)
+        #: Active per-call change recorder (None outside a mutator).
+        self._change_recorder: dict[Nonterminal, set[tuple[int, int]]] | None = None
+        self._last_changes: dict[Nonterminal, frozenset[tuple[int, int]]] = {}
+        self._initial_iterations = 0
+
+        if warm_state is not None:
+            self._seed_from_state(warm_state)
+        else:
+            self._seed_from_engine(backend, strategy)
         # Keep the stats contract of the worklist-seeded version: every
         # initially derived fact counts as one propagation.
         self._propagated_facts = sum(
@@ -147,9 +168,74 @@ class IncrementalCFPQ:
         result = solve_matrix(self.graph, self.grammar, backend=backend,
                               normalize=False, strategy=strategy,
                               **self.strategy_options)
+        self._initial_iterations = result.stats.iterations
         for nonterminal, matrix in result.matrices.items():
             for i, j in matrix.nonzero_pairs():
                 self._record(nonterminal, i, j)
+
+    def _seed_from_state(self, state: dict) -> None:
+        """Warm start: adopt an already-closed fact set (and, when
+        present, the DRed support index) without running any closure."""
+        for nonterminal, pairs in state.get("facts", {}).items():
+            for i, j in pairs:
+                self._record(nonterminal, i, j)
+        supports = state.get("supports")
+        if supports is not None:
+            self._supports = {
+                fact: set(entries) for fact, entries in supports.items()
+            }
+
+    def export_state(self) -> dict:
+        """The solver's closed state as plain containers — the inverse
+        of the ``warm_state`` constructor argument (used by the
+        snapshot store)."""
+        state: dict = {
+            "facts": {
+                nonterminal: set(pairs)
+                for nonterminal, pairs in self._facts.items() if pairs
+            },
+        }
+        if self._supports is not None:
+            state["supports"] = {
+                fact: set(entries)
+                for fact, entries in self._supports.items()
+            }
+        return state
+
+    # ------------------------------------------------------------------
+    # Exact per-call deltas (cache-invalidation feed)
+    # ------------------------------------------------------------------
+    @property
+    def last_changes(self) -> dict[Nonterminal, frozenset[tuple[int, int]]]:
+        """The exact per-non-terminal cell delta of the most recent
+        mutator call: for insertions the genuinely new facts (plus, on
+        the single-path solver, cells whose length annotation was
+        refined), for deletions the facts permanently removed plus cells
+        re-derived with a different annotation.  Empty mapping when the
+        last call changed nothing."""
+        return self._last_changes
+
+    @property
+    def initial_closure_iterations(self) -> int:
+        """Closure rounds run by the initial solve (0 after a warm
+        start from ``warm_state``)."""
+        return self._initial_iterations
+
+    def _begin_change_log(self) -> None:
+        self._change_recorder = {}
+
+    def _commit_change_log(self) -> None:
+        recorder = self._change_recorder or {}
+        self._change_recorder = None
+        self._last_changes = {
+            nonterminal: frozenset(pairs)
+            for nonterminal, pairs in recorder.items()
+        }
+
+    def _log_change(self, nonterminal: Nonterminal,
+                    pair: tuple[int, int]) -> None:
+        if self._change_recorder is not None:
+            self._change_recorder.setdefault(nonterminal, set()).add(pair)
 
     # ------------------------------------------------------------------
     # Mutation: insertion
@@ -165,6 +251,13 @@ class IncrementalCFPQ:
         additionally maintains the derivation supports, so single-edge
         inserts stay O(delta) instead of re-running the batch path.
         """
+        self._begin_change_log()
+        try:
+            return self._add_edge(source, label, target)
+        finally:
+            self._commit_change_log()
+
+    def _add_edge(self, source: Hashable, label: str, target: Hashable) -> int:
         supports = self._supports
         already_present = self.graph.has_edge(source, label, target)
         new_nodes = [node for node in dict.fromkeys((source, target))
@@ -208,6 +301,13 @@ class IncrementalCFPQ:
         strategy — no per-tuple worklist.  Returns the number of new
         facts.
         """
+        self._begin_change_log()
+        try:
+            return self._add_edges(edges)
+        finally:
+            self._commit_change_log()
+
+    def _add_edges(self, edges: Iterable[Edge]) -> int:
         edges = list(edges)
         nodes_before = self.graph.node_count
         new_edges: list[tuple[int, str, int]] = []
@@ -257,6 +357,7 @@ class IncrementalCFPQ:
         self._ensure_supports()
         assert self._supports is not None
         supports = self._supports
+        self._last_changes = {}
 
         worklist: deque[Fact] = deque()
         for source, label, target in edges:
@@ -304,6 +405,10 @@ class IncrementalCFPQ:
         if not overdeleted:
             return 0
 
+        # Annotation values before the delete (single-path: lengths) so
+        # re-derived facts whose annotation moved land in last_changes.
+        annotation_snapshot = self._annotations_of(overdeleted)
+
         for fact in overdeleted:
             nonterminal, i, j = fact
             self._facts[nonterminal].discard((i, j))
@@ -325,11 +430,19 @@ class IncrementalCFPQ:
             self._run_batch(seeds)
 
         removed = 0
+        changes: dict[Nonterminal, set[tuple[int, int]]] = {}
         for fact in overdeleted:
             nonterminal, i, j = fact
             if (i, j) not in self._facts.get(nonterminal, ()):
                 supports.pop(fact, None)
                 removed += 1
+                changes.setdefault(nonterminal, set()).add((i, j))
+            elif self._annotation_changed(fact, annotation_snapshot):
+                changes.setdefault(nonterminal, set()).add((i, j))
+        self._last_changes = {
+            nonterminal: frozenset(pairs)
+            for nonterminal, pairs in changes.items()
+        }
         self._facts_removed += removed
         return removed
 
@@ -418,6 +531,8 @@ class IncrementalCFPQ:
                 continue
             known |= fresh
             self._index_pairs(nonterminal, fresh)
+            if self._change_recorder is not None:
+                self._change_recorder.setdefault(nonterminal, set()).update(fresh)
             new_facts.extend((nonterminal, i, j) for i, j in fresh)
         return new_facts
 
@@ -444,6 +559,17 @@ class IncrementalCFPQ:
 
     def _on_fact_removed(self, fact: Fact) -> None:
         """Hook for annotated subclasses (drop per-fact annotations)."""
+
+    def _annotations_of(self, facts: set[Fact]) -> dict:
+        """Pre-deletion annotation values of *facts* (empty for the
+        presence-only base solver — re-derived boolean cells cannot
+        change value)."""
+        return {}
+
+    def _annotation_changed(self, fact: Fact, snapshot: dict) -> bool:
+        """Did the DRed pass leave *fact* present with a different
+        annotation than *snapshot* recorded?"""
+        return False
 
     # ------------------------------------------------------------------
     # Derivation supports (DRed bookkeeping)
@@ -518,6 +644,7 @@ class IncrementalCFPQ:
         self._facts[nonterminal].add((i, j))
         self._by_source[(nonterminal, i)].add(j)
         self._by_target[(nonterminal, j)].add(i)
+        self._log_change(nonterminal, (i, j))
 
     def _propagate(self, worklist: deque[Fact]) -> int:
         """Tuple-granular consequence propagation.
@@ -587,10 +714,12 @@ class IncrementalSinglePathCFPQ(IncrementalCFPQ):
     """
 
     def __init__(self, graph: LabeledGraph, grammar: CFG,
-                 strategy: str = "delta", **strategy_options):
+                 strategy: str = "delta",
+                 warm_state: "dict | None" = None,
+                 **strategy_options):
         self._lengths: dict[Fact, int] = {}
         super().__init__(graph, grammar, strategy=strategy,
-                         **strategy_options)
+                         warm_state=warm_state, **strategy_options)
 
     def _seed_from_engine(self, backend: str, strategy: str) -> None:
         from .semiring import LENGTH_SEMIRING, solve_annotated
@@ -598,14 +727,38 @@ class IncrementalSinglePathCFPQ(IncrementalCFPQ):
         result = solve_annotated(self.graph, self.grammar, LENGTH_SEMIRING,
                                  strategy=strategy, normalize=False,
                                  **self.strategy_options)
+        self._initial_iterations = result.iterations
         for nonterminal, matrix in result.matrices.items():
             for i, j, length in matrix.nonzero_cells():
                 self._record(nonterminal, i, j)
                 self._lengths[(nonterminal, i, j)] = length
 
+    def _seed_from_state(self, state: dict) -> None:
+        super()._seed_from_state(state)
+        self._lengths.update(state.get("lengths", {}))
+
+    def export_state(self) -> dict:
+        state = super().export_state()
+        state["lengths"] = dict(self._lengths)
+        return state
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
+    def single_path_index(self):
+        """The maintained lengths as a
+        :class:`~repro.core.single_path.SinglePathIndex`, so
+        :func:`~repro.core.single_path.extract_path` runs on the live
+        incremental state (the query service rebuilds this after every
+        update tick)."""
+        from .single_path import SinglePathIndex
+
+        cells: dict[tuple[int, int], dict] = {}
+        for (nonterminal, i, j), length in self._lengths.items():
+            cells.setdefault((i, j), {})[nonterminal] = length
+        return SinglePathIndex(graph=self.graph, grammar=self.grammar,
+                               cells=cells, iterations=0)
+
     def length_of(self, nonterminal: Nonterminal | str, source: Hashable,
                   target: Hashable) -> int | None:
         """The maintained witness length for ``(A, source, target)``, or
@@ -620,7 +773,7 @@ class IncrementalSinglePathCFPQ(IncrementalCFPQ):
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
-    def add_edge(self, source: Hashable, label: str, target: Hashable) -> int:
+    def _add_edge(self, source: Hashable, label: str, target: Hashable) -> int:
         """Insert one edge; returns the number of new facts (length
         refinements of existing facts propagate but are not counted,
         matching the base-class contract)."""
@@ -692,13 +845,20 @@ class IncrementalSinglePathCFPQ(IncrementalCFPQ):
             known = self._facts[nonterminal]
             fresh: list[tuple[int, int]] = []
             for i, j, length in matrix.nonzero_cells():
+                previous = lengths.get((nonterminal, i, j))
                 lengths[(nonterminal, i, j)] = length
                 if (i, j) not in known:
                     fresh.append((i, j))
+                elif previous != length:
+                    # Length refinement of an existing fact: the matrix
+                    # content changed even though the relation did not.
+                    self._log_change(nonterminal, (i, j))
             if not fresh:
                 continue
             known.update(fresh)
             self._index_pairs(nonterminal, fresh)
+            if self._change_recorder is not None:
+                self._change_recorder.setdefault(nonterminal, set()).update(fresh)
             new_facts.extend((nonterminal, i, j) for i, j in fresh)
         return new_facts
 
@@ -735,6 +895,12 @@ class IncrementalSinglePathCFPQ(IncrementalCFPQ):
     def _on_fact_removed(self, fact: Fact) -> None:
         self._lengths.pop(fact, None)
 
+    def _annotations_of(self, facts: set[Fact]) -> dict:
+        return {fact: self._lengths.get(fact) for fact in facts}
+
+    def _annotation_changed(self, fact: Fact, snapshot: dict) -> bool:
+        return self._lengths.get(fact) != snapshot.get(fact)
+
     # ------------------------------------------------------------------
     # Tuple-granular engine
     # ------------------------------------------------------------------
@@ -749,6 +915,7 @@ class IncrementalSinglePathCFPQ(IncrementalCFPQ):
             return True, False
         if length < current:
             self._lengths[key] = length
+            self._log_change(nonterminal, (i, j))
             return False, True
         return False, False
 

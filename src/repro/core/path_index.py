@@ -105,9 +105,17 @@ class AllPathIndex:
         result = solve_annotated(graph, cnf, WITNESS_SEMIRING,
                                  strategy=strategy, normalize=False,
                                  **strategy_options)
+        return cls.from_witness_matrices(graph, cnf, result.matrices)
+
+    @classmethod
+    def from_witness_matrices(cls, graph: LabeledGraph, grammar: CFG,
+                              matrices: dict) -> "AllPathIndex":
+        """Wrap already-closed witness-semiring matrices (a finished
+        :func:`solve_annotated` run, or matrices re-materialized from a
+        snapshot payload) as a forest index."""
         pairs_by_nonterminal: dict[Nonterminal, set[tuple[int, int]]] = {}
         splits_index: dict[tuple[Nonterminal, int, int], tuple[Split, ...]] = {}
-        for nonterminal, matrix in result.matrices.items():
+        for nonterminal, matrix in matrices.items():
             pairs_by_nonterminal[nonterminal] = set(matrix.nonzero_pairs())
             for i, j, witnesses in matrix.nonzero_cells():
                 splits = sorted(
@@ -118,7 +126,7 @@ class AllPathIndex:
                 if splits:
                     splits_index[(nonterminal, i, j)] = tuple(splits)
         relations = ContextFreeRelations(graph, pairs_by_nonterminal)
-        return cls(graph, cnf, relations, splits_index=splits_index)
+        return cls(graph, grammar, relations, splits_index=splits_index)
 
     # ------------------------------------------------------------------
     # Forest structure

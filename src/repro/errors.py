@@ -122,3 +122,26 @@ class PathNotFoundError(EngineError):
 
 class DatasetError(ReproError):
     """Raised for unknown dataset names or malformed dataset specs."""
+
+
+class ServiceError(ReproError):
+    """Base class for query-service and snapshot-store errors."""
+
+
+class SnapshotError(ServiceError):
+    """Raised when a snapshot file is missing, malformed, or references
+    a backend/semiring unavailable in the loading process."""
+
+
+class SnapshotVersionError(SnapshotError):
+    """Raised when a snapshot was written by an incompatible format
+    version."""
+
+    def __init__(self, found: object, supported: tuple[int, ...]):
+        self.found = found
+        self.supported = supported
+        super().__init__(
+            f"snapshot format version {found!r} is not supported "
+            f"(this build reads versions: {', '.join(map(str, supported))}); "
+            "re-create the snapshot with the current library"
+        )

@@ -1,0 +1,38 @@
+"""Persistent index store and query service layer.
+
+The solver stack (:mod:`repro.core`) answers one query fast; this
+package turns it into something a process can *serve*:
+
+* :mod:`repro.service.snapshot` — save/load a fully solved index (graph
+  node map, grammar, per-non-terminal matrices via the backend payload
+  codec, length/witness annotations, incremental support sets) in a
+  versioned on-disk format, so engines warm-start in O(load) instead of
+  O(solve);
+* :mod:`repro.service.query_service` — a session object wrapping the
+  engine and the batch-incremental solver behind an LRU result cache
+  with fine-grained invalidation (driven by the closure's exact deltas)
+  and coalesced update ticks (one DRed pass + one insertion frontier
+  run per tick);
+* :mod:`repro.service.server` — a concurrent JSONL request loop over
+  stdio and TCP (``repro-cfpq serve``) with reader/writer locking so
+  queries always see a consistent snapshot during ticks.
+"""
+
+from .query_service import QueryService, TickReport
+from .snapshot import (
+    SNAPSHOT_VERSION,
+    load_engine_snapshot,
+    read_snapshot,
+    save_engine_snapshot,
+    write_snapshot,
+)
+
+__all__ = [
+    "QueryService",
+    "TickReport",
+    "SNAPSHOT_VERSION",
+    "load_engine_snapshot",
+    "read_snapshot",
+    "save_engine_snapshot",
+    "write_snapshot",
+]

@@ -1,0 +1,596 @@
+"""A query session over a live, mutating graph.
+
+:class:`QueryService` wraps the batch-incremental solver
+(:mod:`repro.core.incremental`) behind the three things a server needs
+and the solver alone does not give:
+
+* an **LRU result cache** keyed by ``(start, source, target,
+  semantics)`` with **fine-grained invalidation**: an update tick drops
+  only the entries whose answer could have moved, decided from the
+  closure's *exact* per-non-terminal deltas
+  (:attr:`~repro.core.incremental.IncrementalCFPQ.last_changes`) — a
+  relational entry depends only on its own start matrix, a single-path
+  entry on every non-terminal reachable from its start through the
+  grammar rules;
+* **coalesced update ticks**: an interleaved insert/delete stream is
+  deduplicated per tick (last operation per edge wins — intermediate
+  states within a tick are unobservable by construction) and applied as
+  at most one ``remove_edges`` DRed pass plus one ``add_edges``
+  frontier run;
+* a **reader/writer lock**: any number of queries run concurrently and
+  always see the fixpoint of a completed tick, never a half-applied
+  update.
+
+Construction is cold (one initial closure) unless a ``warm_state`` is
+supplied — :meth:`QueryService.from_snapshot` restores one from the
+snapshot store (:mod:`repro.service.snapshot`), making restart cost
+O(load) with zero closure rounds.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, Iterable
+
+from ..core.incremental import IncrementalCFPQ, IncrementalSinglePathCFPQ
+from ..core.matrix_cfpq import DEFAULT_STRATEGY
+from ..core.single_path import extract_path
+from ..errors import SemanticsError
+from ..grammar.symbols import Nonterminal
+from ..graph.labeled_graph import Edge, LabeledGraph
+from ..matrices.base import default_backend
+from . import snapshot as snapshot_store
+
+#: Query semantics the service caches and serves.
+SERVICE_SEMANTICS = ("relational", "single-path", "length")
+
+#: Default LRU capacity.
+DEFAULT_CACHE_SIZE = 1024
+
+
+class ReadWriteLock:
+    """A writer-preferring reader/writer lock.
+
+    Readers share; a writer excludes everyone.  Pending writers block
+    new readers so a steady query stream cannot starve update ticks.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    @contextlib.contextmanager
+    def reading(self):
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if self._readers == 0:
+                    self._cond.notify_all()
+
+    @contextlib.contextmanager
+    def writing(self):
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+                self._writer = True
+            finally:
+                self._writers_waiting -= 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writer = False
+                self._cond.notify_all()
+
+
+@dataclass(frozen=True)
+class TickReport:
+    """Outcome of one coalesced update tick."""
+
+    inserts_requested: int
+    deletes_requested: int
+    inserts_applied: int
+    deletes_applied: int
+    coalesced_away: int
+    facts_added: int
+    facts_removed: int
+    dred_passes: int
+    frontier_runs: int
+    changed_nonterminals: tuple[str, ...] = ()
+    invalidated_entries: int = 0
+    seconds: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "inserts_requested": self.inserts_requested,
+            "deletes_requested": self.deletes_requested,
+            "inserts_applied": self.inserts_applied,
+            "deletes_applied": self.deletes_applied,
+            "coalesced_away": self.coalesced_away,
+            "facts_added": self.facts_added,
+            "facts_removed": self.facts_removed,
+            "dred_passes": self.dred_passes,
+            "frontier_runs": self.frontier_runs,
+            "changed_nonterminals": list(self.changed_nonterminals),
+            "invalidated_entries": self.invalidated_entries,
+            "seconds": round(self.seconds, 6),
+        }
+
+
+class QueryService:
+    """A thread-safe, cached CFPQ session over one (graph, grammar).
+
+    Parameters
+    ----------
+    graph, grammar:
+        The data and the query language; the grammar is normalized once.
+    backend, strategy, strategy_options:
+        Closure configuration, as on :class:`~repro.core.engine.CFPQEngine`.
+    cache_size:
+        LRU capacity (entries).
+    single_path:
+        Maintain length annotations incrementally so ``single-path`` and
+        ``length`` queries are served; costs the annotated closure at
+        startup (or a snapshot's lengths) and per tick.
+    warm_state:
+        A solver state produced by ``export_state`` — skips the initial
+        closure entirely (see :meth:`from_snapshot`).
+    """
+
+    def __init__(self, graph: LabeledGraph, grammar, backend: str | None = None,
+                 strategy: str = DEFAULT_STRATEGY,
+                 cache_size: int = DEFAULT_CACHE_SIZE,
+                 single_path: bool = False,
+                 warm_state: dict | None = None,
+                 **strategy_options):
+        self.backend = backend or default_backend()
+        self.strategy = strategy
+        self.single_path = single_path
+        self.strategy_options = strategy_options
+        started = time.perf_counter()
+        if single_path:
+            self.solver: IncrementalCFPQ = IncrementalSinglePathCFPQ(
+                graph, grammar, strategy=strategy, warm_state=warm_state,
+                **strategy_options,
+            )
+        else:
+            self.solver = IncrementalCFPQ(
+                graph, grammar, backend=self.backend, strategy=strategy,
+                warm_state=warm_state, **strategy_options,
+            )
+        self._startup_seconds = time.perf_counter() - started
+        self._warm_started = warm_state is not None
+
+        self._lock = ReadWriteLock()
+        self._cache: OrderedDict[tuple, object] = OrderedDict()
+        self._cache_size = max(1, cache_size)
+        self._cache_lock = threading.Lock()
+        self._sp_index = None
+
+        # Rule graph for dependency closures: head -> body non-terminals.
+        self._rule_bodies: dict[Nonterminal, set[Nonterminal]] = {}
+        for rule in self.solver.grammar.binary_rules:
+            self._rule_bodies.setdefault(rule.head, set()).update(rule.body)
+        self._deps_cache: dict[Nonterminal, frozenset[Nonterminal]] = {}
+
+        self._queries = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._invalidations = 0
+        self._ticks = 0
+        self._ops_requested = 0
+        self._ops_coalesced_away = 0
+        self._dred_passes = 0
+        self._frontier_runs = 0
+        self._tick_seconds_last = 0.0
+        self._tick_seconds_total = 0.0
+        self._snapshot_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_engine(cls, engine, cache_size: int = DEFAULT_CACHE_SIZE,
+                    single_path: bool = False) -> "QueryService":
+        """Wrap an already-solved engine: its cached closure seeds the
+        incremental solver, so no work is repeated."""
+        warm_state: dict = {
+            "facts": {
+                nonterminal: set(matrix.nonzero_pairs())
+                for nonterminal, matrix in engine.solve().matrices.items()
+            },
+        }
+        if single_path:
+            index = engine.single_path_index()
+            warm_state["lengths"] = {
+                (nonterminal, i, j): length
+                for (i, j), entries in index.cells.items()
+                for nonterminal, length in entries.items()
+            }
+        return cls(engine.graph, engine.grammar, backend=engine.backend,
+                   strategy=engine.strategy, cache_size=cache_size,
+                   single_path=single_path, warm_state=warm_state,
+                   **engine.strategy_options)
+
+    @classmethod
+    def from_snapshot(cls, path: str, backend: str | None = None,
+                      strategy: str | None = None,
+                      cache_size: int = DEFAULT_CACHE_SIZE,
+                      single_path: bool | None = None,
+                      **strategy_options) -> "QueryService":
+        """Warm-start a service from a snapshot file.
+
+        Both service snapshots (:meth:`save_snapshot`) and engine
+        snapshots (:func:`repro.service.snapshot.save_engine_snapshot`)
+        are accepted: the solver seeds from the stored fact/length sets
+        and runs **zero** closure rounds.  *single_path* defaults to
+        whatever the snapshot can support losslessly.
+        """
+        payload = snapshot_store.read_snapshot(path)
+        graph = snapshot_store.decode_graph(payload["graph"])
+        grammar = snapshot_store.decode_grammar(payload["grammar"])
+
+        warm_state: dict | None = None
+        if "incremental" in payload:
+            warm_state = snapshot_store.decode_incremental_state(
+                payload["incremental"]
+            )
+        elif "relational" in payload:
+            matrices = snapshot_store.decode_boolean_matrices(
+                payload["relational"]["matrices"]
+            )
+            warm_state = {
+                "facts": {
+                    nonterminal: set(matrix.nonzero_pairs())
+                    for nonterminal, matrix in matrices.items()
+                },
+            }
+            if "length" in payload:
+                warm_state["lengths"] = {
+                    (nonterminal, i, j): length
+                    for nonterminal, matrix in
+                    snapshot_store.decode_annotated_matrices(
+                        payload["length"]).items()
+                    for i, j, length in matrix.nonzero_cells()
+                }
+        if single_path is None:
+            single_path = bool(warm_state) and "lengths" in warm_state
+        if single_path and warm_state is not None \
+                and "lengths" not in warm_state:
+            warm_state = None  # snapshot has no lengths: solve cold
+        service = cls(graph, grammar,
+                      backend=backend or payload.get("backend"),
+                      strategy=strategy or payload.get("strategy")
+                      or DEFAULT_STRATEGY,
+                      cache_size=cache_size, single_path=single_path,
+                      warm_state=warm_state, **strategy_options)
+        service._snapshot_bytes = os.path.getsize(path)
+        return service
+
+    def save_snapshot(self, path: str) -> int:
+        """Persist the current fixpoint (facts, lengths, DRed supports)
+        plus the relational matrices, so both :meth:`from_snapshot` and
+        :meth:`CFPQEngine.from_snapshot <repro.core.engine.CFPQEngine.from_snapshot>`
+        can warm-start from it.  Returns the snapshot size in bytes."""
+        from ..matrices.base import get_backend
+
+        with self._lock.reading():
+            solver = self.solver
+            n = solver.graph.node_count
+            backend = get_backend(self.backend)
+            payload = {
+                "graph": snapshot_store.encode_graph(solver.graph),
+                "grammar": snapshot_store.encode_grammar(solver.grammar),
+                "backend": backend.name,
+                "strategy": self.strategy,
+                "incremental": snapshot_store.encode_incremental_state(
+                    solver.export_state()
+                ),
+                "relational": {
+                    "matrices": snapshot_store.encode_boolean_matrices(
+                        {
+                            nonterminal: backend.from_pairs(
+                                n, solver.pairs(nonterminal)
+                            )
+                            for nonterminal in solver.grammar.nonterminals
+                        },
+                        backend,
+                    ),
+                },
+            }
+            size = snapshot_store.write_snapshot(path, payload)
+        self._snapshot_bytes = size
+        return size
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> LabeledGraph:
+        return self.solver.graph
+
+    def query(self, start, source: Hashable = None, target: Hashable = None,
+              semantics: str = "relational"):
+        """Answer one query, serving repeats from the LRU cache.
+
+        * ``relational`` with no endpoints: the full relation as node
+          pairs; with both endpoints: a membership bool.
+        * ``single-path`` (both endpoints): one witness path as
+          ``(source, label, target)`` node triples; raises
+          :class:`~repro.errors.PathNotFoundError` when absent.
+        * ``length`` (both endpoints): the minimal witness length, or
+          None.
+        """
+        key = (str(start), source, target, semantics)
+        with self._lock.reading():
+            with self._cache_lock:
+                self._queries += 1
+                if key in self._cache:
+                    self._hits += 1
+                    self._cache.move_to_end(key)
+                    return self._cache[key]
+                self._misses += 1
+            value = self._evaluate(start, source, target, semantics)
+            with self._cache_lock:
+                self._cache[key] = value
+                self._cache.move_to_end(key)
+                while len(self._cache) > self._cache_size:
+                    self._cache.popitem(last=False)
+                    self._evictions += 1
+            return value
+
+    def _evaluate(self, start, source, target, semantics: str):
+        start_nt = start if isinstance(start, Nonterminal) \
+            else Nonterminal(str(start))
+        solver = self.solver
+        solver.grammar.require_nonterminal(start_nt)
+        graph = solver.graph
+        if semantics == "relational":
+            if source is None and target is None:
+                return solver.relations().node_pairs(start_nt)
+            if source is None or target is None:
+                raise SemanticsError(
+                    "relational queries take either no endpoints (full "
+                    "relation) or both (membership)"
+                )
+            if not (graph.has_node(source) and graph.has_node(target)):
+                return False
+            return (graph.node_id(source), graph.node_id(target)) \
+                in solver.pairs(start_nt)
+        if semantics in ("single-path", "length"):
+            if not self.single_path:
+                raise SemanticsError(
+                    f"{semantics!r} queries need a service constructed "
+                    "with single_path=True (length annotations are not "
+                    "being maintained)"
+                )
+            if source is None or target is None:
+                raise SemanticsError(
+                    f"{semantics!r} queries require source and target"
+                )
+            if semantics == "length":
+                if not (graph.has_node(source) and graph.has_node(target)):
+                    return None
+                return solver.length_of(start_nt, source, target)
+            path = extract_path(self._single_path_index(), start_nt,
+                                source, target)
+            return tuple(
+                (graph.node_at(i), label, graph.node_at(j))
+                for i, label, j in path
+            )
+        raise SemanticsError(
+            f"unknown service semantics {semantics!r}; expected one of "
+            f"{SERVICE_SEMANTICS}"
+        )
+
+    def _single_path_index(self):
+        if self._sp_index is None:
+            self._sp_index = self.solver.single_path_index()
+        return self._sp_index
+
+    # ------------------------------------------------------------------
+    # Update ticks
+    # ------------------------------------------------------------------
+    def update(self, inserts: Iterable[Edge] = (),
+               deletes: Iterable[Edge] = ()) -> TickReport:
+        """Convenience tick: all *inserts* then all *deletes*."""
+        ops = [("insert", edge) for edge in inserts]
+        ops += [("delete", edge) for edge in deletes]
+        return self.tick(ops)
+
+    def tick(self, ops: Iterable[tuple[str, Edge]]) -> TickReport:
+        """Apply one coalesced update tick.
+
+        *ops* is an interleaved stream of ``("insert"|"delete",
+        (source, label, target))``.  Per edge only the **last**
+        operation matters (intermediate states inside a tick are never
+        observable), so the stream is deduplicated and applied as one
+        DRed ``remove_edges`` pass followed by one ``add_edges``
+        frontier run.  Queries block for the duration (writer lock) and
+        afterwards see exactly the new fixpoint.
+        """
+        with self._lock.writing():
+            started = time.perf_counter()
+            last_op: dict[tuple, str] = {}
+            inserts_requested = deletes_requested = 0
+            for op, edge in ops:
+                if op not in ("insert", "delete"):
+                    raise ValueError(
+                        f"unknown update op {op!r}; expected 'insert' or "
+                        "'delete'"
+                    )
+                if op == "insert":
+                    inserts_requested += 1
+                else:
+                    deletes_requested += 1
+                last_op[(edge[0], edge[1], edge[2])] = op
+            deletes = [edge for edge, op in last_op.items()
+                       if op == "delete"]
+            inserts = [edge for edge, op in last_op.items()
+                       if op == "insert"]
+            coalesced_away = (inserts_requested + deletes_requested
+                              - len(inserts) - len(deletes))
+
+            solver = self.solver
+            # Deleting an absent edge is a no-op; filtering here keeps a
+            # retract-in-tick pattern from triggering a pointless DRed
+            # pass (and the lazy support-index build that comes with it).
+            deletes = [edge for edge in deletes
+                       if solver.graph.has_edge(*edge)]
+            changed: set[Nonterminal] = set()
+            facts_added = facts_removed = 0
+            dred_passes = frontier_runs = 0
+            if deletes:
+                facts_removed = solver.remove_edges(deletes)
+                dred_passes = 1
+                changed.update(solver.last_changes)
+            if inserts:
+                facts_added = solver.add_edges(inserts)
+                frontier_runs = 1
+                changed.update(solver.last_changes)
+            self._sp_index = None
+            # Cached witness paths reference concrete graph edges, so a
+            # deletion can invalidate them even when DRed re-derived
+            # every fact with identical annotations (same pair, same
+            # length, different edges) — drop them all on any real
+            # deletion instead of trusting the cell deltas alone.
+            invalidated = self._invalidate(
+                changed, drop_single_path=bool(deletes)
+            )
+            seconds = time.perf_counter() - started
+
+            self._ticks += 1
+            self._ops_requested += inserts_requested + deletes_requested
+            self._ops_coalesced_away += coalesced_away
+            self._dred_passes += dred_passes
+            self._frontier_runs += frontier_runs
+            self._tick_seconds_last = seconds
+            self._tick_seconds_total += seconds
+            return TickReport(
+                inserts_requested=inserts_requested,
+                deletes_requested=deletes_requested,
+                inserts_applied=len(inserts),
+                deletes_applied=len(deletes),
+                coalesced_away=coalesced_away,
+                facts_added=facts_added,
+                facts_removed=facts_removed,
+                dred_passes=dred_passes,
+                frontier_runs=frontier_runs,
+                changed_nonterminals=tuple(sorted(
+                    nonterminal.name for nonterminal in changed
+                )),
+                invalidated_entries=invalidated,
+                seconds=seconds,
+            )
+
+    # ------------------------------------------------------------------
+    # Cache invalidation
+    # ------------------------------------------------------------------
+    def _dependencies(self, start: Nonterminal) -> frozenset[Nonterminal]:
+        """Non-terminals whose matrices a query starting at *start* can
+        read: the rule-graph reachability closure (single-path
+        extraction walks rule bodies recursively)."""
+        cached = self._deps_cache.get(start)
+        if cached is None:
+            reachable = {start}
+            frontier = [start]
+            while frontier:
+                for body_symbol in self._rule_bodies.get(frontier.pop(), ()):
+                    if body_symbol not in reachable:
+                        reachable.add(body_symbol)
+                        frontier.append(body_symbol)
+            cached = frozenset(reachable)
+            self._deps_cache[start] = cached
+        return cached
+
+    def _invalidate(self, changed: set[Nonterminal],
+                    drop_single_path: bool = False) -> int:
+        """Drop exactly the cache entries whose answer could depend on
+        the tick: relational/length entries read only their start
+        matrix, single-path entries the reachable rule closure — plus,
+        with *drop_single_path* (an edge was really deleted), every
+        single-path entry, because witness paths reference edges the
+        cell deltas cannot see."""
+        if not changed and not drop_single_path:
+            return 0
+        with self._cache_lock:
+            stale = []
+            for key in self._cache:
+                start_name, _source, _target, semantics = key
+                start_nt = Nonterminal(start_name)
+                if semantics == "single-path":
+                    if drop_single_path:
+                        stale.append(key)
+                        continue
+                    depends: "frozenset[Nonterminal] | tuple" = \
+                        self._dependencies(start_nt)
+                else:
+                    depends = (start_nt,)
+                if any(nonterminal in changed for nonterminal in depends):
+                    stale.append(key)
+            for key in stale:
+                del self._cache[key]
+            self._invalidations += len(stale)
+            return len(stale)
+
+    # ------------------------------------------------------------------
+    # Instrumentation
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> dict:
+        """Service instrumentation: cache behavior, tick latency,
+        startup mode, snapshot size and the wrapped solver's counters."""
+        with self._cache_lock:
+            hits, misses = self._hits, self._misses
+            entries = len(self._cache)
+            evictions = self._evictions
+            invalidations = self._invalidations
+        answered = hits + misses
+        return {
+            "backend": self.backend,
+            "strategy": self.strategy,
+            "single_path": self.single_path,
+            "graph": {
+                "nodes": self.solver.graph.node_count,
+                "edges": self.solver.graph.edge_count,
+            },
+            "queries": self._queries,
+            "cache_hits": hits,
+            "cache_misses": misses,
+            "cache_hit_rate": round(hits / answered, 4) if answered else 0.0,
+            "cache_entries": entries,
+            "cache_capacity": self._cache_size,
+            "cache_evictions": evictions,
+            "cache_invalidations": invalidations,
+            "ticks": self._ticks,
+            "tick_ops_requested": self._ops_requested,
+            "tick_ops_coalesced_away": self._ops_coalesced_away,
+            "dred_passes": self._dred_passes,
+            "frontier_runs": self._frontier_runs,
+            "tick_last_seconds": round(self._tick_seconds_last, 6),
+            "tick_total_seconds": round(self._tick_seconds_total, 6),
+            "startup": {
+                "warm_start": self._warm_started,
+                "closure_iterations":
+                    self.solver.initial_closure_iterations,
+                "seconds": round(self._startup_seconds, 6),
+            },
+            "snapshot_bytes": self._snapshot_bytes,
+            "solver": dict(self.solver.stats),
+        }

@@ -1,0 +1,260 @@
+"""JSONL front-end for :class:`~repro.service.query_service.QueryService`.
+
+One request per line, one JSON response per line — the same protocol
+over stdio (scriptable: pipe a session into ``repro-cfpq serve``) and
+TCP (``repro-cfpq serve --port N``; try it with netcat).  Requests:
+
+.. code-block:: json
+
+    {"op": "query", "start": "S"}
+    {"op": "query", "start": "S", "source": 0, "target": 3}
+    {"op": "query", "start": "S", "source": 0, "target": 3,
+     "semantics": "single-path"}
+    {"op": "update", "insert": [["u", "a", "v"]],
+     "delete": [["x", "a", "y"]]}
+    {"op": "update", "ops": [["insert", "u", "a", "v"],
+                             ["delete", "u", "a", "v"]]}
+    {"op": "stats"}
+    {"op": "save", "path": "index.snapshot"}
+    {"op": "ping"}
+    {"op": "shutdown"}
+
+Responses are ``{"ok": true, "result": ...}`` or ``{"ok": false,
+"error": "...", "error_type": "..."}``; with ``--stats`` every response
+additionally carries a compact ``stats`` object (cache hit rate, tick
+latency, snapshot size).
+
+The TCP server is a thread-per-connection loop over one shared service;
+the service's reader/writer lock makes concurrent queries safe and
+gives every query a consistent post-tick snapshot.  An ``update`` from
+any connection invalidates exactly the affected cache entries for all
+of them.
+"""
+
+from __future__ import annotations
+
+import json
+import socketserver
+import sys
+from typing import IO
+
+from ..errors import ReproError
+from .query_service import QueryService, TickReport
+
+
+# ----------------------------------------------------------------------
+# Request handling (transport-independent)
+# ----------------------------------------------------------------------
+
+def handle_request(service: QueryService, request: dict,
+                   include_stats: bool = False) -> dict:
+    """Execute one request object against *service*.
+
+    Never raises for request-level problems — malformed input and
+    :class:`~repro.errors.ReproError` subclasses become ``ok: false``
+    responses, so one bad line cannot kill a session."""
+    try:
+        if not isinstance(request, dict):
+            raise ValueError("request must be a JSON object")
+        op = request.get("op", "query")
+        result = _dispatch(service, op, request)
+        response: dict = {"ok": True, "op": op, "result": result}
+    except (ReproError, ValueError, KeyError, TypeError) as error:
+        response = {"ok": False, "error": str(error),
+                    "error_type": type(error).__name__}
+    if include_stats:
+        response["stats"] = _compact_stats(service)
+    return response
+
+
+def _dispatch(service: QueryService, op: str, request: dict):
+    if op == "query":
+        start = request.get("start")
+        if start is None:
+            raise ValueError("query requires 'start'")
+        graph = service.graph
+        result = service.query(
+            start,
+            source=_coerce_node(graph, request.get("source")),
+            target=_coerce_node(graph, request.get("target")),
+            semantics=request.get("semantics", "relational"),
+        )
+        return _jsonable_result(result)
+    if op == "update":
+        graph = service.graph
+        ops = [
+            (str(kind), _coerce_edge(graph, (source, label, target)))
+            for kind, source, label, target in request.get("ops", ())
+        ]
+        ops += [("insert", _coerce_edge(graph, edge))
+                for edge in request.get("insert", ())]
+        ops += [("delete", _coerce_edge(graph, edge))
+                for edge in request.get("delete", ())]
+        if not ops:
+            raise ValueError(
+                "update requires 'ops', 'insert' and/or 'delete'"
+            )
+        return service.tick(ops).as_dict()
+    if op == "stats":
+        return service.stats
+    if op == "save":
+        path = request.get("path")
+        if not path:
+            raise ValueError("save requires 'path'")
+        return {"path": path, "bytes": service.save_snapshot(path)}
+    if op == "ping":
+        return "pong"
+    if op == "shutdown":
+        return "bye"
+    raise ValueError(
+        f"unknown op {op!r}; expected query/update/stats/save/ping/shutdown"
+    )
+
+
+def _coerce_node(graph, token):
+    """Interpret a JSON node token against the graph's node objects:
+    JSON cannot distinguish the node ``"0"`` from the node ``0``, so try
+    the literal value first and the int/str twin second."""
+    if token is None or graph.has_node(token):
+        return token
+    if isinstance(token, str):
+        try:
+            twin: object = int(token)
+        except ValueError:
+            return token
+    elif isinstance(token, int):
+        twin = str(token)
+    else:
+        return token
+    return twin if graph.has_node(twin) else token
+
+
+def _coerce_edge(graph, edge) -> tuple:
+    """Apply the same node coercion to an update edge that queries get,
+    so a client sending ``"2"`` for the integer node ``2`` attaches the
+    edge to the existing node instead of silently creating a twin."""
+    source, label, target = edge
+    return (_coerce_node(graph, source), str(label),
+            _coerce_node(graph, target))
+
+
+def _json_node(node):
+    return node if isinstance(node, (int, str, float, bool)) else str(node)
+
+
+def _jsonable_result(result):
+    if isinstance(result, frozenset):
+        return sorted(
+            ([_json_node(a), _json_node(b)] for a, b in result),
+            key=lambda pair: (str(pair[0]), str(pair[1])),
+        )
+    if isinstance(result, tuple):  # a witness path
+        return [[_json_node(i), label, _json_node(j)]
+                for i, label, j in result]
+    if isinstance(result, TickReport):
+        return result.as_dict()
+    return result
+
+
+def _compact_stats(service: QueryService) -> dict:
+    stats = service.stats
+    return {
+        "cache_hit_rate": stats["cache_hit_rate"],
+        "cache_entries": stats["cache_entries"],
+        "cache_invalidations": stats["cache_invalidations"],
+        "ticks": stats["ticks"],
+        "dred_passes": stats["dred_passes"],
+        "frontier_runs": stats["frontier_runs"],
+        "tick_last_seconds": stats["tick_last_seconds"],
+        "snapshot_bytes": stats["snapshot_bytes"],
+        "startup": stats["startup"],
+    }
+
+
+# ----------------------------------------------------------------------
+# Transports
+# ----------------------------------------------------------------------
+
+def _handle_line(service: QueryService, line: str,
+                 include_stats: bool) -> "dict | None":
+    """One JSONL protocol step, shared by the stdio and TCP transports:
+    blank lines are skipped (None), bad JSON becomes an error response,
+    everything else goes through :func:`handle_request`."""
+    line = line.strip()
+    if not line:
+        return None
+    try:
+        request = json.loads(line)
+    except json.JSONDecodeError as error:
+        return {"ok": False, "error": f"bad JSON: {error}",
+                "error_type": "JSONDecodeError"}
+    return handle_request(service, request, include_stats)
+
+
+def _is_shutdown(response: dict) -> bool:
+    return bool(response.get("ok")) and response.get("op") == "shutdown"
+
+
+def serve_stream(service: QueryService, in_stream: IO[str],
+                 out_stream: IO[str], include_stats: bool = False) -> int:
+    """The stdio loop: read JSONL requests until EOF or a ``shutdown``
+    op; returns the number of requests served."""
+    served = 0
+    for raw in in_stream:
+        response = _handle_line(service, raw, include_stats)
+        if response is None:
+            continue
+        out_stream.write(json.dumps(response) + "\n")
+        out_stream.flush()
+        served += 1
+        if _is_shutdown(response):
+            break
+    return served
+
+
+class JSONLServer(socketserver.ThreadingTCPServer):
+    """Thread-per-connection TCP transport over one shared service."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], service: QueryService,
+                 include_stats: bool = False):
+        self.service = service
+        self.include_stats = include_stats
+        super().__init__(address, _JSONLConnection)
+
+
+class _JSONLConnection(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        server: JSONLServer = self.server  # type: ignore[assignment]
+        for raw in self.rfile:
+            response = _handle_line(
+                server.service, raw.decode("utf-8", errors="replace"),
+                server.include_stats,
+            )
+            if response is None:
+                continue
+            self.wfile.write((json.dumps(response) + "\n").encode("utf-8"))
+            if _is_shutdown(response):
+                break
+
+
+def serve_tcp(service: QueryService, host: str = "127.0.0.1",
+              port: int = 0, include_stats: bool = False,
+              ready_stream: "IO[str] | None" = None) -> JSONLServer:
+    """Start (and block on) the TCP transport.  ``port=0`` binds an
+    ephemeral port; the actual address is announced on *ready_stream*
+    (default stderr) as ``listening on HOST:PORT`` before serving."""
+    server = JSONLServer((host, port), service, include_stats)
+    bound_host, bound_port = server.server_address[:2]
+    stream = ready_stream if ready_stream is not None else sys.stderr
+    stream.write(f"listening on {bound_host}:{bound_port}\n")
+    stream.flush()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        pass
+    finally:
+        server.server_close()
+    return server

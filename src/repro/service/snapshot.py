@@ -1,0 +1,523 @@
+"""Versioned on-disk snapshots of solved CFPQ indices.
+
+Every process that loads a graph re-pays the closure before it can
+answer a single query.  A snapshot persists the *solved* state — the
+graph node map, the CNF grammar (with its nullable diagonal), the
+per-non-terminal boolean matrices, the length/witness annotations and,
+when available, the incremental solver's fact/support sets — so a
+server restart costs O(load) instead of O(solve).
+
+Format
+------
+A snapshot file is a one-line magic header carrying the format version,
+followed by a pickled envelope of **plain containers only** (dicts,
+lists, tuples, ints, strings, bytes — never library objects), so old
+snapshots survive internal refactors as long as the format version is
+understood::
+
+    repro-cfpq-snapshot\\x00<version>\\n
+    <pickle of {"library_version": "...", "payload": {...}}>
+
+:func:`read_snapshot` checks the magic and version *before* touching
+the pickle (foreign files raise :class:`~repro.errors.SnapshotError`,
+unknown versions :class:`~repro.errors.SnapshotVersionError`), and then
+unpickles through a restricted loader whose ``find_class`` rejects
+every class — plain containers never need one, and a crafted pickle
+cannot reach a callable to execute.  The plain-container rule is also
+why graph *nodes* must be plain values (ints, strings, tuples...) for a
+graph to be snapshottable.
+
+Matrices travel through the same **payload codec** the process tile
+scheduler uses (:meth:`repro.matrices.base.MatrixBackend.tile_payload` /
+``tile_from_payload``): dense bool buffers, bitset words, CSR index
+arrays, or coordinate lists, tagged with the producing backend's
+registry key.  Loading under a *different* backend re-materializes
+through the codec and converts via the coordinate round-trip
+(:meth:`~repro.matrices.base.MatrixBackend.clone`), so a snapshot saved
+with ``sparse`` warm-starts a ``bitset`` engine and vice versa.
+Annotated (length/witness) matrices travel as
+:meth:`repro.core.semiring.AnnotatedBackend.tile_payload` cells with
+symbols flattened to names.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from typing import Hashable
+
+from ..errors import SnapshotError, SnapshotVersionError, UnknownBackendError
+from ..grammar.cfg import CFG
+from ..grammar.production import Production
+from ..grammar.symbols import Nonterminal, Symbol, Terminal
+from ..graph.labeled_graph import LabeledGraph
+from ..matrices.base import BooleanMatrix, default_backend, get_backend
+from ..core.semiring import (
+    LENGTH_SEMIRING,
+    WITNESS_SEMIRING,
+    AnnotatedBackend,
+    AnnotatedMatrix,
+    annotated_tile_from_payload,
+    get_semiring,
+)
+
+MAGIC = "repro-cfpq-snapshot"
+_HEADER_PREFIX = MAGIC.encode("ascii") + b"\x00"
+
+#: Current snapshot format version.  Bump on any payload layout change;
+#: readers refuse versions they do not list in SUPPORTED_VERSIONS.
+SNAPSHOT_VERSION = 1
+SUPPORTED_VERSIONS: tuple[int, ...] = (1,)
+
+
+# ----------------------------------------------------------------------
+# Envelope I/O
+# ----------------------------------------------------------------------
+
+class _PlainUnpickler(pickle.Unpickler):
+    """Unpickler for the plain-container envelope: every class lookup
+    is refused, so a crafted pickle has no callable to execute."""
+
+    def find_class(self, module: str, name: str):
+        raise SnapshotError(
+            f"snapshot payload references {module}.{name}; snapshots "
+            "hold only plain containers"
+        )
+
+
+def write_snapshot(path: str, payload: dict) -> int:
+    """Write *payload* under the versioned envelope; returns the file
+    size in bytes."""
+    document = {
+        "library_version": _library_version(),
+        "payload": payload,
+    }
+    with open(path, "wb") as stream:
+        stream.write(_HEADER_PREFIX
+                     + str(SNAPSHOT_VERSION).encode("ascii") + b"\n")
+        pickle.dump(document, stream, protocol=4)
+    return os.path.getsize(path)
+
+
+def read_snapshot(path: str) -> dict:
+    """Read and validate a snapshot; returns the payload.
+
+    The magic header and format version are checked before any byte of
+    the body is unpickled, and the body goes through the restricted
+    :class:`_PlainUnpickler`."""
+    try:
+        stream = open(path, "rb")
+    except OSError as error:
+        raise SnapshotError(f"cannot open snapshot {path!r}: {error}") from error
+    with stream:
+        header = stream.readline(256)
+        if not header.startswith(_HEADER_PREFIX) \
+                or not header.endswith(b"\n"):
+            raise SnapshotError(f"{path!r} is not a repro-cfpq snapshot")
+        version_bytes = header[len(_HEADER_PREFIX):].strip()
+        try:
+            version = int(version_bytes)
+        except ValueError:
+            raise SnapshotError(
+                f"{path!r}: malformed snapshot version {version_bytes!r}"
+            ) from None
+        if version not in SUPPORTED_VERSIONS:
+            raise SnapshotVersionError(version, SUPPORTED_VERSIONS)
+        try:
+            document = _PlainUnpickler(stream).load()
+        except SnapshotError:
+            raise
+        except Exception as error:  # truncated / corrupted body
+            raise SnapshotError(
+                f"{path!r} is not a readable repro-cfpq snapshot: {error}"
+            ) from error
+    payload = document.get("payload") if isinstance(document, dict) else None
+    if not isinstance(payload, dict):
+        raise SnapshotError(f"{path!r}: snapshot payload is malformed")
+    return payload
+
+
+def _library_version() -> str:
+    from .. import __version__
+
+    return __version__
+
+
+# ----------------------------------------------------------------------
+# Graph / grammar codecs
+# ----------------------------------------------------------------------
+
+def encode_graph(graph: LabeledGraph) -> dict:
+    """Node map (enumeration order) + edges by dense id."""
+    return {
+        "nodes": list(graph.nodes),
+        "edges": [list(edge) for edge in graph.edges_by_id()],
+    }
+
+
+def decode_graph(doc: dict) -> LabeledGraph:
+    graph = LabeledGraph()
+    nodes: list[Hashable] = list(doc["nodes"])
+    for node in nodes:
+        graph.add_node(node)
+    for i, label, j in doc["edges"]:
+        graph.add_edge(nodes[i], label, nodes[j])
+    return graph
+
+
+def encode_grammar(grammar: CFG) -> dict:
+    def sym(symbol: Symbol) -> list:
+        if isinstance(symbol, Nonterminal):
+            return ["nt", symbol.name]
+        return ["t", symbol.label]
+
+    return {
+        "productions": [
+            [production.head.name, [sym(s) for s in production.body]]
+            for production in grammar.productions
+        ],
+        "nonterminals": sorted(nt.name for nt in grammar.nonterminals),
+        "terminals": sorted(t.label for t in grammar.terminals),
+        "nullable_diagonal": sorted(
+            nt.name for nt in grammar.nullable_diagonal
+        ),
+    }
+
+
+def decode_grammar(doc: dict) -> CFG:
+    productions = [
+        Production(
+            Nonterminal(head),
+            tuple(
+                Nonterminal(value) if kind == "nt" else Terminal(value)
+                for kind, value in body
+            ),
+        )
+        for head, body in doc["productions"]
+    ]
+    return CFG(
+        productions,
+        extra_nonterminals=[Nonterminal(n) for n in doc.get("nonterminals", ())],
+        extra_terminals=[Terminal(t) for t in doc.get("terminals", ())],
+        nullable_diagonal=[
+            Nonterminal(n) for n in doc.get("nullable_diagonal", ())
+        ],
+    )
+
+
+# ----------------------------------------------------------------------
+# Boolean matrices (backend payload codec)
+# ----------------------------------------------------------------------
+
+def encode_boolean_matrices(matrices: dict[Nonterminal, BooleanMatrix],
+                            backend) -> dict:
+    backend = get_backend(backend)
+    return {
+        nonterminal.name: list(backend.tile_payload(matrix))
+        for nonterminal, matrix in matrices.items()
+    }
+
+
+def decode_boolean_matrices(doc: dict, backend: "str | None" = None,
+                            ) -> dict[Nonterminal, BooleanMatrix]:
+    """Re-materialize matrices through the payload codec.
+
+    Payloads are decoded by the backend that produced them (its registry
+    key is the first payload element); when *backend* names a different
+    one the matrix is converted via the coordinate round-trip — the
+    cross-backend load path.
+    """
+    target = get_backend(backend) if backend is not None else None
+    out: dict[Nonterminal, BooleanMatrix] = {}
+    for name, payload in doc.items():
+        source_name = payload[0]
+        try:
+            source = get_backend(source_name)
+        except UnknownBackendError as error:
+            raise SnapshotError(
+                f"snapshot matrices were saved with backend "
+                f"{source_name!r}, which is not available here "
+                f"({error}); re-save the snapshot with an installed "
+                "backend"
+            ) from error
+        matrix = source.tile_from_payload(tuple(payload))
+        if target is not None and target.name != source.name:
+            matrix = target.clone(matrix)
+        out[Nonterminal(name)] = matrix
+    return out
+
+
+# ----------------------------------------------------------------------
+# Annotated matrices (length / witness payloads)
+# ----------------------------------------------------------------------
+
+def _encode_entry(entry: tuple) -> list:
+    """Flatten one witness/support entry to plain data.  The shapes are
+    shared between the witness semiring and the DRed support index:
+    ``("edge", label)``, ``("empty",)``, ``("split", B, C, r)``."""
+    tag = entry[0]
+    if tag == "split":
+        return ["split", entry[1].name, entry[2].name, entry[3]]
+    if tag == "edge":
+        return ["edge", entry[1]]
+    if tag == "empty":
+        return ["empty"]
+    raise SnapshotError(f"cannot encode annotation entry {entry!r}")
+
+
+def _decode_entry(entry: list) -> tuple:
+    tag = entry[0]
+    if tag == "split":
+        return ("split", Nonterminal(entry[1]), Nonterminal(entry[2]),
+                entry[3])
+    if tag == "edge":
+        return ("edge", entry[1])
+    if tag == "empty":
+        return ("empty",)
+    raise SnapshotError(f"cannot decode annotation entry {entry!r}")
+
+
+def _encode_value(semiring_name: str, value):
+    if semiring_name == "witness":
+        return [_encode_entry(entry) for entry in value]
+    return value
+
+
+def _decode_value(semiring_name: str, value):
+    if semiring_name == "witness":
+        return frozenset(_decode_entry(entry) for entry in value)
+    return value
+
+
+def encode_annotated_matrices(matrices: dict[Nonterminal, AnnotatedMatrix],
+                              semiring) -> dict:
+    backend = AnnotatedBackend(semiring)
+    out: dict = {}
+    for nonterminal, matrix in matrices.items():
+        (_kind, name, shape, _symbol, _ro, _co,
+         cells) = backend.tile_payload(matrix)
+        out[nonterminal.name] = {
+            "semiring": name,
+            "shape": list(shape),
+            "cells": [
+                [i, j, _encode_value(name, value)]
+                for (i, j), value in cells
+            ],
+        }
+    return out
+
+
+def decode_annotated_matrices(doc: dict) -> dict[Nonterminal, AnnotatedMatrix]:
+    out: dict[Nonterminal, AnnotatedMatrix] = {}
+    for name, entry in doc.items():
+        semiring_name = entry["semiring"]
+        try:
+            get_semiring(semiring_name)
+        except KeyError as error:
+            raise SnapshotError(str(error)) from error
+        payload = (
+            "annotated", semiring_name, tuple(entry["shape"]),
+            Nonterminal(name), 0, 0,
+            tuple(
+                ((i, j), _decode_value(semiring_name, value))
+                for i, j, value in entry["cells"]
+            ),
+        )
+        out[Nonterminal(name)] = annotated_tile_from_payload(payload)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Incremental solver state (facts / supports / lengths)
+# ----------------------------------------------------------------------
+
+def encode_incremental_state(state: dict) -> dict:
+    doc: dict = {
+        "facts": {
+            nonterminal.name: sorted(pairs)
+            for nonterminal, pairs in state["facts"].items()
+        },
+    }
+    if "lengths" in state:
+        doc["lengths"] = [
+            [nonterminal.name, i, j, length]
+            for (nonterminal, i, j), length in state["lengths"].items()
+        ]
+    if "supports" in state:
+        doc["supports"] = [
+            [[nonterminal.name, i, j],
+             [_encode_entry(entry) for entry in entries]]
+            for (nonterminal, i, j), entries in state["supports"].items()
+        ]
+    return doc
+
+
+def decode_incremental_state(doc: dict) -> dict:
+    state: dict = {
+        "facts": {
+            Nonterminal(name): {tuple(pair) for pair in pairs}
+            for name, pairs in doc["facts"].items()
+        },
+    }
+    if "lengths" in doc:
+        state["lengths"] = {
+            (Nonterminal(name), i, j): length
+            for name, i, j, length in doc["lengths"]
+        }
+    if "supports" in doc:
+        state["supports"] = {
+            (Nonterminal(name), i, j):
+                {_decode_entry(entry) for entry in entries}
+            for (name, i, j), entries in doc["supports"]
+        }
+    return state
+
+
+# ----------------------------------------------------------------------
+# Engine-level save / load
+# ----------------------------------------------------------------------
+
+def build_engine_payload(engine, semantics: tuple[str, ...] = (
+        "relational", "single-path", "all-path")) -> dict:
+    """Snapshot *engine* (solving any missing *semantics* first)."""
+    payload: dict = {
+        "graph": encode_graph(engine.graph),
+        "grammar": encode_grammar(engine.grammar),
+        "backend": engine.backend,
+        "strategy": engine.strategy,
+    }
+    if "relational" in semantics:
+        result = engine.solve()
+        payload["relational"] = {
+            "matrices": encode_boolean_matrices(
+                result.matrices, result.stats.backend
+            ),
+            "stats": {
+                "iterations": result.stats.iterations,
+                "multiplications": result.stats.multiplications,
+            },
+        }
+    if "single-path" in semantics:
+        index = engine.single_path_index()
+        n = engine.graph.node_count
+        per_nonterminal: dict[Nonterminal, dict] = {}
+        for (i, j), entries in index.cells.items():
+            for nonterminal, length in entries.items():
+                per_nonterminal.setdefault(nonterminal, {})[(i, j)] = length
+        payload["length"] = encode_annotated_matrices(
+            {
+                nonterminal: AnnotatedMatrix(
+                    LENGTH_SEMIRING, (n, n), cells, symbol=nonterminal
+                )
+                for nonterminal, cells in per_nonterminal.items()
+            },
+            LENGTH_SEMIRING,
+        )
+        # extract_path picks the first midpoint in cell order, so the
+        # merged cell-key order must survive the round trip exactly.
+        payload["length_cell_order"] = [list(pair) for pair in index.cells]
+    if "all-path" in semantics:
+        forest = engine.all_path_enumerator().index
+        n = engine.graph.node_count
+        witness_matrices: dict[Nonterminal, AnnotatedMatrix] = {}
+        for nonterminal in engine.grammar.nonterminals:
+            cells = {
+                (i, j): frozenset(
+                    ("split",) + tuple(split)
+                    for split in forest.splits(nonterminal, i, j)
+                )
+                for i, j in forest.relations.pairs(nonterminal)
+            }
+            witness_matrices[nonterminal] = AnnotatedMatrix(
+                WITNESS_SEMIRING, (n, n), cells, symbol=nonterminal
+            )
+        payload["witness"] = encode_annotated_matrices(
+            witness_matrices, WITNESS_SEMIRING
+        )
+    return payload
+
+
+def save_engine_snapshot(path: str, engine, semantics: tuple[str, ...] = (
+        "relational", "single-path", "all-path")) -> int:
+    """Write an engine snapshot; returns the file size in bytes."""
+    return write_snapshot(path, build_engine_payload(engine, semantics))
+
+
+def restore_single_path_index(payload: dict, graph: LabeledGraph,
+                              grammar: CFG):
+    """Rebuild the Section-5 index from a snapshot's length payloads."""
+    from ..core.single_path import SinglePathIndex
+
+    matrices = decode_annotated_matrices(payload["length"])
+    cells: dict[tuple[int, int], dict] = {
+        tuple(pair): {} for pair in payload.get("length_cell_order", ())
+    }
+    for nonterminal, matrix in matrices.items():
+        for i, j, length in matrix.nonzero_cells():
+            cells.setdefault((i, j), {})[nonterminal] = length
+    return SinglePathIndex(graph=graph, grammar=grammar, cells=cells,
+                           iterations=0)
+
+
+def load_engine_snapshot(path: str, backend: "str | None" = None,
+                         strategy: "str | None" = None):
+    """Load a warm :class:`~repro.core.engine.CFPQEngine` from *path*.
+
+    Every semantics section the snapshot carries is installed into the
+    engine's caches, so the corresponding queries run with **zero**
+    closure rounds; missing sections simply solve lazily as usual.
+    *backend* re-materializes the relational matrices on a different
+    backend than the snapshot was saved with.
+    """
+    from ..core.engine import CFPQEngine
+    from ..core.allpath import AllPathEnumerator
+    from ..core.matrix_cfpq import MatrixCFPQResult, MatrixCFPQStats
+    from ..core.path_index import AllPathIndex
+    from ..core.relations import ContextFreeRelations
+
+    payload = read_snapshot(path)
+    graph = decode_graph(payload["graph"])
+    grammar = decode_grammar(payload["grammar"])
+    backend = backend or payload.get("backend") or default_backend()
+    strategy = strategy or payload.get("strategy") or "delta"
+    engine = CFPQEngine(graph, grammar, backend=backend, strategy=strategy)
+
+    if "relational" in payload:
+        matrices = decode_boolean_matrices(
+            payload["relational"]["matrices"], backend=backend
+        )
+        relations = ContextFreeRelations(
+            graph,
+            {nt: matrix.to_pair_set() for nt, matrix in matrices.items()},
+        )
+        stats = MatrixCFPQStats(
+            iterations=0,
+            multiplications=0,
+            node_count=graph.node_count,
+            nonterminal_count=len(grammar.nonterminals),
+            backend=get_backend(backend).name,
+            nnz_per_nonterminal={
+                nt.name: matrix.nnz() for nt, matrix in matrices.items()
+            },
+            strategy=strategy,
+            details={"snapshot": {
+                "warm_start": True,
+                "solved_stats": dict(payload["relational"].get("stats", {})),
+            }},
+        )
+        engine.adopt_solution(MatrixCFPQResult(
+            matrices=matrices, relations=relations, stats=stats
+        ))
+    if "length" in payload:
+        engine.adopt_single_path_index(
+            restore_single_path_index(payload, graph, engine.grammar)
+        )
+    if "witness" in payload:
+        forest = AllPathIndex.from_witness_matrices(
+            graph, engine.grammar,
+            decode_annotated_matrices(payload["witness"]),
+        )
+        engine.adopt_all_path_enumerator(AllPathEnumerator(
+            graph, engine.grammar, normalize=False, index=forest
+        ))
+    return engine

@@ -1,0 +1,322 @@
+"""Query service: caching, fine-grained invalidation, coalesced ticks,
+warm starts, and consistency with from-scratch solves."""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro import QueryService, parse_grammar
+from repro.core.matrix_cfpq import solve_matrix_relations
+from repro.core.single_path import build_single_path_index
+from repro.errors import PathNotFoundError, SemanticsError
+from repro.graph.generators import two_cycles
+from repro.graph.labeled_graph import LabeledGraph
+from repro.grammar.builders import chain_reachability, same_generation_query1
+from repro.grammar.cnf import to_cnf
+
+ANBN = parse_grammar("S -> a S b | a b", terminals=["a", "b"])
+
+#: Two *independent* relations in one grammar: S over a-chains, T over
+#: b-chains — the probe for per-non-terminal cache invalidation.
+TWO_STARTS = parse_grammar("S -> a | a S\nT -> b | b T",
+                           terminals=["a", "b"])
+
+
+def _service(**kwargs):
+    return QueryService(two_cycles(2, 3), ANBN, **kwargs)
+
+
+class TestCaching:
+    def test_repeat_is_a_hit(self):
+        service = _service()
+        first = service.query("S")
+        assert service.query("S") == first
+        stats = service.stats
+        assert (stats["cache_hits"], stats["cache_misses"]) == (1, 1)
+        assert stats["cache_hit_rate"] == 0.5
+
+    def test_distinct_keys_are_distinct_entries(self):
+        service = _service()
+        service.query("S")
+        service.query("S", 0, 0)
+        service.query("S", 0, 1)
+        assert service.stats["cache_misses"] == 3
+        assert service.stats["cache_entries"] == 3
+
+    def test_lru_eviction(self):
+        service = _service(cache_size=2)
+        service.query("S", 0, 0)
+        service.query("S", 0, 1)
+        service.query("S", 0, 0)      # refresh: (0,0) is now most recent
+        service.query("S", 0, 2)      # evicts (0,1)
+        assert service.stats["cache_evictions"] == 1
+        service.query("S", 0, 0)      # still cached
+        assert service.stats["cache_hits"] == 2
+        service.query("S", 0, 1)      # evicted: a miss
+        assert service.stats["cache_misses"] == 4
+
+    def test_membership_and_relation_queries(self):
+        service = _service()
+        pairs = service.query("S")
+        some = next(iter(pairs))
+        assert service.query("S", some[0], some[1]) is True
+        assert service.query("S", "ghost", "nodes") is False
+
+    def test_semantics_validation(self):
+        service = _service()  # single_path defaults off
+        with pytest.raises(SemanticsError):
+            service.query("S", 0, None)
+        with pytest.raises(SemanticsError):
+            service.query("S", 0, 0, semantics="single-path")
+        with pytest.raises(SemanticsError):
+            service.query("S", 0, 0, semantics="all-path")
+
+
+class TestInvalidation:
+    def test_only_changed_nonterminals_invalidate(self):
+        graph = LabeledGraph.from_edges([("u", "a", "v"), ("x", "b", "y")])
+        service = QueryService(graph, TWO_STARTS)
+        service.query("S")
+        service.query("T")
+        # Insert a b-edge: only T's matrix changes.
+        report = service.update(inserts=[("y", "b", "z")])
+        assert "S" not in report.changed_nonterminals
+        assert report.invalidated_entries == 1
+        service.query("S")   # survived the tick: a hit
+        assert service.stats["cache_hits"] == 1
+        assert service.query("T", "x", "z") is True
+
+    def test_no_op_tick_invalidates_nothing(self):
+        service = _service()
+        service.query("S")
+        report = service.update(inserts=[(0, "a", 1)])  # already present
+        assert report.facts_added == 0
+        assert report.invalidated_entries == 0
+        service.query("S")
+        assert service.stats["cache_hits"] == 1
+
+    def test_single_path_entries_invalidate_on_refinement(self):
+        """A shorter witness refines the length annotation without
+        changing the relation — cached paths/lengths must still drop."""
+        graph = LabeledGraph.from_edges(
+            [("s", "a", "m1"), ("m1", "a", "m2"), ("m2", "a", "t")]
+        )
+        service = QueryService(graph, to_cnf(chain_reachability("a")),
+                               single_path=True)
+        assert service.query("S", "s", "t", semantics="length") == 3
+        service.query("S", "s", "t", semantics="single-path")
+        report = service.update(inserts=[("s", "a", "t")])  # shortcut
+        # (s, t) was already in R_S — the S matrix changed by length
+        # *refinement* only, and that alone must invalidate.
+        assert "S" in report.changed_nonterminals
+        assert report.invalidated_entries >= 2
+        assert service.query("S", "s", "t", semantics="length") == 1
+        assert len(service.query("S", "s", "t",
+                                 semantics="single-path")) == 1
+
+    def test_deletion_drops_cached_paths_even_without_cell_deltas(self):
+        """Regression: deleting one of two parallel derivations leaves
+        every matrix cell (and length) unchanged — DRed re-derives the
+        fact identically via the other edge — but a cached witness path
+        through the deleted edge is stale and must drop."""
+        grammar = parse_grammar("S -> a | b", terminals=["a", "b"])
+        graph = LabeledGraph.from_edges([("u", "a", "v"), ("u", "b", "v")])
+        service = QueryService(graph, grammar, single_path=True)
+        first = service.query("S", "u", "v", semantics="single-path")
+        deleted_label = first[0][1]
+        report = service.update(deletes=[("u", deleted_label, "v")])
+        assert report.facts_removed == 0          # fact survives via twin
+        assert report.invalidated_entries == 1    # ...but the path drops
+        fresh = service.query("S", "u", "v", semantics="single-path")
+        assert service.graph.has_edge(fresh[0][0], fresh[0][1], fresh[0][2])
+        assert fresh[0][1] != deleted_label
+
+    def test_absent_edge_deletes_skip_the_dred_pass(self):
+        service = _service()
+        report = service.update(deletes=[("ghost", "a", "edge")])
+        assert report.dred_passes == 0
+        assert report.deletes_applied == 0
+        # No support index was built for the no-op.
+        assert service.solver.stats["support_entries"] == 0
+
+    def test_deletion_invalidates_and_raises(self):
+        service = _service(single_path=True)
+        assert service.query("S", 0, 0, semantics="single-path")
+        report = service.update(deletes=[(0, "a", 1)])
+        assert report.facts_removed > 0
+        assert service.query("S", 0, 0, semantics="relational") is False
+        with pytest.raises(PathNotFoundError):
+            service.query("S", 0, 0, semantics="single-path")
+
+
+class TestCoalescedTicks:
+    def test_mixed_1000_edge_tick_is_one_dred_one_frontier(self):
+        """The acceptance demo: a 1000-op interleaved insert/delete tick
+        runs as exactly one DRed pass + one frontier run."""
+        grammar = to_cnf(chain_reachability("a"))
+        rng = random.Random(11)
+        base = [(rng.randrange(120), "a", rng.randrange(120))
+                for _ in range(400)]
+        service = QueryService(LabeledGraph.from_edges(base), grammar)
+        service.query("S")
+
+        ops = []
+        for _ in range(1000):
+            edge = (rng.randrange(160), "a", rng.randrange(160))
+            ops.append((rng.choice(("insert", "delete")), edge))
+        report = service.tick(ops)
+
+        assert report.inserts_requested + report.deletes_requested == 1000
+        assert report.dred_passes == 1
+        assert report.frontier_runs == 1
+        stats = service.stats
+        assert stats["ticks"] == 1
+        assert stats["dred_passes"] == 1
+        assert stats["frontier_runs"] == 1
+        assert stats["tick_ops_requested"] == 1000
+        # Post-tick state is the fixpoint of the final graph.
+        scratch = solve_matrix_relations(service.graph, grammar,
+                                         normalize=False)
+        assert service.solver.relations().same_as(scratch)
+        assert service.query("S") == scratch.node_pairs("S")
+
+    def test_last_op_per_edge_wins(self):
+        service = _service()
+        before = service.query("S")
+        report = service.tick([
+            ("insert", ("n1", "a", "n2")),
+            ("delete", ("n1", "a", "n2")),
+            ("insert", ("n1", "a", "n2")),
+        ])
+        assert report.coalesced_away == 2
+        assert report.inserts_applied == 1
+        assert report.deletes_applied == 0
+        assert service.graph.has_edge("n1", "a", "n2")
+        # And the reverse order nets out to a delete.
+        report = service.tick([
+            ("insert", ("n1", "a", "n2")),
+            ("delete", ("n1", "a", "n2")),
+        ])
+        assert report.deletes_applied == 1
+        assert not service.graph.has_edge("n1", "a", "n2")
+        assert service.query("S") == before
+
+    @pytest.mark.parametrize("seed", [3, 7, 23])
+    def test_interleavings_agree_with_scratch(self, seed):
+        grammar = to_cnf(chain_reachability("a"))
+        rng = random.Random(seed)
+        service = QueryService(LabeledGraph(), grammar, single_path=True)
+        for _tick in range(5):
+            ops = [
+                (rng.choice(("insert", "delete")),
+                 (rng.randrange(12), "a", rng.randrange(12)))
+                for _ in range(rng.randrange(1, 30))
+            ]
+            service.tick(ops)
+            scratch = solve_matrix_relations(service.graph, grammar,
+                                             normalize=False)
+            assert service.solver.relations().same_as(scratch)
+            fresh = build_single_path_index(service.graph, grammar,
+                                            normalize=False)
+            for (i, j), entries in fresh.cells.items():
+                for nonterminal, length in entries.items():
+                    assert service.solver.length_of(
+                        nonterminal, service.graph.node_at(i),
+                        service.graph.node_at(j)) == length
+
+    def test_bad_op_rejected(self):
+        service = _service()
+        with pytest.raises(ValueError):
+            service.tick([("upsert", (0, "a", 1))])
+
+
+class TestWarmStart:
+    def test_funding_x8_snapshot_first_query_zero_rounds(self, tmp_path):
+        """The acceptance demo: `serve --snapshot` on funding×8 answers
+        the first query with zero closure rounds run."""
+        from repro.core.engine import CFPQEngine
+        from repro.datasets.registry import build_graph
+        from repro.graph.generators import repeat_graph
+
+        graph = repeat_graph(build_graph("funding"), 8)
+        grammar = same_generation_query1()
+        engine = CFPQEngine(graph, grammar)
+        expected = engine.relational("S")
+
+        path = str(tmp_path / "funding_x8.snapshot")
+        assert engine.save_snapshot(path, semantics=("relational",)) > 0
+
+        service = QueryService.from_snapshot(path)
+        startup = service.stats["startup"]
+        assert startup["warm_start"] is True
+        assert startup["closure_iterations"] == 0
+        assert service.solver.initial_closure_iterations == 0
+        assert service.query("S") == expected
+        assert service.stats["snapshot_bytes"] > 0
+
+    def test_service_snapshot_round_trip(self, tmp_path):
+        service = _service(single_path=True)
+        service.update(inserts=[("x", "a", "y"), ("y", "b", "x")])
+        answer = service.query("S")
+        length = service.query("S", 0, 0, semantics="length")
+
+        path = str(tmp_path / "service.snapshot")
+        size = service.save_snapshot(path)
+        assert size == service.stats["snapshot_bytes"]
+
+        warm = QueryService.from_snapshot(path)
+        assert warm.single_path is True     # lengths were in the snapshot
+        assert warm.stats["startup"]["closure_iterations"] == 0
+        assert warm.query("S") == answer
+        assert warm.query("S", 0, 0, semantics="length") == length
+        # Engines can warm-start from service snapshots too.
+        engine = QueryService.from_engine(
+            __import__("repro").CFPQEngine.from_snapshot(path)
+        )
+        assert engine.query("S") == answer
+
+    def test_from_engine_reuses_solved_state(self):
+        from repro import CFPQEngine
+
+        engine = CFPQEngine(two_cycles(2, 3), ANBN)
+        engine.solve()
+        service = QueryService.from_engine(engine, single_path=True)
+        assert service.stats["startup"]["closure_iterations"] == 0
+        assert service.query("S") == engine.relational("S")
+
+
+class TestConcurrency:
+    def test_queries_during_ticks_see_consistent_snapshots(self):
+        grammar = to_cnf(chain_reachability("a"))
+        service = QueryService(
+            LabeledGraph.from_edges([(i, "a", i + 1) for i in range(30)]),
+            grammar,
+        )
+        errors: list[BaseException] = []
+        stop = threading.Event()
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    pairs = service.query(
+                        "S", 0, 30, semantics="relational")
+                    assert pairs in (True, False)
+            except BaseException as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            for tick in range(10):
+                service.update(deletes=[(15, "a", 16)])
+                service.update(inserts=[(15, "a", 16)])
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+        assert not errors
+        assert service.query("S", 0, 30) is True

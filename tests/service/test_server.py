@@ -1,0 +1,239 @@
+"""JSONL server: request handling, stdio loop, TCP transport, CLI."""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import socket
+import subprocess
+import sys
+import threading
+
+import pytest
+
+from repro import QueryService, parse_grammar
+from repro.graph.generators import two_cycles, word_chain
+from repro.graph.io import save_graph_file
+from repro.service.server import (
+    JSONLServer,
+    handle_request,
+    serve_stream,
+)
+
+ANBN = parse_grammar("S -> a S b | a b", terminals=["a", "b"])
+
+
+@pytest.fixture
+def service():
+    return QueryService(two_cycles(2, 3), ANBN, single_path=True)
+
+
+class TestHandleRequest:
+    def test_relational_query(self, service):
+        response = handle_request(service, {"op": "query", "start": "S"})
+        assert response["ok"] is True
+        assert [0, 0] in response["result"]
+
+    def test_membership_and_path(self, service):
+        member = handle_request(service, {
+            "op": "query", "start": "S", "source": 0, "target": 0,
+        })
+        assert member["result"] is True
+        path = handle_request(service, {
+            "op": "query", "start": "S", "source": 0, "target": 0,
+            "semantics": "single-path",
+        })
+        assert path["ok"] and len(path["result"]) >= 2
+        assert all(len(edge) == 3 for edge in path["result"])
+
+    def test_node_coercion_for_string_tokens(self, service):
+        # Graph nodes are ints; JSON clients may send "0".
+        response = handle_request(service, {
+            "op": "query", "start": "S", "source": "0", "target": "0",
+        })
+        assert response["result"] is True
+
+    def test_update_coerces_node_tokens_like_queries(self, service):
+        """String tokens in updates must attach to the existing integer
+        nodes, not silently create twin nodes."""
+        nodes_before = service.graph.node_count
+        response = handle_request(service, {
+            "op": "update",
+            "insert": [["0", "a", "1"]],        # both nodes exist as ints
+            "delete": [["0", "a", "1"]],
+        })
+        assert response["ok"], response
+        assert service.graph.node_count == nodes_before
+        assert not service.graph.has_node("0")
+        assert service.query("S", 0, 0) is False  # real edge 0-a->1 deleted
+
+    def test_update_and_stats(self, service):
+        handle_request(service, {"op": "query", "start": "S"})
+        update = handle_request(service, {
+            "op": "update",
+            "ops": [["insert", "u", "a", "v"], ["delete", "u", "a", "v"],
+                    ["insert", "u", "a", "v"]],
+            "insert": [["v", "b", "u"]],
+        })
+        assert update["ok"] is True
+        assert update["result"]["coalesced_away"] == 2
+        assert update["result"]["frontier_runs"] == 1
+        stats = handle_request(service, {"op": "stats"})["result"]
+        assert stats["ticks"] == 1
+        assert stats["cache_invalidations"] == update["result"][
+            "invalidated_entries"]
+
+    def test_save_and_reload(self, service, tmp_path):
+        path = str(tmp_path / "via-server.snapshot")
+        response = handle_request(service, {"op": "save", "path": path})
+        assert response["ok"] and response["result"]["bytes"] > 0
+        warm = QueryService.from_snapshot(path)
+        assert warm.stats["startup"]["closure_iterations"] == 0
+
+    def test_errors_are_responses_not_exceptions(self, service):
+        for request in (
+            "not an object",
+            {"op": "no-such-op"},
+            {"op": "query"},                              # missing start
+            {"op": "query", "start": "Missing"},          # unknown symbol
+            {"op": "query", "start": "S", "source": 0},   # half endpoints
+            {"op": "query", "start": "S", "source": 9, "target": 9,
+             "semantics": "single-path"},                 # no such path
+            {"op": "update"},
+            {"op": "save"},
+        ):
+            response = handle_request(service, request)
+            assert response["ok"] is False
+            assert response["error"]
+
+    def test_stats_attachment(self, service):
+        response = handle_request(service, {"op": "ping"},
+                                  include_stats=True)
+        assert response["result"] == "pong"
+        assert "cache_hit_rate" in response["stats"]
+        assert "startup" in response["stats"]
+
+
+class TestStdioLoop:
+    def test_scripted_session(self, service):
+        lines = [
+            {"op": "query", "start": "S"},
+            {"op": "query", "start": "S"},
+            "this is not json",
+            {"op": "stats"},
+        ]
+        stdin = io.StringIO("\n".join(
+            line if isinstance(line, str) else json.dumps(line)
+            for line in lines
+        ) + "\n")
+        stdout = io.StringIO()
+        served = serve_stream(service, stdin, stdout)
+        responses = [json.loads(line)
+                     for line in stdout.getvalue().splitlines()]
+        assert served == 4
+        assert [r["ok"] for r in responses] == [True, True, False, True]
+        assert responses[3]["result"]["cache_hits"] == 1
+
+    def test_shutdown_op_ends_loop(self, service):
+        stdin = io.StringIO(
+            json.dumps({"op": "shutdown"}) + "\n"
+            + json.dumps({"op": "ping"}) + "\n"
+        )
+        stdout = io.StringIO()
+        assert serve_stream(service, stdin, stdout) == 1
+
+
+class TestTCP:
+    def test_concurrent_clients_share_state(self, service):
+        server = JSONLServer(("127.0.0.1", 0), service)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+
+        def session(requests):
+            with socket.create_connection((host, port), timeout=10) as sock:
+                stream = sock.makefile("rw", encoding="utf-8")
+                out = []
+                for request in requests:
+                    stream.write(json.dumps(request) + "\n")
+                    stream.flush()
+                    out.append(json.loads(stream.readline()))
+                return out
+
+        try:
+            results: list = [None, None]
+
+            def client(index):
+                results[index] = session([{"op": "query", "start": "S"}])
+
+            threads = [threading.Thread(target=client, args=(i,))
+                       for i in range(2)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert results[0][0]["result"] == results[1][0]["result"]
+
+            # An update through one connection is visible to the next.
+            session([{"op": "update", "insert": [["p", "a", "q"],
+                                                 ["q", "b", "p"]]}])
+            check = session([{"op": "query", "start": "S",
+                              "source": "p", "target": "p"}])
+            assert check[0]["result"] is True
+            stats = session([{"op": "stats"}])[0]["result"]
+            assert stats["ticks"] == 1 and stats["queries"] >= 3
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
+class TestServeCLI:
+    def test_snapshot_then_serve_session(self, tmp_path):
+        """The CI service-smoke recipe: snapshot, then a scripted
+        query/update/query stdio session asserting invalidation stats."""
+        graph_file = str(tmp_path / "chain.txt")
+        save_graph_file(word_chain(["a", "a", "b", "b"]), graph_file)
+        snapshot = str(tmp_path / "chain.snapshot")
+        env = {**os.environ,
+               "PYTHONPATH": "src" + os.pathsep
+               + os.environ.get("PYTHONPATH", "")}
+        cwd = os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))))
+
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "snapshot",
+             "--graph", graph_file, "--grammar-name", "dyck1",
+             "--output", snapshot,
+             "--semantics", "relational", "single-path"],
+            capture_output=True, text=True, env=env, cwd=cwd, timeout=120,
+        )
+        assert result.returncode == 0, result.stderr
+
+        session = "\n".join(json.dumps(line) for line in [
+            {"op": "query", "start": "S"},
+            {"op": "query", "start": "S"},
+            {"op": "update", "insert": [[4, "a", 5], [5, "b", 6]]},
+            {"op": "query", "start": "S"},
+            {"op": "stats"},
+        ]) + "\n"
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--snapshot", snapshot, "--stats"],
+            input=session, capture_output=True, text=True, env=env,
+            cwd=cwd, timeout=120,
+        )
+        assert result.returncode == 0, result.stderr
+        responses = [json.loads(line)
+                     for line in result.stdout.splitlines()]
+        assert all(r["ok"] for r in responses)
+        # Warm start: zero closure rounds before the first answer.
+        assert responses[0]["stats"]["startup"]["closure_iterations"] == 0
+        # Second identical query was a cache hit...
+        assert responses[1]["stats"]["cache_hit_rate"] == 0.5
+        # ...the tick invalidated it...
+        assert responses[2]["stats"]["cache_invalidations"] == 1
+        # ...and the re-query sees the new fixpoint.
+        assert responses[3]["result"] != responses[1]["result"]
+        final = responses[4]["result"]
+        assert final["ticks"] == 1 and final["frontier_runs"] == 1

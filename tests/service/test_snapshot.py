@@ -1,0 +1,218 @@
+"""Snapshot store: lossless round trips across backends × semantics.
+
+The differential contract: an engine loaded from a snapshot must answer
+**byte-identically** to the engine that saved it — for the relational,
+single-path and all-path semantics, on every registered backend,
+including loading under a *different* backend than the snapshot was
+saved with (the payload-codec conversion path) — while running zero
+closure rounds.  Plus the format guardrails: magic and version checks.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro import CFPQEngine, IncrementalCFPQ, parse_grammar
+from repro.errors import SnapshotError, SnapshotVersionError
+from repro.core.single_path import extract_path, path_is_valid
+from repro.graph.generators import two_cycles, word_chain
+from repro.matrices.base import available_backends
+from repro.service import snapshot as snapshot_store
+from repro.service.snapshot import (
+    SNAPSHOT_VERSION,
+    load_engine_snapshot,
+    read_snapshot,
+    save_engine_snapshot,
+    write_snapshot,
+)
+
+BACKENDS = available_backends()
+
+ANBN = parse_grammar("S -> a S b | a b", terminals=["a", "b"])
+#: Nullable variant: exercises the empty-path diagonal in every section.
+ANBN_EPS = parse_grammar("S -> a S b | eps", terminals=["a", "b"])
+
+SEMANTICS = ("relational", "single-path", "all-path")
+
+
+def _graph():
+    return two_cycles(2, 3)
+
+
+def _relational_answer(engine):
+    return engine.relational("S")
+
+
+def _single_path_answers(engine):
+    """Every recorded (pair → path), byte-identical across engines
+    because extraction scans the index cells in storage order."""
+    index = engine.single_path_index()
+    out = {}
+    for (i, j), entries in index.cells.items():
+        for nonterminal in entries:
+            out[(nonterminal, i, j)] = extract_path(
+                index, nonterminal,
+                engine.graph.node_at(i), engine.graph.node_at(j),
+            )
+    return out
+
+
+def _all_path_answers(engine, bound=6):
+    return {
+        (i, j): engine.all_paths("S", engine.graph.node_at(i),
+                                 engine.graph.node_at(j), max_length=bound)
+        for i in range(engine.graph.node_count)
+        for j in range(engine.graph.node_count)
+    }
+
+
+@pytest.mark.parametrize("grammar", [ANBN, ANBN_EPS],
+                         ids=["anbn", "anbn-nullable"])
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_round_trip_same_backend(tmp_path, backend, grammar):
+    engine = CFPQEngine(_graph(), grammar, backend=backend)
+    relational = _relational_answer(engine)
+    single = _single_path_answers(engine)
+    allp = _all_path_answers(engine)
+
+    path = str(tmp_path / "index.snapshot")
+    size = save_engine_snapshot(path, engine, semantics=SEMANTICS)
+    assert size > 0
+
+    warm = load_engine_snapshot(path)
+    assert warm.backend == backend
+    # Zero closure rounds for every semantics.
+    assert warm.solve().stats.iterations == 0
+    assert warm.solve().stats.multiplications == 0
+    assert warm.single_path_index().iterations == 0
+    # Byte-identical answers.
+    assert warm.relational("S") == relational
+    assert _single_path_answers(warm) == single
+    assert _all_path_answers(warm) == allp
+    # The length index round-trips *exactly* (cells, values and order).
+    assert list(warm.single_path_index().cells.items()) \
+        == list(engine.single_path_index().cells.items())
+
+
+@pytest.mark.parametrize("save_backend", BACKENDS)
+@pytest.mark.parametrize("load_backend", BACKENDS)
+def test_round_trip_cross_backend(tmp_path, save_backend, load_backend):
+    engine = CFPQEngine(_graph(), ANBN, backend=save_backend)
+    relational = _relational_answer(engine)
+    single = _single_path_answers(engine)
+
+    path = str(tmp_path / "index.snapshot")
+    save_engine_snapshot(path, engine, semantics=SEMANTICS)
+    warm = load_engine_snapshot(path, backend=load_backend)
+    assert warm.backend == load_backend
+    assert warm.solve().stats.backend == load_backend
+    assert warm.solve().stats.iterations == 0
+    assert warm.relational("S") == relational
+    assert _single_path_answers(warm) == single
+    # The re-materialized matrices really are the target backend's type.
+    some_matrix = next(iter(warm.solve().matrices.values()))
+    assert some_matrix.backend_name in (load_backend, "abstract")
+
+
+def test_snapshot_paths_stay_valid(tmp_path):
+    engine = CFPQEngine(word_chain(["a", "a", "b", "b"]), ANBN)
+    path = str(tmp_path / "index.snapshot")
+    save_engine_snapshot(path, engine)
+    warm = load_engine_snapshot(path)
+    index = warm.single_path_index()
+    witness = extract_path(index, "S", 0, 4)
+    assert path_is_valid(index, witness)
+    assert len(witness) == 4
+
+
+def test_partial_snapshot_solves_missing_sections(tmp_path):
+    """A relational-only snapshot still serves single-path queries —
+    by solving them lazily, not by failing."""
+    engine = CFPQEngine(_graph(), ANBN)
+    path = str(tmp_path / "index.snapshot")
+    save_engine_snapshot(path, engine, semantics=("relational",))
+    warm = load_engine_snapshot(path)
+    assert warm.solve().stats.iterations == 0
+    assert warm.single_path("S", 0, 0)  # lazily solved
+    assert warm.single_path_index().iterations > 0
+
+
+def _header(version) -> bytes:
+    return (snapshot_store.MAGIC.encode() + b"\x00"
+            + str(version).encode() + b"\n")
+
+
+def test_version_mismatch_is_rejected(tmp_path):
+    path = str(tmp_path / "future.snapshot")
+    with open(path, "wb") as stream:
+        stream.write(_header(99))
+        pickle.dump({"payload": {}}, stream)
+    with pytest.raises(SnapshotVersionError) as excinfo:
+        read_snapshot(path)
+    assert "99" in str(excinfo.value)
+    assert str(SNAPSHOT_VERSION) in str(excinfo.value)
+
+
+def test_foreign_files_are_rejected(tmp_path):
+    not_pickle = tmp_path / "garbage.snapshot"
+    not_pickle.write_bytes(b"\x00not a snapshot at all")
+    with pytest.raises(SnapshotError):
+        read_snapshot(str(not_pickle))
+
+    wrong_magic = tmp_path / "other.snapshot"
+    with open(wrong_magic, "wb") as stream:
+        pickle.dump({"something": "else"}, stream)
+    with pytest.raises(SnapshotError):
+        read_snapshot(str(wrong_magic))
+
+    missing = tmp_path / "does-not-exist.snapshot"
+    with pytest.raises(SnapshotError):
+        read_snapshot(str(missing))
+
+
+def test_crafted_pickle_body_cannot_reach_classes(tmp_path):
+    """The body is unpickled through a loader that refuses every class
+    lookup, so a pickle smuggling a callable (the classic
+    os.system-style gadget) dies in find_class instead of executing."""
+    path = str(tmp_path / "evil.snapshot")
+    with open(path, "wb") as stream:
+        stream.write(_header(SNAPSHOT_VERSION))
+        pickle.dump({"payload": {"gadget": print}}, stream)
+    with pytest.raises(SnapshotError) as excinfo:
+        read_snapshot(path)
+    assert "plain containers" in str(excinfo.value)
+
+
+def test_envelope_records_version(tmp_path):
+    path = str(tmp_path / "v.snapshot")
+    write_snapshot(path, {"hello": [1, 2, 3]})
+    with open(path, "rb") as stream:
+        assert stream.readline() == _header(SNAPSHOT_VERSION)
+    assert read_snapshot(path) == {"hello": [1, 2, 3]}
+
+
+def test_incremental_state_round_trip(tmp_path):
+    """Facts, lengths and DRed supports survive encode→decode, and a
+    warm solver continues updating exactly like the original."""
+    graph = two_cycles(2, 3)
+    solver = IncrementalCFPQ(graph, ANBN)
+    solver.add_edges([("x", "a", "y"), ("y", "b", "x")])
+    solver.remove_edges([("x", "a", "y")])  # activates the support index
+
+    doc = snapshot_store.encode_incremental_state(solver.export_state())
+    state = snapshot_store.decode_incremental_state(doc)
+    twin_graph = two_cycles(2, 3)
+    twin_graph.add_edges([("x", "a", "y"), ("y", "b", "x")])
+    twin_graph.remove_edge("x", "a", "y")
+    twin = IncrementalCFPQ(twin_graph, ANBN, warm_state=state)
+    assert twin.initial_closure_iterations == 0
+    assert twin.relations().same_as(solver.relations())
+    assert twin._supports == solver._supports
+
+    # Updates after the warm start stay in lockstep.
+    batch = [("p", "a", "q"), ("q", "b", "p")]
+    assert twin.add_edges(batch) == solver.add_edges(batch)
+    assert twin.remove_edges(batch[:1]) == solver.remove_edges(batch[:1])
+    assert twin.relations().same_as(solver.relations())

@@ -21,6 +21,7 @@ FAST_EXAMPLES = [
     "static_analysis_points_to.py",
     "rna_secondary_structure.py",
     "dynamic_graph_updates.py",
+    "service_quickstart.py",
 ]
 
 
@@ -49,4 +50,13 @@ def test_all_examples_exist():
     present = {path.name for path in EXAMPLES_DIR.glob("*.py")}
     assert set(FAST_EXAMPLES) <= present
     assert "same_generation_ontologies.py" in present
-    assert len(present) >= 6  # ≥3 required; we ship six
+    assert len(present) >= 7  # ≥3 required; we ship seven
+
+
+def test_service_quickstart_demonstrates_warm_start():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "service_quickstart.py")],
+        capture_output=True, text=True, timeout=120,
+    )
+    assert "warm restart ran 0 closure rounds" in result.stdout
+    assert "coalesced away" in result.stdout
