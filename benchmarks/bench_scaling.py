@@ -137,26 +137,115 @@ def run_scaling_suite(copies: tuple[int, ...] = (1, 2, 4),
     return report
 
 
+# ----------------------------------------------------------------------
+# Out-of-core spill sweep (past ×8: workloads that exceed the budget)
+# ----------------------------------------------------------------------
+
+#: (backend, copies, budget): sized so the closure's unbounded peak
+#: resident tile bytes (measured: bitset ×16 ≈ 78 MiB, dense ×8 ≈
+#: 161 MiB) overflows the budget several times over, forcing the tile
+#: store to spill on every round.
+SPILL_CASES = (
+    ("bitset", 16, 16 * 2 ** 20),
+    ("dense", 8, 32 * 2 ** 20),
+)
+
+
+def run_spill_suite(cases: tuple = SPILL_CASES, repeats: int = 1) -> dict:
+    """Benchmark the blocked closure under a memory budget vs unbounded.
+
+    Each cell solves Q1 on funding × k twice — once fully in memory,
+    once with a budget the working set cannot fit — and records the
+    wall times, the spill/reload counters and whether the budgeted run
+    stayed within its budget by the tile store's own accounting.
+    ``agree`` asserts the budgeted answer is identical.
+    """
+    import time as _time
+
+    from repro.core.matrix_cfpq import solve_matrix
+    from repro.grammar.builders import same_generation_query1
+    from repro.grammar.cnf import ensure_cnf
+
+    grammar = ensure_cnf(same_generation_query1())
+    report: dict = {
+        "benchmark": "out-of-core spill sweep (funding × k under a "
+                     "memory budget, Q1)",
+        "workloads": {},
+    }
+    base = build_graph("funding")
+
+    def timed(**options):
+        best = None
+        result = None
+        for _ in range(max(1, repeats)):
+            started = _time.perf_counter()
+            result = solve_matrix(graph, grammar, normalize=False,
+                                  strategy="blocked", tile_size=128,
+                                  **options)
+            elapsed = _time.perf_counter() - started
+            best = elapsed if best is None else min(best, elapsed)
+        return result, best
+
+    for backend, copies, budget in cases:
+        graph = _repeated(copies)
+        unbounded, unbounded_s = timed(backend=backend)
+        budgeted, budgeted_s = timed(backend=backend, memory_budget=budget)
+        stats = budgeted.stats.details["blocked"]
+        count = unbounded.relations.count("S")
+        report["workloads"][f"funding_x{copies}_{backend}"] = {
+            "nodes": graph.node_count,
+            "edges": graph.edge_count,
+            "budget_bytes": budget,
+            "agree": budgeted.relations.count("S") == count,
+            "within_budget": stats.peak_resident_bytes <= budget,
+            "solvers": {
+                "blocked_unbounded": {
+                    "results": count,
+                    "wall_time_s": round(unbounded_s, 6),
+                },
+                "blocked_budgeted": {
+                    "results": budgeted.relations.count("S"),
+                    "wall_time_s": round(budgeted_s, 6),
+                    "tiles_spilled": stats.tiles_spilled,
+                    "tiles_reloaded": stats.tiles_reloaded,
+                    "spill_bytes": stats.spill_bytes,
+                    "peak_resident_bytes": stats.peak_resident_bytes,
+                },
+            },
+        }
+    return report
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="scaling benchmark on the shared harness "
                     "(JSON summary)"
     )
+    parser.add_argument("--suite", choices=("scaling", "spill"),
+                        default="scaling",
+                        help="'scaling' sweeps harness solvers over "
+                             "funding × k; 'spill' measures the blocked "
+                             "closure under a memory budget on workloads "
+                             "whose tiles overflow it")
     parser.add_argument("--copies", type=int, nargs="+", default=[1, 2, 4],
                         help="funding-ontology repetition factors")
     parser.add_argument("--solvers", nargs="+",
                         default=["sparse", "gll", "hellings"],
                         help="harness solver names (see "
                              "repro.bench.harness.SOLVERS)")
-    parser.add_argument("--repeats", type=int, default=2,
-                        help="best-of-N timing repeats per cell")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="best-of-N timing repeats per cell "
+                             "(default: 2 for scaling, 1 for spill)")
     parser.add_argument("--output", default=None,
                         help="write JSON here (default: stdout)")
     args = parser.parse_args(argv)
 
-    report = run_scaling_suite(copies=tuple(args.copies),
-                               solvers=tuple(args.solvers),
-                               repeats=args.repeats)
+    if args.suite == "spill":
+        report = run_spill_suite(repeats=args.repeats or 1)
+    else:
+        report = run_scaling_suite(copies=tuple(args.copies),
+                                   solvers=tuple(args.solvers),
+                                   repeats=args.repeats or 2)
     payload = json.dumps(report, indent=2, sort_keys=True)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as stream:

@@ -11,12 +11,18 @@ Usage (what CI's bench-smoke job runs)::
 The checker walks both JSON documents in lockstep and compares every
 leaf whose key ends in ``wall_time_s``:
 
-* current > baseline × factor × calibration  →  regression, exit 1;
+* current > baseline × factor × calibration  →  regression, exit 1,
+  reporting suite, case, baseline seconds, current seconds and the
+  slowdown ratio so the failing metric is identifiable from the log;
 * the cell is missing from the current run  →  coverage loss, exit 1;
 * baseline below ``--min-seconds`` (default 0.02) → skipped, such cells
   are timer noise on CI runners;
 * ``agree`` flags that are false in the current run → correctness
-  failure, exit 1 (strategies must stay byte-identical).
+  failure, exit 1 (strategies must stay byte-identical);
+* cells naming a backend whose optional dependency is not importable
+  on this host (``sparse`` needs SciPy; ``dense``/``bitset`` need
+  NumPy) are skipped with a notice instead of reported as coverage
+  loss — a dependency-free runner checks what it can run.
 
 ``calibration`` absorbs machine-speed differences between the baseline
 host and the CI runner: it is the *median* current/baseline ratio over
@@ -32,8 +38,40 @@ Regenerate a baseline by re-running the producing benchmark with
 from __future__ import annotations
 
 import argparse
+import importlib.util
 import json
 import sys
+
+#: Backend name → the module its kernels import.  A baseline cell whose
+#: path names one of these backends is only comparable when the module
+#: is importable on the checking host.
+OPTIONAL_BACKEND_MODULES = {
+    "sparse": "scipy",
+    "dense": "numpy",
+    "bitset": "numpy",
+}
+
+
+def unavailable_backends() -> set[str]:
+    """The backends whose optional dependency this host cannot import."""
+    return {
+        backend
+        for backend, module in OPTIONAL_BACKEND_MODULES.items()
+        if importlib.util.find_spec(module) is None
+    }
+
+
+def _names_unavailable_backend(path: tuple, missing: set[str]) -> bool:
+    """True when any path component is (or is suffixed by) a backend
+    whose dependency is missing — ``solvers.sparse`` and
+    ``funding_x16_bitset`` alike."""
+    if not missing:
+        return False
+    for component in path:
+        for backend in missing:
+            if component == backend or component.endswith(f"_{backend}"):
+                return True
+    return False
 
 
 def iter_cells(document, path=()):
@@ -66,11 +104,20 @@ def lookup(document, path):
 
 
 def compare(baseline: dict, current: dict, factor: float,
-            min_seconds: float, calibrate: bool = True) -> list[str]:
+            min_seconds: float, calibrate: bool = True,
+            missing_backends: set[str] | None = None,
+            skipped: list[str] | None = None) -> list[str]:
     problems: list[str] = []
     timed: list[tuple[str, float, float]] = []
+    missing = (unavailable_backends() if missing_backends is None
+               else missing_backends)
     for path, value in iter_cells(baseline):
         dotted = ".".join(path)
+        if _names_unavailable_backend(path, missing):
+            if skipped is not None and (
+                    path[-1] == "agree" or path[-1].endswith("wall_time_s")):
+                skipped.append(dotted)
+            continue
         if path and path[-1] == "agree":
             now = lookup(current, path)
             if now is False:
@@ -96,8 +143,9 @@ def compare(baseline: dict, current: dict, factor: float,
     for dotted, value, now in timed:
         if now > value * factor * calibration:
             problems.append(
-                f"{dotted}: {now:.4f}s vs baseline {value:.4f}s "
-                f"(> {factor:.1f}x after {calibration:.2f}x machine "
+                f"case {dotted}: baseline {value:.4f}s, current "
+                f"{now:.4f}s, ratio {now / value:.2f}x (limit "
+                f"{factor:.1f}x after {calibration:.2f}x machine "
                 f"calibration)"
             )
     return problems
@@ -124,16 +172,23 @@ def main(argv: list[str] | None = None) -> int:
     if len(args.baseline) != len(args.current):
         parser.error("--baseline and --current must be paired")
 
+    missing = unavailable_backends()
     failures: list[str] = []
     for baseline_path, current_path in zip(args.baseline, args.current):
         with open(baseline_path, "r", encoding="utf-8") as stream:
             baseline = json.load(stream)
         with open(current_path, "r", encoding="utf-8") as stream:
             current = json.load(stream)
+        skipped: list[str] = []
         for problem in compare(baseline, current, args.factor,
                                args.min_seconds,
-                               calibrate=not args.no_calibrate):
-            failures.append(f"{baseline_path}: {problem}")
+                               calibrate=not args.no_calibrate,
+                               missing_backends=missing, skipped=skipped):
+            failures.append(f"suite {baseline_path}: {problem}")
+        if skipped:
+            print(f"{baseline_path}: skipped {len(skipped)} cell(s) "
+                  f"needing unavailable backends "
+                  f"({', '.join(sorted(missing))})")
 
     if failures:
         print("benchmark regression gate FAILED:")

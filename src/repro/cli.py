@@ -35,6 +35,7 @@ from .core.closure import available_strategies
 from .core.engine import CFPQEngine
 from .core.matrix_cfpq import DEFAULT_STRATEGY
 from .core.tiles import available_schedulers
+from .core.tilestore import parse_memory_budget
 from .errors import ReproError
 from .grammar.builders import GRAMMAR_REGISTRY, get_grammar
 from .grammar.parser import parse_grammar
@@ -83,6 +84,16 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--tile-size", type=int, default=None,
                         help="tile edge for the blocked strategy "
                              "(default 64)")
+    parser.add_argument("--memory-budget", default=None,
+                        help="resident tile byte budget for the blocked/"
+                             "autotune strategies, e.g. 65536, '64K', '8M' "
+                             "(default: $REPRO_MEMORY_BUDGET or unbounded; "
+                             "'0'/'none' disables)")
+    parser.add_argument("--spill-dir", default=None,
+                        help="directory for spilled tiles (default: "
+                             "$REPRO_SPILL_DIR or a private temporary "
+                             "directory; cleaned up on success, kept on "
+                             "a crash)")
 
 
 def _strategy_options(args: argparse.Namespace) -> dict:
@@ -92,6 +103,11 @@ def _strategy_options(args: argparse.Namespace) -> dict:
         options["scheduler"] = args.scheduler
     if getattr(args, "tile_size", None) is not None:
         options["tile_size"] = args.tile_size
+    if getattr(args, "memory_budget", None) is not None:
+        # Parse eagerly so a malformed value fails at the CLI boundary.
+        options["memory_budget"] = parse_memory_budget(args.memory_budget)
+    if getattr(args, "spill_dir", None) is not None:
+        options["spill_dir"] = args.spill_dir
     return options
 
 
@@ -430,6 +446,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--scheduler", default=None,
                        choices=available_schedulers())
     serve.add_argument("--tile-size", type=int, default=None)
+    serve.add_argument("--memory-budget", default=None,
+                       help="resident tile byte budget (e.g. '8M'); also "
+                            "bounds snapshot warm-start residency")
+    serve.add_argument("--spill-dir", default=None,
+                       help="directory for spilled tiles")
     serve.add_argument("--single-path", action="store_true",
                        help="maintain length annotations so single-path "
                             "and length queries are served")

@@ -105,6 +105,16 @@ class BlockedStats:
     ``tile_products + tiles_skipped_by_frontier`` tiles.
     ``scheduler_wall_time_s`` is the wall time spent inside the named
     tile scheduler's ``run`` (compute only — merging is excluded).
+
+    The spill counters describe the run's out-of-core traffic through
+    the :class:`repro.core.tilestore.TileStore`: ``tiles_spilled`` /
+    ``spill_bytes`` count evicted-tile writes to the spill directory,
+    ``tiles_reloaded`` counts cold tiles brought back (mmap or pickle),
+    ``payload_encodes`` counts tile→payload serializations (the
+    version-keyed payload cache makes unchanged tiles encode once), and
+    ``peak_resident_bytes`` is the high-water mark of resident tile
+    bytes — with a ``budget_bytes`` set, peak stays ≤ budget except for
+    transiently pinned working sets.
     """
 
     tile_size: int
@@ -117,6 +127,12 @@ class BlockedStats:
     tiles_skipped_by_frontier: int = 0
     scheduler: str = "serial"
     scheduler_wall_time_s: float = 0.0
+    tiles_spilled: int = 0
+    tiles_reloaded: int = 0
+    spill_bytes: int = 0
+    payload_encodes: int = 0
+    peak_resident_bytes: int = 0
+    budget_bytes: "int | None" = None
 
     def as_dict(self) -> dict:
         """Plain-JSON view (the CLI ``--stats`` rendering)."""
@@ -131,6 +147,12 @@ class BlockedStats:
             "tiles_skipped_by_frontier": self.tiles_skipped_by_frontier,
             "scheduler": self.scheduler,
             "scheduler_wall_time_s": self.scheduler_wall_time_s,
+            "tiles_spilled": self.tiles_spilled,
+            "tiles_reloaded": self.tiles_reloaded,
+            "spill_bytes": self.spill_bytes,
+            "payload_encodes": self.payload_encodes,
+            "peak_resident_bytes": self.peak_resident_bytes,
+            "budget_bytes": self.budget_bytes,
         }
 
 

@@ -24,11 +24,13 @@ iteration *strategy* vary independently of the matrix *backend*:
   the closure is byte-identical across schedulers and task orderings.
   This is the paper's §7 multi-GPU / out-of-core direction with the
   semi-naive trick pushed down to the device-task grain.
-* ``autotune`` — picks the round executor from live signals: the
-  matrix size routes huge workloads to the frontier-aware blocked
-  engine up front, and per round the frontier density
-  (``delta_nnz_per_round`` vs total nnz) chooses between a semi-naive
-  delta round and a full naive round.
+* ``autotune`` — picks the executor from live measurements: the
+  matrices' measured bytes vs the memory budget (or the host's
+  ``MemAvailable``) route oversized workloads to the blocked engine
+  out-of-core, a timed scheduler probe on sampled tile groups decides
+  whether a configured parallel scheduler actually wins, and per round
+  the frontier density (``delta_nnz_per_round`` vs total nnz) chooses
+  between a semi-naive delta round and a full naive round.
 
 All strategies run on any registered matrix backend through the mutable
 kernel API (``MatrixBackend.union_update`` / ``mxm_into``), which falls
@@ -305,6 +307,11 @@ def closure_delta(matrices: dict, pair_rules: list[PairRule],
                          delta_nnz_per_round=tuple(growth))
 
 
+#: Prefix for the staging keys of un-merged group products inside the
+#: tile store (disjoint from ``(symbol, I, J)`` tile keys).
+_STAGE = "__stage__"
+
+
 def closure_blocked(matrices: dict, pair_rules: list[PairRule],
                     backend: MatrixBackend,
                     tile_size: int = DEFAULT_TILE_SIZE,
@@ -312,22 +319,41 @@ def closure_blocked(matrices: dict, pair_rules: list[PairRule],
                     frontier: bool = True,
                     task_order: "Callable | None" = None,
                     initial_frontier: "dict | None" = None,
+                    memory_budget=None,
+                    spill_dir: "str | None" = None,
+                    tile_store=None,
+                    payload_cache: bool = True,
                     **_options) -> ClosureResult:
-    """Frontier-aware tiled closure on a pluggable scheduler.
+    """Frontier-aware tiled closure on a pluggable scheduler, with an
+    out-of-core spillable working set.
 
-    Every matrix is partitioned into ``tile_size``-square tiles once.
-    Per round, a (rule, I, J, K) tile task is generated only when the
-    K-side input tile ``left[I, K]`` or the I-side input tile
+    Every matrix is partitioned into ``tile_size``-square tiles once —
+    into a :class:`repro.core.tilestore.TileStore` keyed ``(symbol, I,
+    J)``.  Per round, a (rule, I, J, K) tile task is generated only when
+    the K-side input tile ``left[I, K]`` or the I-side input tile
     ``right[K, J]`` changed last round (round 1: every nonzero tile
     counts as changed, reproducing the full first round).  Tasks
     targeting the same output tile form one mul-accumulate group; the
     groups of a round are independent and run on *scheduler*
     (``serial`` / ``threads`` / ``process``; None honours
-    ``$REPRO_SCHEDULER``).  All group products are computed before any
-    merge, and merging walks the groups in canonical key order, so the
-    result is byte-identical for every scheduler and for any task
-    permutation (*task_order* exists for the determinism tests: it may
-    reorder the group list before scheduling).
+    ``$REPRO_SCHEDULER``), which reads operands from the store by key
+    and pins only the tiles of the group in flight.  All group products
+    are computed (staged in the store) before any merge, and merging
+    walks the groups in canonical key order pinning just the output and
+    staged tile, so the result is byte-identical for every scheduler,
+    any task permutation (*task_order* may reorder the group list
+    before scheduling) — and every memory budget.
+
+    ``memory_budget`` (bytes; int or ``"64K"``-style string; None
+    honours ``$REPRO_MEMORY_BUDGET``) bounds the resident tile bytes:
+    cold tiles spill to ``spill_dir`` (None honours ``$REPRO_SPILL_DIR``,
+    else a fresh temporary directory) through the backend payload codec,
+    and bitset/dense tiles reload zero-copy via ``mmap``.  The spill
+    directory is cleaned up on success and kept on a crash.  A
+    caller-owned store can be passed as ``tile_store`` (it is then not
+    closed here); ``payload_cache=False`` disables the version-keyed
+    payload memoization (measurement hook for the re-serialization
+    regression test).
 
     The least fixpoint equals ``naive``'s: whenever an input tile
     changes at round r, every task reading it re-fires at round r+1
@@ -337,10 +363,12 @@ def closure_blocked(matrices: dict, pair_rules: list[PairRule],
     ``multiplications`` counts *tile* products — the unit of work a
     device would schedule.  ``details["blocked"]`` carries a
     :class:`repro.core.blocked.BlockedStats` with the frontier savings
-    (``tiles_skipped_by_frontier``) and the scheduler wall time.
+    (``tiles_skipped_by_frontier``), the scheduler wall time, and the
+    spill counters (``tiles_spilled`` / ``tiles_reloaded`` /
+    ``spill_bytes`` / ``payload_encodes`` / ``peak_resident_bytes``).
     """
-    from .blocked import BlockedStats, assemble_from_tiles, split_into_tiles
     from .tiles import resolve_scheduler
+    from .tilestore import TileStore, resolve_memory_budget, resolve_spill_dir
 
     if not matrices:
         return ClosureResult(matrices=matrices, iterations=0,
@@ -353,14 +381,50 @@ def closure_blocked(matrices: dict, pair_rules: list[PairRule],
         seed_deltas = seed_frontier(matrices, initial_frontier, backend)
     size = next(iter(matrices.values())).shape[0]
     grid = max(1, (size + tile_size - 1) // tile_size)
-    tiles = {
-        symbol: split_into_tiles(matrix, tile_size, backend)
-        for symbol, matrix in matrices.items()
-    }
-    nonzero: dict[Hashable, set] = {
-        symbol: {index for index, tile in symbol_tiles.items() if tile.nnz()}
-        for symbol, symbol_tiles in tiles.items()
-    }
+
+    owns_store = tile_store is None
+    store = tile_store if tile_store is not None else TileStore(
+        budget_bytes=resolve_memory_budget(memory_budget),
+        spill_dir=resolve_spill_dir(spill_dir),
+        payload_cache=payload_cache,
+    )
+    try:
+        result = _closure_blocked_on_store(
+            store, matrices, pair_rules, backend, tile_size, grid, size,
+            scheduler_obj, frontier, task_order, seed_deltas,
+        )
+    except BaseException:
+        if owns_store:
+            # Keep the spill files for post-mortem inspection.
+            store.close(keep_spill=True)
+        raise
+    if owns_store:
+        store.close()
+    return result
+
+
+def _closure_blocked_on_store(store, matrices: dict,
+                              pair_rules: list[PairRule],
+                              backend: MatrixBackend, tile_size: int,
+                              grid: int, size: int, scheduler_obj,
+                              frontier: bool,
+                              task_order: "Callable | None",
+                              seed_deltas: "dict | None") -> ClosureResult:
+    from .blocked import BlockedStats, split_into_tiles
+
+    nonzero: dict[Hashable, set] = {}
+    for symbol in list(matrices):
+        symbol_tiles = split_into_tiles(matrices[symbol], tile_size, backend)
+        matrices[symbol] = None  # the store holds the working copy now
+        indexes = set()
+        # Pop as we insert so the budget governs the split too: a tile
+        # the store decides to spill is released immediately.
+        for index in sorted(symbol_tiles):
+            tile = symbol_tiles.pop(index)
+            if tile.nnz():
+                indexes.add(index)
+            store.put((symbol,) + index, tile)
+        nonzero[symbol] = indexes
     if seed_deltas is None:
         # Round 1 treats every nonzero tile as freshly changed.
         changed: dict[Hashable, set] = {
@@ -428,10 +492,12 @@ def closure_blocked(matrices: dict, pair_rules: list[PairRule],
             for (i, j, k) in fired:
                 groups.setdefault((rule_index, i, j), set()).add(k)
 
+        # Groups reference operand tiles by store key; the scheduler
+        # materializes (and pins) only what it is computing with.
         ordered = [
             (key, [
-                (tiles[pair_rules[key[0]][1]][(key[1], k)],
-                 tiles[pair_rules[key[0]][2]][(k, key[2])])
+                ((pair_rules[key[0]][1], key[1], k),
+                 (pair_rules[key[0]][2], k, key[2]))
                 for k in sorted(ks)
             ])
             for key, ks in sorted(groups.items())
@@ -442,33 +508,54 @@ def closure_blocked(matrices: dict, pair_rules: list[PairRule],
         if task_order is not None:
             ordered = task_order(ordered)
 
+        def stage(key, result):
+            # Process-scheduler results arrive as payload tuples and are
+            # staged without materializing in this process.
+            stage_key = (_STAGE,) + key
+            if isinstance(result, tuple):
+                store.put_payload(stage_key, result)
+            else:
+                store.put(stage_key, result)
+
         started = time.perf_counter()
-        results = scheduler_obj.run(ordered)
+        scheduler_obj.run(ordered, store, stage)
         scheduler_seconds += time.perf_counter() - started
 
-        by_key = {key: result for (key, _pairs), result in
-                  zip(ordered, results)}
         next_changed: dict[Hashable, set] = {}
         round_new = 0
-        for key in sorted(by_key):
+        for key in sorted(groups):
             rule_index, i, j = key
             head = pair_rules[rule_index][0]
-            merged, delta = backend.union_update(
-                tiles[head][(i, j)], by_key[key]
-            )
-            tiles[head][(i, j)] = merged
-            new_entries = delta.nnz()
+            stage_key = (_STAGE, rule_index, i, j)
+            out_key = (head, i, j)
+            with store.pinned((stage_key, out_key)):
+                merged, delta = backend.union_update(
+                    store.get(out_key), store.get(stage_key)
+                )
+                new_entries = delta.nnz()
+                # Value-blind semirings (witness) may refine annotations
+                # in place without surfacing them in the delta; the tile
+                # content still changed, so its spill/payload version
+                # must move even though the frontier does not.
+                mutated = bool(new_entries) or getattr(
+                    delta, "refined_in_place", False)
+                store.put(out_key, merged, changed=mutated)
+            store.discard(stage_key)
             if new_entries:
                 round_new += new_entries
                 next_changed.setdefault(head, set()).add((i, j))
                 nonzero[head].add((i, j))
         growth.append(round_new)
         changed = next_changed
+        # Round barrier: let cold tiles spill before the next round's
+        # task DAG pins a fresh working set.
+        store.evict_to_budget()
 
-    for symbol in matrices:
-        matrices[symbol] = assemble_from_tiles(
-            tiles[symbol], size, tile_size, backend
+    for symbol in nonzero:
+        matrices[symbol] = backend.assemble_from_tile_iter(
+            _drain_symbol_tiles(store, symbol, grid), size, tile_size
         )
+    store_stats = store.stats
     stats = BlockedStats(
         tile_size=tile_size,
         grid=grid,
@@ -477,6 +564,12 @@ def closure_blocked(matrices: dict, pair_rules: list[PairRule],
         tiles_skipped_by_frontier=tiles_skipped,
         scheduler=scheduler_obj.name,
         scheduler_wall_time_s=scheduler_seconds,
+        tiles_spilled=store_stats.tiles_spilled,
+        tiles_reloaded=store_stats.tiles_reloaded,
+        spill_bytes=store_stats.spill_bytes,
+        payload_encodes=store_stats.payload_encodes,
+        peak_resident_bytes=store_stats.peak_resident_bytes,
+        budget_bytes=store.budget_bytes,
     )
     return ClosureResult(matrices=matrices, iterations=iterations,
                          multiplications=tile_products,
@@ -484,35 +577,156 @@ def closure_blocked(matrices: dict, pair_rules: list[PairRule],
                          details={"blocked": stats})
 
 
-#: Autotune: run blocked-parallel when matrices are at least this large
-#: *and* a parallel scheduler is configured.
-AUTOTUNE_BLOCKED_MIN_SIZE = 2048
+def _drain_symbol_tiles(store, symbol: Hashable, grid: int):
+    """Yield one symbol's tiles in grid order, releasing each from the
+    store as it goes — assembly never holds more than one tile resident
+    beyond the matrix being built."""
+    for bi in range(grid):
+        for bj in range(grid):
+            key = (symbol, bi, bj)
+            if key not in store:  # zero-size matrices split into no tiles
+                continue
+            tile = store.get(key)
+            store.discard(key)
+            yield (bi, bj), tile
+
 
 #: Autotune: a round whose frontier holds at least this fraction of all
 #: stored entries runs as a full naive round instead of a delta round.
 AUTOTUNE_DENSE_FRONTIER_RATIO = 0.5
 
+#: Autotune: with no explicit budget, matrices whose measured bytes
+#: exceed this fraction of ``MemAvailable`` run out-of-core with a
+#: budget of that fraction.
+AUTOTUNE_AVAILABLE_FRACTION = 0.5
+
+#: Autotune: candidate tile edges, largest first (64-multiples keep the
+#: bitset backend on its word-aligned split/assemble fast paths).
+AUTOTUNE_TILE_CANDIDATES = (512, 256, 128, 64)
+
+#: Autotune: how many tiles the picked tile size should fit in the
+#: budget — room for several concurrent groups' operands plus outputs.
+AUTOTUNE_WORKING_SET_TILES = 16
+
+#: Autotune: cap on the sample groups a scheduler probe executes.
+AUTOTUNE_PROBE_GROUPS = 16
+
+
+def _estimated_matrix_bytes(matrices: dict) -> int:
+    from .tilestore import matrix_nbytes
+
+    return sum(matrix_nbytes(matrix) for matrix in matrices.values())
+
+
+def _pick_tile_size(size: int, budget: "int | None",
+                    total_bytes: int, matrix_count: int) -> int:
+    """Largest candidate tile edge whose working set
+    (:data:`AUTOTUNE_WORKING_SET_TILES` tiles at the *measured* bytes
+    per cell) fits the budget; unbounded runs take the largest."""
+    candidates = [edge for edge in AUTOTUNE_TILE_CANDIDATES
+                  if edge <= max(size, AUTOTUNE_TILE_CANDIDATES[-1])]
+    if not candidates:
+        candidates = [AUTOTUNE_TILE_CANDIDATES[-1]]
+    if budget is None or not size or not matrix_count:
+        return candidates[0]
+    bytes_per_cell = max(total_bytes / (matrix_count * size * size), 0.125)
+    for edge in candidates:
+        if AUTOTUNE_WORKING_SET_TILES * bytes_per_cell * edge * edge <= budget:
+            return edge
+    return candidates[-1]
+
+
+def _probe_scheduler_seconds(matrices: dict, pair_rules: list[PairRule],
+                             backend: MatrixBackend, tile_size: int,
+                             candidates) -> dict:
+    """Measure each candidate scheduler's wall time on a sample of real
+    tile groups (the heaviest rule's product, capped at
+    :data:`AUTOTUNE_PROBE_GROUPS` output tiles).  Runs each candidate
+    twice and keeps the best so pool start-up doesn't skew the
+    comparison; results are discarded (probing never mutates)."""
+    from .blocked import split_into_tiles
+    from .tiles import MappingTileSource, resolve_scheduler
+
+    heaviest = None
+    for head, left, right in pair_rules:
+        weight = matrices[left].nnz() * matrices[right].nnz()
+        if weight and (heaviest is None or weight > heaviest[0]):
+            heaviest = (weight, left, right)
+    if heaviest is None:
+        return {}
+    _weight, left, right = heaviest
+    left_tiles = split_into_tiles(matrices[left], tile_size, backend)
+    right_tiles = split_into_tiles(matrices[right], tile_size, backend)
+    sample = {}
+    left_by_row: dict[int, list[int]] = {}
+    right_by_col: dict[int, list[int]] = {}
+    for (i, k), tile in left_tiles.items():
+        if tile.nnz():
+            sample[("L", i, k)] = tile
+            left_by_row.setdefault(i, []).append(k)
+    for (k, j), tile in right_tiles.items():
+        if tile.nnz():
+            sample[("R", k, j)] = tile
+            right_by_col.setdefault(j, []).append(k)
+    groups = []
+    for i in sorted(left_by_row):
+        for j in sorted(right_by_col):
+            ks = sorted(set(left_by_row[i]) & set(right_by_col[j]))
+            if not ks:
+                continue
+            groups.append(((i, j), [(("L", i, k), ("R", k, j))
+                                    for k in ks]))
+            if len(groups) >= AUTOTUNE_PROBE_GROUPS:
+                break
+        if len(groups) >= AUTOTUNE_PROBE_GROUPS:
+            break
+    if not groups:
+        return {}
+    source = MappingTileSource(sample)
+    timings: dict[str, float] = {}
+    for name in candidates:
+        scheduler_obj = resolve_scheduler(name)
+        best = None
+        for _attempt in range(2):
+            started = time.perf_counter()
+            scheduler_obj.run(list(groups), source)
+            elapsed = time.perf_counter() - started
+            best = elapsed if best is None else min(best, elapsed)
+        timings[scheduler_obj.name] = best
+    return timings
+
 
 def closure_autotune(matrices: dict, pair_rules: list[PairRule],
                      backend: MatrixBackend,
-                     tile_size: int = DEFAULT_TILE_SIZE,
+                     tile_size: "int | None" = None,
                      scheduler: "str | None" = None,
-                     blocked_min_size: int = AUTOTUNE_BLOCKED_MIN_SIZE,
+                     memory_budget=None,
+                     spill_dir: "str | None" = None,
                      dense_frontier_ratio: float = AUTOTUNE_DENSE_FRONTIER_RATIO,
+                     probe: bool = True,
                      initial_frontier: "dict | None" = None,
                      **options) -> ClosureResult:
-    """Strategy-aware autotuning: pick the executor per round.
+    """Measurement-driven autotuning: every routing decision comes from
+    a live measurement, never a fixed node-count threshold.
 
-    Two live signals drive the choice:
+    Three measured signals drive the choice:
 
-    * **matrix size × configured hardware** — when a parallel tile
-      scheduler is declared (``scheduler=`` or ``$REPRO_SCHEDULER``
-      naming anything but ``serial``) and the matrices are at least
-      ``blocked_min_size`` nodes, the whole run is routed to the
-      frontier-aware blocked engine: that is the regime where the
-      bounded per-tile working set and the task pool beat whole-matrix
-      products.  On serial hardware whole-matrix kernels always win, so
-      no size routes to tiling;
+    * **working set vs memory** — the matrices' measured storage bytes
+      (:func:`repro.core.tilestore.matrix_nbytes`) are compared against
+      the budget (``memory_budget=`` / ``$REPRO_MEMORY_BUDGET``, else
+      :data:`AUTOTUNE_AVAILABLE_FRACTION` of the host's measured
+      ``MemAvailable`` when the estimate exceeds it).  A working set
+      over budget routes to the blocked engine **out-of-core**, with
+      the tile size picked so :data:`AUTOTUNE_WORKING_SET_TILES` tiles
+      (at the measured bytes/cell) fit the budget;
+    * **scheduler probe** — when a parallel scheduler is configured
+      (``scheduler=`` or ``$REPRO_SCHEDULER``), a sample of real tile
+      groups is executed on both ``serial`` and the configured
+      scheduler and their measured wall times compared
+      (``probe=False`` trusts the configuration without measuring).
+      The parallel scheduler only wins the route when it is measurably
+      faster — pool overhead on small workloads loses the probe and
+      the run stays on whole-matrix rounds;
     * **frontier density** (``delta_nnz_per_round`` of the previous
       round vs the total stored entries) — a dense frontier means a
       delta round would multiply nearly-full matrices *twice* per rule
@@ -523,26 +737,82 @@ def closure_autotune(matrices: dict, pair_rules: list[PairRule],
     Every mix of round executors converges to the same least fixpoint
     (each round's merge is monotone, and both round types propagate
     every frontier entry through every rule mentioning its symbol).
-    The decisions land in ``details["autotune"]``.
+    The decisions — including probe timings and, for blocked routes,
+    the run's spill/reload counters — land in ``details["autotune"]``.
     """
     from .tiles import resolve_scheduler
+    from .tilestore import available_memory_bytes, resolve_memory_budget
 
     if not matrices:
         return ClosureResult(matrices=matrices, iterations=0,
                              multiplications=0)
     size = next(iter(matrices.values())).shape[0]
     scheduler_obj = resolve_scheduler(scheduler)
-    if size >= blocked_min_size and scheduler_obj.name != "serial":
+
+    estimated_bytes = _estimated_matrix_bytes(matrices)
+    budget = resolve_memory_budget(memory_budget)
+    budget_source = "configured" if budget is not None else None
+    if budget is None:
+        available = available_memory_bytes()
+        if (available is not None
+                and estimated_bytes > available * AUTOTUNE_AVAILABLE_FRACTION):
+            budget = int(available * AUTOTUNE_AVAILABLE_FRACTION)
+            budget_source = "measured MemAvailable"
+    over_budget = budget is not None and estimated_bytes > budget
+
+    chosen_tile_size = tile_size if tile_size is not None else \
+        _pick_tile_size(size, budget, estimated_bytes, len(matrices))
+    probe_timings: dict = {}
+    parallel_wins = False
+    if scheduler_obj.name != "serial":
+        if probe:
+            probe_timings = _probe_scheduler_seconds(
+                matrices, pair_rules, backend, chosen_tile_size,
+                ("serial", scheduler_obj),
+            )
+            serial_s = probe_timings.get("serial")
+            parallel_s = probe_timings.get(scheduler_obj.name)
+            parallel_wins = (serial_s is not None and parallel_s is not None
+                            and parallel_s < serial_s)
+        else:
+            parallel_wins = True
+
+    if over_budget or parallel_wins:
+        if over_budget:
+            mode = "blocked-spill"
+            reason = (f"measured working set {estimated_bytes}B exceeds "
+                      f"budget {budget}B ({budget_source}); tile_size "
+                      f"{chosen_tile_size} fits "
+                      f"{AUTOTUNE_WORKING_SET_TILES} tiles in budget")
+        else:
+            mode = "blocked-parallel"
+            if probe_timings:
+                reason = (f"scheduler {scheduler_obj.name!r} measured "
+                          f"{probe_timings[scheduler_obj.name]:.6f}s vs "
+                          f"serial {probe_timings['serial']:.6f}s on "
+                          "sampled tile groups")
+            else:
+                reason = (f"scheduler {scheduler_obj.name!r} configured, "
+                          "probe disabled")
         result = closure_blocked(matrices, pair_rules, backend,
-                                 tile_size=tile_size,
+                                 tile_size=chosen_tile_size,
                                  scheduler=scheduler_obj,
+                                 memory_budget=budget,
+                                 spill_dir=spill_dir,
                                  initial_frontier=initial_frontier,
                                  **options)
+        blocked_stats = result.details.get("blocked")
         result.details["autotune"] = {
-            "mode": "blocked-parallel",
-            "reason": (f"size {size} >= {blocked_min_size} on scheduler "
-                       f"{scheduler_obj.name!r}"),
+            "mode": mode,
+            "reason": reason,
             "rounds": ["blocked"] * result.iterations,
+            "probe_seconds": probe_timings,
+            "estimated_bytes": estimated_bytes,
+            "budget_bytes": budget,
+            "tile_size": chosen_tile_size,
+            "tiles_spilled": getattr(blocked_stats, "tiles_spilled", 0),
+            "tiles_reloaded": getattr(blocked_stats, "tiles_reloaded", 0),
+            "spill_bytes": getattr(blocked_stats, "spill_bytes", 0),
         }
         return result
 

@@ -212,13 +212,20 @@ class CFPQEngine:
 
     @classmethod
     def from_snapshot(cls, path: str, backend: str | None = None,
-                      strategy: str | None = None) -> "CFPQEngine":
+                      strategy: str | None = None,
+                      memory_budget=None,
+                      spill_dir: str | None = None) -> "CFPQEngine":
         """Load a warm engine from a snapshot file: every semantics the
-        snapshot carries answers in O(load), with zero closure rounds."""
+        snapshot carries answers in O(load), with zero closure rounds.
+        A *memory_budget* loads the relational matrices into a spillable
+        tile store instead of keeping them all resident (see
+        :func:`repro.service.snapshot.load_engine_snapshot`)."""
         from ..service.snapshot import load_engine_snapshot
 
         return load_engine_snapshot(path, backend=backend,
-                                    strategy=strategy)
+                                    strategy=strategy,
+                                    memory_budget=memory_budget,
+                                    spill_dir=spill_dir)
 
     # ------------------------------------------------------------------
     # Incremental maintenance

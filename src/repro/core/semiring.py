@@ -266,7 +266,7 @@ class AnnotatedMatrix(BooleanMatrix):
     """
 
     __slots__ = ("semiring", "_shape", "_cells", "_rows_index", "symbol",
-                 "row_offset", "col_offset")
+                 "row_offset", "col_offset", "refined_in_place")
 
     backend_name = "annotated"
     supports_inplace = True
@@ -280,6 +280,11 @@ class AnnotatedMatrix(BooleanMatrix):
         self.symbol = symbol
         self.row_offset = row_offset
         self.col_offset = col_offset
+        #: Set on deltas returned by :meth:`union_update` when the merge
+        #: refined annotations beyond what the delta itself records —
+        #: the target mutated even though the frontier sees no new
+        #: cells, so caches keyed on tile content must invalidate.
+        self.refined_in_place = False
         if isinstance(cells, Mapping):
             cell_map = dict(cells)
         else:
@@ -392,6 +397,7 @@ class AnnotatedMatrix(BooleanMatrix):
         propagate_refinements = semiring.refinement_feeds_products
         other_cells, _rows = _cells_of(other, semiring)
         delta: dict[Pair, object] = {}
+        refined_silently = False
         for pair, incoming in other_cells.items():
             existing = self._cells.get(pair)
             if existing is None:
@@ -404,10 +410,14 @@ class AnnotatedMatrix(BooleanMatrix):
                     self._cells[pair] = merged
                     if propagate_refinements:
                         delta[pair] = merged
-        return AnnotatedMatrix(semiring, self._shape, delta,
-                               symbol=self.symbol,
-                               row_offset=self.row_offset,
-                               col_offset=self.col_offset)
+                    else:
+                        refined_silently = True
+        result = AnnotatedMatrix(semiring, self._shape, delta,
+                                 symbol=self.symbol,
+                                 row_offset=self.row_offset,
+                                 col_offset=self.col_offset)
+        result.refined_in_place = refined_silently
+        return result
 
 
 def _cells_of(matrix: BooleanMatrix, semiring: Semiring,
@@ -512,11 +522,16 @@ class AnnotatedBackend(MatrixBackend):
     def tile_from_payload(self, payload: tuple) -> AnnotatedMatrix:
         return annotated_tile_from_payload(payload)
 
-    def assemble_from_tiles(self, tiles: dict, size: int, tile_size: int,
-                            ) -> AnnotatedMatrix:
+    def matrix_nbytes(self, matrix: BooleanMatrix) -> int:
+        # Annotated cells are dict entries carrying boxed values
+        # (lengths, witness tuples): budget them generously.
+        return 112 + 200 * matrix.nnz()
+
+    def assemble_from_tile_iter(self, items, size: int, tile_size: int,
+                                ) -> AnnotatedMatrix:
         cells: dict[Pair, object] = {}
         symbol = None
-        for (bi, bj), tile in tiles.items():
+        for (bi, bj), tile in items:
             symbol = symbol if symbol is not None else getattr(tile, "symbol", None)
             base_i, base_j = bi * tile_size, bj * tile_size
             tile_cells, _rows = _cells_of(tile, self.semiring)

@@ -15,6 +15,15 @@ canonical key order) makes the closure byte-identical regardless of the
 scheduler or the completion order — that property is what the
 differential tests in ``tests/core/test_tile_scheduler.py`` lock.
 
+Groups reference their operand tiles **by key** through a
+:class:`TileSource` (the spillable :class:`repro.core.tilestore.TileStore`
+in the blocked closure; :class:`MappingTileSource` over a plain dict
+elsewhere), so a scheduler only materializes the tiles it is actually
+computing with — the property out-of-core execution needs.  Completed
+products are delivered through an optional ``sink(key, result)``
+callback (always invoked from the caller's thread); without a sink the
+products come back as a list aligned with the input groups.
+
 Three schedulers are bundled:
 
 * ``serial``  — compute groups inline (the reference executor);
@@ -25,7 +34,12 @@ Three schedulers are bundled:
   Tiles cross the pipe as **payloads** — plain tuples of raw word/bool/
   index buffers produced by :meth:`MatrixBackend.tile_payload` — never as
   pickled matrix objects, so the IPC cost is the buffer bytes, not a
-  Python object graph.
+  Python object graph.  Payloads come from ``source.payload(key)``: the
+  tile store memoizes them per content version (only tiles that changed
+  last round re-encode) and serves spilled tiles straight from their
+  file bytes, so the parent never re-materializes a cold tile just to
+  ship it.  With a sink, the results are delivered **as payloads** too
+  (the caller stages them un-materialized).
 
 ``resolve_scheduler(None)`` honours the ``REPRO_SCHEDULER`` environment
 variable (CI runs the tier-1 suite with ``REPRO_SCHEDULER=process`` to
@@ -35,9 +49,11 @@ catch pickling/ownership bugs) and falls back to ``serial``.
 from __future__ import annotations
 
 import atexit
+import contextlib
 import multiprocessing
 import os
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (Executor, ProcessPoolExecutor,
+                                ThreadPoolExecutor, as_completed)
 
 from ..errors import UnknownSchedulerError
 from ..matrices.base import BooleanMatrix, get_backend
@@ -99,17 +115,64 @@ def _compute_group_from_payloads(pair_payloads) -> tuple:
     return tile_payload_of(compute_group(pairs))
 
 
-class TileScheduler:
-    """Executes a list of tile-task groups; results keep input order.
+class TileSource:
+    """Where schedulers read operand tiles from.
 
-    ``run(groups)`` takes ``[(key, pairs), ...]`` and returns the
-    product tiles aligned with the input — the caller owns merge order,
-    so a scheduler can complete work in any order it likes.
+    ``tile(key)`` materializes a tile, ``payload(key)`` returns its
+    encoded wire form (the process scheduler's input), and
+    ``pinned(keys)`` marks keys non-evictable for the duration of a
+    computation (a no-op for in-memory sources).
+    """
+
+    def tile(self, key) -> BooleanMatrix:
+        raise NotImplementedError
+
+    def payload(self, key) -> tuple:
+        raise NotImplementedError
+
+    def pinned(self, keys):
+        return contextlib.nullcontext()
+
+
+class MappingTileSource(TileSource):
+    """A :class:`TileSource` over a plain ``{key: matrix}`` mapping,
+    with payload memoization (everything is resident, nothing pins)."""
+
+    def __init__(self, tiles: dict):
+        self._tiles = tiles
+        self._payloads: dict = {}
+
+    def tile(self, key) -> BooleanMatrix:
+        return self._tiles[key]
+
+    def payload(self, key) -> tuple:
+        payload = self._payloads.get(key)
+        if payload is None:
+            payload = tile_payload_of(self._tiles[key])
+            self._payloads[key] = payload
+        return payload
+
+
+def _operand_keys(pair_keys) -> list:
+    return [key for pair in pair_keys for key in pair]
+
+
+class TileScheduler:
+    """Executes a list of tile-task groups.
+
+    ``run(groups, source, sink=None)`` takes ``[(key, [(left_key,
+    right_key), ...]), ...]`` — operand tiles are referenced by key into
+    *source*.  Without *sink* the product tiles are returned as a list
+    aligned with the input; with *sink* each completed product is
+    delivered as ``sink(key, result)`` from the caller's thread (the
+    process scheduler delivers payload tuples, the others matrices).
+    The caller owns merge order either way, so a scheduler can complete
+    work in any order it likes.
     """
 
     name = "abstract"
 
-    def run(self, groups) -> list:
+    def run(self, groups, source: TileSource, sink=None) -> "list | None":
         raise NotImplementedError
 
 
@@ -118,8 +181,19 @@ class SerialScheduler(TileScheduler):
 
     name = "serial"
 
-    def run(self, groups) -> list:
-        return [compute_group(pairs) for _key, pairs in groups]
+    def run(self, groups, source: TileSource, sink=None) -> "list | None":
+        results = [] if sink is None else None
+        for key, pair_keys in groups:
+            with source.pinned(_operand_keys(pair_keys)):
+                product = compute_group(
+                    (source.tile(left), source.tile(right))
+                    for left, right in pair_keys
+                )
+            if sink is None:
+                results.append(product)
+            else:
+                sink(key, product)
+        return results
 
 
 def _pool_workers() -> int:
@@ -147,11 +221,25 @@ class ThreadScheduler(TileScheduler):
             atexit.register(self._executor.shutdown)
         return self._executor
 
-    def run(self, groups) -> list:
+    def run(self, groups, source: TileSource, sink=None) -> "list | None":
         if len(groups) <= 1:
-            return SerialScheduler().run(groups)
-        return list(self._pool().map(compute_group,
-                                     [pairs for _key, pairs in groups]))
+            return SerialScheduler().run(groups, source, sink)
+
+        def compute(item):
+            _key, pair_keys = item
+            with source.pinned(_operand_keys(pair_keys)):
+                return compute_group(
+                    (source.tile(left), source.tile(right))
+                    for left, right in pair_keys
+                )
+
+        pool = self._pool()
+        if sink is None:
+            return list(pool.map(compute, groups))
+        futures = {pool.submit(compute, item): item[0] for item in groups}
+        for future in as_completed(futures):
+            sink(futures[future], future.result())
+        return None
 
 
 class ProcessScheduler(TileScheduler):
@@ -184,28 +272,25 @@ class ProcessScheduler(TileScheduler):
             atexit.register(self._executor.shutdown)
         return self._executor
 
-    def run(self, groups) -> list:
+    def run(self, groups, source: TileSource, sink=None) -> "list | None":
         if len(groups) <= 1:
-            return SerialScheduler().run(groups)
-        # Many groups share operand tiles (a hot right tile appears in
-        # one group per output row); encode each distinct tile once.
-        payload_cache: dict[int, tuple] = {}
-
-        def encode(tile) -> tuple:
-            payload = payload_cache.get(id(tile))
-            if payload is None:
-                payload = tile_payload_of(tile)
-                payload_cache[id(tile)] = payload
-            return payload
-
+            return SerialScheduler().run(groups, source, sink)
+        # Operand payloads come from the source's version-keyed cache:
+        # a tile shared by many groups (or unchanged since last round)
+        # encodes once, and spilled tiles ship straight from disk.
         payloads = [
-            tuple((encode(left), encode(right)) for left, right in pairs)
-            for _key, pairs in groups
+            tuple((source.payload(left), source.payload(right))
+                  for left, right in pair_keys)
+            for _key, pair_keys in groups
         ]
         chunksize = max(1, len(payloads) // (4 * _pool_workers()))
         results = self._pool().map(_compute_group_from_payloads, payloads,
                                    chunksize=chunksize)
-        return [matrix_from_payload(result) for result in results]
+        if sink is None:
+            return [matrix_from_payload(result) for result in results]
+        for (key, _pair_keys), result in zip(groups, results):
+            sink(key, result)
+        return None
 
 
 _SCHEDULERS: dict[str, TileScheduler] = {}

@@ -1,0 +1,614 @@
+"""Spillable tile store: the out-of-core working set of the blocked closure.
+
+The paper's §7 out-of-core question — can graphs larger than device
+memory be closed by the partitioned technique of Katz & Kider? — needs
+exactly one mechanism on top of the tiled closure: a bounded working
+set.  This module provides it as a first-class store:
+
+* **Keyed cache** — tiles live under hashable keys (``(nonterminal, I,
+  J)`` for the blocked closure) with LRU residency tracking and a
+  configurable byte budget (:func:`parse_memory_budget` accepts ``"64K"``
+  / ``"8M"`` / ``"1G"`` suffixes; ``REPRO_MEMORY_BUDGET`` supplies the
+  default).
+* **Spill via the payload codec** — a cold tile is encoded through the
+  existing :meth:`MatrixBackend.tile_payload` hook.  Backends whose
+  payload is one flat buffer (bitset words, dense bools) spill that
+  buffer raw, and reload ``mmap``s the file with ``ACCESS_COPY`` —
+  NumPy wraps the private-writable mapping **zero-copy**, pages fault
+  in lazily, and mutations never reach the file.  Other backends
+  (pyset, setmatrix, sparse CSR, annotated cells) fall back to pickling
+  the payload tuple.  Spill files are private to this store (written
+  and read by the same process), so the pickle path needs no restricted
+  unpickler.
+* **Version-keyed payload cache** — ``payload(key)`` memoizes the
+  encoded payload per content version, so the process scheduler only
+  re-encodes tiles that actually changed last round, and spilled tiles
+  ship to workers straight from their file bytes without ever being
+  re-materialized in the parent.
+* **Pinning** — ``pinned(keys)`` marks a task's operand tiles
+  non-evictable for the duration of the computation, so concurrent
+  schedulers never thrash the exact tiles in flight.
+* **Accounting** — :class:`TileStoreStats` counts spills/reloads/bytes/
+  encodes and tracks ``peak_resident_bytes``, the number the
+  out-of-core acceptance tests assert stays under the budget.
+
+Spill-file lifecycle: each spill writes a **fresh** file and unlinks the
+previous one (POSIX keeps the inode alive for any still-open mapping, so
+a zero-copy reload is never invalidated by a newer spill of the same
+tile).  ``close()`` removes everything on success; a crashed closure
+closes with ``keep_spill=True`` so the directory survives for
+post-mortem inspection.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import mmap
+import os
+import pickle
+import tempfile
+import threading
+import weakref
+from collections import OrderedDict
+from collections.abc import Mapping
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Iterator
+
+from ..errors import UnknownBackendError
+from ..matrices.base import BooleanMatrix, get_backend
+from .tiles import matrix_from_payload, tile_payload_of
+
+#: Environment variable supplying the default working-set budget
+#: (bytes, with optional K/M/G suffix); empty/unset means unbounded.
+MEMORY_BUDGET_ENV = "REPRO_MEMORY_BUDGET"
+
+#: Environment variable supplying the default spill directory; unset
+#: means a private temporary directory created on first spill.
+SPILL_DIR_ENV = "REPRO_SPILL_DIR"
+
+_SUFFIX_MULTIPLIERS = {
+    "": 1, "B": 1,
+    "K": 1024, "KB": 1024, "KIB": 1024,
+    "M": 1024 ** 2, "MB": 1024 ** 2, "MIB": 1024 ** 2,
+    "G": 1024 ** 3, "GB": 1024 ** 3, "GIB": 1024 ** 3,
+    "T": 1024 ** 4, "TB": 1024 ** 4, "TIB": 1024 ** 4,
+}
+
+
+def parse_memory_budget(value) -> "int | None":
+    """Parse a byte budget: an int, or a string like ``"65536"`` /
+    ``"64K"`` / ``"8M"`` / ``"1G"`` (suffixes are powers of 1024; an
+    optional ``B``/``iB`` is accepted).  ``None``, ``""``, ``"0"`` and
+    ``"none"``/``"off"`` mean unbounded and return None."""
+    if value is None:
+        return None
+    if isinstance(value, (int, float)):
+        budget = int(value)
+        return budget if budget > 0 else None
+    text = str(value).strip().upper()
+    if not text or text in {"0", "NONE", "OFF", "UNBOUNDED"}:
+        return None
+    number = text
+    suffix = ""
+    for index, char in enumerate(text):
+        if not (char.isdigit() or char in ".+"):
+            number, suffix = text[:index], text[index:]
+            break
+    try:
+        multiplier = _SUFFIX_MULTIPLIERS[suffix.strip()]
+        budget = int(float(number) * multiplier)
+    except (KeyError, ValueError):
+        raise ValueError(
+            f"unparseable memory budget {value!r}; expected bytes or a "
+            "K/M/G-suffixed size like '64K' or '8M'"
+        ) from None
+    return budget if budget > 0 else None
+
+
+def resolve_memory_budget(value=None) -> "int | None":
+    """Budget from *value* when given, else ``$REPRO_MEMORY_BUDGET``."""
+    if value is not None:
+        return parse_memory_budget(value)
+    return parse_memory_budget(os.environ.get(MEMORY_BUDGET_ENV))
+
+
+def resolve_spill_dir(value=None) -> "str | None":
+    """Spill directory from *value* when given, else ``$REPRO_SPILL_DIR``."""
+    if value is not None:
+        return os.fspath(value)
+    return os.environ.get(SPILL_DIR_ENV) or None
+
+
+def available_memory_bytes() -> "int | None":
+    """``MemAvailable`` from ``/proc/meminfo`` (None when unreadable) —
+    the measured signal the autotune strategy budgets against."""
+    try:
+        with open("/proc/meminfo", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("MemAvailable:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):  # pragma: no cover - exotic
+        pass
+    return None
+
+
+def matrix_nbytes(matrix: BooleanMatrix) -> int:
+    """Approximate resident bytes of any matrix, dispatching to its
+    backend's :meth:`MatrixBackend.matrix_nbytes` (with a coordinate
+    estimate for annotated/third-party matrices)."""
+    backend_name = matrix.backend_name
+    if backend_name == "annotated":
+        from .semiring import AnnotatedBackend
+
+        return AnnotatedBackend(matrix.semiring).matrix_nbytes(matrix)
+    try:
+        backend = get_backend(backend_name)
+    except UnknownBackendError:
+        return 112 + 48 * matrix.nnz()
+    return backend.matrix_nbytes(matrix)
+
+
+@dataclass
+class TileStoreStats:
+    """Mutable counters for one store's lifetime.
+
+    ``tiles_spilled`` counts spill-file *writes* (an unchanged tile
+    evicted twice writes once), ``tiles_reloaded`` counts
+    materializations from disk, ``spill_bytes`` sums the bytes written,
+    ``payload_encodes`` counts :func:`tile_payload_of` invocations (the
+    process-scheduler re-serialization cost), ``evictions`` counts
+    residency drops, and ``peak_resident_bytes`` is the high-water mark
+    of the accounted working set.
+    """
+
+    tiles_spilled: int = 0
+    tiles_reloaded: int = 0
+    spill_bytes: int = 0
+    payload_encodes: int = 0
+    evictions: int = 0
+    peak_resident_bytes: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "tiles_spilled": self.tiles_spilled,
+            "tiles_reloaded": self.tiles_reloaded,
+            "spill_bytes": self.spill_bytes,
+            "payload_encodes": self.payload_encodes,
+            "evictions": self.evictions,
+            "peak_resident_bytes": self.peak_resident_bytes,
+        }
+
+
+class _Entry:
+    """Per-key state: the resident tile (if any), its content version,
+    the version-tagged payload cache, and the spill-file bookkeeping."""
+
+    __slots__ = ("tile", "nbytes", "version", "payload", "payload_version",
+                 "spill_path", "spill_version", "spill_meta", "spill_raw")
+
+    def __init__(self) -> None:
+        self.tile: "BooleanMatrix | None" = None
+        self.nbytes = 0
+        self.version = 0
+        self.payload: "tuple | None" = None
+        self.payload_version = -1
+        self.spill_path: "str | None" = None
+        self.spill_version = -1
+        self.spill_meta: "tuple | None" = None
+        self.spill_raw = False
+
+
+class TileStore:
+    """A budgeted, spillable, LRU cache of matrix tiles.
+
+    Thread-safe (one re-entrant lock guards all state), so the thread
+    tile scheduler can fetch operands concurrently.  ``budget_bytes``
+    None means nothing ever spills — the store still provides the
+    version-keyed payload cache the process scheduler relies on.
+    Pinned keys (see :meth:`pinned`) are never evicted, so a working
+    set larger than the budget keeps the run correct: the budget is
+    enforced against every *unpinned* tile.
+    """
+
+    def __init__(self, budget_bytes=None, spill_dir: "str | None" = None,
+                 payload_cache: bool = True):
+        self._budget = parse_memory_budget(budget_bytes)
+        self._requested_dir = spill_dir
+        self._cache_payloads = payload_cache
+        self._lock = threading.RLock()
+        self._entries: dict[Hashable, _Entry] = {}
+        self._lru: OrderedDict[Hashable, bool] = OrderedDict()
+        self._pins: dict[Hashable, int] = {}
+        self._resident_bytes = 0
+        self._dir_path: "str | None" = None
+        self._created_dir = False
+        self._file_counter = 0
+        self._closed = False
+        self.stats = TileStoreStats()
+
+    # -- introspection ----------------------------------------------------
+    @property
+    def budget_bytes(self) -> "int | None":
+        return self._budget
+
+    @property
+    def resident_bytes(self) -> int:
+        """Accounted bytes of all currently-resident tiles."""
+        return self._resident_bytes
+
+    @property
+    def spill_dir(self) -> "str | None":
+        """The spill directory path, once anything has spilled."""
+        return self._dir_path
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def keys(self) -> list:
+        with self._lock:
+            return list(self._entries)
+
+    # -- writes -----------------------------------------------------------
+    def put(self, key: Hashable, tile: BooleanMatrix,
+            changed: bool = True) -> None:
+        """Store *tile* under *key* and make it resident.
+
+        ``changed=False`` declares the content identical to what the
+        store already holds (e.g. a merge whose delta was empty): the
+        version — and with it the payload cache and any current spill
+        file — stays valid, so nothing is re-encoded or re-spilled.
+        """
+        nbytes = matrix_nbytes(tile)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                entry = _Entry()
+                self._entries[key] = entry
+                changed = True
+            if entry.tile is not None:
+                self._resident_bytes -= entry.nbytes
+                self._lru.pop(key, None)
+                entry.tile = None
+            if changed:
+                entry.version += 1
+                entry.payload = None
+                entry.payload_version = -1
+            # Make room *before* the tile becomes resident, so the
+            # accounted peak stays within the budget whenever the pinned
+            # working set allows it (a single tile larger than the whole
+            # budget still goes in — correctness over strictness).
+            self._evict_over_budget(protect=key, headroom=nbytes)
+            entry.tile = tile
+            entry.nbytes = nbytes
+            self._make_resident(key, entry)
+
+    def put_payload(self, key: Hashable, payload: tuple) -> None:
+        """Store an already-encoded tile without materializing it here.
+
+        This is how process-scheduler results and snapshot loads enter
+        the store: the payload is the content; a matrix is only built
+        on the first :meth:`get`.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                entry = _Entry()
+                self._entries[key] = entry
+            if entry.tile is not None:
+                self._drop_resident(key, entry)
+            entry.version += 1
+            entry.payload = payload
+            entry.payload_version = entry.version
+
+    def mark_changed(self, key: Hashable) -> None:
+        """Bump *key*'s content version after an external in-place
+        mutation of its tile (invalidates payload cache and spill)."""
+        with self._lock:
+            entry = self._entries[key]
+            entry.version += 1
+            entry.payload = None
+            entry.payload_version = -1
+
+    def discard(self, key: Hashable) -> None:
+        """Drop *key* entirely (residency, payload cache, spill file)."""
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            if entry is None:
+                return
+            self._drop_resident(key, entry)
+            if entry.spill_path:
+                with contextlib.suppress(OSError):
+                    os.unlink(entry.spill_path)
+
+    # -- reads ------------------------------------------------------------
+    def get(self, key: Hashable) -> BooleanMatrix:
+        """The tile under *key*, reloading from payload/spill if cold."""
+        with self._lock:
+            entry = self._entries[key]
+            if entry.tile is not None:
+                self._lru.move_to_end(key)
+                return entry.tile
+            tile = self._materialize(key, entry)
+            nbytes = matrix_nbytes(tile)
+            self._evict_over_budget(protect=key, headroom=nbytes)
+            entry.tile = tile
+            entry.nbytes = nbytes
+            self._make_resident(key, entry)
+            return tile
+
+    #: :class:`repro.core.tiles.TileSource` protocol — schedulers read
+    #: operand tiles via ``source.tile(key)``.
+    def tile(self, key: Hashable) -> BooleanMatrix:
+        return self.get(key)
+
+    def payload(self, key: Hashable) -> tuple:
+        """The encoded payload of *key*'s current content.
+
+        Cached per content version; a spilled-clean tile rebuilds its
+        payload from the file bytes without materializing a matrix —
+        this is the parent-side path the process scheduler ships to
+        workers.
+        """
+        with self._lock:
+            entry = self._entries[key]
+            if (entry.payload is not None
+                    and entry.payload_version == entry.version):
+                return entry.payload
+            if entry.tile is not None:
+                self._lru.move_to_end(key)
+                self.stats.payload_encodes += 1
+                payload = tile_payload_of(entry.tile)
+            elif entry.spill_path and entry.spill_version == entry.version:
+                payload = self._payload_from_spill(entry)
+            else:
+                raise KeyError(f"tile {key!r} has no current content")
+            if self._cache_payloads:
+                entry.payload = payload
+                entry.payload_version = entry.version
+            return payload
+
+    # -- pinning ----------------------------------------------------------
+    @contextlib.contextmanager
+    def pinned(self, keys: Iterable[Hashable]) -> Iterator[None]:
+        """Context manager: *keys* are not evictable while active.
+
+        Re-entrant and thread-safe (pin counts); unknown keys are
+        tolerated so callers can pin before the tile exists.
+        """
+        keys = list(keys)
+        with self._lock:
+            for key in keys:
+                self._pins[key] = self._pins.get(key, 0) + 1
+        try:
+            yield
+        finally:
+            with self._lock:
+                for key in keys:
+                    remaining = self._pins.get(key, 0) - 1
+                    if remaining > 0:
+                        self._pins[key] = remaining
+                    else:
+                        self._pins.pop(key, None)
+
+    # -- eviction ---------------------------------------------------------
+    def evict_to_budget(self) -> None:
+        """Spill cold tiles until the resident set fits the budget."""
+        with self._lock:
+            self._evict_over_budget()
+
+    def spill_all(self) -> None:
+        """Spill every unpinned resident tile (used before hand-off)."""
+        with self._lock:
+            for key in list(self._lru):
+                if not self._pins.get(key):
+                    self._spill(key, self._entries[key])
+
+    # -- lifecycle --------------------------------------------------------
+    def close(self, keep_spill: bool = False) -> None:
+        """Release all entries; remove spill files unless *keep_spill*.
+
+        A crashed run should pass ``keep_spill=True`` so the spill
+        directory survives for inspection; a clean close removes the
+        files and (when this store created it) the directory.
+        """
+        with self._lock:
+            entries = list(self._entries.values())
+            self._entries.clear()
+            self._lru.clear()
+            self._pins.clear()
+            self._resident_bytes = 0
+            self._closed = True
+            if keep_spill:
+                return
+            for entry in entries:
+                if entry.spill_path:
+                    with contextlib.suppress(OSError):
+                        os.unlink(entry.spill_path)
+            if self._dir_path and self._created_dir:
+                with contextlib.suppress(OSError):
+                    os.rmdir(self._dir_path)
+                self._dir_path = None
+
+    # -- internals (caller holds the lock) --------------------------------
+    def _make_resident(self, key: Hashable, entry: _Entry) -> None:
+        self._lru[key] = True
+        self._lru.move_to_end(key)
+        self._resident_bytes += entry.nbytes
+        if self._resident_bytes > self.stats.peak_resident_bytes:
+            self.stats.peak_resident_bytes = self._resident_bytes
+
+    def _drop_resident(self, key: Hashable, entry: _Entry) -> None:
+        if entry.tile is None:
+            return
+        entry.tile = None
+        self._resident_bytes -= entry.nbytes
+        self._lru.pop(key, None)
+
+    def _evict_over_budget(self, protect: Hashable = None,
+                           headroom: int = 0) -> None:
+        if self._budget is None:
+            return
+        while self._resident_bytes + headroom > self._budget:
+            victim = None
+            for key in self._lru:
+                if key != protect and not self._pins.get(key):
+                    victim = key
+                    break
+            if victim is None:
+                break
+            self._spill(victim, self._entries[victim])
+
+    def _spill(self, key: Hashable, entry: _Entry) -> None:
+        if entry.tile is None:
+            return
+        if entry.spill_version != entry.version:
+            self._write_spill(entry)
+        # The payload cache goes cold with the tile: a raw spill
+        # rebuilds it from the file for the price of one read, and
+        # keeping it would hide bytes from the budget.
+        entry.payload = None
+        entry.payload_version = -1
+        self._drop_resident(key, entry)
+        self.stats.evictions += 1
+
+    def _write_spill(self, entry: _Entry) -> None:
+        if (entry.payload is not None
+                and entry.payload_version == entry.version):
+            payload = entry.payload
+        else:
+            self.stats.payload_encodes += 1
+            payload = tile_payload_of(entry.tile)
+        backend = None
+        kind = payload[0]
+        if isinstance(kind, str):
+            try:
+                backend = get_backend(kind)
+            except UnknownBackendError:
+                backend = None
+        meta, buffer = (payload, None)
+        if backend is not None:
+            meta, buffer = backend.spill_parts(payload)
+        if buffer is None:
+            blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+            meta, raw = None, False
+        else:
+            blob, raw = buffer, True
+        path = self._next_spill_path()
+        with open(path, "wb") as handle:
+            handle.write(blob)
+        previous = entry.spill_path
+        entry.spill_path = path
+        entry.spill_version = entry.version
+        entry.spill_meta = meta
+        entry.spill_raw = raw
+        self.stats.tiles_spilled += 1
+        self.stats.spill_bytes += len(blob)
+        if previous:
+            # Fresh file per spill: unlinking the superseded one is safe
+            # even while an older zero-copy mapping still reads it (the
+            # inode lives until the mapping dies).
+            with contextlib.suppress(OSError):
+                os.unlink(previous)
+
+    def _materialize(self, key: Hashable, entry: _Entry) -> BooleanMatrix:
+        if (entry.payload is not None
+                and entry.payload_version == entry.version):
+            return matrix_from_payload(entry.payload)
+        if entry.spill_path and entry.spill_version == entry.version:
+            return self._reload(entry)
+        raise KeyError(f"tile {key!r} has no current content")
+
+    def _reload(self, entry: _Entry) -> BooleanMatrix:
+        self.stats.tiles_reloaded += 1
+        if entry.spill_raw:
+            with open(entry.spill_path, "rb") as handle:
+                size = os.fstat(handle.fileno()).st_size
+                if size == 0:
+                    buffer = b""
+                else:
+                    # ACCESS_COPY: pages fault in lazily, writes stay
+                    # private — the mapping outlives the closed fd.
+                    buffer = mmap.mmap(handle.fileno(), 0,
+                                       access=mmap.ACCESS_COPY)
+            meta = entry.spill_meta
+            return get_backend(meta[0]).tile_from_parts(meta, buffer)
+        with open(entry.spill_path, "rb") as handle:
+            payload = pickle.load(handle)
+        return matrix_from_payload(payload)
+
+    def _payload_from_spill(self, entry: _Entry) -> tuple:
+        with open(entry.spill_path, "rb") as handle:
+            blob = handle.read()
+        if entry.spill_raw:
+            meta = entry.spill_meta
+            return get_backend(meta[0]).payload_from_parts(meta, blob)
+        return pickle.loads(blob)
+
+    def _next_spill_path(self) -> str:
+        directory = self._spill_directory()
+        self._file_counter += 1
+        return os.path.join(directory, f"tile-{self._file_counter:08d}.bin")
+
+    def _spill_directory(self) -> str:
+        if self._dir_path is None:
+            if self._requested_dir is not None:
+                path = os.path.abspath(self._requested_dir)
+                self._created_dir = not os.path.isdir(path)
+                os.makedirs(path, exist_ok=True)
+                self._dir_path = path
+            else:
+                self._dir_path = tempfile.mkdtemp(prefix="repro-spill-")
+                self._created_dir = True
+        return self._dir_path
+
+
+class SpillableMatrixMap(Mapping):
+    """A ``symbol → matrix`` mapping whose values live in a
+    :class:`TileStore` as whole-matrix tiles (key ``(symbol, 0, 0)``).
+
+    This is how snapshot warm starts stay single-buffered: the service
+    layer hands the engine this mapping, matrices materialize lazily on
+    first access, and with a budget the cold ones spill instead of all
+    being resident at once.  The underlying store is closed (spill files
+    removed) when the map is garbage-collected or explicitly closed.
+    """
+
+    def __init__(self, store: TileStore, symbols: Iterable[Hashable]):
+        self._store = store
+        self._symbols = list(symbols)
+        self._symbol_set = set(self._symbols)
+        self._finalizer = weakref.finalize(self, store.close)
+
+    @staticmethod
+    def key_for(symbol: Hashable) -> tuple:
+        return (symbol, 0, 0)
+
+    @property
+    def store(self) -> TileStore:
+        return self._store
+
+    def __getitem__(self, symbol: Hashable) -> BooleanMatrix:
+        if symbol not in self._symbol_set:
+            raise KeyError(symbol)
+        return self._store.get(self.key_for(symbol))
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._symbols)
+
+    def __len__(self) -> int:
+        return len(self._symbols)
+
+    def payload(self, symbol: Hashable) -> tuple:
+        """The encoded payload of one matrix (snapshot save path —
+        spilled matrices stream from disk, never re-materialized)."""
+        if symbol not in self._symbol_set:
+            raise KeyError(symbol)
+        return self._store.payload(self.key_for(symbol))
+
+    def close(self) -> None:
+        self._finalizer()

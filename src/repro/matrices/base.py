@@ -271,8 +271,18 @@ class MatrixBackend(abc.ABC):
     def assemble_from_tiles(self, tiles: dict, size: int, tile_size: int,
                             ) -> BooleanMatrix:
         """Inverse of :meth:`split_into_tiles` (drops the padding)."""
+        return self.assemble_from_tile_iter(tiles.items(), size, tile_size)
+
+    def assemble_from_tile_iter(self, items, size: int, tile_size: int,
+                                ) -> BooleanMatrix:
+        """Assemble from a one-shot iterable of ``((bi, bj), tile)``.
+
+        The streaming variant of :meth:`assemble_from_tiles`: tiles can
+        be produced (and released) one at a time, so a spill-backed
+        caller never needs the whole tile set resident at once.
+        """
         pairs = []
-        for (bi, bj), tile in tiles.items():
+        for (bi, bj), tile in items:
             base_i, base_j = bi * tile_size, bj * tile_size
             for ti, tj in tile.nonzero_pairs():
                 i, j = base_i + ti, base_j + tj
@@ -298,6 +308,55 @@ class MatrixBackend(abc.ABC):
         """Inverse of :meth:`tile_payload` for this backend's payloads."""
         _name, rows, cols, pairs = payload
         return self.from_pairs(rows, pairs, cols=cols)
+
+    # -- working-set accounting & spilling (the tile store) ---------------
+    def matrix_nbytes(self, matrix: BooleanMatrix) -> int:
+        """Approximate resident bytes of *matrix*'s storage.
+
+        Drives the :class:`repro.core.tilestore.TileStore` budget
+        accounting, so it should track the dominant buffer, not Python
+        object overhead exactly.  The generic estimate assumes
+        coordinate storage (two boxed ints plus set slot per entry);
+        array backends override with their buffer sizes.
+        """
+        return 112 + 48 * matrix.nnz()
+
+    def spill_parts(self, payload: tuple) -> tuple:
+        """Split a tile payload into ``(meta, raw_buffer)`` for spilling.
+
+        ``raw_buffer`` (bytes-like) is what the tile store writes to the
+        spill file, and ``meta`` is the small picklable remainder needed
+        to rebuild the payload/tile around the buffer.  Backends whose
+        payload is dominated by one flat buffer (bitset words, dense
+        bools) override this so reload can ``mmap`` the file zero-copy;
+        the default ``(payload, None)`` routes the store to its pickle
+        fallback.
+        """
+        return payload, None
+
+    def payload_from_parts(self, meta: tuple, buffer) -> tuple:
+        """Rebuild the :meth:`tile_payload` tuple from spilled parts.
+
+        Only called for backends whose :meth:`spill_parts` returned a
+        raw buffer.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__}.spill_parts returned a raw buffer but "
+            "payload_from_parts is not implemented"
+        )
+
+    def tile_from_parts(self, meta: tuple, buffer) -> BooleanMatrix:
+        """Rebuild a tile directly from spilled parts.
+
+        *buffer* may be an ``mmap`` over the spill file: implementations
+        should wrap it zero-copy when the platform hands out a writable
+        private mapping, copying only as a fallback.  Only called for
+        backends whose :meth:`spill_parts` returned a raw buffer.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__}.spill_parts returned a raw buffer but "
+            "tile_from_parts is not implemented"
+        )
 
     def __repr__(self) -> str:
         return f"<MatrixBackend {self.name}>"

@@ -269,6 +269,59 @@ class BitsetBackend(MatrixBackend):
         bits = _as_bitset(matrix)
         return BitsetMatrix._wrap(bits._words.copy(), bits._cols)
 
+    def matrix_nbytes(self, matrix: BooleanMatrix) -> int:
+        if isinstance(matrix, BitsetMatrix):
+            return int(matrix._words.nbytes)
+        rows, cols = matrix.shape
+        return rows * _word_count(cols) * 8
+
+    # -- tiling (vectorized word-aligned fast paths) ----------------------
+    def split_into_tiles(self, matrix: BooleanMatrix, tile_size: int,
+                         ) -> dict[tuple[int, int], BitsetMatrix]:
+        """Word-aligned tile sizes split by slicing the packed word
+        array — no per-bit Python loop.  Unaligned sizes (and foreign
+        matrix types) fall back to the generic coordinate path."""
+        if (tile_size < 1 or tile_size % _WORD
+                or not isinstance(matrix, BitsetMatrix)):
+            return super().split_into_tiles(matrix, tile_size)
+        n = matrix.shape[0]
+        grid = (n + tile_size - 1) // tile_size
+        words = matrix._words
+        words_per_tile = tile_size // _WORD
+        tiles: dict[tuple[int, int], BitsetMatrix] = {}
+        for bi in range(grid):
+            row_lo = bi * tile_size
+            row_hi = min(n, row_lo + tile_size)
+            for bj in range(grid):
+                word_lo = bj * words_per_tile
+                word_hi = min(words.shape[1], word_lo + words_per_tile)
+                block = np.zeros((tile_size, words_per_tile), dtype=np.uint64)
+                block[:row_hi - row_lo, :word_hi - word_lo] = \
+                    words[row_lo:row_hi, word_lo:word_hi]
+                tiles[(bi, bj)] = BitsetMatrix._wrap(block, tile_size)
+        return tiles
+
+    def assemble_from_tile_iter(self, items, size: int, tile_size: int,
+                                ) -> BooleanMatrix:
+        if tile_size < 1 or tile_size % _WORD:
+            return super().assemble_from_tile_iter(items, size, tile_size)
+        words_per_tile = tile_size // _WORD
+        total_words = _word_count(size)
+        words = np.zeros((size, total_words), dtype=np.uint64)
+        for (bi, bj), tile in items:
+            row_lo = bi * tile_size
+            word_lo = bj * words_per_tile
+            if row_lo >= size or word_lo >= total_words:
+                continue
+            row_hi = min(size, row_lo + tile_size)
+            word_hi = min(total_words, word_lo + words_per_tile)
+            words[row_lo:row_hi, word_lo:word_hi] = \
+                _as_bitset(tile)._words[:row_hi - row_lo, :word_hi - word_lo]
+        if size % _WORD:
+            # Mask the padding columns the edge tiles may carry.
+            words[:, -1] &= np.uint64((1 << (size % _WORD)) - 1)
+        return BitsetMatrix._wrap(words, size)
+
     def mxm_into(self, left: BooleanMatrix, right: BooleanMatrix,
                  accum: BooleanMatrix,
                  ) -> tuple[BooleanMatrix, BooleanMatrix]:
@@ -310,6 +363,26 @@ class BitsetBackend(MatrixBackend):
         _kind, rows, cols, raw = payload
         words = np.frombuffer(raw, dtype=np.uint64).reshape(
             rows, _word_count(cols)).copy()
+        return BitsetMatrix._wrap(words, cols)
+
+    # -- spilling (the tile store's raw-buffer format) --------------------
+    def spill_parts(self, payload: tuple) -> tuple:
+        kind, rows, cols, raw = payload
+        return (kind, rows, cols), raw
+
+    def payload_from_parts(self, meta: tuple, buffer) -> tuple:
+        kind, rows, cols = meta
+        return (kind, rows, cols, bytes(buffer))
+
+    def tile_from_parts(self, meta: tuple, buffer) -> BitsetMatrix:
+        """Zero-copy reload: a private-writable mapping (``mmap`` with
+        ``ACCESS_COPY``) is wrapped directly; read-only buffers (plain
+        ``bytes``) are copied once."""
+        _kind, rows, cols = meta
+        words = np.frombuffer(buffer, dtype=np.uint64).reshape(
+            rows, _word_count(cols))
+        if not words.flags.writeable:
+            words = words.copy()
         return BitsetMatrix._wrap(words, cols)
 
 

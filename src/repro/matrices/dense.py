@@ -151,6 +151,47 @@ class DenseBackend(MatrixBackend):
     def clone(self, matrix: BooleanMatrix) -> DenseMatrix:
         return DenseMatrix._wrap(_as_array(matrix).copy())
 
+    def matrix_nbytes(self, matrix: BooleanMatrix) -> int:
+        rows, cols = matrix.shape
+        return rows * cols
+
+    # -- tiling (vectorized slice fast paths) -----------------------------
+    def split_into_tiles(self, matrix: BooleanMatrix, tile_size: int,
+                         ) -> dict[tuple[int, int], DenseMatrix]:
+        """Slice the bool array directly instead of the generic
+        per-coordinate round trip."""
+        if tile_size < 1 or not isinstance(matrix, DenseMatrix):
+            return super().split_into_tiles(matrix, tile_size)
+        array = matrix._array
+        n = array.shape[0]
+        grid = (n + tile_size - 1) // tile_size
+        tiles: dict[tuple[int, int], DenseMatrix] = {}
+        for bi in range(grid):
+            row_lo = bi * tile_size
+            row_hi = min(n, row_lo + tile_size)
+            for bj in range(grid):
+                col_lo = bj * tile_size
+                col_hi = min(n, col_lo + tile_size)
+                block = np.zeros((tile_size, tile_size), dtype=bool)
+                block[:row_hi - row_lo, :col_hi - col_lo] = \
+                    array[row_lo:row_hi, col_lo:col_hi]
+                tiles[(bi, bj)] = DenseMatrix._wrap(block)
+        return tiles
+
+    def assemble_from_tile_iter(self, items, size: int, tile_size: int,
+                                ) -> DenseMatrix:
+        out = np.zeros((size, size), dtype=bool)
+        for (bi, bj), tile in items:
+            row_lo = bi * tile_size
+            col_lo = bj * tile_size
+            if row_lo >= size or col_lo >= size:
+                continue
+            row_hi = min(size, row_lo + tile_size)
+            col_hi = min(size, col_lo + tile_size)
+            out[row_lo:row_hi, col_lo:col_hi] = \
+                _as_array(tile)[:row_hi - row_lo, :col_hi - col_lo]
+        return DenseMatrix._wrap(out)
+
     def mxm_into(self, left: BooleanMatrix, right: BooleanMatrix,
                  accum: BooleanMatrix,
                  ) -> tuple[BooleanMatrix, BooleanMatrix]:
@@ -182,6 +223,25 @@ class DenseBackend(MatrixBackend):
     def tile_from_payload(self, payload: tuple) -> DenseMatrix:
         _kind, rows, cols, raw = payload
         array = np.frombuffer(raw, dtype=bool).reshape(rows, cols).copy()
+        return DenseMatrix._wrap(array)
+
+    # -- spilling (the tile store's raw-buffer format) --------------------
+    def spill_parts(self, payload: tuple) -> tuple:
+        kind, rows, cols, raw = payload
+        return (kind, rows, cols), raw
+
+    def payload_from_parts(self, meta: tuple, buffer) -> tuple:
+        kind, rows, cols = meta
+        return (kind, rows, cols, bytes(buffer))
+
+    def tile_from_parts(self, meta: tuple, buffer) -> DenseMatrix:
+        """Zero-copy reload: a private-writable mapping (``mmap`` with
+        ``ACCESS_COPY``) is wrapped directly; read-only buffers are
+        copied once."""
+        _kind, rows, cols = meta
+        array = np.frombuffer(buffer, dtype=bool).reshape(rows, cols)
+        if not array.flags.writeable:
+            array = array.copy()
         return DenseMatrix._wrap(array)
 
 

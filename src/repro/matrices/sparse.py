@@ -118,6 +118,13 @@ class SparseBackend(MatrixBackend):
     def clone(self, matrix: BooleanMatrix) -> SparseMatrix:
         return SparseMatrix(_as_csr(matrix).copy())
 
+    def matrix_nbytes(self, matrix: BooleanMatrix) -> int:
+        if isinstance(matrix, SparseMatrix):
+            csr = matrix._matrix
+            return int(csr.data.nbytes + csr.indices.nbytes
+                       + csr.indptr.nbytes)
+        return super().matrix_nbytes(matrix)
+
     # -- tile payloads (process-pool scheduler) ---------------------------
     def tile_payload(self, matrix: BooleanMatrix) -> tuple:
         """CSR structure as raw index buffers (bool data is implicit)."""

@@ -252,15 +252,14 @@ class QueryService:
                 payload["incremental"]
             )
         elif "relational" in payload:
-            matrices = snapshot_store.decode_boolean_matrices(
-                payload["relational"]["matrices"]
-            )
-            warm_state = {
-                "facts": {
-                    nonterminal: set(matrix.nonzero_pairs())
-                    for nonterminal, matrix in matrices.items()
-                },
-            }
+            # Stream the decode: each matrix materializes once, its fact
+            # set is extracted, and the matrix is dropped before the
+            # next decodes — the matrices never all coexist here.
+            facts: dict[Nonterminal, set] = {}
+            for nonterminal, matrix in snapshot_store.iter_decoded_matrices(
+                    payload["relational"]["matrices"]):
+                facts[nonterminal] = set(matrix.nonzero_pairs())
+            warm_state = {"facts": facts}
             if "length" in payload:
                 warm_state["lengths"] = {
                     (nonterminal, i, j): length

@@ -209,8 +209,22 @@ def decode_grammar(doc: dict) -> CFG:
 # Boolean matrices (backend payload codec)
 # ----------------------------------------------------------------------
 
-def encode_boolean_matrices(matrices: dict[Nonterminal, BooleanMatrix],
-                            backend) -> dict:
+def encode_boolean_matrices(matrices, backend) -> dict:
+    """Encode a ``nonterminal -> matrix`` mapping to payload lists.
+
+    A :class:`repro.core.tilestore.SpillableMatrixMap` is encoded
+    straight against its tile store: spilled matrices stream their
+    encoded form from the spill files and resident ones use the store's
+    version-keyed payload cache — the save path never re-materializes a
+    cold matrix (no double-buffering).
+    """
+    from ..core.tilestore import SpillableMatrixMap
+
+    if isinstance(matrices, SpillableMatrixMap):
+        return {
+            nonterminal.name: list(matrices.payload(nonterminal))
+            for nonterminal in matrices
+        }
     backend = get_backend(backend)
     return {
         nonterminal.name: list(backend.tile_payload(matrix))
@@ -218,17 +232,17 @@ def encode_boolean_matrices(matrices: dict[Nonterminal, BooleanMatrix],
     }
 
 
-def decode_boolean_matrices(doc: dict, backend: "str | None" = None,
-                            ) -> dict[Nonterminal, BooleanMatrix]:
-    """Re-materialize matrices through the payload codec.
+def iter_decoded_matrices(doc: dict, backend: "str | None" = None):
+    """Stream ``(nonterminal, matrix)`` pairs decoded one at a time.
 
     Payloads are decoded by the backend that produced them (its registry
     key is the first payload element); when *backend* names a different
     one the matrix is converted via the coordinate round-trip — the
-    cross-backend load path.
+    cross-backend load path.  Consumers that extract per-matrix state
+    (pair sets, a tile store) and drop the matrix keep at most one
+    decoded matrix live beyond their own accounting.
     """
     target = get_backend(backend) if backend is not None else None
-    out: dict[Nonterminal, BooleanMatrix] = {}
     for name, payload in doc.items():
         source_name = payload[0]
         try:
@@ -243,8 +257,14 @@ def decode_boolean_matrices(doc: dict, backend: "str | None" = None,
         matrix = source.tile_from_payload(tuple(payload))
         if target is not None and target.name != source.name:
             matrix = target.clone(matrix)
-        out[Nonterminal(name)] = matrix
-    return out
+        yield Nonterminal(name), matrix
+
+
+def decode_boolean_matrices(doc: dict, backend: "str | None" = None,
+                            ) -> dict[Nonterminal, BooleanMatrix]:
+    """Re-materialize all matrices eagerly (see
+    :func:`iter_decoded_matrices` for the streaming form)."""
+    return dict(iter_decoded_matrices(doc, backend))
 
 
 # ----------------------------------------------------------------------
@@ -460,7 +480,8 @@ def restore_single_path_index(payload: dict, graph: LabeledGraph,
 
 
 def load_engine_snapshot(path: str, backend: "str | None" = None,
-                         strategy: "str | None" = None):
+                         strategy: "str | None" = None,
+                         memory_budget=None, spill_dir: "str | None" = None):
     """Load a warm :class:`~repro.core.engine.CFPQEngine` from *path*.
 
     Every semantics section the snapshot carries is installed into the
@@ -468,37 +489,71 @@ def load_engine_snapshot(path: str, backend: "str | None" = None,
     closure rounds; missing sections simply solve lazily as usual.
     *backend* re-materializes the relational matrices on a different
     backend than the snapshot was saved with.
+
+    With a *memory_budget* (or ``$REPRO_MEMORY_BUDGET``) the relational
+    matrices load **directly into a tile store**: each matrix is
+    decoded once, its pair set extracted, and the matrix handed to a
+    budgeted :class:`~repro.core.tilestore.TileStore` behind a
+    :class:`~repro.core.tilestore.SpillableMatrixMap` — cold matrices
+    spill instead of all being resident, and the budget also rides the
+    engine's strategy options so later closures honour it.
     """
     from ..core.engine import CFPQEngine
     from ..core.allpath import AllPathEnumerator
     from ..core.matrix_cfpq import MatrixCFPQResult, MatrixCFPQStats
     from ..core.path_index import AllPathIndex
     from ..core.relations import ContextFreeRelations
+    from ..core.tilestore import (
+        SpillableMatrixMap,
+        TileStore,
+        resolve_memory_budget,
+        resolve_spill_dir,
+    )
 
     payload = read_snapshot(path)
     graph = decode_graph(payload["graph"])
     grammar = decode_grammar(payload["grammar"])
     backend = backend or payload.get("backend") or default_backend()
     strategy = strategy or payload.get("strategy") or "delta"
-    engine = CFPQEngine(graph, grammar, backend=backend, strategy=strategy)
+    budget = resolve_memory_budget(memory_budget)
+    spill_dir = resolve_spill_dir(spill_dir)
+    engine_options: dict = {}
+    if budget is not None:
+        engine_options["memory_budget"] = budget
+        if spill_dir is not None:
+            engine_options["spill_dir"] = spill_dir
+    engine = CFPQEngine(graph, grammar, backend=backend, strategy=strategy,
+                        **engine_options)
 
     if "relational" in payload:
-        matrices = decode_boolean_matrices(
+        decoded = iter_decoded_matrices(
             payload["relational"]["matrices"], backend=backend
         )
-        relations = ContextFreeRelations(
-            graph,
-            {nt: matrix.to_pair_set() for nt, matrix in matrices.items()},
-        )
+        pair_sets: dict = {}
+        nnz: dict = {}
+        if budget is not None:
+            store = TileStore(budget_bytes=budget, spill_dir=spill_dir)
+            symbols = []
+            for nonterminal, matrix in decoded:
+                symbols.append(nonterminal)
+                pair_sets[nonterminal] = matrix.to_pair_set()
+                nnz[nonterminal.name] = matrix.nnz()
+                store.put(SpillableMatrixMap.key_for(nonterminal), matrix)
+            matrices = SpillableMatrixMap(store, symbols)
+        else:
+            matrices = {}
+            for nonterminal, matrix in decoded:
+                pair_sets[nonterminal] = matrix.to_pair_set()
+                nnz[nonterminal.name] = matrix.nnz()
+                matrices[nonterminal] = matrix
+        relations = ContextFreeRelations(graph, pair_sets)
         stats = MatrixCFPQStats(
             iterations=0,
             multiplications=0,
             node_count=graph.node_count,
             nonterminal_count=len(grammar.nonterminals),
             backend=get_backend(backend).name,
-            nnz_per_nonterminal={
-                nt.name: matrix.nnz() for nt, matrix in matrices.items()
-            },
+            nnz_per_nonterminal=nnz,
             strategy=strategy,
             details={"snapshot": {
                 "warm_start": True,

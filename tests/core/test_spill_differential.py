@@ -1,0 +1,116 @@
+"""Out-of-core differential tests: spilling must be invisible.
+
+A closure run under a tiny memory budget — forcing tiles to shuttle
+through the spill files constantly — must produce byte-identical
+results to the unbounded in-memory run, across every strategy ×
+backend × scheduler combination and under the Length/Witness
+semirings.  These tests are the out-of-core analogue of
+:mod:`tests.core.test_tile_scheduler`'s scheduler differentials.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.matrix_cfpq import solve_matrix
+from repro.core.semiring import (
+    LENGTH_SEMIRING,
+    WITNESS_SEMIRING,
+    solve_annotated,
+)
+from repro.core.tiles import SCHEDULERS
+from repro.matrices.base import available_backends
+
+from test_semiring_differential import make_case
+
+SEEDS = tuple(range(6))
+
+#: One byte: every tile overflows it, so the working set lives on disk
+#: and every operand read is a spill-file reload.
+TINY_BUDGET = 1
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_tiny_budget_blocked_matches_oracle_all_backends(seed, tmp_path):
+    graph, grammar = make_case(seed)
+    oracle = solve_matrix(graph, grammar, normalize=False, strategy="naive")
+    for backend in available_backends():
+        result = solve_matrix(graph, grammar, backend=backend,
+                              normalize=False, strategy="blocked",
+                              tile_size=2, memory_budget=TINY_BUDGET,
+                              spill_dir=str(tmp_path / backend))
+        assert result.relations.same_as(oracle.relations), backend
+        assert (result.stats.nnz_per_nonterminal
+                == oracle.stats.nnz_per_nonterminal), backend
+
+
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
+@pytest.mark.parametrize("seed", SEEDS[:3])
+def test_tiny_budget_schedulers_byte_identical(seed, scheduler, tmp_path):
+    """Spilling composes with every scheduler, including the process
+    pool (spilled payloads ship from the file bytes)."""
+    graph, grammar = make_case(seed)
+    oracle = solve_matrix(graph, grammar, normalize=False, strategy="naive")
+    result = solve_matrix(graph, grammar, backend="bitset",
+                          normalize=False, strategy="blocked",
+                          tile_size=2, scheduler=scheduler,
+                          memory_budget=TINY_BUDGET,
+                          spill_dir=str(tmp_path))
+    assert result.relations.same_as(oracle.relations), scheduler
+    assert (result.stats.nnz_per_nonterminal
+            == oracle.stats.nnz_per_nonterminal), scheduler
+
+
+@pytest.mark.parametrize("strategy", ("blocked", "autotune"))
+@pytest.mark.parametrize("seed", SEEDS[:3])
+def test_tiny_budget_strategies_match(seed, strategy, tmp_path):
+    graph, grammar = make_case(seed)
+    oracle = solve_matrix(graph, grammar, normalize=False, strategy="naive")
+    result = solve_matrix(graph, grammar, backend="bitset",
+                          normalize=False, strategy=strategy,
+                          tile_size=2, memory_budget=TINY_BUDGET,
+                          spill_dir=str(tmp_path))
+    assert result.relations.same_as(oracle.relations), strategy
+    if strategy == "autotune":
+        assert result.stats.details["autotune"]["mode"] == "blocked-spill"
+
+
+@pytest.mark.parametrize("semiring", (LENGTH_SEMIRING, WITNESS_SEMIRING),
+                         ids=lambda s: s.name)
+@pytest.mark.parametrize("seed", SEEDS[:3])
+def test_tiny_budget_annotations_byte_identical(seed, semiring, tmp_path):
+    """Length/Witness annotations survive the pickle spill path (the
+    annotated backend has no raw-buffer format) exactly."""
+    graph, grammar = make_case(seed)
+    reference = solve_annotated(graph, grammar, semiring,
+                                strategy="naive", normalize=False)
+    spilled = solve_annotated(graph, grammar, semiring,
+                              strategy="blocked", normalize=False,
+                              tile_size=2, memory_budget=TINY_BUDGET,
+                              spill_dir=str(tmp_path))
+    assert spilled.cells() == reference.cells(), semiring.name
+
+
+def test_tiny_budget_actually_spills(tmp_path):
+    """Guard: the tiny budget really exercises the spill machinery
+    (otherwise this whole module is vacuous)."""
+    graph, grammar = make_case(0)
+    result = solve_matrix(graph, grammar, backend="bitset",
+                          normalize=False, strategy="blocked",
+                          tile_size=2, memory_budget=TINY_BUDGET,
+                          spill_dir=str(tmp_path))
+    stats = result.stats.details["blocked"]
+    assert stats.tiles_spilled > 0
+    assert stats.tiles_reloaded > 0
+    assert stats.spill_bytes > 0
+    assert stats.budget_bytes == TINY_BUDGET
+
+
+def test_spill_dir_cleaned_up_on_success(tmp_path):
+    """The closure owns its store: tile files are removed when the run
+    succeeds (the caller-provided directory itself survives)."""
+    graph, grammar = make_case(0)
+    solve_matrix(graph, grammar, backend="bitset", normalize=False,
+                 strategy="blocked", tile_size=2,
+                 memory_budget=TINY_BUDGET, spill_dir=str(tmp_path))
+    assert not list(tmp_path.iterdir())

@@ -131,19 +131,68 @@ def test_autotune_matches_oracle(seed):
 
 @pytest.mark.parametrize("seed", SEEDS[:3])
 def test_autotune_blocked_parallel_route(seed):
-    """The size×scheduler route to the tile engine: with the threshold
-    lowered every case qualifies, and the result must still equal the
-    oracle while recording the blocked-parallel decision."""
+    """The scheduler route to the tile engine: with ``probe=False`` the
+    configured parallel scheduler is trusted, and the result must still
+    equal the oracle while recording the blocked-parallel decision."""
     graph, grammar = make_case(seed)
     oracle = solve_matrix(graph, grammar, normalize=False, strategy="naive")
     result = solve_matrix(graph, grammar, normalize=False,
                           strategy="autotune", scheduler="threads",
-                          blocked_min_size=1, tile_size=2)
+                          probe=False, tile_size=2)
     assert result.relations.same_as(oracle.relations)
     autotune = result.stats.details["autotune"]
     assert autotune["mode"] == "blocked-parallel"
     assert "threads" in autotune["reason"]
     assert result.stats.details["blocked"].scheduler == "threads"
+
+
+@pytest.mark.parametrize("seed", SEEDS[:3])
+def test_autotune_spill_route(seed):
+    """The budget route: a budget smaller than the measured matrices
+    sends the run out-of-core, byte-identical, with spill accounting."""
+    graph, grammar = make_case(seed)
+    oracle = solve_matrix(graph, grammar, normalize=False, strategy="naive")
+    result = solve_matrix(graph, grammar, normalize=False,
+                          strategy="autotune", memory_budget=1,
+                          tile_size=2)
+    assert result.relations.same_as(oracle.relations)
+    autotune = result.stats.details["autotune"]
+    assert autotune["mode"] == "blocked-spill"
+    assert autotune["budget_bytes"] == 1
+    assert autotune["estimated_bytes"] > 1
+    blocked = result.stats.details["blocked"]
+    assert blocked.budget_bytes == 1
+    assert blocked.tiles_spilled > 0
+    assert blocked.tiles_reloaded > 0
+
+
+def test_autotune_probe_records_measured_timings():
+    """With a parallel scheduler configured and probing on, the decision
+    carries the probe's measured wall times for both executors."""
+    graph, grammar = make_case(2)
+    oracle = solve_matrix(graph, grammar, normalize=False, strategy="naive")
+    result = solve_matrix(graph, grammar, normalize=False,
+                          strategy="autotune", scheduler="threads",
+                          tile_size=2)
+    assert result.relations.same_as(oracle.relations)
+    autotune = result.stats.details["autotune"]
+    if autotune["mode"] == "rounds":
+        return  # probe measured serial faster — no timing surface
+    probe = autotune["probe_seconds"]
+    assert set(probe) == {"serial", "threads"}
+    assert all(seconds >= 0.0 for seconds in probe.values())
+
+
+def test_autotune_has_no_node_count_threshold():
+    """The routing must be measurement-driven: no fixed node-count
+    constant survives in the autotune strategy."""
+    import inspect
+
+    from repro.core import closure as closure_module
+
+    source = inspect.getsource(closure_module.closure_autotune)
+    assert "blocked_min_size" not in source
+    assert not hasattr(closure_module, "AUTOTUNE_BLOCKED_MIN_SIZE")
 
 
 # ----------------------------------------------------------------------
@@ -222,6 +271,31 @@ def test_frontier_strictly_fewer_tiles_on_funding_x8():
     assert fs.tiles_skipped_by_frontier > 0
     assert fs.tile_products + fs.tiles_skipped_by_frontier \
         == ns.tile_products
+
+
+# ----------------------------------------------------------------------
+# Process-scheduler payload cache (re-serialization regression)
+# ----------------------------------------------------------------------
+
+def test_process_scheduler_payload_encodes_cached():
+    """The version-keyed payload cache must stop the process scheduler
+    from re-serializing unchanged tiles on every round: the encode count
+    with the cache is strictly below the cache-disabled run, which
+    encodes each operand tile once per group shipment.  Seed 6 is a
+    multi-round case, so unchanged tiles get re-shipped across rounds."""
+    graph, grammar = make_case(6)
+    cached = solve_matrix(graph, grammar, backend="bitset",
+                          normalize=False, strategy="blocked",
+                          tile_size=2, scheduler="process")
+    uncached = solve_matrix(graph, grammar, backend="bitset",
+                            normalize=False, strategy="blocked",
+                            tile_size=2, scheduler="process",
+                            payload_cache=False)
+    assert cached.relations.same_as(uncached.relations)
+    cached_encodes = cached.stats.details["blocked"].payload_encodes
+    uncached_encodes = uncached.stats.details["blocked"].payload_encodes
+    assert cached_encodes > 0
+    assert uncached_encodes > cached_encodes
 
 
 # ----------------------------------------------------------------------

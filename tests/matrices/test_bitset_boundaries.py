@@ -92,3 +92,74 @@ def test_nnz_popcount_large(bitset):
 def test_out_of_range_pair_rejected(bitset):
     with pytest.raises(ValueError):
         bitset.from_pairs(4, [(0, 4)])
+
+
+# ----------------------------------------------------------------------
+# Spill/mmap round-trips at word boundaries
+# ----------------------------------------------------------------------
+# The tile store spills bitset tiles as raw word buffers and reloads
+# them through a private mmap; widths not divisible by 64 are where a
+# sliced or mis-sized buffer would corrupt the pad bits.
+
+def _dense_boundary_pairs(size):
+    """Every cell of the last column plus a diagonal — touches the
+    highest bit of the last word in every row."""
+    pairs = {(i, size - 1) for i in range(size)}
+    pairs.update((i, i) for i in range(size))
+    return pairs
+
+
+@pytest.mark.parametrize("size", BOUNDARY_SIZES)
+def test_spill_reload_round_trip_at_boundaries(bitset, size, tmp_path):
+    from repro.core.tilestore import TileStore
+
+    pairs = _dense_boundary_pairs(size)
+    store = TileStore(budget_bytes=1, spill_dir=str(tmp_path))
+    store.put(("A", 0, 0), bitset.from_pairs(size, pairs))
+    store.put(("B", 0, 0), bitset.identity(size))  # evicts A to disk
+    reloaded = store.get(("A", 0, 0))
+    assert reloaded.to_pair_set() == pairs
+    assert reloaded.nnz() == len(pairs)
+    store.close()
+
+
+@pytest.mark.parametrize("size", [63, 65, 127, 130])
+def test_pad_words_stay_zero_after_reload(bitset, size, tmp_path):
+    """The mmap reload must hand back the exact word buffer: the pad
+    bits beyond the logical column count stay zero, so popcounts and
+    products after a reload match the never-spilled matrix."""
+    import numpy as np
+
+    from repro.core.tilestore import TileStore
+
+    pairs = _dense_boundary_pairs(size)
+    store = TileStore(budget_bytes=1, spill_dir=str(tmp_path))
+    store.put(("A", 0, 0), bitset.from_pairs(size, pairs))
+    store.put(("B", 0, 0), bitset.identity(size))
+    reloaded = store.get(("A", 0, 0))
+    words = reloaded._words  # the packed uint64 buffer
+    pad_bits = -size % 64
+    pad_mask = np.uint64(((1 << pad_bits) - 1) << (size % 64))
+    assert not np.any(words[:, -1] & pad_mask)
+    # A product through the reloaded matrix must not see pad columns.
+    product = reloaded.multiply(bitset.identity(size))
+    assert product.to_pair_set() == pairs
+    store.close()
+
+
+@pytest.mark.parametrize("size", [63, 65, 130])
+def test_mutation_after_reload_stays_private(bitset, size, tmp_path):
+    """ACCESS_COPY semantics: writing into a reloaded matrix must not
+    corrupt the spill file that later reloads read."""
+    from repro.core.tilestore import TileStore
+
+    pairs = {(0, size - 1)}
+    store = TileStore(budget_bytes=1, spill_dir=str(tmp_path))
+    store.put(("A", 0, 0), bitset.from_pairs(size, pairs))
+    store.put(("B", 0, 0), bitset.identity(size))  # spill A
+    first = store.get(("A", 0, 0))
+    first.union_update(bitset.from_pairs(size, [(size - 1, 0)]))
+    store.put(("C", 0, 0), bitset.identity(size))  # evict A again
+    # A was never marked changed, so its spill file is authoritative.
+    assert store.get(("A", 0, 0)).to_pair_set() == pairs
+    store.close()
