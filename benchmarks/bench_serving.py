@@ -1,0 +1,215 @@
+"""Serving-tier benchmark: concurrent JSONL clients against the asyncio
+TCP server, single node and leader + N replicas.
+
+Each workload stands up a server (``ServerThread``), opens ``--clients``
+concurrent connections, and drives a mixed stream — mostly point
+queries with periodic update ticks — measuring per-request latency on
+the client side.  Reported per workload:
+
+* ``p50_latency_s`` / ``p99_latency_s`` — request latency percentiles;
+* ``queries_per_s`` — completed requests / wall time;
+* ``wall_time_s`` — the whole workload (the regression-gated cell);
+* ``agree`` — every response well-formed and, for replicated
+  workloads, leader and follower snapshots byte-identical at the end.
+
+Workloads:
+
+* ``single_<C>c``   — one server owning reads and writes;
+* ``leader_1r_<C>c`` / ``leader_2r_<C>c`` — a WAL-writing leader
+  fanning reads out to 1 / 2 follower replicas (replica scaling).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py \
+        --output benchmarks/BENCH_serving.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import filecmp
+import json
+import os
+import socket
+import tempfile
+import threading
+import time
+
+from repro import QueryService, parse_grammar
+from repro.graph.generators import two_cycles
+from repro.service.replica import FollowerService, ReplicatedService
+from repro.service.server import ServerThread
+from repro.service.wal import TickLog
+
+GRAMMAR = parse_grammar("S -> a S b | a b", terminals=["a", "b"])
+
+
+def _service(cycle_a: int, cycle_b: int) -> QueryService:
+    return QueryService(two_cycles(cycle_a, cycle_b), GRAMMAR)
+
+
+def _percentile(samples: list, fraction: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(len(ordered) * fraction))
+    return ordered[index]
+
+
+def _client(address, requests: list, latencies: list, errors: list):
+    try:
+        with socket.create_connection(address, timeout=30) as sock:
+            stream = sock.makefile("rw", encoding="utf-8")
+            for request in requests:
+                started = time.perf_counter()
+                stream.write(json.dumps(request) + "\n")
+                stream.flush()
+                response = json.loads(stream.readline())
+                latencies.append(time.perf_counter() - started)
+                if not response.get("ok"):
+                    errors.append(response)
+    except (OSError, json.JSONDecodeError) as error:
+        errors.append({"error": repr(error)})
+
+
+def _drive(address, clients: int, requests_per_client: int,
+           update_every: int) -> dict:
+    """Run the mixed stream; returns latency/throughput metrics."""
+    query = {"op": "query", "start": "S", "source": 0, "target": 0}
+    latencies: list = []
+    errors: list = []
+    threads = []
+    for client_index in range(clients):
+        plan = []
+        for i in range(requests_per_client):
+            if update_every and i % update_every == update_every - 1:
+                node = f"c{client_index}-{i}"
+                plan.append({"op": "update",
+                             "insert": [[node, "a", node + "'"]],
+                             "delete": [[node, "a", node + "'"]]})
+            else:
+                plan.append(query)
+        threads.append(threading.Thread(
+            target=_client, args=(address, plan, latencies, errors)))
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    total = clients * requests_per_client
+    return {
+        "requests": total,
+        "completed": len(latencies),
+        "errors": len(errors),
+        "p50_latency_s": _percentile(latencies, 0.50),
+        "p99_latency_s": _percentile(latencies, 0.99),
+        "queries_per_s": len(latencies) / wall if wall else 0.0,
+        "wall_time_s": wall,
+        "ok": not errors and len(latencies) == total,
+    }
+
+
+def bench_single(clients: int, requests_per_client: int,
+                 update_every: int) -> dict:
+    service = _service(2, 3)
+    with ServerThread(service) as server:
+        metrics = _drive(server.address, clients, requests_per_client,
+                         update_every)
+    metrics["agree"] = metrics.pop("ok")
+    return metrics
+
+
+def bench_replicated(replicas: int, clients: int,
+                     requests_per_client: int, update_every: int) -> dict:
+    """Leader + N read replicas; convergence is asserted by comparing
+    leader and follower snapshot bytes after the stream drains."""
+    with tempfile.TemporaryDirectory() as tmp:
+        wal = os.path.join(tmp, "wal")
+        snapshot = os.path.join(tmp, "index.snapshot")
+        leader = ReplicatedService(_service(2, 3), TickLog(wal))
+        leader.save_snapshot(snapshot)
+        followers = [FollowerService.from_snapshot(snapshot, wal)
+                     for _ in range(replicas)]
+
+        follower_servers = [ServerThread(follower,
+                                         follower_poll_seconds=0.005)
+                            for follower in followers]
+        for server in follower_servers:
+            server.__enter__()
+        try:
+            with ServerThread(
+                leader,
+                replicas=[server.address for server in follower_servers],
+            ) as front:
+                metrics = _drive(front.address, clients,
+                                 requests_per_client, update_every)
+        finally:
+            for server in follower_servers:
+                server.__exit__(None, None, None)
+
+        converged = True
+        leader_snapshot = os.path.join(tmp, "leader.final")
+        leader.save_snapshot(leader_snapshot)
+        for index, follower in enumerate(followers):
+            follower.replay()
+            follower_snapshot = os.path.join(tmp, f"follower{index}.final")
+            follower.save_snapshot(follower_snapshot)
+            converged &= filecmp.cmp(leader_snapshot, follower_snapshot,
+                                     shallow=False)
+        leader.close()
+        metrics["agree"] = metrics.pop("ok") and converged
+        metrics["replicas"] = replicas
+        return metrics
+
+
+def run(clients: int, requests_per_client: int,
+        update_every: int) -> dict:
+    workloads = {}
+    name = f"single_{clients}c"
+    print(f"  {name}...", flush=True)
+    workloads[name] = bench_single(clients, requests_per_client,
+                                   update_every)
+    for replicas in (1, 2):
+        name = f"leader_{replicas}r_{clients}c"
+        print(f"  {name}...", flush=True)
+        workloads[name] = bench_replicated(replicas, clients,
+                                           requests_per_client,
+                                           update_every)
+    return {
+        "benchmark": "serving",
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "update_every": update_every,
+        "workloads": workloads,
+    }
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="concurrent-client serving benchmark "
+                    "(latency percentiles, throughput, replica scaling)"
+    )
+    parser.add_argument("--clients", type=int, default=32,
+                        help="concurrent client connections (default 32)")
+    parser.add_argument("--requests", type=int, default=25,
+                        help="requests per client (default 25)")
+    parser.add_argument("--update-every", type=int, default=10,
+                        help="every Nth request per client is an update "
+                             "tick (0 = read-only; default 10)")
+    parser.add_argument("--output", help="write JSON here (default stdout)")
+    args = parser.parse_args(argv)
+
+    print(f"serving benchmark: {args.clients} clients x "
+          f"{args.requests} requests", flush=True)
+    document = run(args.clients, args.requests, args.update_every)
+    rendered = json.dumps(document, indent=2)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as stream:
+            stream.write(rendered + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(rendered)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -268,18 +268,45 @@ def cmd_snapshot(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_replicas(spec: "str | None") -> list:
+    """Parse ``host:port,host:port`` into ``[(host, port), ...]``."""
+    if not spec:
+        return []
+    replicas = []
+    for item in spec.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        host, _, port = item.rpartition(":")
+        if not host or not port.isdigit():
+            raise SystemExit(f"bad replica address {item!r}; expected "
+                             "HOST:PORT")
+        replicas.append((host, int(port)))
+    return replicas
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Serve JSONL queries/updates over stdio or TCP."""
     from .service.query_service import QueryService
+    from .service.replica import open_role
     from .service.server import serve_stream, serve_tcp
 
     options = _strategy_options(args)
-    if args.snapshot:
-        service = QueryService.from_snapshot(
-            args.snapshot, backend=args.backend, strategy=args.strategy,
-            cache_size=args.cache_size,
-            single_path=True if args.single_path else None, **options,
-        )
+    service_kwargs = dict(
+        backend=args.backend, strategy=args.strategy,
+        cache_size=args.cache_size,
+        single_path=True if args.single_path else None, **options,
+    )
+    if args.role == "follower":
+        # A follower builds its state from the leader's snapshot + WAL;
+        # open_role handles loading and catching up.
+        if not args.snapshot:
+            raise SystemExit("serve --role follower requires --snapshot "
+                             "(the leader's snapshot anchors the replay)")
+        service = None
+    elif args.snapshot:
+        service = QueryService.from_snapshot(args.snapshot,
+                                             **service_kwargs)
     else:
         if not args.graph:
             raise SystemExit("serve requires --graph or --snapshot")
@@ -289,9 +316,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
             cache_size=args.cache_size,
             single_path=args.single_path, **options,
         )
+    if args.role != "single" and not args.wal:
+        raise SystemExit(f"serve --role {args.role} requires --wal PATH")
+    service = open_role(args.role, service, snapshot=args.snapshot,
+                        wal=args.wal, fsync=args.wal_fsync,
+                        **service_kwargs)
+    replicas = _parse_replicas(args.replicas)
+    if replicas and args.role != "leader":
+        raise SystemExit("--replicas is a leader feature (the leader "
+                         "fans reads out to its followers)")
     if args.port is not None:
         serve_tcp(service, host=args.host, port=args.port,
-                  include_stats=args.stats)
+                  include_stats=args.stats, replicas=replicas)
     else:
         serve_stream(service, sys.stdin, sys.stdout,
                      include_stats=args.stats)
@@ -464,6 +500,24 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--stats", action="store_true",
                        help="attach cache hit rate / tick latency / "
                             "snapshot size to every response")
+    serve.add_argument("--role", default="single",
+                       choices=["single", "leader", "follower"],
+                       help="replication role: 'leader' write-ahead-logs "
+                            "every update tick to --wal; 'follower' "
+                            "loads --snapshot and replays the leader's "
+                            "--wal, serving reads at its replay horizon "
+                            "(default: single, no replication)")
+    serve.add_argument("--wal", metavar="PATH",
+                       help="write-ahead tick log file (required for "
+                            "--role leader/follower)")
+    serve.add_argument("--wal-fsync", default="batch",
+                       choices=["always", "batch", "never"],
+                       help="leader WAL durability: fsync every tick, "
+                            "every batch (default), or never")
+    serve.add_argument("--replicas", metavar="HOST:PORT,...",
+                       help="leader-only: fan query ops out round-robin "
+                            "to these follower servers; updates stay "
+                            "local")
     serve.set_defaults(handler=cmd_serve)
 
     tables = subparsers.add_parser("tables", help="reproduce paper tables")

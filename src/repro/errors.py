@@ -133,6 +133,22 @@ class SnapshotError(ServiceError):
     a backend/semiring unavailable in the loading process."""
 
 
+class ReplicationError(ServiceError):
+    """Base class for write-ahead-log and replication errors."""
+
+
+class WALError(ReplicationError):
+    """Raised when a write-ahead tick log cannot be opened, is corrupt
+    beyond its recoverable tail, or violates sequence monotonicity."""
+
+
+class ReadOnlyReplicaError(ReplicationError):
+    """Raised when a write operation reaches a read-only follower.
+
+    Followers converge by replaying the leader's tick log; accepting a
+    direct write would fork them from the replicated history."""
+
+
 class SnapshotVersionError(SnapshotError):
     """Raised when a snapshot was written by an incompatible format
     version."""

@@ -13,12 +13,18 @@ package turns it into something a process can *serve*:
   with fine-grained invalidation (driven by the closure's exact deltas)
   and coalesced update ticks (one DRed pass + one insertion frontier
   run per tick);
-* :mod:`repro.service.server` — a concurrent JSONL request loop over
-  stdio and TCP (``repro-cfpq serve``) with reader/writer locking so
-  queries always see a consistent snapshot during ticks.
+* :mod:`repro.service.server` — a JSONL request loop over stdio and an
+  asyncio TCP transport (``repro-cfpq serve``) with reader/writer
+  locking so queries always see a consistent snapshot during ticks;
+* :mod:`repro.service.wal` / :mod:`repro.service.replica` — the
+  replicated tier: a write-ahead tick log on the leader, follower
+  replicas that replay it to a byte-identical index, reads fanned out
+  across replicas while the leader owns writes.
 """
 
 from .query_service import QueryService, TickReport
+from .replica import FollowerService, ReplicatedService, open_role
+from .wal import TickLog, TickLogReader
 from .snapshot import (
     SNAPSHOT_VERSION,
     load_engine_snapshot,
@@ -30,6 +36,11 @@ from .snapshot import (
 __all__ = [
     "QueryService",
     "TickReport",
+    "TickLog",
+    "TickLogReader",
+    "ReplicatedService",
+    "FollowerService",
+    "open_role",
     "SNAPSHOT_VERSION",
     "load_engine_snapshot",
     "read_snapshot",

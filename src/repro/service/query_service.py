@@ -181,6 +181,8 @@ class QueryService:
         self._cache_size = max(1, cache_size)
         self._cache_lock = threading.Lock()
         self._sp_index = None
+        self._capture = threading.local()
+        self._snapshot_meta: dict = {}
 
         # Rule graph for dependency closures: head -> body non-terminals.
         self._rule_bodies: dict[Nonterminal, set[Nonterminal]] = {}
@@ -280,13 +282,29 @@ class QueryService:
                       cache_size=cache_size, single_path=single_path,
                       warm_state=warm_state, **strategy_options)
         service._snapshot_bytes = os.path.getsize(path)
+        service._snapshot_meta = {"wal_seq": payload.get("wal_seq", 0)}
         return service
 
-    def save_snapshot(self, path: str) -> int:
+    @property
+    def snapshot_meta(self) -> dict:
+        """Serving-layer metadata carried by the snapshot this service
+        warm-started from — notably ``wal_seq``, the write-ahead-log
+        sequence the snapshot state includes (0 when absent), which is
+        where a follower resumes replay."""
+        return dict(self._snapshot_meta)
+
+    def save_snapshot(self, path: str, extra: "dict | None" = None) -> int:
         """Persist the current fixpoint (facts, lengths, DRed supports)
         plus the relational matrices, so both :meth:`from_snapshot` and
         :meth:`CFPQEngine.from_snapshot <repro.core.engine.CFPQEngine.from_snapshot>`
-        can warm-start from it.  Returns the snapshot size in bytes."""
+        can warm-start from it.  Returns the snapshot size in bytes.
+
+        The encoding is canonical (every set/dict iteration sorted,
+        matrices built from sorted pair lists): two processes holding
+        the same logical state write byte-identical files, which is how
+        the replicated tier proves a follower converged.  *extra* merges
+        additional plain-container keys into the payload (the leader
+        stamps ``wal_seq``)."""
         from ..matrices.base import get_backend
 
         with self._lock.reading():
@@ -305,7 +323,7 @@ class QueryService:
                     "matrices": snapshot_store.encode_boolean_matrices(
                         {
                             nonterminal: backend.from_pairs(
-                                n, solver.pairs(nonterminal)
+                                n, sorted(solver.pairs(nonterminal))
                             )
                             for nonterminal in solver.grammar.nonterminals
                         },
@@ -313,8 +331,11 @@ class QueryService:
                     ),
                 },
             }
+            if extra:
+                payload.update(extra)
             size = snapshot_store.write_snapshot(path, payload)
-        self._snapshot_bytes = size
+            self._snapshot_bytes = size
+            self._maybe_capture_stats()
         return size
 
     # ------------------------------------------------------------------
@@ -338,20 +359,26 @@ class QueryService:
         """
         key = (str(start), source, target, semantics)
         with self._lock.reading():
+            hit = False
+            value: object = None
             with self._cache_lock:
                 self._queries += 1
                 if key in self._cache:
                     self._hits += 1
                     self._cache.move_to_end(key)
-                    return self._cache[key]
-                self._misses += 1
-            value = self._evaluate(start, source, target, semantics)
-            with self._cache_lock:
-                self._cache[key] = value
-                self._cache.move_to_end(key)
-                while len(self._cache) > self._cache_size:
-                    self._cache.popitem(last=False)
-                    self._evictions += 1
+                    value = self._cache[key]
+                    hit = True
+                else:
+                    self._misses += 1
+            if not hit:
+                value = self._evaluate(start, source, target, semantics)
+                with self._cache_lock:
+                    self._cache[key] = value
+                    self._cache.move_to_end(key)
+                    while len(self._cache) > self._cache_size:
+                        self._cache.popitem(last=False)
+                        self._evictions += 1
+            self._maybe_capture_stats()
             return value
 
     def _evaluate(self, start, source, target, semantics: str):
@@ -481,6 +508,7 @@ class QueryService:
             self._frontier_runs += frontier_runs
             self._tick_seconds_last = seconds
             self._tick_seconds_total += seconds
+            self._maybe_capture_stats()
             return TickReport(
                 inserts_requested=inserts_requested,
                 deletes_requested=deletes_requested,
@@ -551,10 +579,53 @@ class QueryService:
     # ------------------------------------------------------------------
     # Instrumentation
     # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def capture_stats(self):
+        """Capture a stats snapshot **inside** the next operation's
+        critical section on this thread.
+
+        The JSONL server's ``--stats`` mode attaches a stats object to
+        every response.  Reading :attr:`stats` *after* the operation
+        returns races with other connections' ticks — the reported tick
+        count could disagree with the response it rides on.  Under this
+        context manager, ``query``/``tick``/``save_snapshot`` (and the
+        :attr:`stats` read itself) record their stats while still
+        holding the service lock; the yielded callable returns that
+        consistent snapshot (or None when no operation ran)::
+
+            with service.capture_stats() as captured:
+                report = service.tick(ops)
+            stats = captured()   # consistent with exactly this tick
+        """
+        state = self._capture
+        previous = getattr(state, "active", False)
+        state.active = True
+        state.captured = None
+        try:
+            yield lambda: getattr(state, "captured", None)
+        finally:
+            state.active = previous
+
+    def _maybe_capture_stats(self) -> None:
+        """Called by operations while their lock is held: snapshot the
+        stats for an enclosing :meth:`capture_stats` block."""
+        state = self._capture
+        if getattr(state, "active", False):
+            state.captured = self._stats_dict()
+
     @property
     def stats(self) -> dict:
         """Service instrumentation: cache behavior, tick latency,
         startup mode, snapshot size and the wrapped solver's counters."""
+        payload = self._stats_dict()
+        state = self._capture
+        if getattr(state, "active", False):
+            # A stats *read* is its own operation: the captured snapshot
+            # is the very dict returned, trivially consistent with it.
+            state.captured = payload
+        return payload
+
+    def _stats_dict(self) -> dict:
         with self._cache_lock:
             hits, misses = self._hits, self._misses
             entries = len(self._cache)

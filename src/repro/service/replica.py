@@ -1,0 +1,314 @@
+"""Replicated serving roles: a WAL-writing leader and replaying followers.
+
+The single-process :class:`~repro.service.query_service.QueryService`
+already has the two properties a replicated tier needs: update ticks
+are **deterministic** (last-op-per-edge coalescing, one DRed pass + one
+frontier run) and snapshots are **canonical** (sorted encodings — two
+processes holding the same logical state write the same bytes).  So
+replication is pure serving-layer plumbing:
+
+* :class:`ReplicatedService` — the **leader**.  Owns writes: every tick
+  is appended to a :class:`~repro.service.wal.TickLog` *before* it is
+  applied (write-ahead), so the durable history is never behind the
+  served state.  Snapshots are stamped with the WAL sequence they
+  include and anchored into the log, enabling snapshot-anchored
+  truncation.  Crash recovery = :meth:`ReplicatedService.recover`:
+  reload the last snapshot, replay the log past its anchor.
+* :class:`FollowerService` — a **read replica**.  Loads the leader's
+  snapshot, tails the WAL from the snapshot's ``wal_seq``, and replays
+  each tick through the same ``tick()`` code.  Writes are refused
+  (:class:`~repro.errors.ReadOnlyReplicaError`) — accepting one would
+  fork the replica from the replicated history.  Reads are served at
+  the **replay horizon**: whatever prefix of the log the follower has
+  applied (eventual consistency; :meth:`FollowerService.replay` — the
+  protocol's ``sync`` op — fast-forwards on demand).
+
+Both wrap a :class:`QueryService` and duck-type its serving surface
+(``graph``/``query``/``tick``/``stats``/``save_snapshot``/
+``capture_stats``), so :func:`repro.service.server.handle_request` and
+both transports work unchanged against either role.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Iterable
+
+from ..errors import ReadOnlyReplicaError, WALError
+from .query_service import QueryService, TickReport
+from .wal import TickLog, TickLogReader, decode_ops, encode_ops
+
+__all__ = ["ReplicatedService", "FollowerService", "open_role"]
+
+
+class _ServiceProxy:
+    """Shared delegation: the wrapped service's read surface."""
+
+    role = "single"
+
+    def __init__(self, service: QueryService):
+        self.service = service
+
+    @property
+    def graph(self):
+        return self.service.graph
+
+    @property
+    def single_path(self) -> bool:
+        return self.service.single_path
+
+    def query(self, start, source=None, target=None,
+              semantics: str = "relational"):
+        return self.service.query(start, source=source, target=target,
+                                  semantics=semantics)
+
+    @contextlib.contextmanager
+    def capture_stats(self):
+        """Delegate to the wrapped service's in-critical-section stats
+        capture, stamping the replication block onto the snapshot."""
+        with self.service.capture_stats() as captured:
+            def stamped():
+                payload = captured()
+                if payload is not None:
+                    payload["replication"] = self._replication_stats()
+                return payload
+
+            yield stamped
+
+    def _replication_stats(self) -> dict:
+        raise NotImplementedError
+
+    @property
+    def stats(self) -> dict:
+        payload = self.service.stats
+        payload["replication"] = self._replication_stats()
+        return payload
+
+
+class ReplicatedService(_ServiceProxy):
+    """The leader: a :class:`QueryService` whose ticks are written ahead
+    to a :class:`~repro.service.wal.TickLog`.
+
+    *applied_seq* is the log sequence already reflected in *service*'s
+    state (0 for a fresh log; :meth:`recover` computes it).  Writes are
+    serialized by an internal mutex so the (append, apply) pair is
+    atomic with respect to other writers and to :meth:`save_snapshot`'s
+    (snapshot, anchor) pair — queries keep running under the service's
+    reader lock throughout.
+    """
+
+    role = "leader"
+
+    def __init__(self, service: QueryService, log: TickLog,
+                 applied_seq: "int | None" = None):
+        super().__init__(service)
+        self.log = log
+        self._applied_seq = log.last_seq if applied_seq is None \
+            else applied_seq
+        self._write_mutex = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def recover(cls, snapshot_path: str, wal_path: str,
+                fsync: str = "batch", **service_kwargs
+                ) -> "ReplicatedService":
+        """Restart a leader: load the snapshot, replay every logged tick
+        past the snapshot's ``wal_seq``, and resume appending.
+
+        This also covers the write-ahead crash window — a tick that was
+        logged but not yet applied when the process died is simply
+        replayed like any other."""
+        service = QueryService.from_snapshot(snapshot_path,
+                                             **service_kwargs)
+        log = TickLog(wal_path, fsync=fsync)
+        applied = service.snapshot_meta.get("wal_seq", 0)
+        for seq, ops in log.records(after_seq=applied):
+            service.tick(decode_ops(ops))
+            applied = seq
+        return cls(service, log, applied_seq=applied)
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    @property
+    def applied_seq(self) -> int:
+        """The log sequence the served state includes."""
+        return self._applied_seq
+
+    def tick(self, ops: Iterable[tuple]) -> TickReport:
+        """Write-ahead, then apply: the tick is durable per the log's
+        fsync policy before any follower (or this leader's own state)
+        can observe it."""
+        ops = list(ops)
+        # encode_ops validates kinds/shapes; a malformed op must fail
+        # *before* it is written into the replicated history, because
+        # every follower will replay whatever the log accepted.
+        encode_ops(ops)
+        with self._write_mutex:
+            seq = self.log.append(ops)
+            report = self.service.tick(ops)
+            self._applied_seq = seq
+        return report
+
+    def update(self, inserts: Iterable = (),
+               deletes: Iterable = ()) -> TickReport:
+        ops = [("insert", edge) for edge in inserts]
+        ops += [("delete", edge) for edge in deletes]
+        return self.tick(ops)
+
+    # ------------------------------------------------------------------
+    # Snapshots / lifecycle
+    # ------------------------------------------------------------------
+    def save_snapshot(self, path: str, truncate: bool = False) -> int:
+        """Snapshot the current state, stamped with the WAL sequence it
+        includes, and anchor the log at that sequence.  With *truncate*
+        the log drops the ticks the snapshot made redundant."""
+        with self._write_mutex:
+            seq = self._applied_seq
+            size = self.service.save_snapshot(path,
+                                              extra={"wal_seq": seq})
+            if truncate:
+                self.log.truncate(snapshot=path, seq=seq)
+            else:
+                self.log.anchor(path, seq=seq)
+        return size
+
+    def flush(self) -> None:
+        """Force the log durable (the server calls this on shutdown)."""
+        self.log.flush()
+
+    def close(self) -> None:
+        self.log.close()
+
+    def _replication_stats(self) -> dict:
+        return {
+            "role": self.role,
+            "wal_path": self.log.path,
+            "wal_seq": self._applied_seq,
+            "wal_last_seq": self.log.last_seq,
+            "wal_anchor_seq": self.log.anchor_seq,
+            "wal_fsync": self.log.fsync,
+        }
+
+
+class FollowerService(_ServiceProxy):
+    """A read replica: snapshot + WAL tail + deterministic replay.
+
+    Replay is guarded by a mutex (the server's poll task and an explicit
+    ``sync`` op may race); each replayed tick takes the service's writer
+    lock exactly like a leader tick, so queries interleave safely and
+    always see a completed tick's fixpoint.
+    """
+
+    role = "follower"
+
+    def __init__(self, service: QueryService, wal_path: str,
+                 start_seq: "int | None" = None):
+        super().__init__(service)
+        if start_seq is None:
+            start_seq = service.snapshot_meta.get("wal_seq", 0)
+        self._reader = TickLogReader(wal_path, after_seq=start_seq)
+        self._replay_mutex = threading.Lock()
+        self._ticks_replayed = 0
+
+    @classmethod
+    def from_snapshot(cls, snapshot_path: str, wal_path: str,
+                      **service_kwargs) -> "FollowerService":
+        """Load the leader's snapshot and position the WAL tail at its
+        ``wal_seq``; call :meth:`replay` (or let the server's poll task)
+        to catch up."""
+        service = QueryService.from_snapshot(snapshot_path,
+                                             **service_kwargs)
+        return cls(service, wal_path)
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    @property
+    def replay_seq(self) -> int:
+        """The replay horizon: the highest log sequence applied."""
+        return self._reader.last_seq
+
+    def replay(self) -> dict:
+        """Apply every tick the log has grown since the last replay;
+        returns ``{"applied_ticks", "seq"}`` — the protocol's ``sync``
+        response."""
+        with self._replay_mutex:
+            applied = 0
+            for seq, ops in self._reader.poll():
+                self.service.tick(decode_ops(ops))
+                applied += 1
+            self._ticks_replayed += applied
+            return {"applied_ticks": applied, "seq": self._reader.last_seq}
+
+    # ------------------------------------------------------------------
+    # Writes are refused
+    # ------------------------------------------------------------------
+    def tick(self, ops: Iterable[tuple]) -> TickReport:
+        raise ReadOnlyReplicaError(
+            "this replica is a read-only follower; send updates to the "
+            "leader (they arrive here through the WAL)"
+        )
+
+    def update(self, inserts: Iterable = (), deletes: Iterable = ()):
+        return self.tick(())
+
+    def save_snapshot(self, path: str) -> int:
+        """Snapshot the replica at its replay horizon, stamped with that
+        horizon's sequence — byte-identical to the leader's snapshot of
+        the same sequence (the convergence proof the tests assert)."""
+        with self._replay_mutex:
+            return self.service.save_snapshot(
+                path, extra={"wal_seq": self._reader.last_seq}
+            )
+
+    def close(self) -> None:
+        pass
+
+    def _replication_stats(self) -> dict:
+        return {
+            "role": self.role,
+            "wal_path": self._reader.path,
+            "wal_seq": self._reader.last_seq,
+            "ticks_replayed": self._ticks_replayed,
+        }
+
+
+def open_role(role: str, service_or_none, *, snapshot: "str | None" = None,
+              wal: "str | None" = None, fsync: str = "batch",
+              **service_kwargs):
+    """CLI glue: build the service object for ``serve --role``.
+
+    * ``single`` — *service_or_none* passed through unchanged;
+    * ``leader`` — wrap it in a :class:`ReplicatedService` over *wal*
+      (replaying any logged ticks past the state's ``wal_seq`` first,
+      so a restart with the same flags recovers);
+    * ``follower`` — ignore *service_or_none* and build a
+      :class:`FollowerService` from *snapshot* + *wal*, caught up to
+      the current end of the log.
+    """
+    if role == "single":
+        return service_or_none
+    if wal is None:
+        raise WALError(f"role {role!r} requires --wal PATH")
+    if role == "leader":
+        service = service_or_none
+        log = TickLog(wal, fsync=fsync)
+        applied = service.snapshot_meta.get("wal_seq", 0)
+        for seq, ops in log.records(after_seq=applied):
+            service.tick(decode_ops(ops))
+            applied = seq
+        return ReplicatedService(service, log, applied_seq=applied)
+    if role == "follower":
+        if snapshot is None:
+            raise WALError("role 'follower' requires --snapshot (the "
+                           "leader's snapshot anchors the replay)")
+        follower = FollowerService.from_snapshot(snapshot, wal,
+                                                 **service_kwargs)
+        follower.replay()
+        return follower
+    raise WALError(f"unknown role {role!r}; expected "
+                   "'single', 'leader' or 'follower'")

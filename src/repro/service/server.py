@@ -15,6 +15,7 @@ TCP (``repro-cfpq serve --port N``; try it with netcat).  Requests:
     {"op": "update", "ops": [["insert", "u", "a", "v"],
                              ["delete", "u", "a", "v"]]}
     {"op": "stats"}
+    {"op": "sync"}
     {"op": "save", "path": "index.snapshot"}
     {"op": "ping"}
     {"op": "shutdown"}
@@ -22,24 +23,55 @@ TCP (``repro-cfpq serve --port N``; try it with netcat).  Requests:
 Responses are ``{"ok": true, "result": ...}`` or ``{"ok": false,
 "error": "...", "error_type": "..."}``; with ``--stats`` every response
 additionally carries a compact ``stats`` object (cache hit rate, tick
-latency, snapshot size).
+latency, snapshot size, replication horizon) snapshotted **inside the
+operation's critical section**, so it is always consistent with the
+response it rides on.
 
-The TCP server is a thread-per-connection loop over one shared service;
-the service's reader/writer lock makes concurrent queries safe and
-gives every query a consistent post-tick snapshot.  An ``update`` from
-any connection invalidates exactly the affected cache entries for all
-of them.
+The TCP transport is an asyncio server (:class:`AsyncJSONLServer`): one
+lightweight task per connection instead of one thread, so thousands of
+mostly-idle connections cost file descriptors, not stacks.  Requests
+execute on a thread pool under the service's reader/writer lock — any
+number of queries in parallel, ticks exclusive — exactly as in the
+stdio loop.  A ``shutdown`` op stops the *whole* server (every
+connection observes the close, a leader's WAL is flushed), client
+disconnects mid-response are absorbed per-connection, and oversized
+frames are refused with an error response instead of an unbounded read
+buffer.
+
+With ``replicas=[(host, port), ...]`` the server is a read fan-out
+front door: ``query`` ops are forwarded round-robin to follower
+replicas (their responses relayed verbatim), every other op runs
+locally — the leader owns writes.  With a follower service, a
+background task tails the WAL so the replica converges without client
+involvement.
 """
 
 from __future__ import annotations
 
+import asyncio
+import contextlib
 import json
-import socketserver
+import logging
 import sys
-from typing import IO
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import IO, Iterable
 
 from ..errors import ReproError
 from .query_service import QueryService, TickReport
+
+logger = logging.getLogger(__name__)
+
+#: Longest accepted request line (bytes).  A frame beyond this is
+#: answered with ``FrameTooLongError`` and the connection closed — the
+#: stream cannot be resynchronized mid-frame.
+DEFAULT_MAX_LINE_BYTES = 1 << 20
+
+#: How often a follower server polls the WAL for new ticks (seconds).
+DEFAULT_FOLLOWER_POLL_SECONDS = 0.05
+
+#: Concurrent request executions across all connections.
+DEFAULT_EXECUTOR_WORKERS = 32
 
 
 # ----------------------------------------------------------------------
@@ -52,18 +84,26 @@ def handle_request(service: QueryService, request: dict,
 
     Never raises for request-level problems — malformed input and
     :class:`~repro.errors.ReproError` subclasses become ``ok: false``
-    responses, so one bad line cannot kill a session."""
-    try:
-        if not isinstance(request, dict):
-            raise ValueError("request must be a JSON object")
-        op = request.get("op", "query")
-        result = _dispatch(service, op, request)
-        response: dict = {"ok": True, "op": op, "result": result}
-    except (ReproError, ValueError, KeyError, TypeError) as error:
-        response = {"ok": False, "error": str(error),
-                    "error_type": type(error).__name__}
+    responses, so one bad line cannot kill a session.  With
+    *include_stats* the attached stats are captured inside the
+    operation's own critical section (see
+    :meth:`QueryService.capture_stats`) — never from a racy read after
+    the response was built."""
+    capture = (service.capture_stats() if include_stats
+               and hasattr(service, "capture_stats")
+               else contextlib.nullcontext(lambda: None))
+    with capture as captured:
+        try:
+            if not isinstance(request, dict):
+                raise ValueError("request must be a JSON object")
+            op = request.get("op", "query")
+            result = _dispatch(service, op, request)
+            response: dict = {"ok": True, "op": op, "result": result}
+        except (ReproError, ValueError, KeyError, TypeError) as error:
+            response = {"ok": False, "error": str(error),
+                        "error_type": type(error).__name__}
     if include_stats:
-        response["stats"] = _compact_stats(service)
+        response["stats"] = _compact_stats(service, captured())
     return response
 
 
@@ -97,6 +137,14 @@ def _dispatch(service: QueryService, op: str, request: dict):
         return service.tick(ops).as_dict()
     if op == "stats":
         return service.stats
+    if op == "sync":
+        replay = getattr(service, "replay", None)
+        if replay is None:
+            raise ValueError(
+                "sync requires a follower (this service does not replay "
+                "a WAL)"
+            )
+        return replay()
     if op == "save":
         path = request.get("path")
         if not path:
@@ -107,7 +155,8 @@ def _dispatch(service: QueryService, op: str, request: dict):
     if op == "shutdown":
         return "bye"
     raise ValueError(
-        f"unknown op {op!r}; expected query/update/stats/save/ping/shutdown"
+        f"unknown op {op!r}; expected query/update/stats/sync/save/"
+        "ping/shutdown"
     )
 
 
@@ -132,7 +181,9 @@ def _coerce_node(graph, token):
 def _coerce_edge(graph, edge) -> tuple:
     """Apply the same node coercion to an update edge that queries get,
     so a client sending ``"2"`` for the integer node ``2`` attaches the
-    edge to the existing node instead of silently creating a twin."""
+    edge to the existing node instead of silently creating a twin.  On
+    a leader this runs *before* the WAL append, so followers replay the
+    coerced edges the leader actually applied."""
     source, label, target = edge
     return (_coerce_node(graph, source), str(label),
             _coerce_node(graph, target))
@@ -156,9 +207,14 @@ def _jsonable_result(result):
     return result
 
 
-def _compact_stats(service: QueryService) -> dict:
-    stats = service.stats
-    return {
+def _compact_stats(service: QueryService, stats: "dict | None") -> dict:
+    """Compact the stats dict captured inside the operation's critical
+    section; *stats* is None only for ops that never took the service
+    lock (``ping``, protocol errors), where a fresh read cannot be
+    inconsistent with any operation."""
+    if stats is None:
+        stats = service.stats
+    compact = {
         "cache_hit_rate": stats["cache_hit_rate"],
         "cache_entries": stats["cache_entries"],
         "cache_invalidations": stats["cache_invalidations"],
@@ -169,10 +225,13 @@ def _compact_stats(service: QueryService) -> dict:
         "snapshot_bytes": stats["snapshot_bytes"],
         "startup": stats["startup"],
     }
+    if "replication" in stats:
+        compact["replication"] = stats["replication"]
+    return compact
 
 
 # ----------------------------------------------------------------------
-# Transports
+# Shared protocol steps
 # ----------------------------------------------------------------------
 
 def _handle_line(service: QueryService, line: str,
@@ -195,10 +254,16 @@ def _is_shutdown(response: dict) -> bool:
     return bool(response.get("ok")) and response.get("op") == "shutdown"
 
 
+def _encode(response: dict) -> bytes:
+    return (json.dumps(response) + "\n").encode("utf-8")
+
+
 def serve_stream(service: QueryService, in_stream: IO[str],
                  out_stream: IO[str], include_stats: bool = False) -> int:
     """The stdio loop: read JSONL requests until EOF or a ``shutdown``
-    op; returns the number of requests served."""
+    op; returns the number of requests served.  On shutdown, a service
+    with a ``flush`` method (a WAL-writing leader) is flushed — stdio
+    and TCP shutdown semantics stay aligned."""
     served = 0
     for raw in in_stream:
         response = _handle_line(service, raw, include_stats)
@@ -209,52 +274,338 @@ def serve_stream(service: QueryService, in_stream: IO[str],
         served += 1
         if _is_shutdown(response):
             break
+    flush = getattr(service, "flush", None)
+    if flush is not None:
+        flush()
     return served
 
 
-class JSONLServer(socketserver.ThreadingTCPServer):
-    """Thread-per-connection TCP transport over one shared service."""
+# ----------------------------------------------------------------------
+# Read fan-out (leader → follower replicas)
+# ----------------------------------------------------------------------
 
-    allow_reuse_address = True
-    daemon_threads = True
+class _ReplicaPool:
+    """Round-robin forwarding of query lines to follower replicas.
 
-    def __init__(self, address: tuple[str, int], service: QueryService,
-                 include_stats: bool = False):
+    One persistent connection per replica, serialized by a per-replica
+    lock (concurrent queries parallelize *across* replicas).  A dead
+    replica is skipped — its connection is dropped and the next replica
+    tried; when every replica fails the caller answers locally."""
+
+    def __init__(self, addresses: Iterable[tuple[str, int]]):
+        self.addresses = list(addresses)
+        self._next = 0
+        self._connections: dict = {}
+        self._locks = {address: asyncio.Lock()
+                       for address in self.addresses}
+
+    async def forward(self, line: str) -> "bytes | None":
+        """Send *line* to the next replica; returns its raw response
+        line, or None when no replica answered."""
+        for _ in range(len(self.addresses)):
+            address = self.addresses[self._next % len(self.addresses)]
+            self._next += 1
+            try:
+                async with self._locks[address]:
+                    reader, writer = await self._connect(address)
+                    writer.write(line.encode("utf-8") + b"\n")
+                    await writer.drain()
+                    raw = await reader.readline()
+                if raw:
+                    return raw
+                await self._drop(address)
+            except OSError as error:
+                logger.warning("replica %s:%s unreachable: %s",
+                               address[0], address[1], error)
+                await self._drop(address)
+        return None
+
+    async def _connect(self, address):
+        connection = self._connections.get(address)
+        if connection is None:
+            connection = await asyncio.open_connection(*address)
+            self._connections[address] = connection
+        return connection
+
+    async def _drop(self, address) -> None:
+        connection = self._connections.pop(address, None)
+        if connection is not None:
+            connection[1].close()
+
+    async def close(self) -> None:
+        for address in list(self._connections):
+            await self._drop(address)
+
+
+# ----------------------------------------------------------------------
+# Asyncio TCP transport
+# ----------------------------------------------------------------------
+
+class AsyncJSONLServer:
+    """Asyncio JSONL server over one shared service.
+
+    One task per connection; request execution happens on a bounded
+    thread pool (the service's reader/writer lock provides the
+    concurrency semantics).  The server stops as a whole on a
+    ``shutdown`` op or :meth:`request_shutdown`: the listener closes,
+    every open connection is closed (a blocked client reads EOF), a
+    follower's poll task stops, and a leader's WAL is flushed.
+    """
+
+    def __init__(self, service, host: str = "127.0.0.1", port: int = 0,
+                 include_stats: bool = False,
+                 replicas: Iterable[tuple[str, int]] = (),
+                 max_line_bytes: int = DEFAULT_MAX_LINE_BYTES,
+                 follower_poll_seconds:
+                     "float | None" = DEFAULT_FOLLOWER_POLL_SECONDS,
+                 executor_workers: int = DEFAULT_EXECUTOR_WORKERS):
         self.service = service
+        self.host = host
+        self.port = port
         self.include_stats = include_stats
-        super().__init__(address, _JSONLConnection)
+        self.max_line_bytes = max_line_bytes
+        self.follower_poll_seconds = follower_poll_seconds
+        self.executor_workers = executor_workers
+        self.address: "tuple[str, int] | None" = None
+        self.connections_served = 0
+        self._replica_addresses = list(replicas)
+        self._replica_pool: "_ReplicaPool | None" = None
+        self._server: "asyncio.base_events.Server | None" = None
+        self._loop: "asyncio.AbstractEventLoop | None" = None
+        self._executor: "ThreadPoolExecutor | None" = None
+        self._shutdown = asyncio.Event()
+        self._writers: set = set()
+        self._tasks: set = set()
+        self._poll_task: "asyncio.Task | None" = None
 
-
-class _JSONLConnection(socketserver.StreamRequestHandler):
-    def handle(self) -> None:
-        server: JSONLServer = self.server  # type: ignore[assignment]
-        for raw in self.rfile:
-            response = _handle_line(
-                server.service, raw.decode("utf-8", errors="replace"),
-                server.include_stats,
+    # -- lifecycle -----------------------------------------------------
+    async def start(self) -> None:
+        """Bind and start accepting; :attr:`address` is the bound
+        (host, port) — with ``port=0``, the ephemeral port chosen."""
+        self._loop = asyncio.get_running_loop()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.executor_workers,
+            thread_name_prefix="jsonl-serve",
+        )
+        if self._replica_addresses:
+            self._replica_pool = _ReplicaPool(self._replica_addresses)
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self.port,
+            limit=self.max_line_bytes,
+        )
+        self.address = self._server.sockets[0].getsockname()[:2]
+        if self.follower_poll_seconds is not None \
+                and hasattr(self.service, "replay"):
+            self._poll_task = self._loop.create_task(
+                self._poll_replication()
             )
-            if response is None:
-                continue
-            self.wfile.write((json.dumps(response) + "\n").encode("utf-8"))
-            if _is_shutdown(response):
-                break
+
+    async def wait_closed(self) -> None:
+        """Block until a shutdown is requested, then tear everything
+        down: listener, open connections, poll task, executor, and the
+        leader's WAL buffer."""
+        await self._shutdown.wait()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._poll_task is not None:
+            self._poll_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._poll_task
+        for writer in list(self._writers):
+            with contextlib.suppress(Exception):
+                writer.close()
+        if self._tasks:
+            # Unblock connection loops parked in readline() so they run
+            # their cleanup before the loop goes away.
+            for task in list(self._tasks):
+                task.cancel()
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        if self._replica_pool is not None:
+            await self._replica_pool.close()
+        flush = getattr(self.service, "flush", None)
+        if flush is not None:
+            await self._loop.run_in_executor(self._executor, flush)
+        self._executor.shutdown(wait=False)
+
+    async def serve(self) -> None:
+        await self.start()
+        await self.wait_closed()
+
+    def request_shutdown(self) -> None:
+        """Stop the whole server; safe to call from any thread (a no-op
+        once the loop is gone — shutdown already happened)."""
+        if self._loop is None:
+            return
+        with contextlib.suppress(RuntimeError):
+            self._loop.call_soon_threadsafe(self._shutdown.set)
+
+    # -- connection handling -------------------------------------------
+    async def _on_connection(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        self._tasks.add(task)
+        self._writers.add(writer)
+        self.connections_served += 1
+        peer = writer.get_extra_info("peername")
+        try:
+            while not self._shutdown.is_set():
+                try:
+                    raw = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    # Oversized frame: the line exceeded the stream
+                    # limit, so the remainder cannot be re-framed —
+                    # answer with an error and drop the connection.
+                    writer.write(_encode({
+                        "ok": False,
+                        "error": "request line exceeds "
+                                 f"{self.max_line_bytes} bytes",
+                        "error_type": "FrameTooLongError",
+                    }))
+                    await writer.drain()
+                    break
+                if not raw:
+                    break
+                line = raw.decode("utf-8", errors="replace")
+                payload = await self._respond(line)
+                if payload is None:
+                    continue
+                writer.write(payload)
+                await writer.drain()
+                if self._shutdown.is_set():
+                    break
+        except (ConnectionResetError, BrokenPipeError, TimeoutError,
+                OSError) as error:
+            # A client that vanished mid-request/response is routine:
+            # log once, never let it near the accept loop.
+            logger.info("connection %s dropped: %s", peer, error)
+        except asyncio.CancelledError:
+            pass  # server shutdown cancelled a parked readline
+        finally:
+            self._tasks.discard(task)
+            self._writers.discard(writer)
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _respond(self, line: str) -> "bytes | None":
+        stripped = line.strip()
+        if not stripped:
+            return None
+        try:
+            request = json.loads(stripped)
+        except json.JSONDecodeError as error:
+            return _encode({"ok": False, "error": f"bad JSON: {error}",
+                            "error_type": "JSONDecodeError"})
+        if self._replica_pool is not None and isinstance(request, dict) \
+                and request.get("op", "query") == "query":
+            forwarded = await self._replica_pool.forward(stripped)
+            if forwarded is not None:
+                return forwarded
+            # Every replica down: serve the read locally.
+        response = await self._loop.run_in_executor(
+            self._executor, handle_request, self.service, request,
+            self.include_stats,
+        )
+        if _is_shutdown(response):
+            self._shutdown.set()
+        return _encode(response)
+
+    async def _poll_replication(self) -> None:
+        """Follower mode: tail the WAL so the replica converges without
+        clients issuing explicit ``sync`` ops."""
+        while not self._shutdown.is_set():
+            try:
+                await self._loop.run_in_executor(self._executor,
+                                                 self.service.replay)
+            except Exception as error:
+                logger.warning("WAL replay failed: %s", error)
+            await asyncio.sleep(self.follower_poll_seconds)
 
 
-def serve_tcp(service: QueryService, host: str = "127.0.0.1",
-              port: int = 0, include_stats: bool = False,
-              ready_stream: "IO[str] | None" = None) -> JSONLServer:
-    """Start (and block on) the TCP transport.  ``port=0`` binds an
-    ephemeral port; the actual address is announced on *ready_stream*
+def serve_tcp(service, host: str = "127.0.0.1", port: int = 0,
+              include_stats: bool = False,
+              ready_stream: "IO[str] | None" = None,
+              replicas: Iterable[tuple[str, int]] = (),
+              follower_poll_seconds:
+                  "float | None" = DEFAULT_FOLLOWER_POLL_SECONDS) -> None:
+    """Run the asyncio TCP transport until shutdown.  ``port=0`` binds
+    an ephemeral port; the actual address is announced on *ready_stream*
     (default stderr) as ``listening on HOST:PORT`` before serving."""
-    server = JSONLServer((host, port), service, include_stats)
-    bound_host, bound_port = server.server_address[:2]
-    stream = ready_stream if ready_stream is not None else sys.stderr
-    stream.write(f"listening on {bound_host}:{bound_port}\n")
-    stream.flush()
+
+    async def main() -> None:
+        server = AsyncJSONLServer(
+            service, host=host, port=port, include_stats=include_stats,
+            replicas=replicas,
+            follower_poll_seconds=follower_poll_seconds,
+        )
+        await server.start()
+        bound_host, bound_port = server.address
+        stream = ready_stream if ready_stream is not None else sys.stderr
+        stream.write(f"listening on {bound_host}:{bound_port}\n")
+        stream.flush()
+        await server.wait_closed()
+
     try:
-        server.serve_forever()
+        asyncio.run(main())
     except KeyboardInterrupt:  # pragma: no cover - interactive stop
         pass
-    finally:
-        server.server_close()
-    return server
+
+
+class ServerThread:
+    """Run an :class:`AsyncJSONLServer` on a background thread — the
+    harness tests and the serving benchmark use this to stand up
+    leaders and replicas in one process.
+
+    Context-manager protocol: entering starts the loop thread and
+    blocks until the server is bound (``.address`` is then set);
+    exiting requests shutdown and joins the thread."""
+
+    def __init__(self, service, **kwargs):
+        self.service = service
+        self.kwargs = kwargs
+        self.server: "AsyncJSONLServer | None" = None
+        self.address: "tuple[str, int] | None" = None
+        self._thread: "threading.Thread | None" = None
+        self._ready = threading.Event()
+        self._error: "BaseException | None" = None
+
+    def __enter__(self) -> "ServerThread":
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        self._ready.wait(timeout=30)
+        if self._error is not None:
+            raise self._error
+        if self.address is None:
+            raise RuntimeError("server failed to start within 30s")
+        return self
+
+    def _run(self) -> None:
+        async def main() -> None:
+            server = AsyncJSONLServer(self.service, **self.kwargs)
+            try:
+                await server.start()
+            except BaseException as error:
+                self._error = error
+                self._ready.set()
+                raise
+            self.server = server
+            self.address = server.address
+            self._ready.set()
+            await server.wait_closed()
+
+        try:
+            asyncio.run(main())
+        except BaseException as error:  # surfaced via __enter__/join
+            if self._error is None:
+                self._error = error
+            self._ready.set()
+
+    def stop(self) -> None:
+        if self.server is not None:
+            self.server.request_shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

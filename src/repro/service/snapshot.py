@@ -42,6 +42,7 @@ symbols flattened to names.
 
 from __future__ import annotations
 
+import json
 import os
 import pickle
 from typing import Hashable
@@ -85,6 +86,22 @@ class _PlainUnpickler(pickle.Unpickler):
         )
 
 
+class _CanonicalPickler(pickle.Pickler):
+    """Memo-free pickler: equal payloads yield equal bytes.
+
+    Ordinary pickling memoizes by object *identity*, so two logically
+    equal payloads serialize differently whenever their internal object
+    sharing differs (a live service interns strings the unpickled twin
+    of its own snapshot does not).  Replication's byte-identical
+    convergence guarantee needs ``bytes == f(value)``, so the memo is
+    disabled (``fast``); the envelope holds only acyclic plain
+    containers, hence no recursion risk."""
+
+    def __init__(self, stream):
+        super().__init__(stream, protocol=4)
+        self.fast = True
+
+
 def write_snapshot(path: str, payload: dict) -> int:
     """Write *payload* under the versioned envelope; returns the file
     size in bytes."""
@@ -95,7 +112,7 @@ def write_snapshot(path: str, payload: dict) -> int:
     with open(path, "wb") as stream:
         stream.write(_HEADER_PREFIX
                      + str(SNAPSHOT_VERSION).encode("ascii") + b"\n")
-        pickle.dump(document, stream, protocol=4)
+        _CanonicalPickler(stream).dump(document)
     return os.path.getsize(path)
 
 
@@ -217,18 +234,24 @@ def encode_boolean_matrices(matrices, backend) -> dict:
     encoded form from the spill files and resident ones use the store's
     version-keyed payload cache — the save path never re-materializes a
     cold matrix (no double-buffering).
+
+    Keys are emitted in sorted-name order so the encoding is canonical:
+    non-terminal sets iterate in hash order, which `PYTHONHASHSEED`
+    randomizes *per process*, and replicated serving asserts leader and
+    follower snapshots byte-identical across processes.
     """
     from ..core.tilestore import SpillableMatrixMap
 
     if isinstance(matrices, SpillableMatrixMap):
         return {
             nonterminal.name: list(matrices.payload(nonterminal))
-            for nonterminal in matrices
+            for nonterminal in sorted(matrices, key=lambda nt: nt.name)
         }
     backend = get_backend(backend)
     return {
         nonterminal.name: list(backend.tile_payload(matrix))
-        for nonterminal, matrix in matrices.items()
+        for nonterminal, matrix in sorted(matrices.items(),
+                                          key=lambda item: item[0].name)
     }
 
 
@@ -285,6 +308,12 @@ def _encode_entry(entry: tuple) -> list:
     raise SnapshotError(f"cannot encode annotation entry {entry!r}")
 
 
+def _entry_sort_key(entry: list) -> str:
+    """Canonical order for encoded annotation entries (they are
+    heterogeneous lists, so compare their JSON text)."""
+    return json.dumps(entry)
+
+
 def _decode_entry(entry: list) -> tuple:
     tag = entry[0]
     if tag == "split":
@@ -313,16 +342,25 @@ def encode_annotated_matrices(matrices: dict[Nonterminal, AnnotatedMatrix],
                               semiring) -> dict:
     backend = AnnotatedBackend(semiring)
     out: dict = {}
-    for nonterminal, matrix in matrices.items():
+    for nonterminal, matrix in sorted(matrices.items(),
+                                      key=lambda item: item[0].name):
         (_kind, name, shape, _symbol, _ro, _co,
          cells) = backend.tile_payload(matrix)
+        encoded = [[i, j, _encode_value(name, value)]
+                   for (i, j), value in cells]
+        if name == "witness":
+            # Witness values are sets of entries: emit them (and the
+            # cell list) in canonical order so the encoding is
+            # process-independent; decode rebuilds frozensets.
+            encoded = sorted(
+                ([i, j, sorted(value, key=_entry_sort_key)]
+                 for i, j, value in encoded),
+                key=lambda cell: (cell[0], cell[1]),
+            )
         out[nonterminal.name] = {
             "semiring": name,
             "shape": list(shape),
-            "cells": [
-                [i, j, _encode_value(name, value)]
-                for (i, j), value in cells
-            ],
+            "cells": encoded,
         }
     return out
 
@@ -352,23 +390,30 @@ def decode_annotated_matrices(doc: dict) -> dict[Nonterminal, AnnotatedMatrix]:
 # ----------------------------------------------------------------------
 
 def encode_incremental_state(state: dict) -> dict:
+    """Encode solver state canonically: every dict/set iteration below
+    is sorted, because fact-dict insertion order and entry-set order
+    follow per-process hash randomization while replicated serving
+    asserts leader/follower snapshot bytes identical."""
     doc: dict = {
         "facts": {
             nonterminal.name: sorted(pairs)
-            for nonterminal, pairs in state["facts"].items()
+            for nonterminal, pairs in sorted(state["facts"].items(),
+                                             key=lambda item: item[0].name)
         },
     }
     if "lengths" in state:
-        doc["lengths"] = [
-            [nonterminal.name, i, j, length]
-            for (nonterminal, i, j), length in state["lengths"].items()
-        ]
+        doc["lengths"] = sorted(
+            ([nonterminal.name, i, j, length]
+             for (nonterminal, i, j), length in state["lengths"].items()),
+        )
     if "supports" in state:
-        doc["supports"] = [
-            [[nonterminal.name, i, j],
-             [_encode_entry(entry) for entry in entries]]
-            for (nonterminal, i, j), entries in state["supports"].items()
-        ]
+        doc["supports"] = sorted(
+            ([[nonterminal.name, i, j],
+              sorted((_encode_entry(entry) for entry in entries),
+                     key=_entry_sort_key)]
+             for (nonterminal, i, j), entries in state["supports"].items()),
+            key=lambda item: item[0],
+        )
     return doc
 
 

@@ -6,9 +6,11 @@ import io
 import json
 import os
 import socket
+import struct
 import subprocess
 import sys
 import threading
+import time
 
 import pytest
 
@@ -16,7 +18,8 @@ from repro import QueryService, parse_grammar
 from repro.graph.generators import two_cycles, word_chain
 from repro.graph.io import save_graph_file
 from repro.service.server import (
-    JSONLServer,
+    DEFAULT_MAX_LINE_BYTES,
+    ServerThread,
     handle_request,
     serve_stream,
 )
@@ -114,6 +117,25 @@ class TestHandleRequest:
         assert "cache_hit_rate" in response["stats"]
         assert "startup" in response["stats"]
 
+    def test_stats_captured_in_operation_critical_section(self, service):
+        """Regression: attached stats used to be read *after* the
+        response was built, outside any lock — a concurrent tick could
+        make them disagree with the response they ride on.  They are
+        now snapshotted inside the op's own critical section, so an
+        update's stats always reflect exactly that tick."""
+        response = handle_request(service, {
+            "op": "update", "insert": [["p", "a", "q"]],
+        }, include_stats=True)
+        assert response["ok"]
+        assert response["stats"]["ticks"] == 1
+
+        # A tick racing the stats attachment cannot skew it: the
+        # captured dict is immune to later mutations of the service.
+        captured = response["stats"]
+        service.tick([("delete", ("p", "a", "q"))])
+        assert captured["ticks"] == 1
+        assert service.stats["ticks"] == 2
+
 
 class TestStdioLoop:
     def test_scripted_session(self, service):
@@ -144,28 +166,26 @@ class TestStdioLoop:
         assert serve_stream(service, stdin, stdout) == 1
 
 
+def _session(address, requests):
+    """Open one connection, run *requests*, return the responses."""
+    with socket.create_connection(address, timeout=10) as sock:
+        stream = sock.makefile("rw", encoding="utf-8")
+        out = []
+        for request in requests:
+            stream.write(json.dumps(request) + "\n")
+            stream.flush()
+            out.append(json.loads(stream.readline()))
+        return out
+
+
 class TestTCP:
     def test_concurrent_clients_share_state(self, service):
-        server = JSONLServer(("127.0.0.1", 0), service)
-        thread = threading.Thread(target=server.serve_forever, daemon=True)
-        thread.start()
-        host, port = server.server_address[:2]
-
-        def session(requests):
-            with socket.create_connection((host, port), timeout=10) as sock:
-                stream = sock.makefile("rw", encoding="utf-8")
-                out = []
-                for request in requests:
-                    stream.write(json.dumps(request) + "\n")
-                    stream.flush()
-                    out.append(json.loads(stream.readline()))
-                return out
-
-        try:
+        with ServerThread(service) as server:
             results: list = [None, None]
 
             def client(index):
-                results[index] = session([{"op": "query", "start": "S"}])
+                results[index] = _session(server.address,
+                                          [{"op": "query", "start": "S"}])
 
             threads = [threading.Thread(target=client, args=(i,))
                        for i in range(2)]
@@ -176,16 +196,161 @@ class TestTCP:
             assert results[0][0]["result"] == results[1][0]["result"]
 
             # An update through one connection is visible to the next.
-            session([{"op": "update", "insert": [["p", "a", "q"],
-                                                 ["q", "b", "p"]]}])
-            check = session([{"op": "query", "start": "S",
-                              "source": "p", "target": "p"}])
+            _session(server.address,
+                     [{"op": "update", "insert": [["p", "a", "q"],
+                                                  ["q", "b", "p"]]}])
+            check = _session(server.address,
+                             [{"op": "query", "start": "S",
+                               "source": "p", "target": "p"}])
             assert check[0]["result"] is True
-            stats = session([{"op": "stats"}])[0]["result"]
+            stats = _session(server.address,
+                             [{"op": "stats"}])[0]["result"]
             assert stats["ticks"] == 1 and stats["queries"] >= 3
-        finally:
-            server.shutdown()
-            server.server_close()
+
+    def test_concurrent_mixed_query_update_sessions(self, service):
+        """Many connections interleaving queries and ticks: every
+        response is well-formed, and queries always observe a completed
+        fixpoint (True/False, never an exception response)."""
+        with ServerThread(service) as server:
+            errors: list = []
+
+            def reader():
+                for _ in range(10):
+                    [response] = _session(server.address, [
+                        {"op": "query", "start": "S",
+                         "source": 0, "target": 0},
+                    ])
+                    if not response["ok"]:
+                        errors.append(response)
+
+            def writer(name):
+                for i in range(5):
+                    edge = [f"{name}-{i}", "a", f"{name}-{i + 1}"]
+                    for op in ("insert", "delete"):
+                        [response] = _session(server.address,
+                                              [{"op": "update",
+                                                op: [edge]}])
+                        if not response["ok"]:
+                            errors.append(response)
+
+            threads = [threading.Thread(target=reader) for _ in range(4)]
+            threads += [threading.Thread(target=writer, args=(f"w{i}",))
+                        for i in range(2)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert errors == []
+            stats = _session(server.address, [{"op": "stats"}])[0]["result"]
+            assert stats["ticks"] == 20
+            # All the writers' scratch edges were deleted again.
+            assert _session(server.address, [
+                {"op": "query", "start": "S", "source": 0, "target": 0},
+            ])[0]["result"] is True
+
+    def test_shutdown_stops_whole_server(self, service):
+        """Regression: a ``shutdown`` op must stop the *server*, not
+        just the issuing connection — another open connection observes
+        the close, and new connections are refused."""
+        with ServerThread(service) as server:
+            bystander = socket.create_connection(server.address, timeout=10)
+            bystander_stream = bystander.makefile("rw", encoding="utf-8")
+            # Prove the bystander connection is live first.
+            bystander_stream.write(json.dumps({"op": "ping"}) + "\n")
+            bystander_stream.flush()
+            assert json.loads(bystander_stream.readline())["ok"]
+
+            [response] = _session(server.address, [{"op": "shutdown"}])
+            assert response["ok"] and response["result"] == "bye"
+
+            # The second connection reads EOF: the whole server stopped.
+            bystander.settimeout(10)
+            assert bystander_stream.readline() == ""
+            bystander.close()
+
+            server._thread.join(timeout=10)
+            assert not server._thread.is_alive()
+            with pytest.raises(OSError):
+                socket.create_connection(server.address, timeout=2)
+
+    def test_client_disconnect_mid_line_is_absorbed(self, service):
+        """Regression: a client vanishing mid-request (or before reading
+        its response) must not take the server down or leak into other
+        connections."""
+        with ServerThread(service) as server:
+            # Half a request, then a hard close (RST via SO_LINGER).
+            rude = socket.create_connection(server.address, timeout=10)
+            rude.sendall(b'{"op": "query", "start"')
+            rude.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
+                            struct.pack("ii", 1, 0))
+            rude.close()
+
+            # A full request whose response is never read, then RST.
+            rude2 = socket.create_connection(server.address, timeout=10)
+            rude2.sendall(json.dumps({"op": "query", "start": "S"})
+                          .encode() + b"\n")
+            rude2.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
+                             struct.pack("ii", 1, 0))
+            rude2.close()
+
+            # The server still serves politely-behaved clients.
+            deadline = time.monotonic() + 10
+            while True:
+                try:
+                    [response] = _session(server.address,
+                                          [{"op": "ping"}])
+                    break
+                except (OSError, json.JSONDecodeError):
+                    assert time.monotonic() < deadline
+                    time.sleep(0.05)
+            assert response["result"] == "pong"
+
+    def test_oversized_frame_is_refused(self, service):
+        with ServerThread(service, max_line_bytes=4096) as server:
+            with socket.create_connection(server.address,
+                                          timeout=10) as sock:
+                stream = sock.makefile("rw", encoding="utf-8")
+                stream.write('{"op": "query", "start": "'
+                             + "S" * 8192 + '"}\n')
+                stream.flush()
+                response = json.loads(stream.readline())
+                assert response["ok"] is False
+                assert response["error_type"] == "FrameTooLongError"
+                # The connection is closed: the stream cannot be
+                # re-framed after an overlong line.
+                assert stream.readline() == ""
+            assert DEFAULT_MAX_LINE_BYTES > 4096
+            # The server survives and accepts fresh connections.
+            assert _session(server.address,
+                            [{"op": "ping"}])[0]["result"] == "pong"
+
+    def test_malformed_frames_get_error_responses(self, service):
+        with ServerThread(service) as server:
+            with socket.create_connection(server.address,
+                                          timeout=10) as sock:
+                stream = sock.makefile("rw", encoding="utf-8")
+                for frame, expected in [
+                    ("this is not json", "JSONDecodeError"),
+                    ('["not", "an", "object"]', "ValueError"),
+                    ('{"op": "no-such-op"}', "ValueError"),
+                ]:
+                    stream.write(frame + "\n")
+                    stream.flush()
+                    response = json.loads(stream.readline())
+                    assert response["ok"] is False
+                    assert response["error_type"] == expected
+                # Blank lines are skipped, the connection stays usable.
+                stream.write("\n" + json.dumps({"op": "ping"}) + "\n")
+                stream.flush()
+                assert json.loads(stream.readline())["result"] == "pong"
+
+    def test_stats_ride_on_tcp_responses(self, service):
+        with ServerThread(service, include_stats=True) as server:
+            responses = _session(server.address, [
+                {"op": "query", "start": "S"},
+                {"op": "query", "start": "S"},
+            ])
+            assert responses[1]["stats"]["cache_hit_rate"] == 0.5
 
 
 class TestServeCLI:

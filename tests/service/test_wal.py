@@ -1,0 +1,173 @@
+"""Write-ahead tick log: append/tail, recovery, anchored truncation."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.errors import WALError
+from repro.service.wal import TickLog, TickLogReader, decode_ops, encode_ops
+
+OPS = [("insert", (0, "a", 1)), ("delete", ("u", "b", "v"))]
+
+
+class TestOpCodec:
+    def test_roundtrip(self):
+        encoded = encode_ops(OPS)
+        assert encoded == [["insert", 0, "a", 1], ["delete", "u", "b", "v"]]
+        assert decode_ops(encoded) == OPS
+
+    @pytest.mark.parametrize("bad", [
+        [("insert",)],                       # no edge
+        [("insert", (0, "a"))],              # short edge
+        [("upsert", (0, "a", 1))],           # unknown kind
+        [("insert", (0, 7, 1))],             # non-string label
+        ["insert"],                          # not even a pair
+    ])
+    def test_malformed_ops_rejected(self, bad):
+        with pytest.raises(WALError):
+            encode_ops(bad)
+
+
+class TestTickLog:
+    def test_append_assigns_increasing_seq(self, tmp_path):
+        with TickLog(str(tmp_path / "wal")) as log:
+            assert log.append(OPS) == 1
+            assert log.append(OPS[:1]) == 2
+            assert log.last_seq == 2
+
+    def test_reopen_resumes_sequence(self, tmp_path):
+        path = str(tmp_path / "wal")
+        with TickLog(path) as log:
+            log.append(OPS)
+        with TickLog(path) as log:
+            assert log.last_seq == 1
+            assert log.append(OPS) == 2
+        with TickLog(path) as log:
+            assert list(log.records()) == [(1, encode_ops(OPS)),
+                                           (2, encode_ops(OPS))]
+
+    def test_partial_tail_is_trimmed_on_open(self, tmp_path):
+        path = str(tmp_path / "wal")
+        with TickLog(path) as log:
+            log.append(OPS)
+        with open(path, "ab") as stream:  # crash mid-append
+            stream.write(b'{"kind": "tick", "seq": 2, "op')
+        with TickLog(path) as log:
+            assert log.last_seq == 1
+            assert log.append(OPS) == 2
+        assert [seq for seq, _ in TickLogReader(path).poll()] == [1, 2]
+
+    def test_corrupt_record_raises(self, tmp_path):
+        path = str(tmp_path / "wal")
+        with open(path, "wb") as stream:
+            stream.write(b"garbage, not json\n")
+            stream.write(json.dumps({"kind": "tick", "seq": 1,
+                                     "ops": []}).encode() + b"\n")
+        with pytest.raises(WALError, match="corrupt"):
+            TickLog(path)
+        with pytest.raises(WALError, match="corrupt"):
+            TickLogReader(path).poll()
+
+    def test_backwards_sequence_raises(self, tmp_path):
+        path = str(tmp_path / "wal")
+        with open(path, "wb") as stream:
+            for seq in (2, 1):
+                stream.write(json.dumps({"kind": "tick", "seq": seq,
+                                         "ops": []}).encode() + b"\n")
+        with pytest.raises(WALError, match="backwards"):
+            TickLog(path)
+
+    def test_bad_fsync_policy_rejected(self, tmp_path):
+        with pytest.raises(WALError, match="fsync"):
+            TickLog(str(tmp_path / "wal"), fsync="sometimes")
+
+    @pytest.mark.parametrize("policy", ["always", "batch", "never"])
+    def test_policies_all_persist_records(self, tmp_path, policy):
+        path = str(tmp_path / f"wal-{policy}")
+        with TickLog(path, fsync=policy) as log:
+            for _ in range(5):
+                log.append(OPS)
+        assert len(TickLogReader(path).poll()) == 5
+
+    def test_anchor_beyond_log_rejected(self, tmp_path):
+        with TickLog(str(tmp_path / "wal")) as log:
+            log.append(OPS)
+            with pytest.raises(WALError, match="anchor"):
+                log.anchor("snap", seq=9)
+
+    def test_truncate_drops_anchored_prefix(self, tmp_path):
+        path = str(tmp_path / "wal")
+        with TickLog(path) as log:
+            for _ in range(4):
+                log.append(OPS)
+            log.anchor("index.snapshot", seq=3)
+            assert log.truncate() == 3
+            assert log.anchor_seq == 3 and log.last_seq == 4
+            # Appends continue past the truncation point.
+            assert log.append(OPS) == 5
+            assert [seq for seq, _ in log.records()] == [4, 5]
+        # Anchor survives reopen so a second truncate is still anchored.
+        with TickLog(path) as log:
+            assert log.anchor_seq == 3 and log.last_seq == 5
+
+    def test_truncate_with_snapshot_anchors_first(self, tmp_path):
+        with TickLog(str(tmp_path / "wal")) as log:
+            for _ in range(3):
+                log.append(OPS)
+            assert log.truncate(snapshot="index.snapshot") == 3
+            assert log.anchor_seq == 3
+            assert list(log.records()) == []
+
+
+class TestTickLogReader:
+    def test_missing_file_is_empty(self, tmp_path):
+        assert TickLogReader(str(tmp_path / "nope")).poll() == []
+
+    def test_tailing_delivers_only_new_records(self, tmp_path):
+        path = str(tmp_path / "wal")
+        reader = TickLogReader(path)
+        with TickLog(path) as log:
+            log.append(OPS)
+            assert [seq for seq, _ in reader.poll()] == [1]
+            assert reader.poll() == []
+            log.append(OPS)
+            log.append(OPS)
+            assert [seq for seq, _ in reader.poll()] == [2, 3]
+            assert reader.last_seq == 3
+
+    def test_after_seq_skips_replayed_prefix(self, tmp_path):
+        path = str(tmp_path / "wal")
+        with TickLog(path) as log:
+            for _ in range(4):
+                log.append(OPS)
+        reader = TickLogReader(path, after_seq=2)
+        assert [seq for seq, _ in reader.poll()] == [3, 4]
+
+    def test_reader_survives_truncation(self, tmp_path):
+        """Leader truncates (atomic rewrite → new inode) while a
+        follower tails: nothing redelivered, nothing lost."""
+        path = str(tmp_path / "wal")
+        reader = TickLogReader(path)
+        with TickLog(path) as log:
+            log.append(OPS)
+            log.append(OPS)
+            assert [seq for seq, _ in reader.poll()] == [1, 2]
+            log.truncate(snapshot="snap")   # drops 1..2
+            log.append(OPS)                 # seq 3
+            assert [seq for seq, _ in reader.poll()] == [3]
+
+    def test_partial_tail_held_back(self, tmp_path):
+        path = str(tmp_path / "wal")
+        with TickLog(path) as log:
+            log.append(OPS)
+        reader = TickLogReader(path)
+        with open(path, "ab") as stream:
+            stream.write(b'{"kind": "tick", "seq": 2')
+            stream.flush()
+            assert [seq for seq, _ in reader.poll()] == [1]
+            stream.write(b', "ops": []}\n')
+            stream.flush()
+            assert [seq for seq, _ in reader.poll()] == [2]
