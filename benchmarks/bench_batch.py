@@ -1,0 +1,184 @@
+"""Batched multi-query benchmark: one masked closure vs per-query loops.
+
+The batched path (:func:`repro.core.batch.solve_batch`) stacks one mask
+row per query onto the grammar matrices and answers the whole batch
+with **one** closure; the unbatched alternative runs one closure per
+query.  Each cell measures both on the same query set:
+
+* ``batched``   — one ``solve_batch(queries)`` call;
+* ``per_query`` — ``solve_batch([query])`` for each of the first
+  ``--sample`` queries (running all of a 32-query loop on funding × 8
+  would be pure waiting — the per-query *rate* is what matters);
+* ``speedup``   — batched queries/s over per-query queries/s, the
+  headline number (target: ≥ 3× at batch 32 on funding × 8, bitset);
+* ``agree``     — every batched answer equals the reference computed
+  from one all-pairs solve, and every sampled per-query answer matches.
+
+Queries are source-restricted membership probes (one mask row each),
+half drawn from the solved relation (answer True) and half random
+(mostly False), seeded — every run measures the same batch.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_batch.py \
+        --output benchmarks/BENCH_batch.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import time
+
+from bench_workloads import repeated_funding
+from repro.core.batch import BatchQuery, solve_batch
+from repro.core.matrix_cfpq import solve_matrix_relations
+from repro.grammar.builders import same_generation_query1
+from repro.grammar.cnf import ensure_cnf
+from repro.grammar.symbols import Nonterminal
+
+START = Nonterminal("S")
+GRAMMAR = ensure_cnf(same_generation_query1())
+
+#: (funding copies, batch size, strategy, backend).  Workload names end
+#: ``_<backend>`` so the regression gate skips cells whose optional
+#: dependency is missing on the checking host.
+DEFAULT_CELLS = (
+    (2, 8, "delta", "bitset"),
+    (2, 32, "delta", "bitset"),
+    (2, 32, "blocked", "bitset"),
+    (2, 32, "delta", "sparse"),
+    (2, 32, "delta", "setmatrix"),
+    (8, 32, "delta", "bitset"),  # the gated ≥3× headline cell
+)
+
+_RELATION_CACHE: dict[int, frozenset] = {}
+
+
+def _relation(copies: int) -> frozenset:
+    """The full R_S on funding × copies (one all-pairs solve, cached):
+    the answer oracle every batched/per-query result is checked
+    against."""
+    if copies not in _RELATION_CACHE:
+        graph = repeated_funding(copies)
+        relations = solve_matrix_relations(graph, GRAMMAR,
+                                           normalize=False)
+        _RELATION_CACHE[copies] = relations.node_pairs(START)
+    return _RELATION_CACHE[copies]
+
+
+def make_queries(copies: int, count: int, seed: int = 20180414) -> list:
+    """*count* seeded membership probes: half (source, target) pairs
+    sampled from the solved relation, half uniform random node pairs."""
+    graph = repeated_funding(copies)
+    relation = sorted(_relation(copies), key=str)
+    rng = random.Random(seed)
+    queries = []
+    for index in range(count):
+        if index % 2 == 0 and relation:
+            source, target = relation[rng.randrange(len(relation))]
+        else:
+            source = graph.node_at(rng.randrange(graph.node_count))
+            target = graph.node_at(rng.randrange(graph.node_count))
+        queries.append(BatchQuery(START, sources=frozenset((source,)),
+                                  targets=frozenset((target,)),
+                                  semantics="membership"))
+    return queries
+
+
+def bench_cell(copies: int, batch_size: int, strategy: str,
+               backend: str, sample: int) -> dict:
+    graph = repeated_funding(copies)
+    queries = make_queries(copies, batch_size)
+    relation = _relation(copies)
+    expected = [
+        (next(iter(query.sources)), next(iter(query.targets))) in relation
+        for query in queries
+    ]
+
+    started = time.perf_counter()
+    batched = solve_batch(graph, GRAMMAR, queries, backend=backend,
+                          strategy=strategy, normalize=False)
+    batched_s = time.perf_counter() - started
+
+    measured = min(max(1, sample), batch_size)
+    started = time.perf_counter()
+    per_query = [
+        solve_batch(graph, GRAMMAR, [query], backend=backend,
+                    strategy=strategy, normalize=False)[0]
+        for query in queries[:measured]
+    ]
+    per_query_s = time.perf_counter() - started
+
+    batched_qps = batch_size / batched_s if batched_s else 0.0
+    per_query_qps = measured / per_query_s if per_query_s else 0.0
+    return {
+        "nodes": graph.node_count,
+        "edges": graph.edge_count,
+        "batch_size": batch_size,
+        "agree": batched == expected and per_query == expected[:measured],
+        "speedup": round(batched_qps / per_query_qps, 3)
+        if per_query_qps else 0.0,
+        "solvers": {
+            "batched": {
+                "queries": batch_size,
+                "queries_per_s": round(batched_qps, 3),
+                "wall_time_s": round(batched_s, 6),
+            },
+            "per_query": {
+                "queries": measured,
+                "queries_per_s": round(per_query_qps, 3),
+                "wall_time_s": round(per_query_s, 6),
+            },
+        },
+    }
+
+
+def run(cells=DEFAULT_CELLS, sample: int = 4) -> dict:
+    report: dict = {
+        "benchmark": "batched multi-query closure (one masked closure "
+                     "vs per-query loops, funding × k, Q1 membership)",
+        "workloads": {},
+    }
+    for copies, batch_size, strategy, backend in cells:
+        name = f"funding_x{copies}_b{batch_size}_{strategy}_{backend}"
+        print(f"  {name}...", flush=True)
+        try:
+            report["workloads"][name] = bench_cell(
+                copies, batch_size, strategy, backend, sample)
+        except ImportError as error:
+            print(f"    skipped ({error})", flush=True)
+    return report
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="batched-query benchmark: one masked closure vs "
+                    "per-query loops (JSON summary)"
+    )
+    parser.add_argument("--sample", type=int, default=4,
+                        help="per-query closures measured per cell "
+                             "(the rate extrapolates; default 4)")
+    parser.add_argument("--cells", type=int, default=None,
+                        help="run only the first N sweep cells")
+    parser.add_argument("--output", default=None,
+                        help="write JSON here (default: stdout)")
+    args = parser.parse_args(argv)
+
+    cells = DEFAULT_CELLS[:args.cells] if args.cells else DEFAULT_CELLS
+    print(f"batch benchmark: {len(cells)} cells, "
+          f"sample={args.sample}", flush=True)
+    report = run(cells, sample=args.sample)
+    payload = json.dumps(report, indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as stream:
+            stream.write(payload + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(payload)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

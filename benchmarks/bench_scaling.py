@@ -35,6 +35,7 @@ import sys
 
 import pytest
 
+from bench_workloads import repeated_funding as _repeated
 from repro.baselines.gll import solve_gll
 from repro.baselines.hellings import solve_hellings
 from repro.core.matrix_cfpq import solve_matrix_relations
@@ -45,13 +46,6 @@ COPIES = (1, 2, 4, 8)
 
 #: The worklist baseline is the slowest; larger workloads skip it.
 HELLINGS_MAX_COPIES = 4
-
-
-def _repeated(copies: int):
-    cache = _repeated.__dict__.setdefault("cache", {})
-    if copies not in cache:
-        cache[copies] = repeat_graph(build_graph("funding"), copies)
-    return cache[copies]
 
 
 @pytest.mark.parametrize("copies", COPIES)

@@ -15,6 +15,8 @@ the client side.  Reported per workload:
 Workloads:
 
 * ``single_<C>c``   — one server owning reads and writes;
+* ``single_<C>c_batch8`` — the same stream with queries grouped into
+  ``batch`` ops of 8 (one round-trip, one coalesced answer batch);
 * ``leader_1r_<C>c`` / ``leader_2r_<C>c`` — a WAL-writing leader
   fanning reads out to 1 / 2 follower replicas (replica scaling).
 
@@ -30,90 +32,21 @@ import argparse
 import filecmp
 import json
 import os
-import socket
 import tempfile
-import threading
-import time
 
-from repro import QueryService, parse_grammar
-from repro.graph.generators import two_cycles
+from bench_workloads import drive_mixed_stream, make_service
 from repro.service.replica import FollowerService, ReplicatedService
 from repro.service.server import ServerThread
 from repro.service.wal import TickLog
 
-GRAMMAR = parse_grammar("S -> a S b | a b", terminals=["a", "b"])
-
-
-def _service(cycle_a: int, cycle_b: int) -> QueryService:
-    return QueryService(two_cycles(cycle_a, cycle_b), GRAMMAR)
-
-
-def _percentile(samples: list, fraction: float) -> float:
-    ordered = sorted(samples)
-    index = min(len(ordered) - 1, int(len(ordered) * fraction))
-    return ordered[index]
-
-
-def _client(address, requests: list, latencies: list, errors: list):
-    try:
-        with socket.create_connection(address, timeout=30) as sock:
-            stream = sock.makefile("rw", encoding="utf-8")
-            for request in requests:
-                started = time.perf_counter()
-                stream.write(json.dumps(request) + "\n")
-                stream.flush()
-                response = json.loads(stream.readline())
-                latencies.append(time.perf_counter() - started)
-                if not response.get("ok"):
-                    errors.append(response)
-    except (OSError, json.JSONDecodeError) as error:
-        errors.append({"error": repr(error)})
-
-
-def _drive(address, clients: int, requests_per_client: int,
-           update_every: int) -> dict:
-    """Run the mixed stream; returns latency/throughput metrics."""
-    query = {"op": "query", "start": "S", "source": 0, "target": 0}
-    latencies: list = []
-    errors: list = []
-    threads = []
-    for client_index in range(clients):
-        plan = []
-        for i in range(requests_per_client):
-            if update_every and i % update_every == update_every - 1:
-                node = f"c{client_index}-{i}"
-                plan.append({"op": "update",
-                             "insert": [[node, "a", node + "'"]],
-                             "delete": [[node, "a", node + "'"]]})
-            else:
-                plan.append(query)
-        threads.append(threading.Thread(
-            target=_client, args=(address, plan, latencies, errors)))
-    started = time.perf_counter()
-    for thread in threads:
-        thread.start()
-    for thread in threads:
-        thread.join()
-    wall = time.perf_counter() - started
-    total = clients * requests_per_client
-    return {
-        "requests": total,
-        "completed": len(latencies),
-        "errors": len(errors),
-        "p50_latency_s": _percentile(latencies, 0.50),
-        "p99_latency_s": _percentile(latencies, 0.99),
-        "queries_per_s": len(latencies) / wall if wall else 0.0,
-        "wall_time_s": wall,
-        "ok": not errors and len(latencies) == total,
-    }
-
 
 def bench_single(clients: int, requests_per_client: int,
-                 update_every: int) -> dict:
-    service = _service(2, 3)
+                 update_every: int, batch_size: int = 0) -> dict:
+    service = make_service(2, 3)
     with ServerThread(service) as server:
-        metrics = _drive(server.address, clients, requests_per_client,
-                         update_every)
+        metrics = drive_mixed_stream(server.address, clients,
+                                     requests_per_client, update_every,
+                                     batch_size=batch_size)
     metrics["agree"] = metrics.pop("ok")
     return metrics
 
@@ -125,7 +58,7 @@ def bench_replicated(replicas: int, clients: int,
     with tempfile.TemporaryDirectory() as tmp:
         wal = os.path.join(tmp, "wal")
         snapshot = os.path.join(tmp, "index.snapshot")
-        leader = ReplicatedService(_service(2, 3), TickLog(wal))
+        leader = ReplicatedService(make_service(2, 3), TickLog(wal))
         leader.save_snapshot(snapshot)
         followers = [FollowerService.from_snapshot(snapshot, wal)
                      for _ in range(replicas)]
@@ -140,8 +73,9 @@ def bench_replicated(replicas: int, clients: int,
                 leader,
                 replicas=[server.address for server in follower_servers],
             ) as front:
-                metrics = _drive(front.address, clients,
-                                 requests_per_client, update_every)
+                metrics = drive_mixed_stream(front.address, clients,
+                                             requests_per_client,
+                                             update_every)
         finally:
             for server in follower_servers:
                 server.__exit__(None, None, None)
@@ -168,6 +102,10 @@ def run(clients: int, requests_per_client: int,
     print(f"  {name}...", flush=True)
     workloads[name] = bench_single(clients, requests_per_client,
                                    update_every)
+    name = f"single_{clients}c_batch8"
+    print(f"  {name}...", flush=True)
+    workloads[name] = bench_single(clients, requests_per_client,
+                                   update_every, batch_size=8)
     for replicas in (1, 2):
         name = f"leader_{replicas}r_{clients}c"
         print(f"  {name}...", flush=True)

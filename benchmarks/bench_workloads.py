@@ -1,0 +1,141 @@
+"""Shared workload and client helpers for the benchmark scripts.
+
+Two helper families used to be copied between benchmark scripts; one
+copy of each lives here so ``bench_batch.py`` does not become a third:
+
+* the serving-tier JSONL machinery — the serving grammar, the
+  two-cycles service factory, latency percentiles, the socket client
+  and the mixed query/update stream driver (``bench_serving.py``);
+* the paper's repeated-funding-ontology workload cache — funding × k,
+  the exact g1 recipe (``bench_scaling.py``, ``bench_batch.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+
+from repro import QueryService, parse_grammar
+from repro.datasets.registry import build_graph
+from repro.graph.generators import repeat_graph, two_cycles
+
+#: The serving-tier benchmark grammar: balanced a/b nesting.
+SERVING_GRAMMAR = parse_grammar("S -> a S b | a b", terminals=["a", "b"])
+
+_FUNDING_CACHE: dict[int, object] = {}
+
+
+def repeated_funding(copies: int):
+    """The funding ontology repeated *copies* times (the paper's g1
+    recipe), cached per process so sweeps over k never rebuild."""
+    if copies not in _FUNDING_CACHE:
+        _FUNDING_CACHE[copies] = repeat_graph(build_graph("funding"),
+                                              copies)
+    return _FUNDING_CACHE[copies]
+
+
+def make_service(cycle_a: int, cycle_b: int) -> QueryService:
+    """The serving benchmark's service: two cycles over the grammar."""
+    return QueryService(two_cycles(cycle_a, cycle_b), SERVING_GRAMMAR)
+
+
+def percentile(samples: list, fraction: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(len(ordered) * fraction))
+    return ordered[index]
+
+
+def run_client(address, requests: list, latencies: list, errors: list):
+    """One JSONL client connection: send each request, wait for its
+    response, record latency.  A ``batch`` request records one latency
+    sample per item (the stream's unit of work is the logical query)
+    and checks every per-item envelope."""
+    try:
+        with socket.create_connection(address, timeout=30) as sock:
+            stream = sock.makefile("rw", encoding="utf-8")
+            for request in requests:
+                started = time.perf_counter()
+                stream.write(json.dumps(request) + "\n")
+                stream.flush()
+                response = json.loads(stream.readline())
+                elapsed = time.perf_counter() - started
+                if request.get("op") == "batch":
+                    if not response.get("ok"):
+                        errors.append(response)
+                        continue
+                    for item in response["result"]:
+                        latencies.append(elapsed)
+                        if not item.get("ok"):
+                            errors.append(item)
+                else:
+                    latencies.append(elapsed)
+                    if not response.get("ok"):
+                        errors.append(response)
+    except (OSError, json.JSONDecodeError) as error:
+        errors.append({"error": repr(error)})
+
+
+def _client_plan(client_index: int, requests_per_client: int,
+                 update_every: int, batch_size: int) -> list:
+    """One client's request stream: point queries with a periodic
+    insert+delete update tick.  With *batch_size* > 0, consecutive
+    queries are grouped into ``batch`` ops (updates stay single)."""
+    query = {"op": "query", "start": "S", "source": 0, "target": 0}
+    plan: list = []
+    run: list = []
+
+    def flush():
+        if run:
+            plan.append({"op": "batch", "queries": list(run)})
+            run.clear()
+
+    for i in range(requests_per_client):
+        if update_every and i % update_every == update_every - 1:
+            flush()
+            node = f"c{client_index}-{i}"
+            plan.append({"op": "update",
+                         "insert": [[node, "a", node + "'"]],
+                         "delete": [[node, "a", node + "'"]]})
+        elif batch_size:
+            run.append({key: value for key, value in query.items()
+                        if key != "op"})
+            if len(run) >= batch_size:
+                flush()
+        else:
+            plan.append(query)
+    flush()
+    return plan
+
+
+def drive_mixed_stream(address, clients: int, requests_per_client: int,
+                       update_every: int, batch_size: int = 0) -> dict:
+    """Run the mixed stream; returns latency/throughput metrics.
+    Throughput counts logical queries, so batched and unbatched
+    workloads compare apples-to-apples."""
+    latencies: list = []
+    errors: list = []
+    threads = []
+    for client_index in range(clients):
+        plan = _client_plan(client_index, requests_per_client,
+                            update_every, batch_size)
+        threads.append(threading.Thread(
+            target=run_client, args=(address, plan, latencies, errors)))
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    total = clients * requests_per_client
+    return {
+        "requests": total,
+        "completed": len(latencies),
+        "errors": len(errors),
+        "p50_latency_s": percentile(latencies, 0.50),
+        "p99_latency_s": percentile(latencies, 0.99),
+        "queries_per_s": len(latencies) / wall if wall else 0.0,
+        "wall_time_s": wall,
+        "ok": not errors and len(latencies) == total,
+    }

@@ -20,6 +20,7 @@ Quickstart::
     print(engine.single_path("S", 0, 0))
 """
 
+from .core.batch import BatchQuery, solve_batch
 from .core.closure import available_strategies, run_closure
 from .core.engine import CFPQEngine, cfpq
 from .core.incremental import IncrementalCFPQ, IncrementalSinglePathCFPQ
@@ -48,6 +49,7 @@ __all__ = [
     "AllPathIndex",
     "AnnotatedBackend",
     "AnnotatedMatrix",
+    "BatchQuery",
     "CFG",
     "CFPQEngine",
     "ContextFreeRelations",
@@ -75,6 +77,7 @@ __all__ = [
     "load_rdf_graph",
     "save_engine_snapshot",
     "parse_grammar",
+    "solve_batch",
     "solve_matrix",
     "solve_matrix_relations",
     "solve_naive",

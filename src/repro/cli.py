@@ -133,6 +133,8 @@ def _stats_payload(engine: CFPQEngine) -> dict:
 
 
 def cmd_query(args: argparse.Namespace) -> int:
+    if args.batch:
+        return _cmd_query_batch(args)
     engine = CFPQEngine(_load_graph(args), _load_grammar(args),
                         backend=args.backend, strategy=args.strategy,
                         **_strategy_options(args))
@@ -150,6 +152,49 @@ def cmd_query(args: argparse.Namespace) -> int:
         if args.stats:
             print("stats:")
             print(json.dumps(_stats_payload(engine), indent=2))
+    return 0
+
+
+def _cmd_query_batch(args: argparse.Namespace) -> int:
+    """Answer a JSONL file of query specs with **one** batched closure
+    (:func:`repro.core.batch.solve_batch`) instead of one solve per
+    line."""
+    from .core.batch import solve_batch
+    from .service.server import _coerce_node as _coerce_json_node
+
+    graph = _load_graph(args)
+    grammar = _load_grammar(args)
+    specs = []
+    with open(args.batch, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            spec = json.loads(line)
+            if isinstance(spec, dict):
+                spec = dict(spec)
+                spec.setdefault("start", args.start)
+                for key in ("source", "target"):
+                    if spec.get(key) is not None:
+                        spec[key] = _coerce_json_node(graph, spec[key])
+                for key in ("sources", "targets"):
+                    if spec.get(key) is not None:
+                        spec[key] = [_coerce_json_node(graph, node)
+                                     for node in spec[key]]
+            specs.append(spec)
+    answers = solve_batch(graph, grammar, specs, backend=args.backend,
+                          strategy=args.strategy,
+                          **_strategy_options(args))
+    rendered = [
+        sorted([str(a), str(b)] for a, b in answer)
+        if isinstance(answer, frozenset) else answer
+        for answer in answers
+    ]
+    if args.json:
+        print(json.dumps({"count": len(rendered), "answers": rendered}))
+    else:
+        for spec, answer in zip(specs, rendered):
+            print(f"{json.dumps(spec)} -> {json.dumps(answer)}")
     return 0
 
 
@@ -327,7 +372,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
                          "fans reads out to its followers)")
     if args.port is not None:
         serve_tcp(service, host=args.host, port=args.port,
-                  include_stats=args.stats, replicas=replicas)
+                  include_stats=args.stats, replicas=replicas,
+                  batch_window_ms=args.batch_window_ms)
     else:
         serve_stream(service, sys.stdin, sys.stdout,
                      include_stats=args.stats)
@@ -390,6 +436,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     query = subparsers.add_parser("query", help="relational semantics")
     _add_common(query)
+    query.add_argument("--batch", metavar="FILE",
+                       help="JSONL file of query specs (start/source(s)/"
+                            "target(s)/semantics per line) answered by "
+                            "one batched closure")
     query.add_argument("--json", action="store_true")
     query.add_argument("--stats", action="store_true",
                        help="print solver stats (iterations, per-round "
@@ -497,6 +547,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="serve TCP on this port (0 = ephemeral; the "
                             "bound address is announced on stderr) "
                             "instead of stdio")
+    serve.add_argument("--batch-window-ms", type=float, default=None,
+                       help="micro-batch window in ms: concurrent single "
+                            "query requests within the window coalesce "
+                            "into one batched closure (default: "
+                            "$REPRO_BATCH_WINDOW_MS or off)")
     serve.add_argument("--stats", action="store_true",
                        help="attach cache hit rate / tick latency / "
                             "snapshot size to every response")

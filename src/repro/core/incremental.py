@@ -462,6 +462,15 @@ class IncrementalCFPQ:
             nonterminal = Nonterminal(nonterminal)
         return frozenset(self._facts.get(nonterminal, ()))
 
+    def targets_from(self, nonterminal: Nonterminal | str,
+                     source: int) -> frozenset[int]:
+        """The targets reachable from one source: ``{j : (source, j) ∈
+        R_A}``.  One row of the by-source index — a membership probe
+        never has to materialize (or copy) the full relation."""
+        if isinstance(nonterminal, str):
+            nonterminal = Nonterminal(nonterminal)
+        return frozenset(self._by_source.get((nonterminal, source), ()))
+
     @property
     def stats(self) -> dict[str, int]:
         """Instrumentation: updates seen, facts propagated/removed, and

@@ -79,11 +79,10 @@ class MatrixCFPQResult:
     stats: MatrixCFPQStats
 
 
-def initial_boolean_matrices(graph: LabeledGraph, grammar: CFG,
-                             backend: MatrixBackend,
-                             ) -> dict[Nonterminal, BooleanMatrix]:
-    """Matrix initialization (Algorithm 1 lines 6-7), decomposed:
-    ``M_A[i,j] = 1`` iff some edge ``(i, x, j)`` has a rule ``A → x``,
+def initial_pair_sets(graph: LabeledGraph, grammar: CFG,
+                      ) -> dict[Nonterminal, set[tuple[int, int]]]:
+    """The base facts of Algorithm 1 lines 6-7 as coordinate sets:
+    ``(i, j) ∈ S_A`` iff some edge ``(i, x, j)`` has a rule ``A → x``,
     plus the identity diagonal for every non-terminal that could derive
     ε before CNF normalization (``ε ∈ L(G_A)`` makes the empty path
     ``iπi`` a witness for every node — see
@@ -103,8 +102,18 @@ def initial_boolean_matrices(graph: LabeledGraph, grammar: CFG,
         pairs = graph.edge_pairs(label)
         for head in heads:
             pair_sets[head] |= pairs
+    return pair_sets
+
+
+def initial_boolean_matrices(graph: LabeledGraph, grammar: CFG,
+                             backend: MatrixBackend,
+                             ) -> dict[Nonterminal, BooleanMatrix]:
+    """Matrix initialization (Algorithm 1 lines 6-7), decomposed: the
+    :func:`initial_pair_sets` base facts materialized on *backend*."""
+    n = graph.node_count
     return {
-        nt: backend.from_pairs(n, pairs) for nt, pairs in pair_sets.items()
+        nt: backend.from_pairs(n, pairs)
+        for nt, pairs in initial_pair_sets(graph, grammar).items()
     }
 
 

@@ -36,7 +36,7 @@ fall back to value semantics when ``supports_inplace`` is False.
 from __future__ import annotations
 
 import abc
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Sequence
 
 from ..errors import DimensionMismatchError, UnknownBackendError
 
@@ -211,6 +211,52 @@ class MatrixBackend(abc.ABC):
         with a storage-level copy."""
         rows, cols = matrix.shape
         return self.from_pairs(rows, matrix.nonzero_pairs(), cols=cols)
+
+    # -- row kernels (the batched mask path) ------------------------------
+    def gather_rows(self, matrix: BooleanMatrix,
+                    rows: Sequence[int]) -> BooleanMatrix:
+        """Stack the listed rows of *matrix* into a fresh
+        ``(len(rows), cols)`` matrix: output row ``i`` is
+        ``matrix[rows[i]]``.  Rows may repeat and appear in any order.
+
+        The result is always independent of *matrix* (a copy, never a
+        view).  Generic coordinate gather; dense/bitset/sparse override
+        with vectorized row indexing.
+        """
+        n_rows, n_cols = matrix.shape
+        index: dict[int, list[int]] = {}
+        for position, row in enumerate(rows):
+            if not 0 <= row < n_rows:
+                raise IndexError(
+                    f"row {row} out of range for shape {matrix.shape}"
+                )
+            index.setdefault(row, []).append(position)
+        pairs = [
+            (position, j)
+            for i, j in matrix.nonzero_pairs()
+            for position in index.get(i, ())
+        ]
+        return self.from_pairs(len(rows), pairs, cols=n_cols)
+
+    def mask_rows(self, matrix: BooleanMatrix,
+                  keep: Iterable[int]) -> BooleanMatrix:
+        """Apply a row mask: a same-shape copy of *matrix* keeping only
+        the rows listed in *keep* (every other row becomes all-False).
+
+        Out-of-range row indexes are rejected — a silent drop would
+        hide an off-by-one in a caller's mask layout.  Generic
+        coordinate filter; backends override with storage-level row
+        selection.
+        """
+        n_rows, n_cols = matrix.shape
+        wanted = set(keep)
+        for row in wanted:
+            if not 0 <= row < n_rows:
+                raise IndexError(
+                    f"row {row} out of range for shape {matrix.shape}"
+                )
+        pairs = [(i, j) for i, j in matrix.nonzero_pairs() if i in wanted]
+        return self.from_pairs(n_rows, pairs, cols=n_cols)
 
     # -- mutable kernel entry points --------------------------------------
     def union_update(self, target: BooleanMatrix, other: BooleanMatrix,

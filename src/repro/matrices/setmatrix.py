@@ -302,6 +302,36 @@ class SetMatrixBackend(MatrixBackend):
         rows, cols = matrix.shape
         return RowSetMatrix((rows, cols), matrix.nonzero_pairs())
 
+    def gather_rows(self, matrix: BooleanMatrix, rows) -> RowSetMatrix:
+        n_rows, n_cols = matrix.shape
+        row_list = list(rows)
+        by_row = _boolean_rows_of(matrix) \
+            if not isinstance(matrix, RowSetMatrix) else matrix._rows
+        pairs = []
+        for position, row in enumerate(row_list):
+            if not 0 <= row < n_rows:
+                raise IndexError(
+                    f"row {row} out of range for shape {matrix.shape}"
+                )
+            pairs.extend((position, j) for j in by_row.get(row, ()))
+        return RowSetMatrix((len(row_list), n_cols), pairs)
+
+    def mask_rows(self, matrix: BooleanMatrix, keep) -> RowSetMatrix:
+        n_rows, n_cols = matrix.shape
+        wanted = set(keep)
+        for row in wanted:
+            if not 0 <= row < n_rows:
+                raise IndexError(
+                    f"row {row} out of range for shape {matrix.shape}"
+                )
+        by_row = _boolean_rows_of(matrix) \
+            if not isinstance(matrix, RowSetMatrix) else matrix._rows
+        pairs = [
+            (i, j) for i, columns in by_row.items()
+            if i in wanted for j in columns
+        ]
+        return RowSetMatrix((n_rows, n_cols), pairs)
+
     @staticmethod
     def _copy(matrix: "RowSetMatrix") -> "RowSetMatrix":
         clone = RowSetMatrix(matrix._shape, ())

@@ -15,12 +15,19 @@ algorithms that followed the paper.)
 
 from __future__ import annotations
 
-from typing import Hashable
+from typing import Hashable, Iterable
 
+from ..core.closure import run_closure
+from ..core.matrix_cfpq import DEFAULT_STRATEGY
+from ..grammar.symbols import Nonterminal
 from ..graph.labeled_graph import LabeledGraph
 from ..matrices.base import BooleanMatrix, MatrixBackend, get_backend
 from .automaton import NFA, regex_to_nfa
 from .regex import parse_regex
+
+#: The one-nonterminal grammar an RPQ compiles to: transitive closure
+#: is the single pair rule ``R → R R`` over the product adjacency.
+_REACH = Nonterminal("__rpq_reach__")
 
 
 def product_adjacency(nfa: NFA, graph: LabeledGraph,
@@ -44,8 +51,50 @@ def product_adjacency(nfa: NFA, graph: LabeledGraph,
     return backend.from_pairs(nfa.state_count * node_count, pairs)
 
 
+def _product_closure(adjacency: BooleanMatrix, backend: MatrixBackend,
+                     strategy: str) -> BooleanMatrix:
+    """Transitive closure ``A⁺`` of the product adjacency, computed by
+    the CFPQ closure engine: an RPQ is the one-nonterminal grammar
+    ``R → R R`` whose sole matrix starts as the adjacency — so every
+    closure strategy (naive/delta/blocked/autotune) applies unchanged.
+    """
+    matrices = {_REACH: backend.clone(adjacency)}
+    result = run_closure(matrices, [(_REACH, _REACH, _REACH)], backend,
+                         strategy=strategy)
+    return result.matrices[_REACH]
+
+
+def _demux_rpq(closed: BooleanMatrix, nfa: NFA, graph: LabeledGraph,
+               backend: MatrixBackend, offset: int = 0,
+               ) -> frozenset[tuple[Hashable, Hashable]]:
+    """Read one query's (source, target) pairs out of a closed product
+    matrix whose block starts at row *offset*: keep only the start-state
+    rows (a :meth:`~repro.matrices.base.MatrixBackend.mask_rows` kernel
+    apply, not a Python filter over the full closure), then accept-state
+    columns."""
+    node_count = graph.node_count
+    start_rows = [offset + q * node_count + v
+                  for q in nfa.start_states for v in range(node_count)]
+    masked = backend.mask_rows(closed, start_rows)
+    span = nfa.state_count * node_count
+    answers: set[tuple[Hashable, Hashable]] = set()
+    for source_id, target_id in masked.nonzero_pairs():
+        if not offset <= target_id < offset + span:
+            continue
+        _state, source_node = divmod(source_id - offset, node_count)
+        target_state, target_node = divmod(target_id - offset, node_count)
+        if target_state in nfa.accept_states:
+            answers.add((graph.node_at(source_node),
+                         graph.node_at(target_node)))
+    if nfa.accepts_empty():
+        for node in graph.nodes:
+            answers.add((node, node))
+    return frozenset(answers)
+
+
 def solve_rpq(graph: LabeledGraph, query: "str | NFA",
               backend: "str | MatrixBackend" = "sparse",
+              strategy: str = DEFAULT_STRATEGY,
               ) -> frozenset[tuple[Hashable, Hashable]]:
     """Evaluate an RPQ; returns the satisfied (source, target) node
     pairs (as node objects).
@@ -53,7 +102,60 @@ def solve_rpq(graph: LabeledGraph, query: "str | NFA",
     *query* is a regex string (see :mod:`repro.regular.regex`) or a
     prebuilt NFA.  ε (the empty path) contributes the reflexive pairs
     when the expression is nullable, matching the RPQ literature.
+    Evaluation runs through the CFPQ closure engine (see
+    :func:`_product_closure`), so *strategy* picks any registered
+    closure strategy; :func:`solve_rpq_reference` keeps the original
+    self-contained squaring loop as the differential oracle.
     """
+    nfa = regex_to_nfa(parse_regex(query)) if isinstance(query, str) else query
+    backend_obj = get_backend(backend)
+    if graph.node_count == 0:
+        return frozenset()
+    adjacency = product_adjacency(nfa, graph, backend_obj)
+    closed = _product_closure(adjacency, backend_obj, strategy)
+    return _demux_rpq(closed, nfa, graph, backend_obj)
+
+
+def solve_rpq_batch(graph: LabeledGraph,
+                    queries: Iterable["str | NFA"],
+                    backend: "str | MatrixBackend" = "sparse",
+                    strategy: str = DEFAULT_STRATEGY,
+                    ) -> list[frozenset[tuple[Hashable, Hashable]]]:
+    """Evaluate many RPQs with **one** closure: each query's product
+    graph becomes one block of a block-diagonal adjacency (blocks never
+    interact — there are no cross-block edges), the closure runs once
+    over the stacked matrix, and per-query answers demultiplex from
+    each block's start-state rows."""
+    nfas = [regex_to_nfa(parse_regex(query)) if isinstance(query, str)
+            else query for query in queries]
+    backend_obj = get_backend(backend)
+    node_count = graph.node_count
+    if not nfas:
+        return []
+    if node_count == 0:
+        return [frozenset() for _ in nfas]
+    offsets: list[int] = []
+    total = 0
+    for nfa in nfas:
+        offsets.append(total)
+        total += nfa.state_count * node_count
+    pairs: set[tuple[int, int]] = set()
+    for nfa, offset in zip(nfas, offsets):
+        block = product_adjacency(nfa, graph, backend_obj)
+        pairs.update((offset + i, offset + j)
+                     for i, j in block.nonzero_pairs())
+    closed = _product_closure(backend_obj.from_pairs(total, pairs),
+                              backend_obj, strategy)
+    return [_demux_rpq(closed, nfa, graph, backend_obj, offset=offset)
+            for nfa, offset in zip(nfas, offsets)]
+
+
+def solve_rpq_reference(graph: LabeledGraph, query: "str | NFA",
+                        backend: "str | MatrixBackend" = "sparse",
+                        ) -> frozenset[tuple[Hashable, Hashable]]:
+    """The original self-contained evaluation loop (squaring closure +
+    Python row filter), kept verbatim as the differential oracle for
+    the engine-routed :func:`solve_rpq`."""
     nfa = regex_to_nfa(parse_regex(query)) if isinstance(query, str) else query
     backend_obj = get_backend(backend)
     node_count = graph.node_count
@@ -67,7 +169,6 @@ def solve_rpq(graph: LabeledGraph, query: "str | NFA",
     closed = boolean_closure_naive(adjacency)
 
     answers: set[tuple[Hashable, Hashable]] = set()
-    accept_bases = {q * node_count for q in nfa.accept_states}
     for source_id, target_id in closed.nonzero_pairs():
         source_state, source_node = divmod(source_id, node_count)
         target_state, target_node = divmod(target_id, node_count)

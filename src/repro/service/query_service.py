@@ -37,13 +37,14 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Hashable, Iterable
 
+from ..core.batch import BatchQuery, solve_batch
 from ..core.incremental import IncrementalCFPQ, IncrementalSinglePathCFPQ
 from ..core.matrix_cfpq import DEFAULT_STRATEGY
 from ..core.single_path import extract_path
-from ..errors import SemanticsError
+from ..errors import ReproError, SemanticsError
 from ..grammar.symbols import Nonterminal
 from ..graph.labeled_graph import Edge, LabeledGraph
-from ..matrices.base import default_backend
+from ..matrices.base import default_backend, get_backend
 from . import snapshot as snapshot_store
 
 #: Query semantics the service caches and serves.
@@ -51,6 +52,16 @@ SERVICE_SEMANTICS = ("relational", "single-path", "length")
 
 #: Default LRU capacity.
 DEFAULT_CACHE_SIZE = 1024
+
+#: Minimum stacked-row padding of the cached batch matrices: batches up
+#: to this many mask rows reuse the cached padding instead of forcing a
+#: rebuild at a larger size.
+DEFAULT_BATCH_CAPACITY = 64
+
+#: Exceptions :meth:`QueryService.query_batch` converts into per-item
+#: results instead of failing the whole batch (mirrors the server's
+#: error envelope).
+BATCH_ITEM_ERRORS = (ReproError, ValueError, KeyError, TypeError)
 
 
 class ReadWriteLock:
@@ -203,6 +214,16 @@ class QueryService:
         self._tick_seconds_last = 0.0
         self._tick_seconds_total = 0.0
         self._snapshot_bytes = 0
+
+        # Padded per-nonterminal matrices for the warm batched path:
+        # closed facts at size (n + capacity) so a batch's mask rows fit
+        # without rebuilding.  Invalidated per-NT by tick().
+        self._batch_matrices: dict[Nonterminal, object] = {}
+        self._batch_capacity = 0
+        self._batch_nodes = -1
+        self._batch_lock = threading.Lock()
+        self._batched_queries = 0
+        self._batch_closures = 0
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -381,6 +402,156 @@ class QueryService:
             self._maybe_capture_stats()
             return value
 
+    def query_batch(self, queries: Iterable) -> list:
+        """Answer many queries under **one** read-lock acquisition.
+
+        Each item is a ``(start, source, target, semantics)`` tuple
+        (trailing elements optional) or a dict with those keys.  The
+        answers come back in input order; an item that fails raises
+        nothing — its slot holds the exception instance, so one bad
+        query never poisons the batch.
+
+        The batch is partitioned three ways:
+
+        * **cache hits** are served from the LRU directly;
+        * **maskable residue** — relational membership probes (both
+          endpoints given) — is compiled into *one*
+          :func:`~repro.core.batch.solve_batch` warm run over the
+          cached padded closure matrices, one stacked mask row per
+          probe;
+        * everything else evaluates per-item exactly as :meth:`query`.
+
+        Every computed answer populates the LRU under its single-query
+        key, so the existing per-nonterminal tick invalidation applies
+        unchanged.
+        """
+        items: list = []
+        for query in queries:
+            try:
+                items.append(self._coerce_batch_item(query))
+            except BATCH_ITEM_ERRORS as exc:
+                items.append(exc)
+        results: list = [None] * len(items)
+        with self._lock.reading():
+            residue: list[tuple[int, tuple, tuple]] = []
+            with self._cache_lock:
+                for index, item in enumerate(items):
+                    if isinstance(item, Exception):
+                        results[index] = item
+                        continue
+                    self._queries += 1
+                    self._batched_queries += 1
+                    key = (str(item[0]), item[1], item[2], item[3])
+                    if key in self._cache:
+                        self._hits += 1
+                        self._cache.move_to_end(key)
+                        results[index] = self._cache[key]
+                    else:
+                        self._misses += 1
+                        residue.append((index, key, item))
+
+            maskable: list[tuple[int, tuple, BatchQuery]] = []
+            to_cache: list[tuple[tuple, object]] = []
+            graph = self.solver.graph
+            for index, key, item in residue:
+                start, source, target, semantics = item
+                if (semantics == "relational" and source is not None
+                        and target is not None):
+                    try:
+                        start_nt = start if isinstance(start, Nonterminal) \
+                            else Nonterminal(str(start))
+                        self.solver.grammar.require_nonterminal(start_nt)
+                    except BATCH_ITEM_ERRORS as exc:
+                        results[index] = exc
+                        continue
+                    if not (graph.has_node(source) and graph.has_node(target)):
+                        results[index] = False
+                        to_cache.append((key, False))
+                        continue
+                    maskable.append((index, key, BatchQuery(
+                        start_nt,
+                        sources=frozenset((source,)),
+                        targets=frozenset((target,)),
+                        semantics="membership",
+                    )))
+                else:
+                    try:
+                        value = self._evaluate(start, source, target,
+                                               semantics)
+                    except BATCH_ITEM_ERRORS as exc:
+                        results[index] = exc
+                        continue
+                    results[index] = value
+                    to_cache.append((key, value))
+
+            if maskable:
+                closed = self._closed_batch_matrices(len(maskable))
+                answers = solve_batch(
+                    graph, self.solver.grammar,
+                    [query for _index, _key, query in maskable],
+                    backend=self.backend, strategy=self.strategy,
+                    normalize=False, closed_matrices=closed,
+                    **self.strategy_options,
+                )
+                self._batch_closures += 1
+                for (index, key, _query), answer in zip(maskable, answers):
+                    results[index] = answer
+                    to_cache.append((key, answer))
+
+            if to_cache:
+                with self._cache_lock:
+                    for key, value in to_cache:
+                        self._cache[key] = value
+                        self._cache.move_to_end(key)
+                    while len(self._cache) > self._cache_size:
+                        self._cache.popitem(last=False)
+                        self._evictions += 1
+            self._maybe_capture_stats()
+            return results
+
+    @staticmethod
+    def _coerce_batch_item(query) -> tuple:
+        """Normalize one batch item to ``(start, source, target,
+        semantics)``."""
+        if isinstance(query, dict):
+            if "start" not in query:
+                raise SemanticsError("batch query needs a 'start' key")
+            return (query["start"], query.get("source"),
+                    query.get("target"),
+                    query.get("semantics", "relational"))
+        spec = tuple(query)
+        if not 1 <= len(spec) <= 4:
+            raise SemanticsError(
+                "batch query tuples take 1-4 elements "
+                "(start[, source[, target[, semantics]]])"
+            )
+        padded = spec + (None,) * (3 - len(spec)) if len(spec) < 3 else spec
+        if len(padded) == 3:
+            padded = padded + ("relational",)
+        return padded
+
+    def _closed_batch_matrices(self, rows_needed: int) -> dict:
+        """The solver's closed facts padded to ``n + capacity`` rows,
+        cached per nonterminal so consecutive batches skip the rebuild.
+        Called under the read lock; tick() (writer) invalidates changed
+        nonterminals, so cached entries are always the current fixpoint.
+        """
+        solver = self.solver
+        n = solver.graph.node_count
+        with self._batch_lock:
+            if self._batch_nodes != n or self._batch_capacity < rows_needed:
+                self._batch_matrices.clear()
+                self._batch_capacity = max(DEFAULT_BATCH_CAPACITY,
+                                           rows_needed)
+                self._batch_nodes = n
+            size = n + self._batch_capacity
+            backend = get_backend(self.backend)
+            for nonterminal in solver.grammar.nonterminals:
+                if nonterminal not in self._batch_matrices:
+                    self._batch_matrices[nonterminal] = backend.from_pairs(
+                        size, solver.pairs(nonterminal))
+            return dict(self._batch_matrices)
+
     def _evaluate(self, start, source, target, semantics: str):
         start_nt = start if isinstance(start, Nonterminal) \
             else Nonterminal(str(start))
@@ -397,8 +568,9 @@ class QueryService:
                 )
             if not (graph.has_node(source) and graph.has_node(target)):
                 return False
-            return (graph.node_id(source), graph.node_id(target)) \
-                in solver.pairs(start_nt)
+            # One row of the by-source index — never the full relation.
+            return graph.node_id(target) in solver.targets_from(
+                start_nt, graph.node_id(source))
         if semantics in ("single-path", "length"):
             if not self.single_path:
                 raise SemanticsError(
@@ -491,6 +663,12 @@ class QueryService:
                 frontier_runs = 1
                 changed.update(solver.last_changes)
             self._sp_index = None
+            # The padded batch matrices mirror the closed facts per
+            # nonterminal; drop exactly the changed ones (a node-count
+            # change is caught by the rebuild check at next build).
+            with self._batch_lock:
+                for nonterminal in changed:
+                    self._batch_matrices.pop(nonterminal, None)
             # Cached witness paths reference concrete graph edges, so a
             # deletion can invalidate them even when DRed re-derived
             # every fact with identical annotations (same pair, same
@@ -662,5 +840,10 @@ class QueryService:
                 "seconds": round(self._startup_seconds, 6),
             },
             "snapshot_bytes": self._snapshot_bytes,
+            "batch": {
+                "queries": self._batched_queries,
+                "closures": self._batch_closures,
+                "cached_nonterminals": len(self._batch_matrices),
+            },
             "solver": dict(self.solver.stats),
         }

@@ -63,6 +63,9 @@ class _ServiceProxy:
         return self.service.query(start, source=source, target=target,
                                   semantics=semantics)
 
+    def query_batch(self, queries):
+        return self.service.query_batch(queries)
+
     @contextlib.contextmanager
     def capture_stats(self):
         """Delegate to the wrapped service's in-critical-section stats

@@ -10,6 +10,8 @@ TCP (``repro-cfpq serve --port N``; try it with netcat).  Requests:
     {"op": "query", "start": "S", "source": 0, "target": 3}
     {"op": "query", "start": "S", "source": 0, "target": 3,
      "semantics": "single-path"}
+    {"op": "batch", "queries": [{"start": "S", "source": 0, "target": 3},
+                                {"start": "S"}]}
     {"op": "update", "insert": [["u", "a", "v"]],
      "delete": [["x", "a", "y"]]}
     {"op": "update", "ops": [["insert", "u", "a", "v"],
@@ -38,10 +40,20 @@ disconnects mid-response are absorbed per-connection, and oversized
 frames are refused with an error response instead of an unbounded read
 buffer.
 
+A ``batch`` op answers many queries in one round-trip: ``queries`` in,
+an ordered list of per-item ``{"ok": ...}`` envelopes out — one bad
+item reports its own error instead of failing the batch.  Relational
+membership probes in a batch are answered by **one** masked closure
+(:meth:`QueryService.query_batch`), not one solve per item.  With
+``--batch-window-ms W`` the server additionally *micro-batches*:
+concurrent single ``query`` requests arriving within a W ms window are
+coalesced into one ``query_batch`` call, each connection still
+receiving its own ordinary query response.
+
 With ``replicas=[(host, port), ...]`` the server is a read fan-out
-front door: ``query`` ops are forwarded round-robin to follower
-replicas (their responses relayed verbatim), every other op runs
-locally — the leader owns writes.  With a follower service, a
+front door: ``query`` and ``batch`` ops are forwarded round-robin to
+follower replicas (their responses relayed verbatim), every other op
+runs locally — the leader owns writes.  With a follower service, a
 background task tails the WAL so the replica converges without client
 involvement.
 """
@@ -52,6 +64,7 @@ import asyncio
 import contextlib
 import json
 import logging
+import os
 import sys
 import threading
 from concurrent.futures import ThreadPoolExecutor
@@ -120,6 +133,20 @@ def _dispatch(service: QueryService, op: str, request: dict):
             semantics=request.get("semantics", "relational"),
         )
         return _jsonable_result(result)
+    if op == "batch":
+        queries = request.get("queries")
+        if not isinstance(queries, list):
+            raise ValueError("batch requires a 'queries' list")
+        graph = service.graph
+        items: list = []
+        for spec in queries:
+            if isinstance(spec, dict):
+                spec = dict(spec)
+                spec["source"] = _coerce_node(graph, spec.get("source"))
+                spec["target"] = _coerce_node(graph, spec.get("target"))
+            items.append(spec)
+        return [_batch_item_envelope(answer)
+                for answer in service.query_batch(items)]
     if op == "update":
         graph = service.graph
         ops = [
@@ -155,9 +182,20 @@ def _dispatch(service: QueryService, op: str, request: dict):
     if op == "shutdown":
         return "bye"
     raise ValueError(
-        f"unknown op {op!r}; expected query/update/stats/sync/save/"
-        "ping/shutdown"
+        f"unknown op {op!r}; expected query/batch/update/stats/sync/"
+        "save/ping/shutdown"
     )
+
+
+def _batch_item_envelope(answer) -> dict:
+    """Per-item response envelope for the ``batch`` op:
+    :meth:`QueryService.query_batch` reports item failures in-band as
+    exception instances, mirrored here as the same ``ok: false`` shape
+    a whole-request error would get."""
+    if isinstance(answer, Exception):
+        return {"ok": False, "error": str(answer),
+                "error_type": type(answer).__name__}
+    return {"ok": True, "result": _jsonable_result(answer)}
 
 
 def _coerce_node(graph, token):
@@ -228,6 +266,49 @@ def _compact_stats(service: QueryService, stats: "dict | None") -> dict:
     if "replication" in stats:
         compact["replication"] = stats["replication"]
     return compact
+
+
+def _microbatch_responses(service, requests: list,
+                          include_stats: bool) -> list:
+    """Execute window-coalesced single ``query`` requests as **one**
+    ``query_batch`` call, shaping each response exactly as the
+    per-request ``query`` op would — clients cannot tell whether their
+    request was micro-batched."""
+    capture = (service.capture_stats() if include_stats
+               and hasattr(service, "capture_stats")
+               else contextlib.nullcontext(lambda: None))
+    graph = service.graph
+    responses: list = [None] * len(requests)
+    items: list = []
+    slots: list[int] = []
+    for position, request in enumerate(requests):
+        start = request.get("start")
+        if start is None:
+            responses[position] = {"ok": False,
+                                   "error": "query requires 'start'",
+                                   "error_type": "ValueError"}
+            continue
+        items.append({
+            "start": start,
+            "source": _coerce_node(graph, request.get("source")),
+            "target": _coerce_node(graph, request.get("target")),
+            "semantics": request.get("semantics", "relational"),
+        })
+        slots.append(position)
+    with capture as captured:
+        answers = service.query_batch(items) if items else []
+    for position, answer in zip(slots, answers):
+        if isinstance(answer, Exception):
+            responses[position] = {"ok": False, "error": str(answer),
+                                   "error_type": type(answer).__name__}
+        else:
+            responses[position] = {"ok": True, "op": "query",
+                                   "result": _jsonable_result(answer)}
+    if include_stats:
+        stats = _compact_stats(service, captured())
+        for response in responses:
+            response["stats"] = stats
+    return responses
 
 
 # ----------------------------------------------------------------------
@@ -358,7 +439,8 @@ class AsyncJSONLServer:
                  max_line_bytes: int = DEFAULT_MAX_LINE_BYTES,
                  follower_poll_seconds:
                      "float | None" = DEFAULT_FOLLOWER_POLL_SECONDS,
-                 executor_workers: int = DEFAULT_EXECUTOR_WORKERS):
+                 executor_workers: int = DEFAULT_EXECUTOR_WORKERS,
+                 batch_window_ms: "float | None" = None):
         self.service = service
         self.host = host
         self.port = port
@@ -366,6 +448,16 @@ class AsyncJSONLServer:
         self.max_line_bytes = max_line_bytes
         self.follower_poll_seconds = follower_poll_seconds
         self.executor_workers = executor_workers
+        if batch_window_ms is None:
+            batch_window_ms = float(
+                os.environ.get("REPRO_BATCH_WINDOW_MS", "0") or 0)
+        #: Micro-batching window (milliseconds; 0 disables): single
+        #: ``query`` requests arriving within the window are coalesced
+        #: into one ``query_batch`` call.
+        self.batch_window_ms = float(batch_window_ms)
+        self._batch_window_s = self.batch_window_ms / 1000.0
+        self._pending: "list[tuple[dict, asyncio.Future]]" = []
+        self._flush_handle: "asyncio.TimerHandle | None" = None
         self.address: "tuple[str, int] | None" = None
         self.connections_served = 0
         self._replica_addresses = list(replicas)
@@ -412,6 +504,9 @@ class AsyncJSONLServer:
             self._poll_task.cancel()
             with contextlib.suppress(asyncio.CancelledError):
                 await self._poll_task
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
+            self._flush_handle = None
         for writer in list(self._writers):
             with contextlib.suppress(Exception):
                 writer.close()
@@ -498,18 +593,60 @@ class AsyncJSONLServer:
             return _encode({"ok": False, "error": f"bad JSON: {error}",
                             "error_type": "JSONDecodeError"})
         if self._replica_pool is not None and isinstance(request, dict) \
-                and request.get("op", "query") == "query":
+                and request.get("op", "query") in ("query", "batch"):
             forwarded = await self._replica_pool.forward(stripped)
             if forwarded is not None:
                 return forwarded
             # Every replica down: serve the read locally.
-        response = await self._loop.run_in_executor(
-            self._executor, handle_request, self.service, request,
-            self.include_stats,
-        )
+        if self._batch_window_s > 0 and isinstance(request, dict) \
+                and request.get("op", "query") == "query":
+            response = await self._enqueue_microbatch(request)
+        else:
+            response = await self._loop.run_in_executor(
+                self._executor, handle_request, self.service, request,
+                self.include_stats,
+            )
         if _is_shutdown(response):
             self._shutdown.set()
         return _encode(response)
+
+    # -- micro-batching ------------------------------------------------
+    async def _enqueue_microbatch(self, request: dict) -> dict:
+        """Park one ``query`` request until the window flushes; the
+        first request of a window arms the flush timer.  Per-connection
+        FIFO is preserved because :meth:`_on_connection` awaits each
+        response before reading the next line."""
+        future: asyncio.Future = self._loop.create_future()
+        self._pending.append((request, future))
+        if self._flush_handle is None:
+            self._flush_handle = self._loop.call_later(
+                self._batch_window_s, self._arm_flush)
+        return await future
+
+    def _arm_flush(self) -> None:
+        self._flush_handle = None
+        task = self._loop.create_task(self._flush_microbatch())
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _flush_microbatch(self) -> None:
+        pending, self._pending = self._pending, []
+        if not pending:
+            return
+        requests = [request for request, _future in pending]
+        try:
+            responses = await self._loop.run_in_executor(
+                self._executor, _microbatch_responses, self.service,
+                requests, self.include_stats,
+            )
+        except Exception as error:  # pragma: no cover - defensive
+            for _request, future in pending:
+                if not future.done():
+                    future.set_exception(error)
+            return
+        for (_request, future), response in zip(pending, responses):
+            if not future.done():
+                future.set_result(response)
 
     async def _poll_replication(self) -> None:
         """Follower mode: tail the WAL so the replica converges without
@@ -528,7 +665,8 @@ def serve_tcp(service, host: str = "127.0.0.1", port: int = 0,
               ready_stream: "IO[str] | None" = None,
               replicas: Iterable[tuple[str, int]] = (),
               follower_poll_seconds:
-                  "float | None" = DEFAULT_FOLLOWER_POLL_SECONDS) -> None:
+                  "float | None" = DEFAULT_FOLLOWER_POLL_SECONDS,
+              batch_window_ms: "float | None" = None) -> None:
     """Run the asyncio TCP transport until shutdown.  ``port=0`` binds
     an ephemeral port; the actual address is announced on *ready_stream*
     (default stderr) as ``listening on HOST:PORT`` before serving."""
@@ -538,6 +676,7 @@ def serve_tcp(service, host: str = "127.0.0.1", port: int = 0,
             service, host=host, port=port, include_stats=include_stats,
             replicas=replicas,
             follower_poll_seconds=follower_poll_seconds,
+            batch_window_ms=batch_window_ms,
         )
         await server.start()
         bound_host, bound_port = server.address

@@ -1,0 +1,188 @@
+"""``QueryService.query_batch``: partitioning, caching, errors, races.
+
+The service contract: a batch answers exactly what the same queries
+asked one-by-one would answer, populates the same LRU entries, reports
+per-item failures in-band, and — because the whole batch runs under one
+read-lock acquisition — is linearizable against concurrent ticks:
+correlated membership probes in one batch see all-old or all-new state,
+never a mix.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import QueryService, parse_grammar
+from repro.errors import GrammarError, SemanticsError
+from repro.graph.generators import two_cycles, word_chain
+
+ANBN = parse_grammar("S -> a S b | a b", terminals=["a", "b"])
+
+
+@pytest.fixture
+def service():
+    return QueryService(two_cycles(2, 3), ANBN, backend="pyset")
+
+
+def _all_probes(graph):
+    nodes = [graph.node_at(i) for i in range(graph.node_count)]
+    return [("S", a, b) for a in nodes for b in nodes]
+
+
+class TestBatchAnswers:
+    def test_matches_per_query(self, service):
+        probes = _all_probes(service.graph)
+        batch = probes + [("S",), {"start": "S", "source": 0, "target": 0}]
+        reference = QueryService(two_cycles(2, 3), ANBN, backend="pyset")
+        answers = service.query_batch(batch)
+        for item, answer in zip(probes, answers):
+            assert answer == reference.query(*item), item
+        assert answers[len(probes)] == reference.query("S")
+        assert answers[len(probes) + 1] == reference.query("S", 0, 0)
+
+    def test_matches_per_query_after_tick(self, service):
+        probes = _all_probes(service.graph)
+        service.query_batch(probes)
+        ops = [("insert", (0, "a", 99)), ("insert", (99, "b", 0))]
+        service.tick(ops)
+        reference = QueryService(two_cycles(2, 3), ANBN, backend="pyset")
+        reference.tick(ops)
+        for item, answer in zip(probes, service.query_batch(probes)):
+            assert answer == reference.query(*item), item
+
+    def test_populates_cache_per_query(self, service):
+        probes = _all_probes(service.graph)[:6]
+        service.query_batch(probes)
+        stats = service.stats
+        assert stats["cache_entries"] >= len(probes)
+        assert stats["batch"]["closures"] == 1
+        # Second pass: all hits, no new closure.
+        service.query_batch(probes)
+        stats = service.stats
+        assert stats["cache_hits"] >= len(probes)
+        assert stats["batch"]["closures"] == 1
+        # The single-query path shares the same keys.
+        before = service.stats["cache_misses"]
+        service.query("S", *probes[0][1:])
+        assert service.stats["cache_misses"] == before
+
+    def test_membership_probe_uses_masked_path(self, service):
+        """A batch of misses answers through one warm masked closure,
+        not one relation materialization per probe."""
+        probes = _all_probes(service.graph)[:5]
+        answers = service.query_batch(probes)
+        assert service.stats["batch"]["closures"] == 1
+        assert any(answers) or not all(answers)
+
+    def test_empty_batch(self, service):
+        assert service.query_batch([]) == []
+
+    def test_mixed_semantics(self):
+        service = QueryService(word_chain(["a", "a", "b", "b"]), ANBN,
+                               backend="pyset", single_path=True)
+        answers = service.query_batch([
+            ("S", 0, 4, "length"),
+            ("S", 0, 4, "single-path"),
+            ("S", 0, 4),
+            ("S",),
+        ])
+        assert answers[0] == 4
+        assert len(answers[1]) == 4
+        assert answers[2] is True
+        assert answers[3] == frozenset({(0, 4), (1, 3)})
+
+
+class TestBatchErrors:
+    def test_per_item_errors_in_band(self, service):
+        answers = service.query_batch([
+            ("S", 0, 0),
+            ("NoSuchNT", 0, 0),
+            {"source": 0},                     # missing start
+            ("S", 0, None),                    # half-restricted
+            ("S", 0, 0, "bogus-semantics"),
+            ("S", 1, 1),
+        ])
+        assert answers[0] in (True, False)
+        assert isinstance(answers[1], GrammarError)
+        assert isinstance(answers[2], SemanticsError)
+        assert isinstance(answers[3], SemanticsError)
+        assert isinstance(answers[4], SemanticsError)
+        assert answers[5] in (True, False)
+
+    def test_errors_are_not_cached(self, service):
+        service.query_batch([("NoSuchNT", 0, 0)])
+        assert service.stats["cache_entries"] == 0
+
+    def test_absent_nodes_are_false_and_cached(self, service):
+        answers = service.query_batch([("S", "ghost", 0)])
+        assert answers == [False]
+        assert service.stats["cache_entries"] == 1
+
+
+class TestMembershipEvaluate:
+    def test_single_query_membership_matches_relation(self, service):
+        pairs = service.query("S")
+        graph = service.graph
+        for i in range(graph.node_count):
+            for j in range(graph.node_count):
+                a, b = graph.node_at(i), graph.node_at(j)
+                assert service.query("S", a, b) == ((a, b) in pairs)
+
+
+class TestLinearizability:
+    def test_batch_racing_tick_sees_consistent_state(self):
+        """A tick toggles two correlated facts atomically; a batch
+        probing both under the read lock must never observe a mix."""
+        # Chain 0-a->1-b->2: S relates (0, 2).  The toggle inserts and
+        # removes the edge pair that makes (3, 5) derivable too.
+        base = [(0, "a", 1), (1, "b", 2)]
+        extra = [(3, "a", 4), (4, "b", 5)]
+        service = QueryService(
+            word_chain(["a", "b"]), ANBN, backend="pyset", cache_size=1)
+        # Register the extra nodes so probes resolve.
+        service.tick([("insert", edge) for edge in extra])
+        service.tick([("delete", edge) for edge in extra])
+
+        # The RW lock prefers writers, so the toggler must be bounded —
+        # probers read whenever they win the lock and stop when the
+        # toggling is over (at least one probe always runs).
+        done = threading.Event()
+        violations: list = []
+
+        def toggler():
+            try:
+                for _ in range(100):
+                    service.tick([("insert", edge) for edge in extra])
+                    service.tick([("delete", edge) for edge in extra])
+            finally:
+                done.set()
+
+        def prober():
+            probes = 0
+            while probes == 0 or not done.is_set():
+                probes += 1
+                stable, toggled = service.query_batch(
+                    [("S", 0, 2), ("S", 3, 5)])
+                # The stable fact must always hold; the toggled fact is
+                # whatever the tick left, but never an error/mixture.
+                if stable is not True or not isinstance(toggled, bool):
+                    violations.append((stable, toggled))
+
+        threads = [threading.Thread(target=prober) for _ in range(3)]
+        threads.append(threading.Thread(target=toggler))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not violations
+
+    def test_batch_cache_invalidated_by_tick(self):
+        service = QueryService(word_chain(["a", "b"]), ANBN,
+                               backend="pyset")
+        assert service.query_batch([("S", 0, 2)]) == [True]
+        service.tick([("delete", (0, "a", 1))])
+        assert service.query_batch([("S", 0, 2)]) == [False]
+        service.tick([("insert", (0, "a", 1))])
+        assert service.query_batch([("S", 0, 2)]) == [True]
