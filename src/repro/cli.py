@@ -12,6 +12,10 @@ Examples::
     repro-cfpq path --graph graph.txt --grammar-name dyck1 --start S \
         --source 0 --target 3
 
+    # The 5 best witness paths, most probable first (lazy k-best)
+    repro-cfpq paths --graph graph.txt --grammar-name dyck1 --start S \
+        --source 0 --target 3 --top-k 5 --semiring viterbi
+
     # Batch-incremental maintenance: insert and delete edge files
     repro-cfpq update --graph graph.txt --grammar-name dyck1 --start S \
         --insert new_edges.txt --delete dead_edges.txt --stats
@@ -135,6 +139,8 @@ def _stats_payload(engine: CFPQEngine) -> dict:
 def cmd_query(args: argparse.Namespace) -> int:
     if args.batch:
         return _cmd_query_batch(args)
+    if args.semiring:
+        return _cmd_query_semiring(args)
     engine = CFPQEngine(_load_graph(args), _load_grammar(args),
                         backend=args.backend, strategy=args.strategy,
                         **_strategy_options(args))
@@ -198,6 +204,39 @@ def _cmd_query_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_query_semiring(args: argparse.Namespace) -> int:
+    """Weighted relational semantics: close the graph under the chosen
+    semiring and report each reachable pair's annotation — shortest
+    derivation length, best derivation probability, or (saturating)
+    derivation count."""
+    from .core.semiring import CountingSemiring, get_semiring, solve_annotated
+    from .grammar.symbols import Nonterminal
+
+    graph = _load_graph(args)
+    semiring = get_semiring(args.semiring)
+    result = solve_annotated(graph, _load_grammar(args), semiring,
+                             strategy=args.strategy,
+                             **_strategy_options(args))
+    matrix = result.matrices.get(Nonterminal(args.start))
+    if matrix is None:
+        raise SystemExit(f"unknown start non-terminal {args.start!r}")
+    counting = isinstance(semiring, CountingSemiring)
+    rows = sorted(
+        ([str(graph.node_at(i)), str(graph.node_at(j)),
+          semiring.count(value) if counting else value]
+         for i, j, value in matrix.nonzero_cells()),
+        key=lambda row: (row[0], row[1]),
+    )
+    if args.json:
+        print(json.dumps({"start": args.start, "semiring": semiring.name,
+                          "count": len(rows), "pairs": rows}))
+    else:
+        print(f"R_{args.start} under {semiring.name}: {len(rows)} pairs")
+        for source, target, value in rows:
+            print(f"  {source} -> {target}: {value}")
+    return 0
+
+
 def _coerce_node(graph, token: str):
     """Interpret a CLI node token as an int node when the graph knows it
     as one, falling back to the raw string."""
@@ -230,10 +269,13 @@ def cmd_all_paths(args: argparse.Namespace) -> int:
                         backend=args.backend, strategy=args.strategy,
                         **_strategy_options(args))
     graph = engine.graph
+    if args.top_k is not None:
+        return _cmd_top_k_paths(args, engine)
+    max_length = args.max_length if args.max_length is not None else 8
     paths = sorted(engine.all_paths(args.start,
                                     _coerce_node(graph, args.source),
                                     _coerce_node(graph, args.target),
-                                    max_length=args.max_length),
+                                    max_length=max_length),
                    key=lambda path: (len(path), path))
     if args.json:
         print(json.dumps([
@@ -242,13 +284,49 @@ def cmd_all_paths(args: argparse.Namespace) -> int:
             for path in paths
         ]))
     else:
-        print(f"{len(paths)} paths of length <= {args.max_length}:")
+        print(f"{len(paths)} paths of length <= {max_length}:")
         for path in paths:
             rendered = " ".join(
                 f"{graph.node_at(i)} -{label}-> {graph.node_at(j)}"
                 for i, label, j in path
             )
             print(f"  [{len(path)}] {rendered}")
+    return 0
+
+
+def _cmd_top_k_paths(args: argparse.Namespace, engine: CFPQEngine) -> int:
+    """Lazy k-best enumeration over the witness forest: the --top-k
+    best paths in rank order (shortest first, or most probable first
+    with --semiring viterbi), without materializing the full path set —
+    so no --max-length is required even on cyclic graphs."""
+    from .core.path_index import LengthRank, ViterbiRank
+    from .grammar.symbols import Nonterminal
+
+    if args.top_k < 0:
+        raise SystemExit("--top-k must be non-negative")
+    graph = engine.graph
+    engine.grammar.require_nonterminal(Nonterminal(args.start))
+    forest = engine.all_path_enumerator().index
+    rank = ViterbiRank() if args.semiring == "viterbi" else LengthRank()
+    paths = forest.top_k(args.start, _coerce_node(graph, args.source),
+                         _coerce_node(graph, args.target), args.top_k,
+                         max_length=args.max_length, rank=rank)
+    if args.json:
+        print(json.dumps([
+            [[str(graph.node_at(i)), label, str(graph.node_at(j))]
+             for i, label, j in path]
+            for path in paths
+        ]))
+    else:
+        order = ("most probable" if args.semiring == "viterbi"
+                 else "shortest")
+        print(f"top {len(paths)} paths ({order} first):")
+        for position, path in enumerate(paths, start=1):
+            rendered = " ".join(
+                f"{graph.node_at(i)} -{label}-> {graph.node_at(j)}"
+                for i, label, j in path
+            )
+            print(f"  {position}. [{len(path)}] {rendered}")
     return 0
 
 
@@ -340,7 +418,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     service_kwargs = dict(
         backend=args.backend, strategy=args.strategy,
         cache_size=args.cache_size,
-        single_path=True if args.single_path else None, **options,
+        single_path=True if args.single_path else None,
+        semiring=args.semiring, **options,
     )
     if args.role == "follower":
         # A follower builds its state from the leader's snapshot + WAL;
@@ -359,7 +438,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             _load_graph(args), _load_grammar(args), backend=args.backend,
             strategy=args.strategy or DEFAULT_STRATEGY,
             cache_size=args.cache_size,
-            single_path=args.single_path, **options,
+            single_path=args.single_path,
+            semiring=args.semiring, **options,
         )
     if args.role != "single" and not args.wal:
         raise SystemExit(f"serve --role {args.role} requires --wal PATH")
@@ -440,6 +520,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="JSONL file of query specs (start/source(s)/"
                             "target(s)/semantics per line) answered by "
                             "one batched closure")
+    query.add_argument("--semiring", default=None,
+                       choices=["length", "viterbi", "counting"],
+                       help="weighted relational semantics: annotate "
+                            "each reachable pair with its shortest "
+                            "derivation length, best derivation "
+                            "probability, or saturating derivation "
+                            "count (default: plain boolean pairs)")
     query.add_argument("--json", action="store_true")
     query.add_argument("--stats", action="store_true",
                        help="print solver stats (iterations, per-round "
@@ -459,9 +546,20 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(all_paths)
     all_paths.add_argument("--source", required=True)
     all_paths.add_argument("--target", required=True)
-    all_paths.add_argument("--max-length", type=int, default=8,
-                           help="path length bound (all-path answers are "
-                                "infinite on cyclic graphs without one)")
+    all_paths.add_argument("--max-length", type=int, default=None,
+                           help="path length bound (default 8 for the "
+                                "exhaustive listing; with --top-k the "
+                                "lazy enumerator needs no bound, so the "
+                                "default is none)")
+    all_paths.add_argument("--top-k", type=int, default=None,
+                           help="stream only the K best paths "
+                                "(best-first over the witness forest; "
+                                "rank order set by --semiring)")
+    all_paths.add_argument("--semiring", default="length",
+                           choices=["length", "viterbi"],
+                           help="--top-k rank order: shortest first "
+                                "(length) or most probable first "
+                                "(viterbi)")
     all_paths.add_argument("--json", action="store_true")
     all_paths.set_defaults(handler=cmd_all_paths)
 
@@ -542,6 +640,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "and length queries are served")
     serve.add_argument("--cache-size", type=int, default=1024,
                        help="LRU result-cache capacity (entries)")
+    serve.add_argument("--semiring", default=None,
+                       choices=["length", "viterbi"],
+                       help="rank order for top_k ops: shortest first "
+                            "(length) or most probable first (viterbi) "
+                            "(default: $REPRO_SERVICE_SEMIRING or "
+                            "length)")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=None,
                        help="serve TCP on this port (0 = ephemeral; the "

@@ -34,10 +34,20 @@ would keep self-supporting facts alive — while discarding the
 invalidated supports, then (2) **re-derives**: the over-deleted facts
 whose remaining supports are non-empty are exactly the ones one-step
 derivable from the survivors, and one ``initial_frontier`` closure run
-seeded with them restores everything still derivable.  Support sets are
-built lazily on the first deletion (one O(#derivations) recount) and
-maintained exactly by every later per-tuple and batch insertion;
-insertion-only workloads never pay for them.
+seeded with them restores everything still derivable.
+
+The support index itself is **matrix-granular** by default
+(:class:`CountingSupportIndex`): supports live as counting-semiring
+annotations (:class:`repro.core.semiring.CountingSemiring`, cap 1) on
+per-non-terminal annotated matrices, built by one counting closure on
+the first deletion and maintained by the same ``union_update`` /
+``difference`` / ``mxm_into`` kernels every batch insertion and
+re-derivation already runs — one representation for derivation counting
+and deletion support.  The original tuple-set index survives as
+:class:`TupleSupportIndex` (``support_mode="tuples"``, or the
+``REPRO_SUPPORT_MODE`` environment variable), demoted to a differential
+test oracle.  Either way the index is built lazily on the first
+deletion; insertion-only workloads never pay for it.
 
 :class:`IncrementalSinglePathCFPQ` layers the Section-5 length
 annotations on the same engine: batches run the closure over the
@@ -56,6 +66,7 @@ sequence the incremental state must equal a from-scratch solve
 
 from __future__ import annotations
 
+import os
 from collections import defaultdict, deque
 from typing import Hashable, Iterable
 
@@ -65,6 +76,7 @@ from ..grammar.symbols import Nonterminal, Terminal
 from ..graph.labeled_graph import Edge, LabeledGraph
 from .closure import run_closure
 from .relations import ContextFreeRelations
+from .semiring import SUPPORT_SEMIRING, AnnotatedBackend, CountingSemiring
 
 #: A derived fact ``(A, i, j)`` by dense node ids.
 Fact = tuple[Nonterminal, int, int]
@@ -73,6 +85,287 @@ Fact = tuple[Nonterminal, int, int]
 #: edge, ``("empty",)`` for the empty path of a nullable non-terminal,
 #: ``("split", B, C, r)`` for a pair rule applied at midpoint ``r``.
 Support = tuple
+
+#: Recognized values of ``IncrementalCFPQ(support_mode=...)`` and the
+#: ``REPRO_SUPPORT_MODE`` environment variable.
+SUPPORT_MODES = ("counting", "tuples")
+
+
+def _default_support_mode() -> str:
+    mode = os.environ.get("REPRO_SUPPORT_MODE", "counting").strip().lower()
+    return mode if mode in SUPPORT_MODES else "counting"
+
+
+class TupleSupportIndex:
+    """The original tuple-set DRed support index, demoted to a
+    differential-test oracle (``support_mode="tuples"``).
+
+    One plain ``dict`` maps each fact to the set of its one-step
+    derivation supports, maintained by per-fact set mutations.  The
+    matrix-granular :class:`CountingSupportIndex` must agree with this
+    index entry-for-entry after any interleaved insert/delete sequence
+    (property-tested in ``tests/core/test_incremental.py``).
+    """
+
+    mode = "tuples"
+
+    def __init__(self) -> None:
+        self._supports: dict[Fact, set[Support]] | None = None
+
+    @property
+    def active(self) -> bool:
+        return self._supports is not None
+
+    def ensure(self, solver: "IncrementalCFPQ") -> None:
+        """Build the fact → supports index on first use (one recount
+        over the current facts; later updates maintain it)."""
+        if self._supports is not None:
+            return
+        self._supports = {
+            (nonterminal, i, j): self._compute(solver, nonterminal, i, j)
+            for nonterminal, pairs in solver._facts.items()
+            for (i, j) in pairs
+        }
+
+    @staticmethod
+    def _compute(solver: "IncrementalCFPQ", nonterminal: Nonterminal,
+                 i: int, j: int) -> set[Support]:
+        """All one-step derivations of ``(A, i, j)`` from the current
+        graph and fact indexes."""
+        found: set[Support] = set()
+        if i == j and nonterminal in solver._nullable:
+            found.add(("empty",))
+        for label in solver._terminals_for_head.get(nonterminal, ()):
+            if solver.graph.has_edge_id(i, label, j):
+                found.add(("edge", label))
+        for left, right in solver._bodies_for_head.get(nonterminal, ()):
+            for r in solver._by_source.get((left, i), ()):
+                if j in solver._by_source.get((right, r), ()):
+                    found.add(("split", left, right, r))
+        return found
+
+    def supports_of(self, fact: Fact) -> frozenset:
+        assert self._supports is not None
+        return frozenset(self._supports.get(fact, ()))
+
+    def seed_fact(self, fact: Fact, support: Support) -> None:
+        assert self._supports is not None
+        self._supports[fact] = {support}
+
+    def add_support(self, fact: Fact, support: Support) -> None:
+        assert self._supports is not None
+        recorded = self._supports.get(fact)
+        if recorded is not None:
+            recorded.add(support)
+
+    def discard(self, fact: Fact, support: Support) -> None:
+        assert self._supports is not None
+        recorded = self._supports.get(fact)
+        if recorded is not None:
+            recorded.discard(support)
+
+    def pop(self, fact: Fact) -> None:
+        assert self._supports is not None
+        self._supports.pop(fact, None)
+
+    def entry_count(self) -> int:
+        if self._supports is None:
+            return 0
+        return sum(len(entries) for entries in self._supports.values())
+
+    def export(self) -> dict[Fact, set[Support]] | None:
+        if self._supports is None:
+            return None
+        return {fact: set(entries)
+                for fact, entries in self._supports.items()}
+
+    def load(self, mapping: dict) -> None:
+        self._supports = {
+            fact: set(entries) for fact, entries in mapping.items()
+        }
+
+    def after_batch(self, solver: "IncrementalCFPQ",
+                    support_seeds: dict | None,
+                    new_facts: list[Fact]) -> None:
+        """After a batch closure added *new_facts*: compute their
+        supports, register the split supports they newly provide to
+        existing consequences, and fold the batch's base-fact seed
+        supports (new edge labels / empty paths) into pre-existing
+        facts."""
+        if self._supports is None:
+            return
+        supports = self._supports
+        for fact in new_facts:
+            supports[fact] = self._compute(solver, *fact)
+        for nonterminal, i, j in new_facts:
+            for head, right in solver._rules_by_left.get(nonterminal, ()):
+                for k in solver._by_source.get((right, j), ()):
+                    recorded = supports.get((head, i, k))
+                    if recorded is not None:
+                        recorded.add(("split", nonterminal, right, j))
+            for head, left in solver._rules_by_right.get(nonterminal, ()):
+                for k in solver._by_target.get((left, i), ()):
+                    recorded = supports.get((head, k, j))
+                    if recorded is not None:
+                        recorded.add(("split", left, nonterminal, i))
+        for nonterminal, cells in (support_seeds or {}).items():
+            for (i, j), value in cells.items():
+                recorded = supports.get((nonterminal, i, j))
+                if recorded is not None:
+                    recorded.update(entry for entry, _count in value)
+
+
+class CountingSupportIndex:
+    """Matrix-granular DRed supports carried by the counting semiring.
+
+    The support of a fact *is* its counting-semiring annotation: a
+    ``frozenset`` of ``(entry, count)`` pairs whose entry keys are
+    exactly the tuple-set supports (``("edge", label)`` / ``("empty",)``
+    / ``("split", B, C, r)``).  The index is one annotated matrix per
+    non-terminal — built by a single counting-closure solve on the
+    first deletion, and advanced after every batch by the same
+    ``union_update``/``mxm_into`` kernels the relational closure runs,
+    with the batch's base facts (or the re-derivation survivors) as the
+    ``initial_frontier``.  Per-tuple inserts mutate cells directly, so
+    single-edge updates stay O(delta).
+
+    With the default cap-1 semiring (``SUPPORT_SEMIRING``) the values
+    are *value-blind*: a cell gaining an extra derivation entry does not
+    re-enter the semi-naive frontier, which is precisely the tuple-set
+    index's registration semantics.
+    """
+
+    mode = "counting"
+
+    def __init__(self, semiring: CountingSemiring | None = None) -> None:
+        self.semiring = semiring if semiring is not None else SUPPORT_SEMIRING
+        self._cells: dict[Nonterminal, dict[tuple[int, int], frozenset]] | None = None
+
+    @property
+    def active(self) -> bool:
+        return self._cells is not None
+
+    def ensure(self, solver: "IncrementalCFPQ") -> None:
+        """First deletion: one counting-semiring closure over the
+        current graph yields every fact's full one-step support set."""
+        if self._cells is not None:
+            return
+        from .semiring import solve_annotated
+
+        result = solve_annotated(solver.graph, solver.grammar, self.semiring,
+                                 strategy=solver.strategy, normalize=False,
+                                 **solver.strategy_options)
+        self._cells = {
+            nonterminal: {(i, j): value
+                          for i, j, value in matrix.nonzero_cells()}
+            for nonterminal, matrix in result.matrices.items()
+        }
+
+    def supports_of(self, fact: Fact) -> frozenset:
+        assert self._cells is not None
+        nonterminal, i, j = fact
+        cells = self._cells.get(nonterminal)
+        value = cells.get((i, j)) if cells is not None else None
+        return self.semiring.supports(value)
+
+    def seed_fact(self, fact: Fact, support: Support) -> None:
+        assert self._cells is not None
+        nonterminal, i, j = fact
+        self._cells.setdefault(nonterminal, {})[(i, j)] = \
+            frozenset({(support, 1)})
+
+    def add_support(self, fact: Fact, support: Support) -> None:
+        assert self._cells is not None
+        nonterminal, i, j = fact
+        cells = self._cells.setdefault(nonterminal, {})
+        value = cells.get((i, j))
+        if value is None:
+            return
+        merged, changed = self.semiring.merge(value,
+                                              frozenset({(support, 1)}))
+        if changed:
+            cells[(i, j)] = merged
+
+    def discard(self, fact: Fact, support: Support) -> None:
+        assert self._cells is not None
+        nonterminal, i, j = fact
+        cells = self._cells.get(nonterminal)
+        value = cells.get((i, j)) if cells is not None else None
+        if value is None:
+            return
+        trimmed = frozenset(item for item in value if item[0] != support)
+        if trimmed != value:
+            cells[(i, j)] = trimmed  # type: ignore[index]
+
+    def pop(self, fact: Fact) -> None:
+        assert self._cells is not None
+        nonterminal, i, j = fact
+        cells = self._cells.get(nonterminal)
+        if cells is not None:
+            cells.pop((i, j), None)
+
+    def entry_count(self) -> int:
+        if self._cells is None:
+            return 0
+        return sum(len(value)
+                   for cells in self._cells.values()
+                   for value in cells.values())
+
+    def export(self) -> dict[Fact, set[Support]] | None:
+        if self._cells is None:
+            return None
+        return {
+            (nonterminal, i, j): set(self.semiring.supports(value))
+            for nonterminal, cells in self._cells.items()
+            for (i, j), value in cells.items()
+        }
+
+    def load(self, mapping: dict) -> None:
+        cells: dict[Nonterminal, dict[tuple[int, int], frozenset]] = {}
+        for (nonterminal, i, j), entries in mapping.items():
+            cells.setdefault(nonterminal, {})[(i, j)] = \
+                frozenset((entry, 1) for entry in entries)
+        self._cells = cells
+
+    def after_batch(self, solver: "IncrementalCFPQ",
+                    support_seeds: dict | None,
+                    new_facts: list[Fact]) -> None:
+        """Advance the support matrices through the same frontier-seeded
+        closure the relational batch just ran: the seeds' base supports
+        merge into their cells, and every product fired off the
+        presence delta contributes its ``("split", B, C, r)`` entry to
+        the head cell — which is exactly the registration the tuple
+        oracle does one set-mutation at a time."""
+        if self._cells is None or not support_seeds:
+            return
+        backend = AnnotatedBackend(self.semiring)
+        n = solver.graph.node_count
+        matrices = {
+            nonterminal: backend.from_cells(
+                (n, n), self._cells.get(nonterminal, {}), symbol=nonterminal)
+            for nonterminal in solver.grammar.nonterminals
+        }
+        frontier = {
+            nonterminal: backend.from_cells((n, n), dict(cells),
+                                            symbol=nonterminal)
+            for nonterminal, cells in support_seeds.items()
+        }
+        result = run_closure(matrices, solver._pair_rules, backend,
+                             strategy=solver.strategy,
+                             initial_frontier=frontier,
+                             **solver.strategy_options)
+        self._cells = {
+            nonterminal: {(i, j): value
+                          for i, j, value in matrix.nonzero_cells()}
+            for nonterminal, matrix in result.matrices.items()
+        }
+
+
+def _make_support_store(mode: str):
+    if mode not in SUPPORT_MODES:
+        raise ValueError(
+            f"unknown support_mode {mode!r}: expected one of {SUPPORT_MODES}")
+    return TupleSupportIndex() if mode == "tuples" else CountingSupportIndex()
 
 
 class IncrementalCFPQ:
@@ -105,6 +398,7 @@ class IncrementalCFPQ:
     def __init__(self, graph: LabeledGraph, grammar: CFG,
                  backend: str = "pyset", strategy: str = "delta",
                  warm_state: "dict | None" = None,
+                 support_mode: str | None = None,
                  **strategy_options):
         self.graph = graph
         self.grammar = ensure_cnf(grammar)
@@ -133,9 +427,12 @@ class IncrementalCFPQ:
             self._terminals_for_head[rule.head].append(rule.body[0].label)  # type: ignore[union-attr]
         self._nullable = self.grammar.nullable_diagonal
 
-        #: fact -> its current one-step derivation supports.  None until
-        #: the first deletion: insertion-only workloads never build it.
-        self._supports: dict[Fact, set[Support]] | None = None
+        #: DRed support index (counting matrices by default, tuple sets
+        #: as the oracle).  Inactive until the first deletion:
+        #: insertion-only workloads never build it.
+        self.support_mode = support_mode if support_mode is not None \
+            else _default_support_mode()
+        self._support_store = _make_support_store(self.support_mode)
 
         self._edge_insertions = 0
         self._edge_removals = 0
@@ -181,9 +478,7 @@ class IncrementalCFPQ:
                 self._record(nonterminal, i, j)
         supports = state.get("supports")
         if supports is not None:
-            self._supports = {
-                fact: set(entries) for fact, entries in supports.items()
-            }
+            self._support_store.load(supports)
 
     def export_state(self) -> dict:
         """The solver's closed state as plain containers — the inverse
@@ -195,12 +490,18 @@ class IncrementalCFPQ:
                 for nonterminal, pairs in self._facts.items() if pairs
             },
         }
-        if self._supports is not None:
-            state["supports"] = {
-                fact: set(entries)
-                for fact, entries in self._supports.items()
-            }
+        supports = self._support_store.export()
+        if supports is not None:
+            state["supports"] = supports
         return state
+
+    @property
+    def _supports(self) -> dict[Fact, set[Support]] | None:
+        """Read-only tuple-set view of the DRed support index (None
+        until a deletion activates it) — the snapshot encoding and the
+        differential tests consume this shape regardless of which store
+        maintains the supports."""
+        return self._support_store.export()
 
     # ------------------------------------------------------------------
     # Exact per-call deltas (cache-invalidation feed)
@@ -258,7 +559,7 @@ class IncrementalCFPQ:
             self._commit_change_log()
 
     def _add_edge(self, source: Hashable, label: str, target: Hashable) -> int:
-        supports = self._supports
+        store = self._support_store if self._support_store.active else None
         already_present = self.graph.has_edge(source, label, target)
         new_nodes = [node for node in dict.fromkeys((source, target))
                      if not self.graph.has_node(node)]
@@ -274,8 +575,8 @@ class IncrementalCFPQ:
                     self._record(head, node_id, node_id)
                     delta.append((head, node_id, node_id))
                     seeded += 1
-                    if supports is not None:
-                        supports[(head, node_id, node_id)] = {("empty",)}
+                    if store is not None:
+                        store.seed_fact((head, node_id, node_id), ("empty",))
         if not already_present:
             i = self.graph.node_id(source)
             j = self.graph.node_id(target)
@@ -284,12 +585,12 @@ class IncrementalCFPQ:
                     self._record(head, i, j)
                     delta.append((head, i, j))
                     seeded += 1
-                    if supports is not None:
-                        supports[(head, i, j)] = {("edge", label)}
-                elif supports is not None:
+                    if store is not None:
+                        store.seed_fact((head, i, j), ("edge", label))
+                elif store is not None:
                     # The fact pre-exists: the fresh edge still becomes
                     # one of its derivation supports.
-                    supports[(head, i, j)].add(("edge", label))
+                    store.add_support((head, i, j), ("edge", label))
         return seeded + self._propagate(delta)
 
     def add_edges(self, edges: Iterable[Edge]) -> int:
@@ -320,18 +621,28 @@ class IncrementalCFPQ:
                               self.graph.node_id(target)))
 
         seeds: dict[Nonterminal, dict[tuple[int, int], object]] = {}
+        support_seeds: dict[Nonterminal, dict[tuple[int, int], frozenset]] | None = (
+            {} if self._support_store.active else None)
         for head in self._nullable:
             for i in range(nodes_before, self.graph.node_count):
                 seeds.setdefault(head, {})[(i, i)] = self._diagonal_seed_value()
+                if support_seeds is not None:
+                    support_seeds.setdefault(head, {})[(i, i)] = \
+                        SUPPORT_SEMIRING.empty_path()
         for i, label, j in new_edges:
             value = self._edge_seed_value(label)
             for head in self.grammar.heads_for_terminal(Terminal(label)):
                 seeds.setdefault(head, {}).setdefault((i, j), value)
+                if support_seeds is not None:
+                    cells = support_seeds.setdefault(head, {})
+                    support_value = SUPPORT_SEMIRING.identity(label)
+                    existing = cells.get((i, j))
+                    cells[(i, j)] = (
+                        support_value if existing is None
+                        else SUPPORT_SEMIRING.add(existing, support_value))
         if not seeds:
             return 0
-        new_facts = self._run_batch(seeds)
-        self._register_edge_supports(new_edges)
-        return new_facts
+        return self._run_batch(seeds, support_seeds)
 
     # ------------------------------------------------------------------
     # Mutation: deletion (support-counted DRed)
@@ -354,9 +665,8 @@ class IncrementalCFPQ:
         fact still derivable.  Returns the number of facts permanently
         removed from the relations.
         """
-        self._ensure_supports()
-        assert self._supports is not None
-        supports = self._supports
+        store = self._support_store
+        store.ensure(self)
         self._last_changes = {}
 
         worklist: deque[Fact] = deque()
@@ -368,9 +678,7 @@ class IncrementalCFPQ:
             j = self.graph.node_id(target)
             for head in self.grammar.heads_for_terminal(Terminal(label)):
                 fact = (head, i, j)
-                recorded = supports.get(fact)
-                if recorded is not None:
-                    recorded.discard(("edge", label))
+                store.discard(fact, ("edge", label))
                 if (i, j) in self._facts.get(head, ()):
                     worklist.append(fact)
 
@@ -388,17 +696,15 @@ class IncrementalCFPQ:
             for head, right in self._rules_by_left.get(nonterminal, ()):
                 for k in self._by_source.get((right, j), ()):
                     consequence = (head, i, k)
-                    recorded = supports.get(consequence)
-                    if recorded is not None:
-                        recorded.discard(("split", nonterminal, right, j))
+                    store.discard(consequence,
+                                  ("split", nonterminal, right, j))
                     if consequence not in overdeleted:
                         worklist.append(consequence)
             for head, left in self._rules_by_right.get(nonterminal, ()):
                 for k in self._by_target.get((left, i), ()):
                     consequence = (head, k, j)
-                    recorded = supports.get(consequence)
-                    if recorded is not None:
-                        recorded.discard(("split", left, nonterminal, i))
+                    store.discard(consequence,
+                                  ("split", left, nonterminal, i))
                     if consequence not in overdeleted:
                         worklist.append(consequence)
 
@@ -409,32 +715,40 @@ class IncrementalCFPQ:
         # re-derived facts whose annotation moved land in last_changes.
         annotation_snapshot = self._annotations_of(overdeleted)
 
+        # Surviving supports of the over-deleted facts, captured before
+        # their cells leave the support index: a surviving support means
+        # the fact is one-step derivable from facts outside the
+        # over-deleted set — exactly the re-derivation seeds.
+        remaining_by_fact = {
+            fact: store.supports_of(fact) for fact in overdeleted
+        }
         for fact in overdeleted:
             nonterminal, i, j = fact
             self._facts[nonterminal].discard((i, j))
             self._by_source[(nonterminal, i)].discard(j)
             self._by_target[(nonterminal, j)].discard(i)
             self._on_fact_removed(fact)
+            store.pop(fact)
 
-        # Phase 2: a surviving support means the fact is one-step
-        # derivable from facts outside the over-deleted set — exactly
-        # the re-derivation seeds.
+        # Phase 2: re-derive from the survivors.
         seeds: dict[Nonterminal, dict[tuple[int, int], object]] = {}
-        for fact in overdeleted:
-            remaining = supports.get(fact)
-            if remaining:
-                nonterminal, i, j = fact
-                seeds.setdefault(nonterminal, {})[(i, j)] = \
-                    self._rederive_seed_value(fact, remaining)
+        support_seeds: dict[Nonterminal, dict[tuple[int, int], frozenset]] = {}
+        for fact, remaining in remaining_by_fact.items():
+            if not remaining:
+                continue
+            nonterminal, i, j = fact
+            seeds.setdefault(nonterminal, {})[(i, j)] = \
+                self._rederive_seed_value(fact, remaining)
+            support_seeds.setdefault(nonterminal, {})[(i, j)] = \
+                frozenset((entry, 1) for entry in remaining)
         if seeds:
-            self._run_batch(seeds)
+            self._run_batch(seeds, support_seeds)
 
         removed = 0
         changes: dict[Nonterminal, set[tuple[int, int]]] = {}
         for fact in overdeleted:
             nonterminal, i, j = fact
             if (i, j) not in self._facts.get(nonterminal, ()):
-                supports.pop(fact, None)
                 removed += 1
                 changes.setdefault(nonterminal, set()).add((i, j))
             elif self._annotation_changed(fact, annotation_snapshot):
@@ -483,18 +797,19 @@ class IncrementalCFPQ:
             "propagated_facts": self._propagated_facts,
             "facts_removed": self._facts_removed,
             "total_facts": sum(len(pairs) for pairs in self._facts.values()),
-            "support_entries": (
-                sum(len(entry) for entry in self._supports.values())
-                if self._supports is not None else 0
-            ),
+            "support_entries": self._support_store.entry_count(),
         }
 
     # ------------------------------------------------------------------
     # Batch engine (shared by add_edges and the re-derive phase)
     # ------------------------------------------------------------------
-    def _run_batch(self, seeds: dict) -> int:
+    def _run_batch(self, seeds: dict,
+                   support_seeds: dict | None = None) -> int:
         """Close the current state with *seeds* as the initial frontier;
-        absorb and return the number of facts that appeared."""
+        absorb and return the number of facts that appeared.
+        *support_seeds* (counting-semiring cell values parallel to
+        *seeds*, built only while the support index is active) advances
+        the DRed support store through the same frontier."""
         n = self.graph.node_count
         matrices = self._matrices_from_state(n)
         result = run_closure(matrices, self._pair_rules,
@@ -505,7 +820,7 @@ class IncrementalCFPQ:
         self._batch_updates += 1
         new_facts = self._absorb(result.matrices)
         self._propagated_facts += len(new_facts)
-        self._refresh_supports(new_facts)
+        self._support_store.after_batch(self, support_seeds, new_facts)
         return len(new_facts)
 
     def _batch_backend(self):
@@ -581,72 +896,6 @@ class IncrementalCFPQ:
         return False
 
     # ------------------------------------------------------------------
-    # Derivation supports (DRed bookkeeping)
-    # ------------------------------------------------------------------
-    def _ensure_supports(self) -> None:
-        """Build the fact → supports index on first use (one recount
-        over the current facts; later updates maintain it)."""
-        if self._supports is not None:
-            return
-        self._supports = {
-            (nonterminal, i, j): self._compute_supports(nonterminal, i, j)
-            for nonterminal, pairs in self._facts.items()
-            for (i, j) in pairs
-        }
-
-    def _compute_supports(self, nonterminal: Nonterminal, i: int,
-                          j: int) -> set[Support]:
-        """All one-step derivations of ``(A, i, j)`` from the current
-        graph and fact indexes."""
-        found: set[Support] = set()
-        if i == j and nonterminal in self._nullable:
-            found.add(("empty",))
-        for label in self._terminals_for_head.get(nonterminal, ()):
-            if self.graph.has_edge_id(i, label, j):
-                found.add(("edge", label))
-        for left, right in self._bodies_for_head.get(nonterminal, ()):
-            for r in self._by_source.get((left, i), ()):
-                if j in self._by_source.get((right, r), ()):
-                    found.add(("split", left, right, r))
-        return found
-
-    def _register_edge_supports(self,
-                                new_edges: list[tuple[int, str, int]],
-                                ) -> None:
-        """A freshly inserted edge is a new base support of its head
-        facts even when those facts already existed (e.g. the pair was
-        derivable through another label or a pair rule); without this
-        the next deletion would over-delete them with no surviving
-        support to re-derive from."""
-        if self._supports is None:
-            return
-        for i, label, j in new_edges:
-            for head in self.grammar.heads_for_terminal(Terminal(label)):
-                recorded = self._supports.get((head, i, j))
-                if recorded is not None:
-                    recorded.add(("edge", label))
-
-    def _refresh_supports(self, new_facts: list[Fact]) -> None:
-        """After a batch added *new_facts*: compute their supports and
-        register the supports they newly provide to consequences."""
-        if self._supports is None:
-            return
-        supports = self._supports
-        for fact in new_facts:
-            supports[fact] = self._compute_supports(*fact)
-        for nonterminal, i, j in new_facts:
-            for head, right in self._rules_by_left.get(nonterminal, ()):
-                for k in self._by_source.get((right, j), ()):
-                    recorded = supports.get((head, i, k))
-                    if recorded is not None:
-                        recorded.add(("split", nonterminal, right, j))
-            for head, left in self._rules_by_right.get(nonterminal, ()):
-                for k in self._by_target.get((left, i), ()):
-                    recorded = supports.get((head, k, j))
-                    if recorded is not None:
-                        recorded.add(("split", left, nonterminal, i))
-
-    # ------------------------------------------------------------------
     # Tuple-granular engine
     # ------------------------------------------------------------------
     def _record(self, nonterminal: Nonterminal, i: int, j: int) -> None:
@@ -664,7 +913,7 @@ class IncrementalCFPQ:
         the index exact (every derivation of a delta fact involves at
         least one delta operand, and each such combination is
         enumerated when that operand pops)."""
-        supports = self._supports
+        store = self._support_store if self._support_store.active else None
         derived = 0
         while worklist:
             nonterminal, i, j = worklist.popleft()
@@ -675,24 +924,24 @@ class IncrementalCFPQ:
                         self._record(head, i, k)
                         worklist.append((head, i, k))
                         derived += 1
-                        if supports is not None:
-                            supports[(head, i, k)] = \
-                                {("split", nonterminal, right, j)}
-                    elif supports is not None:
-                        supports[(head, i, k)].add(
-                            ("split", nonterminal, right, j))
+                        if store is not None:
+                            store.seed_fact((head, i, k),
+                                            ("split", nonterminal, right, j))
+                    elif store is not None:
+                        store.add_support((head, i, k),
+                                          ("split", nonterminal, right, j))
             for head, left in self._rules_by_right.get(nonterminal, ()):
                 for k in list(self._by_target.get((left, i), ())):
                     if (k, j) not in self._facts[head]:
                         self._record(head, k, j)
                         worklist.append((head, k, j))
                         derived += 1
-                        if supports is not None:
-                            supports[(head, k, j)] = \
-                                {("split", left, nonterminal, i)}
-                    elif supports is not None:
-                        supports[(head, k, j)].add(
-                            ("split", left, nonterminal, i))
+                        if store is not None:
+                            store.seed_fact((head, k, j),
+                                            ("split", left, nonterminal, i))
+                    elif store is not None:
+                        store.add_support((head, k, j),
+                                          ("split", left, nonterminal, i))
         return derived
 
 
@@ -786,7 +1035,7 @@ class IncrementalSinglePathCFPQ(IncrementalCFPQ):
         """Insert one edge; returns the number of new facts (length
         refinements of existing facts propagate but are not counted,
         matching the base-class contract)."""
-        supports = self._supports
+        store = self._support_store if self._support_store.active else None
         already_present = self.graph.has_edge(source, label, target)
         new_nodes = [node for node in dict.fromkeys((source, target))
                      if not self.graph.has_node(node)]
@@ -801,8 +1050,8 @@ class IncrementalSinglePathCFPQ(IncrementalCFPQ):
                 added, improved = self._improve(head, node_id, node_id, 0)
                 if added:
                     created += 1
-                    if supports is not None:
-                        supports[(head, node_id, node_id)] = {("empty",)}
+                    if store is not None:
+                        store.seed_fact((head, node_id, node_id), ("empty",))
                 if added or improved:
                     worklist.append((head, node_id, node_id))
         if not already_present:
@@ -812,10 +1061,10 @@ class IncrementalSinglePathCFPQ(IncrementalCFPQ):
                 added, improved = self._improve(head, i, j, 1)
                 if added:
                     created += 1
-                    if supports is not None:
-                        supports[(head, i, j)] = {("edge", label)}
-                elif supports is not None:
-                    supports[(head, i, j)].add(("edge", label))
+                    if store is not None:
+                        store.seed_fact((head, i, j), ("edge", label))
+                elif store is not None:
+                    store.add_support((head, i, j), ("edge", label))
                 if added or improved:
                     worklist.append((head, i, j))
         return created + self._propagate_lengths(worklist)
@@ -929,7 +1178,7 @@ class IncrementalSinglePathCFPQ(IncrementalCFPQ):
         return False, False
 
     def _propagate_lengths(self, worklist: deque[Fact]) -> int:
-        supports = self._supports
+        store = self._support_store if self._support_store.active else None
         created = 0
         while worklist:
             nonterminal, i, j = worklist.popleft()
@@ -943,12 +1192,12 @@ class IncrementalSinglePathCFPQ(IncrementalCFPQ):
                     added, improved = self._improve(head, i, k, base + other)
                     if added:
                         created += 1
-                        if supports is not None:
-                            supports[(head, i, k)] = \
-                                {("split", nonterminal, right, j)}
-                    elif supports is not None:
-                        supports[(head, i, k)].add(
-                            ("split", nonterminal, right, j))
+                        if store is not None:
+                            store.seed_fact((head, i, k),
+                                            ("split", nonterminal, right, j))
+                    elif store is not None:
+                        store.add_support((head, i, k),
+                                          ("split", nonterminal, right, j))
                     if added or improved:
                         worklist.append((head, i, k))
             for head, left in self._rules_by_right.get(nonterminal, ()):
@@ -959,12 +1208,12 @@ class IncrementalSinglePathCFPQ(IncrementalCFPQ):
                     added, improved = self._improve(head, k, j, other + base)
                     if added:
                         created += 1
-                        if supports is not None:
-                            supports[(head, k, j)] = \
-                                {("split", left, nonterminal, i)}
-                    elif supports is not None:
-                        supports[(head, k, j)].add(
-                            ("split", left, nonterminal, i))
+                        if store is not None:
+                            store.seed_fact((head, k, j),
+                                            ("split", left, nonterminal, i))
+                    elif store is not None:
+                        store.add_support((head, k, j),
+                                          ("split", left, nonterminal, i))
                     if added or improved:
                         worklist.append((head, k, j))
         return created

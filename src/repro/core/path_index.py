@@ -34,6 +34,7 @@ at every split, so it terminates on cyclic forests by construction.
 from __future__ import annotations
 
 import heapq
+import itertools
 from collections import defaultdict
 from typing import Hashable, Iterator
 
@@ -42,11 +43,68 @@ from ..grammar.cnf import ensure_cnf
 from ..grammar.symbols import Nonterminal, Terminal
 from ..graph.labeled_graph import LabeledGraph
 from .relations import ContextFreeRelations
-from .semiring import WITNESS_SEMIRING, solve_annotated
+from .semiring import (
+    COUNTING_SEMIRING,
+    VITERBI_SEMIRING,
+    WITNESS_SEMIRING,
+    CountingSemiring,
+    ViterbiSemiring,
+    solve_annotated,
+)
 from .single_path import Path
 
 #: One binary split of (A, i, j): (left nonterminal, right nonterminal, mid).
 Split = tuple[Nonterminal, Nonterminal, int]
+
+
+class LengthRank:
+    """Rank paths by length — shortest first (the default k-best order)."""
+
+    name = "length"
+
+    def edge_value(self, label: str) -> int:
+        return 1
+
+    def empty_value(self) -> int:
+        return 0
+
+    def combine(self, left, right):
+        return left + right
+
+    def better(self, left, right) -> bool:
+        return left < right
+
+    def heap_key(self, value):
+        """Map a rank value onto min-heap order (identity for lengths)."""
+        return value
+
+
+class ViterbiRank:
+    """Rank paths by max-product probability — most probable first.
+
+    Wraps a :class:`repro.core.semiring.ViterbiSemiring` for its edge
+    weights; ``combine`` multiplies and ``heap_key`` negates so the
+    min-heap pops the most probable partial derivation first.
+    """
+
+    def __init__(self, semiring: ViterbiSemiring | None = None):
+        self.semiring = semiring or VITERBI_SEMIRING
+        self.name = f"viterbi[{self.semiring.name}]"
+
+    def edge_value(self, label: str) -> float:
+        return self.semiring.edge_weight(label)
+
+    def empty_value(self) -> float:
+        return 1.0
+
+    def combine(self, left, right):
+        return left * right
+
+    def better(self, left, right) -> bool:
+        return left > right
+
+    def heap_key(self, value):
+        return -value
 
 
 class AllPathIndex:
@@ -82,11 +140,19 @@ class AllPathIndex:
         # Exact-length enumeration memo: (A, i, j, length) -> paths.
         self._length_memo: dict[tuple[Nonterminal, int, int, int],
                                 tuple[Path, ...]] = {}
-        # Shortest-witness cache shared across queries: one Dijkstra run
-        # settles every node of the reachable sub-forest, and the
-        # sub-forest is closed under children, so those minima are
-        # globally correct and reusable.
-        self._shortest_cache: dict[tuple[Nonterminal, int, int], int] = {}
+        # Best-completion caches shared across queries, one per rank:
+        # one Dijkstra run settles every node of the reachable
+        # sub-forest, and the sub-forest is closed under children, so
+        # those optima are globally correct and reusable.
+        self._rank_cache: dict[str, dict[tuple[Nonterminal, int, int],
+                                         object]] = {}
+        self._shortest_cache = self._rank_cache.setdefault("length", {})
+        # Ranked-alternative cache per forest node (k-best expansion).
+        self._alternatives_cache: dict[tuple[str, Nonterminal, int, int],
+                                       tuple] = {}
+        #: Instrumentation for the streaming guarantee: heap pops
+        #: (expansions) and paths yielded by the k-best enumerator.
+        self.kbest_stats = {"expansions": 0, "yielded": 0}
 
     # ------------------------------------------------------------------
     # Construction
@@ -169,27 +235,36 @@ class AllPathIndex:
     # Path counting (DP over the forest, length-stratified)
     # ------------------------------------------------------------------
     def count_paths(self, nonterminal: Nonterminal | str, source: Hashable,
-                    target: Hashable, max_length: int) -> int:
-        """Number of distinct derivation paths of length ≤ *max_length*.
+                    target: Hashable, max_length: int,
+                    semiring: CountingSemiring | None = None) -> int:
+        """Number of distinct derivation paths of length ≤ *max_length*,
+        saturating at the counting semiring's cap.
 
         DP on ``counts[(A, i, j)][l]`` = number of derivations of exactly
-        length l; splits convolve left and right counts.  Distinct
-        *derivations* of the same edge sequence (ambiguous grammars)
-        count once per edge sequence — we count paths, not parse trees,
-        by deduplicating at the edge-sequence level per length via the
-        enumerator when ambiguity is possible.  For unambiguous grammars
-        the DP is exact and O(nodes · max_length²).
+        length l; splits convolve left and right counts, folded through
+        the counting semiring's saturating scalar ops — the same ⊗/⊕
+        arithmetic the closure-level counting annotation runs on the
+        matrix kernels (the two counts are asserted equal in the tests).
+        Distinct *derivations* of the same edge sequence (ambiguous
+        grammars) count once per edge sequence — we count paths, not
+        parse trees, by deduplicating at the edge-sequence level per
+        length via the enumerator when ambiguity is possible.  For
+        unambiguous grammars the DP is exact and O(nodes · max_length²).
         """
+        semiring = semiring or COUNTING_SEMIRING
         nonterminal = _as_nonterminal(nonterminal)
         i = self.graph.node_id(source)
         j = self.graph.node_id(target)
         if self._grammar_is_ambiguous():
-            return sum(
-                1 for _ in self.iter_paths(nonterminal, source, target,
-                                           max_length)
-            )
+            total = 0
+            for _ in self.iter_paths(nonterminal, source, target,
+                                     max_length):
+                total = semiring.saturating_add(total, 1)
+            return total
         empty = 1 if self._has_empty_path(nonterminal, i, j) else 0
-        return empty + self._count_dp(nonterminal, i, j, max_length)
+        return semiring.saturating_add(
+            empty, self._count_dp(nonterminal, i, j, max_length, semiring)
+        )
 
     def _grammar_is_ambiguous(self) -> bool:
         """Cheap over-approximation: a grammar with two rules sharing a
@@ -201,7 +276,9 @@ class AllPathIndex:
         return any(count > 1 for count in by_head.values())
 
     def _count_dp(self, nonterminal: Nonterminal, i: int, j: int,
-                  max_length: int) -> int:
+                  max_length: int, semiring: CountingSemiring) -> int:
+        sat_add = semiring.saturating_add
+        sat_mul = semiring.saturating_multiply
         memo: dict[tuple[Nonterminal, int, int], list[int]] = {}
 
         def counts(head: Nonterminal, a: int, b: int) -> list[int]:
@@ -211,7 +288,8 @@ class AllPathIndex:
             vector = [0] * (max_length + 1)
             memo[key] = vector  # cycle guard: zeros while computing
             if 1 <= max_length and self.terminal_edges(head, a, b):
-                vector[1] += len(self.terminal_edges(head, a, b))
+                vector[1] = sat_add(vector[1],
+                                    len(self.terminal_edges(head, a, b)))
             for left, right, r in self.splits(head, a, b):
                 left_counts = counts(left, a, r)
                 right_counts = counts(right, r, b)
@@ -220,14 +298,19 @@ class AllPathIndex:
                         continue
                     for l2 in range(1, max_length - l1 + 1):
                         if right_counts[l2]:
-                            vector[l1 + l2] += left_counts[l1] * right_counts[l2]
+                            vector[l1 + l2] = sat_add(
+                                vector[l1 + l2],
+                                sat_mul(left_counts[l1], right_counts[l2]),
+                            )
             return vector
 
         # Fixpoint for cyclic forests: iterate until counts stabilize.
         previous = None
         for _ in range(max_length + 1):
             memo.clear()
-            total = sum(counts(nonterminal, i, j))
+            total = 0
+            for entry in counts(nonterminal, i, j):
+                total = sat_add(total, entry)
             if total == previous:
                 break
             previous = total
@@ -291,6 +374,145 @@ class AllPathIndex:
         return result
 
     # ------------------------------------------------------------------
+    # Lazy k-best (ranked alternatives per node, heap-popped best-first)
+    # ------------------------------------------------------------------
+    def _ranked_alternatives(self, node: tuple[Nonterminal, int, int],
+                             rank) -> tuple:
+        """The node's derivation alternatives, best-first under *rank*.
+
+        Each alternative is ``(entry, lower_bound)`` where *entry* is
+        ``("edge", label, value)`` or ``("split", left_node, right_node)``
+        and *lower_bound* is the best completable path value through it
+        (exact for edges; the combined child optima for splits).  Splits
+        whose children admit no non-empty path are unreachable and
+        dropped.  Deterministically ordered (rank key, then edges before
+        splits, then label / split identity), so every strategy's forest
+        enumerates identically.
+        """
+        cache_key = (rank.name,) + node
+        cached = self._alternatives_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        head, a, b = node
+        ranked: list = []
+        for label in sorted(self.terminal_edges(head, a, b)):
+            value = rank.edge_value(label)
+            ranked.append((rank.heap_key(value), 0, label,
+                           (("edge", label, value), value)))
+        for left, right, r in self.splits(head, a, b):
+            left_node = (left, a, r)
+            right_node = (right, r, b)
+            left_best = self._best_completion(left_node, rank)
+            right_best = self._best_completion(right_node, rank)
+            if left_best is None or right_best is None:
+                continue
+            bound = rank.combine(left_best, right_best)
+            ranked.append((rank.heap_key(bound), 1,
+                           (left.name, right.name, r),
+                           (("split", left_node, right_node), bound)))
+        ranked.sort(key=lambda alt: alt[:3])
+        result = tuple(alt[3] for alt in ranked)
+        self._alternatives_cache[cache_key] = result
+        return result
+
+    def iter_k_best(self, nonterminal: Nonterminal | str, source: Hashable,
+                    target: Hashable, max_length: int | None = None,
+                    rank=None) -> Iterator[Path]:
+        """Lazily enumerate paths best-first under *rank* (default:
+        shortest first; :class:`ViterbiRank`: most probable first).
+
+        Best-first search over partial derivations: a state is a
+        concrete edge prefix plus the pending forest goals (leftmost
+        first), and its heap priority is the exact prefix value combined
+        with each goal's cached best completion — an exact lower bound,
+        so states pop in true path order and the first k pops of
+        complete paths *are* the k best.  At every goal the node's
+        ranked alternatives are consumed lazily: popping a state pushes
+        only its next-sibling alternative, never the whole fan-out, so
+        the full path set is never materialized (``kbest_stats`` counts
+        the heap pops the streaming tests bound).  Duplicate edge
+        sequences from ambiguous derivations are emitted once,
+        matching :meth:`iter_paths`.
+        """
+        rank = rank or LengthRank()
+        nonterminal = _as_nonterminal(nonterminal)
+        i = self.graph.node_id(source)
+        j = self.graph.node_id(target)
+        if not self.node_exists(nonterminal, i, j):
+            return
+        stats = self.kbest_stats
+        if self._has_empty_path(nonterminal, i, j):
+            stats["yielded"] += 1
+            yield ()
+        root = (nonterminal, i, j)
+        if self._best_completion(root, rank) is None:
+            return
+        length_rank = rank if isinstance(rank, LengthRank) else LengthRank()
+
+        serial = itertools.count()
+        heap: list = []
+
+        def push(edges: Path, value, goals: tuple, alt_index: int) -> None:
+            if not goals:
+                heapq.heappush(heap, (rank.heap_key(value), next(serial),
+                                      edges, value, (), 0, True))
+                return
+            alternatives = self._ranked_alternatives(goals[0], rank)
+            if alt_index >= len(alternatives):
+                return
+            bound = rank.combine(value, alternatives[alt_index][1])
+            for goal in goals[1:]:
+                bound = rank.combine(bound,
+                                     self._best_completion(goal, rank))
+            heapq.heappush(heap, (rank.heap_key(bound), next(serial),
+                                  edges, value, goals, alt_index, False))
+
+        push((), rank.empty_value(), (root,), 0)
+        emitted: set[Path] = set()
+        while heap:
+            (_key, _tie, edges, value, goals,
+             alt_index, done) = heapq.heappop(heap)
+            stats["expansions"] += 1
+            if done:
+                if max_length is not None and len(edges) > max_length:
+                    continue
+                if edges not in emitted:
+                    emitted.add(edges)
+                    stats["yielded"] += 1
+                    yield edges
+                continue
+            if max_length is not None:
+                floor = len(edges)
+                for goal in goals:
+                    shortest = self._best_completion(goal, length_rank)
+                    floor = (max_length + 1 if shortest is None
+                             else floor + shortest)
+                if floor > max_length:
+                    continue
+            push(edges, value, goals, alt_index + 1)
+            entry, _bound = self._ranked_alternatives(goals[0], rank)[alt_index]
+            if entry[0] == "edge":
+                _kind, label, weight = entry
+                _head, a, b = goals[0]
+                push(edges + ((a, label, b),), rank.combine(value, weight),
+                     goals[1:], 0)
+            else:
+                _kind, left_node, right_node = entry
+                push(edges, value, (left_node, right_node) + goals[1:], 0)
+
+    def top_k(self, nonterminal: Nonterminal | str, source: Hashable,
+              target: Hashable, k: int, max_length: int | None = None,
+              rank=None) -> list[Path]:
+        """The *k* best paths (see :meth:`iter_k_best`); a prefix of
+        ``top_k(..., k + 1)`` by construction — one lazy iterator,
+        truncated."""
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        return list(itertools.islice(
+            self.iter_k_best(nonterminal, source, target,
+                             max_length=max_length, rank=rank), k))
+
+    # ------------------------------------------------------------------
     # Shortest witnesses
     # ------------------------------------------------------------------
     def shortest_path_length(self, nonterminal: Nonterminal | str,
@@ -305,16 +527,28 @@ class AllPathIndex:
             return None
         if self._has_empty_path(nonterminal, i, j):
             return 0
-        cached = self._shortest_cache.get((nonterminal, i, j))
-        if cached is not None:
-            return cached
+        return self._best_completion((nonterminal, i, j), LengthRank())
 
-        # Collect the reachable sub-forest, then run a priority-queue
-        # relaxation from terminal leaves upward.
-        best: dict[tuple[Nonterminal, int, int], int] = {}
+    def _best_completion(self, root: tuple[Nonterminal, int, int],
+                         rank) -> object | None:
+        """The best *non-empty* path value of *root* under *rank*
+        (length: the minimum; viterbi: the maximum probability), or None
+        when only the empty path witnesses it.
+
+        Generic Dijkstra over forest nodes: collect the reachable
+        sub-forest, then relax from terminal leaves upward with the
+        rank's ``combine``/``better``.  Settled optima are cached per
+        rank and reused — the sub-forest is closed under children, so
+        they are globally correct.
+        """
+        cache = self._rank_cache.setdefault(rank.name, {})
+        if root in cache:
+            return cache[root]
+
+        best: dict[tuple[Nonterminal, int, int], object] = {}
         dependents: dict[tuple, list[tuple]] = defaultdict(list)
         nodes: set[tuple[Nonterminal, int, int]] = set()
-        stack = [(nonterminal, i, j)]
+        stack = [root]
         while stack:
             node = stack.pop()
             if node in nodes:
@@ -328,31 +562,42 @@ class AllPathIndex:
                 dependents[right_node].append((node, left_node, right_node))
                 stack.extend((left_node, right_node))
 
-        heap: list[tuple[int, tuple[str, int, int]]] = []
+        heap: list = []
         for node in nodes:
             head, a, b = node
-            if self.terminal_edges(head, a, b):
-                best[node] = 1
-                heapq.heappush(heap, (1, _node_key(node)))
+            labels = self.terminal_edges(head, a, b)
+            if labels:
+                cost = None
+                for label in labels:
+                    value = rank.edge_value(label)
+                    if cost is None or rank.better(value, cost):
+                        cost = value
+                best[node] = cost
+                heapq.heappush(heap, (rank.heap_key(cost), _node_key(node)))
 
         keyed = {_node_key(node): node for node in nodes}
         while heap:
-            cost, key = heapq.heappop(heap)
-            node = keyed[key]
-            if cost > best.get(node, float("inf")):
+            key, node_key = heapq.heappop(heap)
+            node = keyed[node_key]
+            settled = best.get(node)
+            if settled is None or key > rank.heap_key(settled):
                 continue
             for parent, left_node, right_node in dependents[node]:
                 left_cost = best.get(left_node)
                 right_cost = best.get(right_node)
                 if left_cost is None or right_cost is None:
                     continue
-                candidate = left_cost + right_cost
-                if candidate < best.get(parent, float("inf")):
+                candidate = rank.combine(left_cost, right_cost)
+                current = best.get(parent)
+                if current is None or rank.better(candidate, current):
                     best[parent] = candidate
-                    heapq.heappush(heap, (candidate, _node_key(parent)))
+                    heapq.heappush(
+                        heap, (rank.heap_key(candidate), _node_key(parent))
+                    )
 
-        self._shortest_cache.update(best)
-        return best.get((nonterminal, i, j))
+        cache.update(best)
+        cache.setdefault(root, best.get(root))
+        return best.get(root)
 
 
 #: Historical name of the forest index (pre-semiring API).

@@ -215,16 +215,199 @@ class WitnessSemiring(Semiring):
         return existing | incoming, True
 
 
+#: Default saturation cap for :class:`CountingSemiring`.  Kept small on
+#: purpose: saturating a pump cycle costs O(cap) refinement rounds (see
+#: the class docstring), so a huge default turns cyclic graphs into
+#: effective hangs.
+DEFAULT_COUNTING_CAP = 1 << 10
+
+
+class CountingSemiring(Semiring):
+    """Derivation counting with saturation — one value type for two jobs.
+
+    A cell's annotation is a frozenset of ``(entry, count)`` pairs: one
+    entry per *one-step derivation* of the cell (the same
+    ``("edge", label)`` / ``("empty",)`` / ``("split", B, C, r)`` shapes
+    the witness semiring records) mapped to the number of distinct
+    derivation trees routed through that decomposition, saturating at
+    ``cap``.  The cell's total derivation count is the saturating sum
+    over its entries (:meth:`count`) and its *support set* is the entry
+    keys (:meth:`supports`) — which is exactly the DRed support index of
+    :mod:`repro.core.incremental`, so deletion support and derivation
+    counting share one representation on the same matrix kernels.
+
+    ⊗ emits one ``split`` entry whose count is the saturating product of
+    the operand counts; ⊕ and ``merge`` take the *per-entry maximum*.
+    Candidates inside one product carry distinct midpoints (distinct
+    entries), so the per-entry max degenerates to disjoint union there
+    and the fold is exact; across rounds an entry's recomputed count
+    only grows (operand counts are non-decreasing), so max is the
+    monotone confluent merge and every strategy converges to the same
+    least fixpoint.  Counts are bounded by ``cap`` and entries are
+    finite, so the refinement order is well-founded — saturation is what
+    keeps cyclic forests (infinitely many derivations) terminating.
+
+    The default cap is deliberately small: a pump cycle routed through a
+    count-1 cell grows its count by a *constant* per refinement round,
+    so saturating a cyclic forest costs O(cap) closure rounds in the
+    worst case.  Counts below the cap are always exact; cells that would
+    exceed it are exactly the ones whose true count is unbounded or
+    astronomically large, and they read as "≥ cap".  Pass a larger
+    ``cap`` when exact counts matter more than cyclic-graph wall time.
+
+    With ``cap == 1`` every count is pinned at 1, products can never
+    change an entry's value, and the semiring becomes value-blind
+    (``refinement_feeds_products`` is False) — the cheap instantiation
+    the incremental DRed support index runs on.
+    """
+
+    def __init__(self, cap: int = DEFAULT_COUNTING_CAP,
+                 name: str | None = None):
+        if cap < 1:
+            raise ValueError("counting cap must be >= 1")
+        self.cap = cap
+        self.name = name if name is not None else (
+            "counting" if cap == DEFAULT_COUNTING_CAP
+            else f"counting[{cap}]"
+        )
+
+    @property
+    def refinement_feeds_products(self) -> bool:  # type: ignore[override]
+        return self.cap > 1
+
+    # -- saturating scalar arithmetic (shared with the path-count DP) --
+    def saturating_add(self, left: int, right: int) -> int:
+        total = left + right
+        return total if total < self.cap else self.cap
+
+    def saturating_multiply(self, left: int, right: int) -> int:
+        product = left * right
+        return product if product < self.cap else self.cap
+
+    def count(self, value: frozenset | None) -> int:
+        """Total derivation count of a cell value (saturating sum over
+        entries; 1 for the empty value a lifted boolean cell carries)."""
+        if not value:
+            return 1
+        total = 0
+        for _entry, entry_count in value:
+            total = self.saturating_add(total, entry_count)
+        return total
+
+    def supports(self, value: frozenset | None) -> frozenset:
+        """The entry keys — the cell's one-step derivation supports."""
+        return frozenset(entry for entry, _count in value or ())
+
+    # -- semiring operations ------------------------------------------
+    def identity(self, label: str | None = None) -> frozenset:
+        if label is None:
+            return frozenset()
+        return frozenset({(("edge", label), 1)})
+
+    def empty_path(self) -> frozenset:
+        return frozenset({(("empty",), 1)})
+
+    def multiply(self, left, right, midpoint: int, left_symbol,
+                 right_symbol) -> frozenset:
+        trees = self.saturating_multiply(self.count(left), self.count(right))
+        return frozenset(
+            {(("split", left_symbol, right_symbol, midpoint), trees)}
+        )
+
+    def add(self, left: frozenset, right: frozenset) -> frozenset:
+        merged = dict(left)
+        for entry, entry_count in right:
+            existing = merged.get(entry)
+            if existing is None or entry_count > existing:
+                merged[entry] = entry_count
+        return frozenset(merged.items())
+
+    def merge(self, existing: frozenset,
+              incoming: frozenset) -> tuple[frozenset, bool]:
+        merged = self.add(existing, incoming)
+        if merged == existing:
+            return existing, False
+        return merged, True
+
+
+class ViterbiSemiring(Semiring):
+    """Max-product probabilities over weighted grammars.
+
+    Terminal edges carry per-label weights in ``(0, 1]`` (the
+    ``weights`` mapping, ``default_weight`` for unlisted labels); ⊗
+    multiplies sub-derivation probabilities and ⊕/``merge`` keep the
+    maximum, reusing the length semiring's refinement re-entry: a
+    strictly more probable candidate replaces the recorded value and
+    re-enters the frontier, so the fixpoint is the best derivation
+    probability per cell — identical across strategies and backends
+    (each derivation's value is fixed by its own tree shape, and max
+    picks from the same candidate set everywhere).
+
+    Termination mirrors min-plus shortest paths: weights ≤ 1 mean
+    pumping a cycle can never *strictly* improve a derivation, so the
+    maximum is attained by a cycle-free derivation and refinements
+    strictly ascend through a finite value set.
+    """
+
+    name = "viterbi"
+
+    def __init__(self, weights: "Mapping[str, float] | None" = None,
+                 default_weight: float = 0.5,
+                 name: str | None = None):
+        if name is not None:
+            self.name = name
+        self.default_weight = float(default_weight)
+        self.weights = dict(weights or {})
+        for label, weight in [*self.weights.items(),
+                              (None, self.default_weight)]:
+            if not 0.0 < float(weight) <= 1.0:
+                raise ValueError(
+                    f"viterbi weight for {label!r} must be in (0, 1], "
+                    f"got {weight!r}"
+                )
+
+    def edge_weight(self, label: str) -> float:
+        return float(self.weights.get(label, self.default_weight))
+
+    def identity(self, label: str | None = None) -> float:
+        if label is None:
+            return 1.0
+        return self.edge_weight(label)
+
+    def empty_path(self) -> float:
+        return 1.0
+
+    def multiply(self, left: float, right: float, midpoint, left_symbol,
+                 right_symbol) -> float:
+        return left * right
+
+    def add(self, left: float, right: float) -> float:
+        return left if left >= right else right
+
+    def merge(self, existing: float,
+              incoming: float) -> tuple[float, bool]:
+        if incoming > existing:
+            return incoming, True
+        return existing, False
+
+
 #: Shared singleton instances (the semirings are stateless).
 BOOLEAN_SEMIRING = BooleanSemiring()
 LENGTH_SEMIRING = LengthSemiring()
 WITNESS_SEMIRING = WitnessSemiring()
+COUNTING_SEMIRING = CountingSemiring()
+VITERBI_SEMIRING = ViterbiSemiring()
+#: The cap-1 counting instance the incremental DRed support index runs
+#: on: entry keys are the supports, counts are pinned at 1, products are
+#: value-blind.
+SUPPORT_SEMIRING = CountingSemiring(cap=1, name="support-count")
 
 #: Name → singleton registry, used by the process tile scheduler to
 #: rebuild annotated tiles on the worker side of the pipe.
 SEMIRINGS: dict[str, Semiring] = {
     semiring.name: semiring
-    for semiring in (BOOLEAN_SEMIRING, LENGTH_SEMIRING, WITNESS_SEMIRING)
+    for semiring in (BOOLEAN_SEMIRING, LENGTH_SEMIRING, WITNESS_SEMIRING,
+                     COUNTING_SEMIRING, VITERBI_SEMIRING, SUPPORT_SEMIRING)
 }
 
 

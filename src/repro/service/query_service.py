@@ -40,15 +40,22 @@ from typing import Hashable, Iterable
 from ..core.batch import BatchQuery, solve_batch
 from ..core.incremental import IncrementalCFPQ, IncrementalSinglePathCFPQ
 from ..core.matrix_cfpq import DEFAULT_STRATEGY
+from ..core.path_index import AllPathIndex, LengthRank, ViterbiRank
 from ..core.single_path import extract_path
 from ..errors import ReproError, SemanticsError
-from ..grammar.symbols import Nonterminal
+from ..grammar.symbols import Nonterminal, Terminal
 from ..graph.labeled_graph import Edge, LabeledGraph
 from ..matrices.base import default_backend, get_backend
 from . import snapshot as snapshot_store
 
 #: Query semantics the service caches and serves.
 SERVICE_SEMANTICS = ("relational", "single-path", "length")
+
+#: Ranking semirings :meth:`QueryService.top_k` serves: shortest-first
+#: (length) or most-probable-first (viterbi, max-product over per-label
+#: weights).  Selected per service via the ``semiring`` constructor
+#: argument or the ``REPRO_SERVICE_SEMIRING`` environment variable.
+SERVICE_SEMIRINGS = ("length", "viterbi")
 
 #: Default LRU capacity.
 DEFAULT_CACHE_SIZE = 1024
@@ -62,6 +69,36 @@ DEFAULT_BATCH_CAPACITY = 64
 #: results instead of failing the whole batch (mirrors the server's
 #: error envelope).
 BATCH_ITEM_ERRORS = (ReproError, ValueError, KeyError, TypeError)
+
+
+class _KBestStream:
+    """One cached k-best enumeration: the materialized best-first prefix
+    plus the live lazy iterator that extends it on demand.
+
+    Pagination re-reads the prefix and only advances the iterator for
+    genuinely new ranks, so a cursor walk over a cached stream never
+    re-enumerates — and the full path set is never materialized."""
+
+    def __init__(self, iterator) -> None:
+        self._iterator = iterator
+        self._prefix: list = []
+        self._exhausted = False
+        self._lock = threading.Lock()
+
+    def page(self, cursor: int, k: int) -> tuple[list, int, bool]:
+        """Paths ``[cursor, cursor + k)`` in rank order, the follow-up
+        cursor, and whether the stream is exhausted at that cursor."""
+        needed = cursor + k
+        with self._lock:
+            while len(self._prefix) < needed and not self._exhausted:
+                try:
+                    self._prefix.append(next(self._iterator))
+                except StopIteration:
+                    self._exhausted = True
+            page = list(self._prefix[cursor:needed])
+            next_cursor = cursor + len(page)
+            exhausted = self._exhausted and next_cursor >= len(self._prefix)
+            return page, next_cursor, exhausted
 
 
 class ReadWriteLock:
@@ -168,11 +205,19 @@ class QueryService:
                  cache_size: int = DEFAULT_CACHE_SIZE,
                  single_path: bool = False,
                  warm_state: dict | None = None,
+                 semiring: str | None = None,
                  **strategy_options):
         self.backend = backend or default_backend()
         self.strategy = strategy
         self.single_path = single_path
         self.strategy_options = strategy_options
+        self.semiring = (semiring
+                         or os.environ.get("REPRO_SERVICE_SEMIRING")
+                         or "length").strip().lower()
+        if self.semiring not in SERVICE_SEMIRINGS:
+            raise SemanticsError(
+                f"unknown service semiring {self.semiring!r}; expected one "
+                f"of {SERVICE_SEMIRINGS}")
         started = time.perf_counter()
         if single_path:
             self.solver: IncrementalCFPQ = IncrementalSinglePathCFPQ(
@@ -192,6 +237,11 @@ class QueryService:
         self._cache_size = max(1, cache_size)
         self._cache_lock = threading.Lock()
         self._sp_index = None
+        self._forest = None
+        self._kbest_cache: OrderedDict[tuple, _KBestStream] = OrderedDict()
+        self._kbest_lock = threading.Lock()
+        self._topk_queries = 0
+        self._topk_stream_hits = 0
         self._capture = threading.local()
         self._snapshot_meta: dict = {}
 
@@ -603,6 +653,89 @@ class QueryService:
         return self._sp_index
 
     # ------------------------------------------------------------------
+    # k-best paths
+    # ------------------------------------------------------------------
+    def _forest_index(self) -> AllPathIndex:
+        """The witness forest over the current fixpoint, built lazily
+        after a tick (like the single-path index) and shared by every
+        cached k-best stream."""
+        if self._forest is None:
+            self._forest = AllPathIndex.build(
+                self.solver.graph, self.solver.grammar,
+                strategy=self.strategy, **self.strategy_options)
+        return self._forest
+
+    def _rank_adapter(self):
+        if self.semiring == "viterbi":
+            return ViterbiRank()
+        return LengthRank()
+
+    def _kbest_iterator(self, start_nt: Nonterminal, source, target,
+                        max_length):
+        forest = self._forest_index()
+        graph = self.solver.graph
+        for path in forest.iter_k_best(start_nt, source, target,
+                                       max_length=max_length,
+                                       rank=self._rank_adapter()):
+            yield tuple(
+                (graph.node_at(i), label, graph.node_at(j))
+                for i, label, j in path
+            )
+
+    def top_k(self, start, source: Hashable, target: Hashable, k: int,
+              max_length: int | None = None) -> list:
+        """The *k* best paths from *source* to *target* under the
+        service semiring — shortest first (``length``) or most probable
+        first (``viterbi``).  A prefix of ``top_k(..., k + 1)``."""
+        paths, _cursor, _exhausted = self.top_k_page(
+            start, source, target, k, cursor=0, max_length=max_length)
+        return paths
+
+    def top_k_page(self, start, source: Hashable, target: Hashable, k: int,
+                   cursor: int = 0,
+                   max_length: int | None = None) -> tuple[list, int, bool]:
+        """One page of the k-best stream: paths ``[cursor, cursor + k)``
+        in rank order, the next cursor, and an exhaustion flag.
+
+        The underlying enumeration is lazy and cached per
+        ``(start, source, target, max_length)``: consecutive pages (and
+        repeated queries) extend one best-first iterator instead of
+        re-enumerating, and invalidation follows the same per-NT tick
+        deltas as single-path entries."""
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        if cursor < 0:
+            raise ValueError("cursor must be non-negative")
+        start_nt = start if isinstance(start, Nonterminal) \
+            else Nonterminal(str(start))
+        with self._lock.reading():
+            solver = self.solver
+            solver.grammar.require_nonterminal(start_nt)
+            graph = solver.graph
+            with self._cache_lock:
+                self._queries += 1
+                self._topk_queries += 1
+            if not (graph.has_node(source) and graph.has_node(target)):
+                self._maybe_capture_stats()
+                return [], cursor, True
+            key = (str(start_nt), source, target, max_length)
+            with self._kbest_lock:
+                stream = self._kbest_cache.get(key)
+                if stream is not None:
+                    self._topk_stream_hits += 1
+                    self._kbest_cache.move_to_end(key)
+                else:
+                    stream = _KBestStream(self._kbest_iterator(
+                        start_nt, source, target, max_length))
+                    self._kbest_cache[key] = stream
+                    while len(self._kbest_cache) > self._cache_size:
+                        self._kbest_cache.popitem(last=False)
+                        self._evictions += 1
+            page = stream.page(cursor, k)
+            self._maybe_capture_stats()
+            return page
+
+    # ------------------------------------------------------------------
     # Update ticks
     # ------------------------------------------------------------------
     def update(self, inserts: Iterable[Edge] = (),
@@ -663,19 +796,30 @@ class QueryService:
                 frontier_runs = 1
                 changed.update(solver.last_changes)
             self._sp_index = None
+            self._forest = None
             # The padded batch matrices mirror the closed facts per
             # nonterminal; drop exactly the changed ones (a node-count
             # change is caught by the rebuild check at next build).
             with self._batch_lock:
                 for nonterminal in changed:
                     self._batch_matrices.pop(nonterminal, None)
+            # An inserted edge can add a *new alternative* at an
+            # already-derived forest node — no fact or length delta, but
+            # the node's path set (and hence k-best answers through it)
+            # grows.  Widen the path-entry invalidation with the heads
+            # of every inserted label.
+            path_changed = set(changed)
+            for _source, label, _target in inserts:
+                path_changed.update(
+                    solver.grammar.heads_for_terminal(Terminal(label)))
             # Cached witness paths reference concrete graph edges, so a
             # deletion can invalidate them even when DRed re-derived
             # every fact with identical annotations (same pair, same
             # length, different edges) — drop them all on any real
             # deletion instead of trusting the cell deltas alone.
             invalidated = self._invalidate(
-                changed, drop_single_path=bool(deletes)
+                changed, drop_single_path=bool(deletes),
+                path_changed=path_changed,
             )
             seconds = time.perf_counter() - started
 
@@ -725,15 +869,34 @@ class QueryService:
         return cached
 
     def _invalidate(self, changed: set[Nonterminal],
-                    drop_single_path: bool = False) -> int:
+                    drop_single_path: bool = False,
+                    path_changed: set[Nonterminal] | None = None) -> int:
         """Drop exactly the cache entries whose answer could depend on
         the tick: relational/length entries read only their start
         matrix, single-path entries the reachable rule closure — plus,
         with *drop_single_path* (an edge was really deleted), every
         single-path entry, because witness paths reference edges the
-        cell deltas cannot see."""
+        cell deltas cannot see.  k-best streams invalidate like
+        single-path entries, against *path_changed* (the cell deltas
+        widened by the heads of inserted labels)."""
+        path_changed = changed if path_changed is None else path_changed
+        dropped = 0
+        if path_changed or drop_single_path:
+            with self._kbest_lock:
+                stale_kbest = [
+                    key for key in self._kbest_cache
+                    if drop_single_path or any(
+                        nonterminal in path_changed
+                        for nonterminal in
+                        self._dependencies(Nonterminal(key[0])))
+                ]
+                for key in stale_kbest:
+                    del self._kbest_cache[key]
+                dropped += len(stale_kbest)
         if not changed and not drop_single_path:
-            return 0
+            with self._cache_lock:
+                self._invalidations += dropped
+            return dropped
         with self._cache_lock:
             stale = []
             for key in self._cache:
@@ -751,8 +914,8 @@ class QueryService:
                     stale.append(key)
             for key in stale:
                 del self._cache[key]
-            self._invalidations += len(stale)
-            return len(stale)
+            self._invalidations += len(stale) + dropped
+            return len(stale) + dropped
 
     # ------------------------------------------------------------------
     # Instrumentation
@@ -810,10 +973,18 @@ class QueryService:
             evictions = self._evictions
             invalidations = self._invalidations
         answered = hits + misses
+        with self._kbest_lock:
+            kbest_entries = len(self._kbest_cache)
         return {
             "backend": self.backend,
             "strategy": self.strategy,
             "single_path": self.single_path,
+            "semiring": self.semiring,
+            "top_k": {
+                "queries": self._topk_queries,
+                "stream_hits": self._topk_stream_hits,
+                "cached_streams": kbest_entries,
+            },
             "graph": {
                 "nodes": self.solver.graph.node_count,
                 "edges": self.solver.graph.edge_count,

@@ -66,6 +66,15 @@ class _ServiceProxy:
     def query_batch(self, queries):
         return self.service.query_batch(queries)
 
+    def top_k(self, start, source, target, k, max_length=None):
+        return self.service.top_k(start, source, target, k,
+                                  max_length=max_length)
+
+    def top_k_page(self, start, source, target, k, cursor=0,
+                   max_length=None):
+        return self.service.top_k_page(start, source, target, k,
+                                       cursor=cursor, max_length=max_length)
+
     @contextlib.contextmanager
     def capture_stats(self):
         """Delegate to the wrapped service's in-critical-section stats

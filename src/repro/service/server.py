@@ -12,6 +12,9 @@ TCP (``repro-cfpq serve --port N``; try it with netcat).  Requests:
      "semantics": "single-path"}
     {"op": "batch", "queries": [{"start": "S", "source": 0, "target": 3},
                                 {"start": "S"}]}
+    {"op": "top_k", "start": "S", "source": 0, "target": 3, "k": 5}
+    {"op": "top_k", "start": "S", "source": 0, "target": 3, "k": 5,
+     "cursor": 5, "max_length": 32}
     {"op": "update", "insert": [["u", "a", "v"]],
      "delete": [["x", "a", "y"]]}
     {"op": "update", "ops": [["insert", "u", "a", "v"],
@@ -50,8 +53,16 @@ concurrent single ``query`` requests arriving within a W ms window are
 coalesced into one ``query_batch`` call, each connection still
 receiving its own ordinary query response.
 
+A ``top_k`` op pages through the best witness paths between one node
+pair (shortest-first, or most-probable-first when the service runs the
+Viterbi semiring) without materializing the full path set: the
+response is ``{"paths": [...], "next_cursor": N, "exhausted": bool}``
+and the client passes ``cursor: N`` back to continue — the service
+caches the underlying lazy enumerator, so later pages resume where the
+last one stopped.
+
 With ``replicas=[(host, port), ...]`` the server is a read fan-out
-front door: ``query`` and ``batch`` ops are forwarded round-robin to
+front door: ``query``, ``batch`` and ``top_k`` ops are forwarded round-robin to
 follower replicas (their responses relayed verbatim), every other op
 runs locally — the leader owns writes.  With a follower service, a
 background task tails the WAL so the replica converges without client
@@ -147,6 +158,26 @@ def _dispatch(service: QueryService, op: str, request: dict):
             items.append(spec)
         return [_batch_item_envelope(answer)
                 for answer in service.query_batch(items)]
+    if op == "top_k":
+        start = request.get("start")
+        if start is None:
+            raise ValueError("top_k requires 'start'")
+        graph = service.graph
+        source = _coerce_node(graph, request.get("source"))
+        target = _coerce_node(graph, request.get("target"))
+        if source is None or target is None:
+            raise ValueError("top_k requires 'source' and 'target'")
+        max_length = request.get("max_length")
+        paths, next_cursor, exhausted = service.top_k_page(
+            start, source, target, int(request.get("k", 1)),
+            cursor=int(request.get("cursor", 0)),
+            max_length=None if max_length is None else int(max_length),
+        )
+        return {
+            "paths": [_jsonable_result(path) for path in paths],
+            "next_cursor": next_cursor,
+            "exhausted": exhausted,
+        }
     if op == "update":
         graph = service.graph
         ops = [
@@ -182,8 +213,8 @@ def _dispatch(service: QueryService, op: str, request: dict):
     if op == "shutdown":
         return "bye"
     raise ValueError(
-        f"unknown op {op!r}; expected query/batch/update/stats/sync/"
-        "save/ping/shutdown"
+        f"unknown op {op!r}; expected query/batch/top_k/update/stats/"
+        "sync/save/ping/shutdown"
     )
 
 
@@ -593,7 +624,8 @@ class AsyncJSONLServer:
             return _encode({"ok": False, "error": f"bad JSON: {error}",
                             "error_type": "JSONDecodeError"})
         if self._replica_pool is not None and isinstance(request, dict) \
-                and request.get("op", "query") in ("query", "batch"):
+                and request.get("op", "query") in ("query", "batch",
+                                                   "top_k"):
             forwarded = await self._replica_pool.forward(stripped)
             if forwarded is not None:
                 return forwarded

@@ -35,7 +35,7 @@ registry key.  Loading under a *different* backend re-materializes
 through the codec and converts via the coordinate round-trip
 (:meth:`~repro.matrices.base.MatrixBackend.clone`), so a snapshot saved
 with ``sparse`` warm-starts a ``bitset`` engine and vice versa.
-Annotated (length/witness) matrices travel as
+Annotated (length/witness/counting/viterbi) matrices travel as
 :meth:`repro.core.semiring.AnnotatedBackend.tile_payload` cells with
 symbols flattened to names.
 """
@@ -326,15 +326,42 @@ def _decode_entry(entry: list) -> tuple:
     raise SnapshotError(f"cannot decode annotation entry {entry!r}")
 
 
+def _is_counting_name(semiring_name: str) -> bool:
+    """Counting-family semirings (including the cap-1 ``support-count``
+    instance and capped ``counting[N]`` variants) all carry frozensets
+    of ``(entry, count)`` pairs."""
+    return (semiring_name in ("counting", "support-count")
+            or semiring_name.startswith("counting["))
+
+
+def _set_valued(semiring_name: str) -> bool:
+    return semiring_name == "witness" or _is_counting_name(semiring_name)
+
+
 def _encode_value(semiring_name: str, value):
+    """Set-valued annotations (witness entry sets, counting entry-count
+    sets) are emitted in canonical entry order — frozenset iteration
+    follows per-process hash randomization, and replicated serving
+    asserts snapshots byte-identical across processes.  Scalar
+    annotations (length, viterbi) pass through."""
     if semiring_name == "witness":
-        return [_encode_entry(entry) for entry in value]
+        return sorted((_encode_entry(entry) for entry in value),
+                      key=_entry_sort_key)
+    if _is_counting_name(semiring_name):
+        return sorted(
+            ([_encode_entry(entry), count] for entry, count in value),
+            key=_entry_sort_key,
+        )
     return value
 
 
 def _decode_value(semiring_name: str, value):
     if semiring_name == "witness":
         return frozenset(_decode_entry(entry) for entry in value)
+    if _is_counting_name(semiring_name):
+        return frozenset(
+            (_decode_entry(entry), count) for entry, count in value
+        )
     return value
 
 
@@ -348,15 +375,11 @@ def encode_annotated_matrices(matrices: dict[Nonterminal, AnnotatedMatrix],
          cells) = backend.tile_payload(matrix)
         encoded = [[i, j, _encode_value(name, value)]
                    for (i, j), value in cells]
-        if name == "witness":
-            # Witness values are sets of entries: emit them (and the
-            # cell list) in canonical order so the encoding is
-            # process-independent; decode rebuilds frozensets.
-            encoded = sorted(
-                ([i, j, sorted(value, key=_entry_sort_key)]
-                 for i, j, value in encoded),
-                key=lambda cell: (cell[0], cell[1]),
-            )
+        if _set_valued(name):
+            # Set-valued cells iterate in hash order: sort the cell
+            # list too so the encoding is process-independent; decode
+            # rebuilds frozensets.
+            encoded.sort(key=lambda cell: (cell[0], cell[1]))
         out[nonterminal.name] = {
             "semiring": name,
             "shape": list(shape),

@@ -484,6 +484,120 @@ def test_incremental_equals_scratch_property(seed, initial_edges,
     )
 
 
+class TestSupportStoreDifferential:
+    """The matrix-granular counting support index (default) against the
+    tuple-set oracle: after any interleaved insert/delete sequence the
+    two stores must export **byte-identical** state — same facts, same
+    support entries per fact, same lengths."""
+
+    def _pair(self, cls, strategy="delta", **options):
+        grammar = parse_grammar(_INTERLEAVE_GRAMMAR, terminals=["a", "b"])
+        graph_edges = [(0, "a", 1), (1, "b", 2), (2, "a", 3)]
+        nodes = list(range(5))
+        counting = cls(LabeledGraph.from_edges(graph_edges, nodes=nodes),
+                       grammar, strategy=strategy,
+                       support_mode="counting", **options)
+        tuples = cls(LabeledGraph.from_edges(graph_edges, nodes=nodes),
+                     grammar, strategy=strategy,
+                     support_mode="tuples", **options)
+        assert isinstance(counting._support_store.__class__.__name__, str)
+        assert counting.support_mode == "counting"
+        assert tuples.support_mode == "tuples"
+        return counting, tuples
+
+    @pytest.mark.parametrize("strategy", ["naive", "delta", "blocked"])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_interleaved_exports_identical(self, strategy, seed):
+        counting, tuples = self._pair(IncrementalCFPQ, strategy=strategy,
+                                      tile_size=2)
+        rng = random.Random(0x5EED ^ seed)
+        for step, (delete, edge) in enumerate(_random_sequence(rng, 5, 16)):
+            if delete:
+                assert counting.remove_edge(*edge) == \
+                    tuples.remove_edge(*edge), (strategy, seed, step)
+            else:
+                assert counting.add_edge(*edge) == \
+                    tuples.add_edge(*edge), (strategy, seed, step)
+            assert counting.export_state() == tuples.export_state(), \
+                (strategy, seed, step)
+            assert counting.stats["support_entries"] == \
+                tuples.stats["support_entries"], (strategy, seed, step)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_batched_interleavings_identical(self, seed):
+        counting, tuples = self._pair(IncrementalCFPQ)
+        rng = random.Random(0xFACE ^ seed)
+        pending: list = []
+        for delete, edge in _random_sequence(rng, 5, 14):
+            if delete:
+                batch = pending and [pending.pop()] or [edge]
+                assert counting.remove_edges(batch) == \
+                    tuples.remove_edges(batch)
+            else:
+                pending.append(edge)
+                if len(pending) >= 3:
+                    assert counting.add_edges(pending) == \
+                        tuples.add_edges(pending)
+                    pending.clear()
+            assert counting.export_state() == tuples.export_state()
+        counting.add_edges(pending)
+        tuples.add_edges(pending)
+        assert counting.export_state() == tuples.export_state()
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_single_path_exports_identical(self, seed):
+        counting, tuples = self._pair(IncrementalSinglePathCFPQ)
+        rng = random.Random(0x1E57 ^ seed)
+        for step, (delete, edge) in enumerate(_random_sequence(rng, 4, 12)):
+            if delete:
+                counting.remove_edge(*edge)
+                tuples.remove_edge(*edge)
+            else:
+                counting.add_edge(*edge)
+                tuples.add_edge(*edge)
+            assert counting.export_state() == tuples.export_state(), \
+                (seed, step)
+
+    def test_first_deletion_recount_matches_oracle(self):
+        """The one-shot counting-closure build on first deletion must
+        equal the oracle's per-fact recount exactly."""
+        counting, tuples = self._pair(IncrementalCFPQ)
+        counting.add_edges([(3, "b", 4), (4, "a", 0), (0, "a", 0)])
+        tuples.add_edges([(3, "b", 4), (4, "a", 0), (0, "a", 0)])
+        counting.remove_edge(9, "a", 9)  # no-op: activates the index
+        tuples.remove_edge(9, "a", 9)
+        assert counting._supports == tuples._supports
+        assert counting.stats["support_entries"] > 0
+
+    def test_warm_state_roundtrips_between_stores(self):
+        """A snapshot exported by one store warm-starts the other."""
+        counting, tuples = self._pair(IncrementalCFPQ)
+        counting.remove_edge(1, "b", 2)
+        tuples.remove_edge(1, "b", 2)
+        grammar = parse_grammar(_INTERLEAVE_GRAMMAR, terminals=["a", "b"])
+        graph_copy = LabeledGraph.from_edges(
+            list(counting.graph.edges()), nodes=list(counting.graph.nodes))
+        adopted = IncrementalCFPQ(graph_copy, grammar,
+                                  warm_state=tuples.export_state(),
+                                  support_mode="counting")
+        assert adopted.export_state() == counting.export_state()
+        adopted.remove_edge(0, "a", 1)
+        counting.remove_edge(0, "a", 1)
+        assert adopted.export_state() == counting.export_state()
+
+    def test_env_default_mode(self, monkeypatch):
+        grammar = parse_grammar("S -> a", terminals=["a"])
+        monkeypatch.setenv("REPRO_SUPPORT_MODE", "tuples")
+        solver = IncrementalCFPQ(word_chain(["a"]), grammar)
+        assert solver.support_mode == "tuples"
+        monkeypatch.delenv("REPRO_SUPPORT_MODE")
+        solver = IncrementalCFPQ(word_chain(["a"]), grammar)
+        assert solver.support_mode == "counting"
+        with pytest.raises(ValueError):
+            IncrementalCFPQ(word_chain(["a"]), grammar,
+                            support_mode="nope")
+
+
 @given(
     seed=st.integers(0, 1000),
     initial_edges=st.integers(1, 10),

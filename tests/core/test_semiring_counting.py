@@ -1,0 +1,275 @@
+"""Differential tests for the counting semiring.
+
+Three independent oracles pin the counting closure down:
+
+* a **brute-force derivation-tree enumerator** (recursive over the
+  grammar and graph, no closure machinery) on DAG inputs, where the
+  derivation forest is acyclic and tree counts are finite;
+* the **witness semiring**: the cap-1 support instance must record
+  exactly the witness entry sets (same one-step decomposition universe,
+  counts pinned at 1);
+* the **length-stratified path-counting DP**
+  (:meth:`repro.core.path_index.AllPathIndex.count_paths`), which runs
+  the same saturating scalar arithmetic over the forest and must agree
+  with bounded brute-force path enumeration.
+
+Randomized cases reuse the seeded generators of
+``test_semiring_differential`` (deterministic, no hypothesis database).
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from test_semiring_differential import (  # noqa: E402
+    STRATEGIES,
+    brute_force_paths,
+    make_case,
+)
+
+from repro.core.path_index import AllPathIndex  # noqa: E402
+from repro.core.semiring import (  # noqa: E402
+    COUNTING_SEMIRING,
+    SUPPORT_SEMIRING,
+    WITNESS_SEMIRING,
+    CountingSemiring,
+    solve_annotated,
+)
+from repro.grammar.cfg import CFG  # noqa: E402
+from repro.grammar.cnf import to_cnf  # noqa: E402
+from repro.grammar.production import Production  # noqa: E402
+from repro.grammar.symbols import Nonterminal, Terminal  # noqa: E402
+from repro.graph.labeled_graph import LabeledGraph  # noqa: E402
+
+SEEDS = tuple(range(8))
+_LABELS = ("a", "b")
+_NONTERMINALS = ("S", "A", "B")
+
+
+def make_dag_case(seed: int, max_nodes: int = 6, max_edges: int = 10):
+    """A random **DAG** (edges strictly forward in node order) and a CNF
+    grammar with no ε-productions: every effective split then strictly
+    shrinks its span, the derivation forest is acyclic, and derivation
+    counts are finite — the regime where brute-force tree enumeration
+    terminates and the counting closure must be exact."""
+    rng = random.Random(0xBEEF ^ seed)
+    productions = []
+    for _ in range(rng.randint(2, 6)):
+        head = Nonterminal(rng.choice(_NONTERMINALS))
+        if rng.random() < 0.5:
+            body = (Terminal(rng.choice(_LABELS)),)
+        else:
+            body = tuple(
+                Nonterminal(rng.choice(_NONTERMINALS))
+                if rng.random() < 0.6 else Terminal(rng.choice(_LABELS))
+                for _ in range(2)
+            )
+        productions.append(Production(head, body))
+    grammar = to_cnf(CFG(productions))
+    n = rng.randint(3, max_nodes)
+    edges = set()
+    for _ in range(rng.randint(2, max_edges)):
+        i = rng.randrange(0, n - 1)
+        j = rng.randrange(i + 1, n)
+        edges.add((i, rng.choice(_LABELS), j))
+    graph = LabeledGraph.from_edges(sorted(edges), nodes=list(range(n)))
+    return graph, grammar
+
+
+def brute_force_tree_count(graph, grammar, nonterminal: Nonterminal,
+                           i: int, j: int) -> int:
+    """Enumerate derivation trees as explicit objects and count the
+    distinct set — completely independent of the closure's arithmetic.
+    Only valid when the derivation forest is acyclic (DAG graphs, no
+    ε-productions); the guard assert trips otherwise."""
+    pair_rules = [
+        (rule.head, rule.body[0], rule.body[1])
+        for rule in grammar.binary_rules
+    ]
+    edge_labels: dict[tuple[int, int], set] = {}
+    for a, label, b in graph.edges_by_id():
+        edge_labels.setdefault((a, b), set()).add(label)
+    memo: dict = {}
+    in_progress: set = set()
+
+    def trees(head: Nonterminal, a: int, b: int) -> frozenset:
+        # No ε-productions and forward-only edges: every derivation of
+        # (head, a, b) spans at least one edge, so a < b and every
+        # split's midpoint lies strictly inside the span — spans shrink
+        # at each recursion and the enumeration terminates.
+        assert not grammar.nullable_diagonal
+        if a >= b:
+            return frozenset()
+        key = (head, a, b)
+        if key in memo:
+            return memo[key]
+        assert key not in in_progress, "cyclic derivation forest"
+        in_progress.add(key)
+        found = set()
+        for label in edge_labels.get((a, b), ()):
+            if head in grammar.heads_for_terminal(Terminal(label)):
+                found.add(("edge", label))
+        for rule_head, left, right in pair_rules:
+            if rule_head != head:
+                continue
+            for r in range(a + 1, b):
+                for left_tree in trees(left, a, r):
+                    for right_tree in trees(right, r, b):
+                        found.add((("split", left.name, right.name, r),
+                                   left_tree, right_tree))
+        in_progress.discard(key)
+        memo[key] = frozenset(found)
+        return memo[key]
+
+    return len(trees(nonterminal, i, j))
+
+
+class TestClosureCountsAgainstBruteForce:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_dag_counts_match_tree_enumeration(self, seed):
+        graph, grammar = make_dag_case(seed)
+        result = solve_annotated(graph, grammar, COUNTING_SEMIRING)
+        checked = 0
+        for nonterminal, matrix in result.matrices.items():
+            for i, j, value in matrix.nonzero_cells():
+                expected = brute_force_tree_count(graph, grammar,
+                                                  nonterminal, i, j)
+                assert COUNTING_SEMIRING.count(value) == expected, (
+                    seed, nonterminal, i, j)
+                assert expected >= 1
+                checked += 1
+        # Nonzero cells exist in most seeds; the suite as a whole must
+        # actually have exercised the comparison.
+        if checked == 0:
+            pytest.skip("seed produced an empty relation")
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_counts_identical_across_strategies(self, seed):
+        # A small cap keeps cyclic seeds fast: saturation is reached in
+        # O(cap) refinement rounds when counts grow linearly (the same
+        # hazard that keeps DEFAULT_COUNTING_CAP small).
+        semiring = CountingSemiring(cap=64, name="counting[test-64]")
+        graph, grammar = make_case(seed)
+        baseline = None
+        for strategy in STRATEGIES:
+            result = solve_annotated(graph, grammar, semiring,
+                                     strategy=strategy)
+            cells = {
+                (nt, i, j): value
+                for nt, matrix in result.matrices.items()
+                for i, j, value in matrix.nonzero_cells()
+            }
+            if baseline is None:
+                baseline = cells
+            else:
+                assert cells == baseline, strategy
+
+    def test_saturation_pins_cyclic_cells_at_cap(self):
+        semiring = CountingSemiring(cap=7, name="counting[test-7]")
+        grammar = to_cnf(CFG.from_mapping(
+            {"S": [["a", "S", "b"], ["a", "b"], ["S", "S"]]},
+            terminals=["a", "b"]))
+        # The a/b-cycle 2 -> 3 -> 2 yields S(2, 2), so S -> S S pumps
+        # infinitely many derivations of S(0, 2); the capped closure
+        # must terminate and saturate.
+        graph = LabeledGraph.from_edges(
+            [(0, "a", 1), (1, "b", 2), (2, "a", 3), (3, "b", 2)]
+        )
+        result = solve_annotated(graph, grammar, semiring)
+        matrix = result.matrices[Nonterminal("S")]
+        counts = {(i, j): semiring.count(value)
+                  for i, j, value in matrix.nonzero_cells()}
+        assert counts[(0, 2)] == 7
+
+    def test_default_cap_saturates_cyclic_graphs_promptly(self):
+        """Saturation costs O(cap) refinement rounds on a count-1 pump
+        cycle, so the *default* instance must stay usable on cyclic
+        inputs — the regression that pinned DEFAULT_COUNTING_CAP low."""
+        from repro.graph.generators import two_cycles
+
+        grammar = to_cnf(CFG.from_mapping(
+            {"S": [["a", "S", "b"], ["a", "b"]]}, terminals=["a", "b"]))
+        started = time.perf_counter()
+        result = solve_annotated(two_cycles(2, 3), grammar,
+                                 COUNTING_SEMIRING)
+        assert time.perf_counter() - started < 30
+        counts = [COUNTING_SEMIRING.count(value)
+                  for matrix in result.matrices.values()
+                  for _i, _j, value in matrix.nonzero_cells()]
+        assert counts
+        assert max(counts) == COUNTING_SEMIRING.cap  # cyclic: saturated
+
+    def test_support_instance_matches_witness_entry_sets(self):
+        graph, grammar = make_case(3)
+        witness = solve_annotated(graph, grammar, WITNESS_SEMIRING)
+        support = solve_annotated(graph, grammar, SUPPORT_SEMIRING)
+        witness_cells = {
+            (nt, i, j): value
+            for nt, matrix in witness.matrices.items()
+            for i, j, value in matrix.nonzero_cells()
+        }
+        support_cells = {
+            (nt, i, j): SUPPORT_SEMIRING.supports(value)
+            for nt, matrix in support.matrices.items()
+            for i, j, value in matrix.nonzero_cells()
+        }
+        assert witness_cells == support_cells
+        assert witness_cells  # non-vacuous on this seed
+
+
+class TestPathCountDP:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_bounded_counts_match_brute_force_paths(self, seed):
+        graph, grammar = make_case(seed)
+        index = AllPathIndex.build(graph, grammar)
+        checked = 0
+        for nonterminal in grammar.nonterminals:
+            for i, j in sorted(index.relations.pairs(nonterminal))[:6]:
+                expected = len(brute_force_paths(graph, grammar,
+                                                 nonterminal, i, j, 5))
+                assert index.count_paths(nonterminal, i, j,
+                                         max_length=5) == expected, (
+                    seed, nonterminal, i, j)
+                checked += 1
+        if checked == 0:
+            pytest.skip("seed produced an empty relation")
+
+    def test_dp_uses_the_semirings_saturating_arithmetic(self):
+        semiring = CountingSemiring(cap=5, name="counting[test-5]")
+        grammar = to_cnf(CFG.from_mapping(
+            {"S": [["T"], ["T", "S"]], "T": [["a"], ["b"]]},
+            terminals=["a", "b"]))
+        # Two parallel labels per hop: 2^4 = 16 distinct paths 0 -> 4.
+        edges = []
+        for hop in range(4):
+            edges += [(hop, "a", hop + 1), (hop, "b", hop + 1)]
+        graph = LabeledGraph.from_edges(edges)
+        index = AllPathIndex.build(graph, grammar)
+        assert index.count_paths("S", 0, 4, max_length=8,
+                                 semiring=semiring) == 5
+        assert index.count_paths("S", 0, 4, max_length=8) == 16
+
+    def test_dp_count_equals_closure_count_when_unambiguous(self):
+        """Satellite invariant: the forest DP and the closure-level
+        counting annotation are the same arithmetic — on an acyclic,
+        unambiguous case their totals coincide exactly."""
+        grammar = to_cnf(CFG.from_mapping(
+            {"S": [["a", "S", "b"], ["a", "b"]]}, terminals=["a", "b"]))
+        graph = LabeledGraph.from_edges(
+            [(0, "a", 1), (1, "b", 2), (0, "a", 3), (3, "b", 2)]
+        )
+        closure = solve_annotated(graph, grammar, COUNTING_SEMIRING)
+        cell = {
+            (i, j): value
+            for i, j, value in
+            closure.matrices[Nonterminal("S")].nonzero_cells()
+        }[(0, 2)]
+        index = AllPathIndex.build(graph, grammar)
+        assert COUNTING_SEMIRING.count(cell) \
+            == index.count_paths("S", 0, 2, max_length=10) == 2

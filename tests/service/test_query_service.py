@@ -288,6 +288,118 @@ class TestWarmStart:
         assert service.query("S") == engine.relational("S")
 
 
+#: A DAG with exactly three a-paths s -> t, of lengths 1, 2 and 3.
+THREE_PATHS = [
+    ("s", "a", "t"),
+    ("s", "a", "m1"), ("m1", "a", "t"),
+    ("s", "a", "m2"), ("m2", "a", "m3"), ("m3", "a", "t"),
+]
+
+
+class TestTopK:
+    def _chain_service(self, **kwargs):
+        return QueryService(LabeledGraph.from_edges(THREE_PATHS),
+                            to_cnf(chain_reachability("a")), **kwargs)
+
+    def test_best_first_order_and_prefix(self):
+        service = self._chain_service()
+        best = service.top_k("S", "s", "t", 3)
+        assert [len(path) for path in best] == [1, 2, 3]
+        assert best[0] == (("s", "a", "t"),)
+        assert service.top_k("S", "s", "t", 2) == best[:2]
+
+    def test_pagination_walks_one_stream(self):
+        service = self._chain_service()
+        pages = []
+        cursor, exhausted = 0, False
+        while not exhausted:
+            page, cursor, exhausted = service.top_k_page(
+                "S", "s", "t", 1, cursor=cursor)
+            pages.extend(page)
+        assert pages == service.top_k("S", "s", "t", 5)
+        assert cursor == 3
+        # The walk extended ONE cached stream: every page after the
+        # first was a stream hit, nothing was re-enumerated.
+        stats = service.stats["top_k"]
+        assert stats["cached_streams"] == 1
+        assert stats["stream_hits"] == stats["queries"] - 1
+
+    def test_distinct_bounds_are_distinct_streams(self):
+        service = self._chain_service()
+        assert [len(p) for p in service.top_k("S", "s", "t", 3,
+                                              max_length=2)] == [1, 2]
+        assert [len(p) for p in service.top_k("S", "s", "t", 3)] \
+            == [1, 2, 3]
+        stats = service.stats["top_k"]
+        assert stats["cached_streams"] == 2
+        assert stats["stream_hits"] == 0
+
+    def test_insert_invalidates_and_reranks(self):
+        service = QueryService(
+            LabeledGraph.from_edges([("s", "a", "m"), ("m", "a", "t")]),
+            to_cnf(chain_reachability("a")))
+        assert service.top_k("S", "s", "t", 2) \
+            == [(("s", "a", "m"), ("m", "a", "t"))]
+        report = service.update(inserts=[("s", "a", "t")])
+        assert report.facts_added >= 1
+        assert service.stats["top_k"]["cached_streams"] == 0
+        best = service.top_k("S", "s", "t", 2)
+        assert best[0] == (("s", "a", "t"),)
+        assert len(best) == 2
+        assert service.stats["top_k"]["stream_hits"] == 0
+
+    def test_deletion_drops_streams(self):
+        service = self._chain_service()
+        service.top_k("S", "s", "t", 3)
+        service.update(deletes=[("s", "a", "t")])
+        assert service.stats["top_k"]["cached_streams"] == 0
+        assert [len(p) for p in service.top_k("S", "s", "t", 3)] == [2, 3]
+
+    def test_missing_nodes_exhaust_immediately(self):
+        service = self._chain_service()
+        assert service.top_k_page("S", "ghost", "t", 2) == ([], 0, True)
+        assert service.top_k("S", "s", "nowhere", 2) == []
+
+    def test_validation(self):
+        service = self._chain_service()
+        with pytest.raises(ValueError):
+            service.top_k("S", "s", "t", -1)
+        with pytest.raises(ValueError):
+            service.top_k_page("S", "s", "t", 1, cursor=-1)
+        with pytest.raises(Exception):
+            service.top_k("Missing", "s", "t", 1)
+
+    def test_semiring_selection(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVICE_SEMIRING", raising=False)
+        assert self._chain_service().stats["semiring"] == "length"
+        assert self._chain_service(
+            semiring="viterbi").stats["semiring"] == "viterbi"
+        monkeypatch.setenv("REPRO_SERVICE_SEMIRING", "Viterbi")
+        assert self._chain_service().stats["semiring"] == "viterbi"
+        with pytest.raises(SemanticsError):
+            self._chain_service(semiring="tropical-deluxe")
+
+    def test_viterbi_service_agrees_with_length_on_uniform_weights(self):
+        """Uniform default weights: most-probable-first coincides with
+        shortest-first — the invariant behind the CI cell that reruns
+        the service suite under REPRO_SERVICE_SEMIRING=viterbi."""
+        viterbi = self._chain_service(semiring="viterbi")
+        assert [len(p) for p in viterbi.top_k("S", "s", "t", 3)] \
+            == [1, 2, 3]
+        assert viterbi.top_k("S", "s", "t", 3) \
+            == self._chain_service().top_k("S", "s", "t", 3)
+
+    def test_snapshot_warm_start_serves_top_k(self, tmp_path):
+        service = self._chain_service()
+        expected = service.top_k("S", "s", "t", 3)
+        path = str(tmp_path / "topk.snapshot")
+        service.save_snapshot(path)
+        warm = QueryService.from_snapshot(path, semiring="viterbi")
+        assert warm.stats["startup"]["closure_iterations"] == 0
+        assert warm.stats["semiring"] == "viterbi"
+        assert warm.top_k("S", "s", "t", 3) == expected
+
+
 class TestConcurrency:
     def test_queries_during_ticks_see_consistent_snapshots(self):
         grammar = to_cnf(chain_reachability("a"))

@@ -187,6 +187,18 @@ class TestFollower:
         plain = handle_request(_service(), {"op": "sync"})
         assert plain["ok"] is False
 
+    def test_top_k_serves_on_follower(self, tmp_path):
+        leader, follower = self._pair(tmp_path)
+        leader.tick(TICKS[0])
+        follower.replay()
+        response = handle_request(follower, {
+            "op": "top_k", "start": "S",
+            "source": "p", "target": "p", "k": 1,
+        })
+        assert response["ok"], response
+        paths = response["result"]["paths"]
+        assert paths == [[["p", "a", "q"], ["q", "b", "p"]]]
+
     def test_node_coercion_replicates_faithfully(self, tmp_path):
         """The protocol coerces "0" → int node 0 on the leader *before*
         logging, so the follower replays the coerced edge instead of

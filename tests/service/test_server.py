@@ -17,6 +17,7 @@ import pytest
 from repro import QueryService, parse_grammar
 from repro.graph.generators import two_cycles, word_chain
 from repro.graph.io import save_graph_file
+from repro.graph.labeled_graph import LabeledGraph
 from repro.service.server import (
     DEFAULT_MAX_LINE_BYTES,
     ServerThread,
@@ -135,6 +136,93 @@ class TestHandleRequest:
         service.tick([("delete", ("p", "a", "q"))])
         assert captured["ticks"] == 1
         assert service.stats["ticks"] == 2
+
+
+class TestTopKOp:
+    @pytest.fixture
+    def topk_service(self):
+        # Three a-paths 1 -> 5, of lengths 1, 2 and 3.
+        graph = LabeledGraph.from_edges([
+            (1, "a", 5),
+            (1, "a", 2), (2, "a", 5),
+            (1, "a", 3), (3, "a", 4), (4, "a", 5),
+        ])
+        grammar = parse_grammar("S -> a | a S", terminals=["a"])
+        return QueryService(graph, grammar)
+
+    def test_best_first_page(self, topk_service):
+        response = handle_request(topk_service, {
+            "op": "top_k", "start": "S", "source": 1, "target": 5, "k": 2,
+        })
+        assert response["ok"], response
+        result = response["result"]
+        assert [len(path) for path in result["paths"]] == [1, 2]
+        assert result["paths"][0] == [[1, "a", 5]]
+        assert result["next_cursor"] == 2
+        assert result["exhausted"] is False
+
+    def test_cursor_pagination_protocol(self, topk_service):
+        collected = []
+        cursor, exhausted = 0, False
+        while not exhausted:
+            response = handle_request(topk_service, {
+                "op": "top_k", "start": "S", "source": 1, "target": 5,
+                "k": 2, "cursor": cursor,
+            })
+            assert response["ok"], response
+            result = response["result"]
+            collected.extend(result["paths"])
+            cursor, exhausted = result["next_cursor"], result["exhausted"]
+        assert [len(path) for path in collected] == [1, 2, 3]
+        assert cursor == 3
+
+    def test_string_tokens_coerce_and_bound_applies(self, topk_service):
+        response = handle_request(topk_service, {
+            "op": "top_k", "start": "S", "source": "1", "target": "5",
+            "k": 5, "max_length": 2,
+        })
+        assert response["ok"], response
+        result = response["result"]
+        assert [len(path) for path in result["paths"]] == [1, 2]
+
+    def test_missing_node_is_empty_and_exhausted(self, topk_service):
+        response = handle_request(topk_service, {
+            "op": "top_k", "start": "S", "source": 99, "target": 5, "k": 3,
+        })
+        assert response["ok"], response
+        assert response["result"] == {
+            "paths": [], "next_cursor": 0, "exhausted": True,
+        }
+
+    def test_malformed_top_k_requests_are_error_responses(self, topk_service):
+        for request in (
+            {"op": "top_k"},                                   # no start
+            {"op": "top_k", "start": "S"},                     # no endpoints
+            {"op": "top_k", "start": "S", "source": 1},        # half
+            {"op": "top_k", "start": "Missing",
+             "source": 1, "target": 5},                        # unknown NT
+            {"op": "top_k", "start": "S", "source": 1,
+             "target": 5, "k": -2},                            # bad k
+        ):
+            response = handle_request(topk_service, request)
+            assert response["ok"] is False, request
+            assert response["error"]
+
+    def test_top_k_over_tcp_sees_ticks(self, topk_service):
+        with ServerThread(topk_service) as server:
+            [before] = _session(server.address, [
+                {"op": "top_k", "start": "S",
+                 "source": 2, "target": 5, "k": 2},
+            ])
+            assert [len(p) for p in before["result"]["paths"]] == [1]
+            responses = _session(server.address, [
+                {"op": "update", "insert": [[2, "a", 4]]},
+                {"op": "top_k", "start": "S",
+                 "source": 2, "target": 5, "k": 3},
+            ])
+            assert all(r["ok"] for r in responses)
+            assert [len(p) for p in responses[1]["result"]["paths"]] \
+                == [1, 2]
 
 
 class TestStdioLoop:
