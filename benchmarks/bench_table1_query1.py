@@ -13,9 +13,20 @@ count, so a silent correctness regression cannot hide behind a fast
 time.  Expected *shape* (paper): all solvers agree on #results; sparse
 scales to g1–g3 where dense cannot; the matrix engine's advantage over
 the baseline grows with graph size.
+
+Run this module as a script for the machine-readable Table 1 sweep over
+the shared :mod:`repro.bench.harness` (timings also land in the
+observability metrics registry as ``repro_bench_measure_seconds``)::
+
+    PYTHONPATH=src python benchmarks/bench_table1_query1.py \
+        --datasets skos generations travel --output table1.json
 """
 
 from __future__ import annotations
+
+import argparse
+import json
+import sys
 
 import pytest
 
@@ -97,3 +108,84 @@ def test_table1_gll_large(benchmark, dataset_graphs, query1_grammar,
     assert relations.count("S") == 8 * _expected_count(
         dataset_graphs, query1_cnf, base
     )
+
+# ----------------------------------------------------------------------
+# Harness-based Table 1 sweep (machine-readable)
+# ----------------------------------------------------------------------
+
+def run_table1_suite(datasets: "tuple[str, ...] | None" = None,
+                     solvers: "tuple[str, ...] | None" = None,
+                     repeats: int = 1) -> dict:
+    """Time the paper's Table 1 solver columns through the shared
+    measurement harness.
+
+    Returns ``{"datasets": {name: {nodes, edges, agree, solvers:
+    {solver: {results, wall_time_s}}}}}``; ``agree`` asserts every
+    solver returned the same result count (the correctness check the
+    pytest benchmarks above make per-cell).  Dense is measured only on
+    the small ontologies, like the paper."""
+    from repro.bench.harness import PAPER_SOLVERS, measure
+    from repro.datasets.registry import build_graph
+    from repro.grammar.builders import same_generation_query1
+
+    grammar = same_generation_query1()
+    names = tuple(datasets or ONTOLOGY_NAMES)
+    solver_names = tuple(solvers or PAPER_SOLVERS)
+    report: dict = {"table": "table1", "query": "query1", "datasets": {}}
+    for name in names:
+        graph = build_graph(name)
+        cells: dict = {}
+        counts: set[int] = set()
+        for solver in solver_names:
+            if solver == "dense" and name not in DENSE_DATASETS:
+                continue
+            result = measure(solver, graph, grammar, "S", repeats=repeats)
+            counts.add(result.results)
+            cells[solver] = {
+                "results": result.results,
+                "wall_time_s": round(result.milliseconds / 1000.0, 6),
+            }
+        report["datasets"][name] = {
+            "nodes": graph.node_count,
+            "edges": graph.edge_count,
+            "agree": len(counts) == 1,
+            "solvers": cells,
+        }
+    return report
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    from repro.bench.harness import PAPER_SOLVERS, SOLVERS
+
+    parser = argparse.ArgumentParser(
+        description="Table 1 (Query 1) harness sweep (JSON summary)"
+    )
+    parser.add_argument("--datasets", nargs="+", default=None,
+                        choices=ONTOLOGY_NAMES,
+                        help="ontologies to time (default: all of them)")
+    parser.add_argument("--solvers", nargs="+", default=list(PAPER_SOLVERS),
+                        choices=sorted(SOLVERS),
+                        help="harness solver columns (default: the "
+                             "paper's GLL/dense/sparse)")
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="best-of-N timing repeats per cell")
+    parser.add_argument("--output", default=None,
+                        help="write JSON here (default: stdout)")
+    args = parser.parse_args(argv)
+
+    report = run_table1_suite(
+        datasets=None if args.datasets is None else tuple(args.datasets),
+        solvers=tuple(args.solvers), repeats=args.repeats,
+    )
+    payload = json.dumps(report, indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as stream:
+            stream.write(payload + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(payload)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

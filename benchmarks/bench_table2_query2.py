@@ -5,9 +5,20 @@ Q2 walks only ``subClassOf``/``subClassOf_r``, so it is far cheaper
 than Q1 on the same graphs — the paper's Table 2 times are uniformly
 below Table 1's, and the result counts are one to three orders of
 magnitude smaller.  Both shapes are asserted here.
+
+Run this module as a script for the machine-readable Table 2 sweep over
+the shared :mod:`repro.bench.harness` (timings also land in the
+observability metrics registry as ``repro_bench_measure_seconds``)::
+
+    PYTHONPATH=src python benchmarks/bench_table2_query2.py \
+        --datasets skos generations travel --output table2.json
 """
 
 from __future__ import annotations
+
+import argparse
+import json
+import sys
 
 import pytest
 
@@ -63,3 +74,81 @@ def test_q2_cheaper_than_q1_on_pizza(dataset_graphs, query1_cnf, query2_cnf):
     q1 = solve_matrix_relations(graph, query1_cnf, "sparse", False).count("S")
     q2 = solve_matrix_relations(graph, query2_cnf, "sparse", False).count("S")
     assert q2 < q1 / 10
+
+# ----------------------------------------------------------------------
+# Harness-based Table 2 sweep (machine-readable)
+# ----------------------------------------------------------------------
+
+#: The paper's Table 2 columns: Q2 is cheap enough that the dense
+#: stand-in adds nothing, so the default sweep times GLL vs sparse.
+TABLE2_SOLVERS = ("gll", "sparse")
+
+
+def run_table2_suite(datasets: "tuple[str, ...] | None" = None,
+                     solvers: "tuple[str, ...] | None" = None,
+                     repeats: int = 1) -> dict:
+    """Time the Table 2 solver columns through the shared measurement
+    harness; same report shape as ``run_table1_suite``."""
+    from repro.bench.harness import measure
+    from repro.datasets.registry import build_graph
+    from repro.grammar.builders import same_generation_query2
+
+    grammar = same_generation_query2()
+    names = tuple(datasets or ONTOLOGY_NAMES)
+    solver_names = tuple(solvers or TABLE2_SOLVERS)
+    report: dict = {"table": "table2", "query": "query2", "datasets": {}}
+    for name in names:
+        graph = build_graph(name)
+        cells: dict = {}
+        counts: set[int] = set()
+        for solver in solver_names:
+            result = measure(solver, graph, grammar, "S", repeats=repeats)
+            counts.add(result.results)
+            cells[solver] = {
+                "results": result.results,
+                "wall_time_s": round(result.milliseconds / 1000.0, 6),
+            }
+        report["datasets"][name] = {
+            "nodes": graph.node_count,
+            "edges": graph.edge_count,
+            "agree": len(counts) == 1,
+            "solvers": cells,
+        }
+    return report
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    from repro.bench.harness import SOLVERS
+
+    parser = argparse.ArgumentParser(
+        description="Table 2 (Query 2) harness sweep (JSON summary)"
+    )
+    parser.add_argument("--datasets", nargs="+", default=None,
+                        choices=ONTOLOGY_NAMES,
+                        help="ontologies to time (default: all of them)")
+    parser.add_argument("--solvers", nargs="+", default=list(TABLE2_SOLVERS),
+                        choices=sorted(SOLVERS),
+                        help="harness solver columns (default: GLL and "
+                             "sparse, the paper's Table 2 shape)")
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="best-of-N timing repeats per cell")
+    parser.add_argument("--output", default=None,
+                        help="write JSON here (default: stdout)")
+    args = parser.parse_args(argv)
+
+    report = run_table2_suite(
+        datasets=None if args.datasets is None else tuple(args.datasets),
+        solvers=tuple(args.solvers), repeats=args.repeats,
+    )
+    payload = json.dumps(report, indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as stream:
+            stream.write(payload + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(payload)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

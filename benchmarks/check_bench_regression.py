@@ -19,6 +19,9 @@ leaf whose key ends in ``wall_time_s``:
   are timer noise on CI runners;
 * ``agree`` flags that are false in the current run → correctness
   failure, exit 1 (strategies must stay byte-identical);
+* ``within_*`` boolean leaves that are false in the current run →
+  budget failure, exit 1 (the producing benchmark self-asserts a
+  budget — e.g. bench_obs.py's ``within_overhead`` tracing gate);
 * cells naming a backend whose optional dependency is not importable
   on this host (``sparse`` needs SciPy; ``dense``/``bitset`` need
   NumPy) are skipped with a notice instead of reported as coverage
@@ -122,6 +125,16 @@ def compare(baseline: dict, current: dict, factor: float,
             now = lookup(current, path)
             if now is False:
                 problems.append(f"{dotted}: strategies disagree in the "
+                                f"current run")
+            continue
+        if path and path[-1].startswith("within_"):
+            # Self-asserted budget leaves (e.g. bench_obs.py's
+            # within_overhead): the producing benchmark computed the
+            # pass/fail verdict; a false in the current run is a gate
+            # failure regardless of the baseline's numbers.
+            now = lookup(current, path)
+            if now is False:
+                problems.append(f"{dotted}: budget exceeded in the "
                                 f"current run")
             continue
         if not path or not path[-1].endswith("wall_time_s"):

@@ -40,6 +40,15 @@ from .core.single_path import build_single_path_index, extract_path
 from .errors import ReproError
 from .grammar import CFG, Nonterminal, Production, Terminal, parse_grammar, to_cnf
 from .graph import LabeledGraph, load_graph_file, load_rdf_graph, triples_to_graph
+from .obs import (
+    MetricsRegistry,
+    Tracer,
+    configure_tracing,
+    get_registry,
+    get_tracer,
+    render_prometheus,
+    summarize_trace,
+)
 from .regular import solve_rpq
 from .service import QueryService, load_engine_snapshot, save_engine_snapshot
 
@@ -57,6 +66,7 @@ __all__ = [
     "IncrementalSinglePathCFPQ",
     "LENGTH_SEMIRING",
     "LabeledGraph",
+    "MetricsRegistry",
     "Nonterminal",
     "PathIndex",
     "Production",
@@ -64,14 +74,20 @@ __all__ = [
     "ReproError",
     "Semiring",
     "Terminal",
+    "Tracer",
     "WITNESS_SEMIRING",
     "__version__",
     "available_strategies",
     "build_single_path_index",
     "cfpq",
+    "configure_tracing",
+    "get_registry",
+    "get_tracer",
+    "render_prometheus",
     "run_closure",
     "extract_path",
     "solve_annotated",
+    "summarize_trace",
     "load_engine_snapshot",
     "load_graph_file",
     "load_rdf_graph",

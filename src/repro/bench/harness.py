@@ -17,7 +17,6 @@ naive    literal set-matrix Algorithm 1                         (extra)
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Callable
 
@@ -29,6 +28,8 @@ from ..grammar.cfg import CFG
 from ..grammar.cnf import ensure_cnf
 from ..grammar.symbols import Nonterminal
 from ..graph.labeled_graph import LabeledGraph
+from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer, stopwatch
 
 #: Solver signature: (graph, grammar, start) -> pair count.
 Solver = Callable[[LabeledGraph, CFG, Nonterminal], int]
@@ -94,11 +95,18 @@ def measure(solver_name: str, graph: LabeledGraph, grammar: CFG,
     prepared = grammar if solver_name == "gll" else ensure_cnf(grammar)
     solver = SOLVERS[solver_name]
 
+    tracer = get_tracer()
+    histogram = get_registry().histogram(
+        "repro_bench_measure_seconds",
+        "Wall time of individual harness solver runs",
+        ("solver",),
+    )
     best_ms = float("inf")
     results = -1
-    for _ in range(max(1, repeats)):
-        began = time.perf_counter()
-        results = solver(graph, prepared, start_nt)
-        elapsed_ms = (time.perf_counter() - began) * 1000.0
-        best_ms = min(best_ms, elapsed_ms)
+    for repeat in range(max(1, repeats)):
+        with tracer.span("bench.measure", solver=solver_name,
+                         repeat=repeat), stopwatch() as timer:
+            results = solver(graph, prepared, start_nt)
+        histogram.observe(timer.elapsed, solver=solver_name)
+        best_ms = min(best_ms, timer.elapsed * 1000.0)
     return Measurement(solver=solver_name, results=results, milliseconds=best_ms)

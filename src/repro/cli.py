@@ -98,6 +98,40 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                              "$REPRO_SPILL_DIR or a private temporary "
                              "directory; cleaned up on success, kept on "
                              "a crash)")
+    _add_tracing(parser)
+
+
+def _add_tracing(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace-file", default=None, metavar="FILE",
+                        help="append structured spans (closure rounds, "
+                             "tile groups, WAL appends, requests) to "
+                             "this JSONL file; inspect with "
+                             "'repro-cfpq trace summarize FILE' "
+                             "(default: $REPRO_TRACE_FILE or off)")
+    parser.add_argument("--trace-sample", type=int, default=None,
+                        metavar="N",
+                        help="keep every Nth trace root, dropping the "
+                             "whole subtree of sampled-out roots "
+                             "(default: $REPRO_TRACE_SAMPLE or 1)")
+
+
+def _configure_observability(args: argparse.Namespace) -> None:
+    """Apply the tracing flags before the handler does any real work.
+
+    The slow-query log needs live spans even without a trace file, so
+    ``--slow-query-ms`` alone turns the tracer on without a sink."""
+    trace_file = getattr(args, "trace_file", None)
+    sample = getattr(args, "trace_sample", None)
+    slow_ms = getattr(args, "slow_query_ms", None)
+    if trace_file:
+        from .obs.trace import configure_tracing
+        configure_tracing(trace_file=trace_file, sample_every=sample or 1)
+    elif slow_ms is not None:
+        from .obs.trace import configure_tracing
+        configure_tracing(sample_every=sample or 1, enabled=True)
+    if slow_ms is not None:
+        from .service.server import set_slow_query_log
+        set_slow_query_log(slow_ms, getattr(args, "slow_query_log", None))
 
 
 def _strategy_options(args: argparse.Namespace) -> dict:
@@ -133,6 +167,9 @@ def _stats_payload(engine: CFPQEngine) -> dict:
     autotune = stats.details.get("autotune")
     if autotune is not None:
         payload["autotune"] = autotune
+    round_seconds = stats.details.get("round_seconds")
+    if round_seconds is not None:
+        payload["round_seconds"] = list(round_seconds)
     return payload
 
 
@@ -414,6 +451,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from .service.replica import open_role
     from .service.server import serve_stream, serve_tcp
 
+    metrics_server = None
+    if args.metrics_addr:
+        from .obs.export import start_metrics_server
+        metrics_server = start_metrics_server(args.metrics_addr)
+        host, port = metrics_server.address
+        print(f"metrics on http://{host}:{port}/metrics",
+              file=sys.stderr)
+
     options = _strategy_options(args)
     service_kwargs = dict(
         backend=args.backend, strategy=args.strategy,
@@ -450,13 +495,29 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if replicas and args.role != "leader":
         raise SystemExit("--replicas is a leader feature (the leader "
                          "fans reads out to its followers)")
-    if args.port is not None:
-        serve_tcp(service, host=args.host, port=args.port,
-                  include_stats=args.stats, replicas=replicas,
-                  batch_window_ms=args.batch_window_ms)
+    try:
+        if args.port is not None:
+            serve_tcp(service, host=args.host, port=args.port,
+                      include_stats=args.stats, replicas=replicas,
+                      batch_window_ms=args.batch_window_ms)
+        else:
+            serve_stream(service, sys.stdin, sys.stdout,
+                         include_stats=args.stats)
+    finally:
+        if metrics_server is not None:
+            metrics_server.close()
+    return 0
+
+
+def cmd_trace_summarize(args: argparse.Namespace) -> int:
+    """Aggregate a JSONL trace file into per-phase wall-time totals."""
+    from .obs.summarize import render_summary, summarize_trace
+
+    summary = summarize_trace(args.file)
+    if args.json:
+        print(json.dumps(summary))
     else:
-        serve_stream(service, sys.stdin, sys.stdout,
-                     include_stats=args.stats)
+        print(render_summary(summary))
     return 0
 
 
@@ -677,7 +738,36 @@ def build_parser() -> argparse.ArgumentParser:
                        help="leader-only: fan query ops out round-robin "
                             "to these follower servers; updates stay "
                             "local")
+    serve.add_argument("--metrics-addr", metavar="[HOST:]PORT",
+                       help="serve the metrics registry in Prometheus "
+                            "text format over HTTP at this address "
+                            "(GET /metrics); the same text is available "
+                            "in-protocol via the 'metrics' op")
+    serve.add_argument("--slow-query-ms", type=float, default=None,
+                       metavar="MS",
+                       help="log any request taking at least MS "
+                            "milliseconds, with its full span tree "
+                            "(default: $REPRO_SLOW_QUERY_MS or off)")
+    serve.add_argument("--slow-query-log", default=None, metavar="FILE",
+                       help="JSONL file for slow-query records "
+                            "(default: $REPRO_SLOW_QUERY_LOG or the "
+                            "server log)")
+    _add_tracing(serve)
     serve.set_defaults(handler=cmd_serve)
+
+    trace = subparsers.add_parser(
+        "trace", help="inspect structured trace files",
+        description="Tools over the JSONL span traces written by "
+                    "--trace-file / $REPRO_TRACE_FILE.",
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    summarize = trace_sub.add_parser(
+        "summarize",
+        help="aggregate a trace into per-phase wall-time totals",
+    )
+    summarize.add_argument("file", help="JSONL trace file")
+    summarize.add_argument("--json", action="store_true")
+    summarize.set_defaults(handler=cmd_trace_summarize)
 
     tables = subparsers.add_parser("tables", help="reproduce paper tables")
     tables.add_argument("table", choices=["table1", "table2", "both"])
@@ -714,6 +804,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """Entry point for the ``repro-cfpq`` console script."""
     args = build_parser().parse_args(argv)
+    _configure_observability(args)
     try:
         return args.handler(args)
     except ReproError as error:

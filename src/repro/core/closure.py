@@ -48,12 +48,13 @@ through.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Hashable, Iterable
 
 from ..errors import UnknownStrategyError
 from ..matrices.base import BooleanMatrix, MatrixBackend, get_backend
+from ..obs.metrics import DEFAULT_SIZE_BUCKETS, get_registry
+from ..obs.trace import get_tracer, stopwatch
 
 #: A pair rule ``A -> B C`` as (head, left-body, right-body).  Symbols
 #: are any hashable keys into the matrices mapping (non-terminals in
@@ -74,9 +75,11 @@ class ClosureResult:
     #: New entries merged per round — the semi-naive frontier sizes for
     #: ``delta``, total growth per round for the other strategies.
     delta_nnz_per_round: tuple[int, ...] = ()
-    #: Strategy-specific instrumentation: ``blocked`` stores a
-    #: :class:`repro.core.blocked.BlockedStats` under ``"blocked"``,
-    #: ``autotune`` its per-round decisions under ``"autotune"``.
+    #: Strategy-specific instrumentation: every bundled strategy stores
+    #: per-round wall clock under ``"round_seconds"``; ``blocked``
+    #: additionally stores a :class:`repro.core.blocked.BlockedStats`
+    #: under ``"blocked"``, ``autotune`` its per-round decisions under
+    #: ``"autotune"``.
     details: dict = field(default_factory=dict)
 
 
@@ -126,8 +129,65 @@ def run_closure(matrices: dict, pair_rules: Iterable[PairRule],
     seeds it with the facts contributed by an edge-insertion batch).
     """
     backend_obj = get_backend(backend)
-    return get_strategy(strategy)(matrices, list(pair_rules), backend_obj,
-                                  **options)
+    tracer = get_tracer()
+    with tracer.span("closure", strategy=strategy,
+                     backend=type(backend_obj).__name__) as span, \
+            stopwatch() as timer:
+        result = get_strategy(strategy)(matrices, list(pair_rules),
+                                        backend_obj, **options)
+        span.set("iterations", result.iterations)
+        span.set("multiplications", result.multiplications)
+    _publish_closure_metrics(strategy, result, timer.elapsed)
+    return result
+
+
+def _publish_closure_metrics(strategy: str, result: ClosureResult,
+                             elapsed_s: float) -> None:
+    """Publish one closure run into the shared metrics registry."""
+    registry = get_registry()
+    registry.counter(
+        "repro_closure_runs_total", "Closure runs", ("strategy",)
+    ).inc(strategy=strategy)
+    registry.counter(
+        "repro_closure_rounds_total", "Closure rounds", ("strategy",)
+    ).inc(result.iterations, strategy=strategy)
+    registry.counter(
+        "repro_closure_multiplications_total",
+        "Matrix/tile products fired by closure", ("strategy",)
+    ).inc(result.multiplications, strategy=strategy)
+    registry.histogram(
+        "repro_closure_seconds", "Closure wall time", ("strategy",)
+    ).observe(elapsed_s, strategy=strategy)
+    delta_histogram = registry.histogram(
+        "repro_closure_delta_nnz", "New entries merged per closure round",
+        ("strategy",), buckets=DEFAULT_SIZE_BUCKETS,
+    )
+    for round_nnz in result.delta_nnz_per_round:
+        delta_histogram.observe(round_nnz, strategy=strategy)
+    blocked = result.details.get("blocked")
+    if blocked is not None:
+        registry.counter(
+            "repro_tile_products_total", "Tile products computed"
+        ).inc(blocked.tile_products)
+        registry.counter(
+            "repro_tiles_skipped_total",
+            "Tile products skipped by the tile-granular frontier"
+        ).inc(blocked.tiles_skipped_by_frontier)
+        registry.counter(
+            "repro_tiles_spilled_total", "Tiles spilled to disk"
+        ).inc(blocked.tiles_spilled)
+        registry.counter(
+            "repro_tiles_reloaded_total", "Tiles reloaded from spill"
+        ).inc(blocked.tiles_reloaded)
+        registry.gauge(
+            "repro_tile_peak_resident_bytes",
+            "Peak resident tile bytes of the last blocked closure"
+        ).set(blocked.peak_resident_bytes)
+        if blocked.budget_bytes is not None:
+            registry.gauge(
+                "repro_tile_budget_bytes",
+                "Configured tile memory budget of the last blocked closure"
+            ).set(blocked.budget_bytes)
 
 
 def seed_frontier(matrices: dict, initial_frontier: dict,
@@ -200,27 +260,35 @@ def closure_naive(matrices: dict, pair_rules: list[PairRule],
     for seeded runs)."""
     if initial_frontier is not None:
         seed_frontier(matrices, initial_frontier, backend)
+    tracer = get_tracer()
     iterations = 0
     multiplications = 0
     growth: list[int] = []
+    round_seconds: list[float] = []
     changed = True
     while changed:
         changed = False
         iterations += 1
-        round_new = 0
-        for head, left, right in pair_rules:
-            product = matrices[left].multiply(matrices[right])
-            multiplications += 1
-            merged, delta = backend.union_update(matrices[head], product)
-            matrices[head] = merged
-            new_entries = delta.nnz()
-            if new_entries:
-                changed = True
-                round_new += new_entries
+        with tracer.span("closure.round", strategy="naive",
+                         round=iterations) as round_span, \
+                stopwatch() as round_timer:
+            round_new = 0
+            for head, left, right in pair_rules:
+                product = matrices[left].multiply(matrices[right])
+                multiplications += 1
+                merged, delta = backend.union_update(matrices[head], product)
+                matrices[head] = merged
+                new_entries = delta.nnz()
+                if new_entries:
+                    changed = True
+                    round_new += new_entries
+            round_span.set("new_entries", round_new)
+        round_seconds.append(round_timer.elapsed)
         growth.append(round_new)
     return ClosureResult(matrices=matrices, iterations=iterations,
                          multiplications=multiplications,
-                         delta_nnz_per_round=tuple(growth))
+                         delta_nnz_per_round=tuple(growth),
+                         details={"round_seconds": tuple(round_seconds)})
 
 
 def closure_delta(matrices: dict, pair_rules: list[PairRule],
@@ -259,9 +327,11 @@ def closure_delta(matrices: dict, pair_rules: list[PairRule],
 
     frontier = _symbol_frontier(matrices, initial_frontier, backend)
 
+    tracer = get_tracer()
     iterations = 0
     multiplications = 0
     growth: list[int] = []
+    round_seconds: list[float] = []
 
     def merge(head: Hashable, product: BooleanMatrix) -> int:
         merged, delta = backend.union_update(matrices[head], product)
@@ -277,34 +347,40 @@ def closure_delta(matrices: dict, pair_rules: list[PairRule],
 
     while frontier:
         iterations += 1
-        round_new = 0
-        # One round = drain the symbols queued at its start; symbols
-        # (re)gaining a frontier mid-round run in the next round unless
-        # they were still waiting in this one.
-        for symbol in list(frontier):
-            delta_matrix = frontier.pop(symbol, None)
-            if delta_matrix is None:
-                continue
-            for head, right in rules_by_left.get(symbol, ()):
-                right_matrix = matrices[right]
-                if right_matrix.nnz() == 0:
+        with tracer.span("closure.round", strategy="delta",
+                         round=iterations) as round_span, \
+                stopwatch() as round_timer:
+            round_new = 0
+            # One round = drain the symbols queued at its start; symbols
+            # (re)gaining a frontier mid-round run in the next round
+            # unless they were still waiting in this one.
+            for symbol in list(frontier):
+                delta_matrix = frontier.pop(symbol, None)
+                if delta_matrix is None:
                     continue
-                multiplications += 1
-                round_new += merge(
-                    head, delta_matrix.multiply(right_matrix)
-                )
-            for head, left in rules_by_right.get(symbol, ()):
-                left_matrix = matrices[left]
-                if left_matrix.nnz() == 0:
-                    continue
-                multiplications += 1
-                round_new += merge(
-                    head, left_matrix.multiply(delta_matrix)
-                )
+                for head, right in rules_by_left.get(symbol, ()):
+                    right_matrix = matrices[right]
+                    if right_matrix.nnz() == 0:
+                        continue
+                    multiplications += 1
+                    round_new += merge(
+                        head, delta_matrix.multiply(right_matrix)
+                    )
+                for head, left in rules_by_right.get(symbol, ()):
+                    left_matrix = matrices[left]
+                    if left_matrix.nnz() == 0:
+                        continue
+                    multiplications += 1
+                    round_new += merge(
+                        head, left_matrix.multiply(delta_matrix)
+                    )
+            round_span.set("new_entries", round_new)
+        round_seconds.append(round_timer.elapsed)
         growth.append(round_new)
     return ClosureResult(matrices=matrices, iterations=iterations,
                          multiplications=multiplications,
-                         delta_nnz_per_round=tuple(growth))
+                         delta_nnz_per_round=tuple(growth),
+                         details={"round_seconds": tuple(round_seconds)})
 
 
 #: Prefix for the staging keys of un-merged group products inside the
@@ -443,109 +519,124 @@ def _closure_blocked_on_store(store, matrices: dict,
             if touched:
                 changed[symbol] = touched
 
+    tracer = get_tracer()
     iterations = 0
     tile_products = 0
     tiles_skipped = 0
     scheduler_seconds = 0.0
     growth: list[int] = []
+    round_seconds: list[float] = []
 
     while changed and size:
         iterations += 1
-        # Index the nonzero tiles by their inner coordinate K once per
-        # round: as left operand (I, K) grouped by K, as right operand
-        # (K, J) grouped by K.
-        left_by_k: dict[Hashable, dict[int, list[int]]] = {}
-        right_by_k: dict[Hashable, dict[int, list[int]]] = {}
-        for symbol, indexes in nonzero.items():
-            by_col: dict[int, list[int]] = {}
-            by_row: dict[int, list[int]] = {}
-            for (a, b) in indexes:
-                by_col.setdefault(b, []).append(a)   # left tile (I, K=b)
-                by_row.setdefault(a, []).append(b)   # right tile (K=a, J)
-            left_by_k[symbol] = by_col
-            right_by_k[symbol] = by_row
+        round_timer = stopwatch()
+        with tracer.span("closure.round", strategy="blocked",
+                         round=iterations) as round_span:
+            # Index the nonzero tiles by their inner coordinate K once
+            # per round: as left operand (I, K) grouped by K, as right
+            # operand (K, J) grouped by K.
+            left_by_k: dict[Hashable, dict[int, list[int]]] = {}
+            right_by_k: dict[Hashable, dict[int, list[int]]] = {}
+            for symbol, indexes in nonzero.items():
+                by_col: dict[int, list[int]] = {}
+                by_row: dict[int, list[int]] = {}
+                for (a, b) in indexes:
+                    by_col.setdefault(b, []).append(a)   # left (I, K=b)
+                    by_row.setdefault(a, []).append(b)   # right (K=a, J)
+                left_by_k[symbol] = by_col
+                right_by_k[symbol] = by_row
 
-        groups: dict[tuple, set[int]] = {}
-        full_products = 0
-        for rule_index, (head, left, right) in enumerate(pair_rules):
-            left_cols = left_by_k.get(left)
-            right_rows = right_by_k.get(right)
-            if not left_cols or not right_rows:
-                continue
-            for k in left_cols.keys() & right_rows.keys():
-                full_products += len(left_cols[k]) * len(right_rows[k])
-            if frontier:
-                fired: set[tuple[int, int, int]] = set()
-                for (i, k) in changed.get(left, ()):
-                    for j in right_rows.get(k, ()):
-                        fired.add((i, j, k))
-                for (k, j) in changed.get(right, ()):
-                    for i in left_cols.get(k, ()):
-                        fired.add((i, j, k))
-            else:
-                fired = {
-                    (i, j, k)
-                    for k in left_cols.keys() & right_rows.keys()
-                    for i in left_cols[k]
-                    for j in right_rows[k]
-                }
-            for (i, j, k) in fired:
-                groups.setdefault((rule_index, i, j), set()).add(k)
+            groups: dict[tuple, set[int]] = {}
+            full_products = 0
+            for rule_index, (head, left, right) in enumerate(pair_rules):
+                left_cols = left_by_k.get(left)
+                right_rows = right_by_k.get(right)
+                if not left_cols or not right_rows:
+                    continue
+                for k in left_cols.keys() & right_rows.keys():
+                    full_products += len(left_cols[k]) * len(right_rows[k])
+                if frontier:
+                    fired: set[tuple[int, int, int]] = set()
+                    for (i, k) in changed.get(left, ()):
+                        for j in right_rows.get(k, ()):
+                            fired.add((i, j, k))
+                    for (k, j) in changed.get(right, ()):
+                        for i in left_cols.get(k, ()):
+                            fired.add((i, j, k))
+                else:
+                    fired = {
+                        (i, j, k)
+                        for k in left_cols.keys() & right_rows.keys()
+                        for i in left_cols[k]
+                        for j in right_rows[k]
+                    }
+                for (i, j, k) in fired:
+                    groups.setdefault((rule_index, i, j), set()).add(k)
 
-        # Groups reference operand tiles by store key; the scheduler
-        # materializes (and pins) only what it is computing with.
-        ordered = [
-            (key, [
-                ((pair_rules[key[0]][1], key[1], k),
-                 (pair_rules[key[0]][2], k, key[2]))
-                for k in sorted(ks)
-            ])
-            for key, ks in sorted(groups.items())
-        ]
-        round_products = sum(len(pairs) for _key, pairs in ordered)
-        tile_products += round_products
-        tiles_skipped += full_products - round_products
-        if task_order is not None:
-            ordered = task_order(ordered)
+            # Groups reference operand tiles by store key; the scheduler
+            # materializes (and pins) only what it is computing with.
+            ordered = [
+                (key, [
+                    ((pair_rules[key[0]][1], key[1], k),
+                     (pair_rules[key[0]][2], k, key[2]))
+                    for k in sorted(ks)
+                ])
+                for key, ks in sorted(groups.items())
+            ]
+            round_products = sum(len(pairs) for _key, pairs in ordered)
+            tile_products += round_products
+            tiles_skipped += full_products - round_products
+            round_span.set("tile_products", round_products)
+            round_span.set("tiles_skipped",
+                           full_products - round_products)
+            if task_order is not None:
+                ordered = task_order(ordered)
 
-        def stage(key, result):
-            # Process-scheduler results arrive as payload tuples and are
-            # staged without materializing in this process.
-            stage_key = (_STAGE,) + key
-            if isinstance(result, tuple):
-                store.put_payload(stage_key, result)
-            else:
-                store.put(stage_key, result)
+            def stage(key, result):
+                # Process-scheduler results arrive as payload tuples and
+                # are staged without materializing in this process.
+                stage_key = (_STAGE,) + key
+                if isinstance(result, tuple):
+                    store.put_payload(stage_key, result)
+                else:
+                    store.put(stage_key, result)
 
-        started = time.perf_counter()
-        scheduler_obj.run(ordered, store, stage)
-        scheduler_seconds += time.perf_counter() - started
+            with tracer.span("closure.scheduler",
+                             scheduler=scheduler_obj.name,
+                             groups=len(ordered)), \
+                    stopwatch() as scheduler_timer:
+                scheduler_obj.run(ordered, store, stage)
+            scheduler_seconds += scheduler_timer.elapsed
 
-        next_changed: dict[Hashable, set] = {}
-        round_new = 0
-        for key in sorted(groups):
-            rule_index, i, j = key
-            head = pair_rules[rule_index][0]
-            stage_key = (_STAGE, rule_index, i, j)
-            out_key = (head, i, j)
-            with store.pinned((stage_key, out_key)):
-                merged, delta = backend.union_update(
-                    store.get(out_key), store.get(stage_key)
-                )
-                new_entries = delta.nnz()
-                # Value-blind semirings (witness) may refine annotations
-                # in place without surfacing them in the delta; the tile
-                # content still changed, so its spill/payload version
-                # must move even though the frontier does not.
-                mutated = bool(new_entries) or getattr(
-                    delta, "refined_in_place", False)
-                store.put(out_key, merged, changed=mutated)
-            store.discard(stage_key)
-            if new_entries:
-                round_new += new_entries
-                next_changed.setdefault(head, set()).add((i, j))
-                nonzero[head].add((i, j))
+            next_changed: dict[Hashable, set] = {}
+            round_new = 0
+            with tracer.span("closure.merge", groups=len(groups)):
+                for key in sorted(groups):
+                    rule_index, i, j = key
+                    head = pair_rules[rule_index][0]
+                    stage_key = (_STAGE, rule_index, i, j)
+                    out_key = (head, i, j)
+                    with store.pinned((stage_key, out_key)):
+                        merged, delta = backend.union_update(
+                            store.get(out_key), store.get(stage_key)
+                        )
+                        new_entries = delta.nnz()
+                        # Value-blind semirings (witness) may refine
+                        # annotations in place without surfacing them in
+                        # the delta; the tile content still changed, so
+                        # its spill/payload version must move even
+                        # though the frontier does not.
+                        mutated = bool(new_entries) or getattr(
+                            delta, "refined_in_place", False)
+                        store.put(out_key, merged, changed=mutated)
+                    store.discard(stage_key)
+                    if new_entries:
+                        round_new += new_entries
+                        next_changed.setdefault(head, set()).add((i, j))
+                        nonzero[head].add((i, j))
+            round_span.set("new_entries", round_new)
         growth.append(round_new)
+        round_seconds.append(round_timer.elapsed)
         changed = next_changed
         # Round barrier: let cold tiles spill before the next round's
         # task DAG pins a fresh working set.
@@ -574,7 +665,8 @@ def _closure_blocked_on_store(store, matrices: dict,
     return ClosureResult(matrices=matrices, iterations=iterations,
                          multiplications=tile_products,
                          delta_nnz_per_round=tuple(growth),
-                         details={"blocked": stats})
+                         details={"blocked": stats,
+                                  "round_seconds": tuple(round_seconds)})
 
 
 def _drain_symbol_tiles(store, symbol: Hashable, grid: int):
@@ -683,15 +775,19 @@ def _probe_scheduler_seconds(matrices: dict, pair_rules: list[PairRule],
     if not groups:
         return {}
     source = MappingTileSource(sample)
+    tracer = get_tracer()
     timings: dict[str, float] = {}
     for name in candidates:
         scheduler_obj = resolve_scheduler(name)
         best = None
-        for _attempt in range(2):
-            started = time.perf_counter()
-            scheduler_obj.run(list(groups), source)
-            elapsed = time.perf_counter() - started
-            best = elapsed if best is None else min(best, elapsed)
+        with tracer.span("closure.autotune.probe",
+                         scheduler=scheduler_obj.name,
+                         groups=len(groups)):
+            for _attempt in range(2):
+                with stopwatch() as attempt_timer:
+                    scheduler_obj.run(list(groups), source)
+                elapsed = attempt_timer.elapsed
+                best = elapsed if best is None else min(best, elapsed)
         timings[scheduler_obj.name] = best
     return timings
 
@@ -817,13 +913,16 @@ def closure_autotune(matrices: dict, pair_rules: list[PairRule],
         return result
 
     frontier = _symbol_frontier(matrices, initial_frontier, backend)
+    tracer = get_tracer()
     iterations = 0
     multiplications = 0
     growth: list[int] = []
     rounds: list[str] = []
+    round_seconds: list[float] = []
 
     while frontier:
         iterations += 1
+        round_timer = stopwatch()
         total_nnz = sum(matrix.nnz() for matrix in matrices.values())
         frontier_nnz = sum(matrix.nnz() for matrix in frontier.values())
         dense_frontier = (total_nnz > 0
@@ -846,35 +945,43 @@ def closure_autotune(matrices: dict, pair_rules: list[PairRule],
             return delta_nnz
 
         round_new = 0
-        if dense_frontier:
-            for head, left, right in pair_rules:
-                left_matrix, right_matrix = matrices[left], matrices[right]
-                if left_matrix.nnz() == 0 or right_matrix.nnz() == 0:
-                    continue
-                multiplications += 1
-                round_new += merge(head, left_matrix.multiply(right_matrix))
-        else:
-            for head, left, right in pair_rules:
-                delta_left = frontier.get(left)
-                if delta_left is not None and matrices[right].nnz():
+        with tracer.span("closure.round", strategy="autotune",
+                         round=iterations, mode=rounds[-1]) as round_span:
+            if dense_frontier:
+                for head, left, right in pair_rules:
+                    left_matrix, right_matrix = \
+                        matrices[left], matrices[right]
+                    if left_matrix.nnz() == 0 or right_matrix.nnz() == 0:
+                        continue
                     multiplications += 1
                     round_new += merge(
-                        head, delta_left.multiply(matrices[right])
+                        head, left_matrix.multiply(right_matrix)
                     )
-                delta_right = frontier.get(right)
-                if delta_right is not None and matrices[left].nnz():
-                    multiplications += 1
-                    round_new += merge(
-                        head, matrices[left].multiply(delta_right)
-                    )
+            else:
+                for head, left, right in pair_rules:
+                    delta_left = frontier.get(left)
+                    if delta_left is not None and matrices[right].nnz():
+                        multiplications += 1
+                        round_new += merge(
+                            head, delta_left.multiply(matrices[right])
+                        )
+                    delta_right = frontier.get(right)
+                    if delta_right is not None and matrices[left].nnz():
+                        multiplications += 1
+                        round_new += merge(
+                            head, matrices[left].multiply(delta_right)
+                        )
+            round_span.set("new_entries", round_new)
         growth.append(round_new)
+        round_seconds.append(round_timer.elapsed)
         frontier = next_frontier
 
     return ClosureResult(
         matrices=matrices, iterations=iterations,
         multiplications=multiplications,
         delta_nnz_per_round=tuple(growth),
-        details={"autotune": {"mode": "rounds", "rounds": rounds}},
+        details={"autotune": {"mode": "rounds", "rounds": rounds},
+                 "round_seconds": tuple(round_seconds)},
     )
 
 

@@ -74,6 +74,7 @@ from ..grammar.cfg import CFG
 from ..grammar.cnf import ensure_cnf
 from ..grammar.symbols import Nonterminal, Terminal
 from ..graph.labeled_graph import Edge, LabeledGraph
+from ..obs.trace import get_tracer
 from .closure import run_closure
 from .relations import ContextFreeRelations
 from .semiring import SUPPORT_SEMIRING, AnnotatedBackend, CountingSemiring
@@ -686,27 +687,30 @@ class IncrementalCFPQ:
         # support an over-deleted fact provided.  The tuple indexes
         # still reflect the pre-deletion database, which is exactly the
         # over-approximation DRed's deletion phase needs.
+        tracer = get_tracer()
         overdeleted: set[Fact] = set()
-        while worklist:
-            fact = worklist.popleft()
-            if fact in overdeleted:
-                continue
-            overdeleted.add(fact)
-            nonterminal, i, j = fact
-            for head, right in self._rules_by_left.get(nonterminal, ()):
-                for k in self._by_source.get((right, j), ()):
-                    consequence = (head, i, k)
-                    store.discard(consequence,
-                                  ("split", nonterminal, right, j))
-                    if consequence not in overdeleted:
-                        worklist.append(consequence)
-            for head, left in self._rules_by_right.get(nonterminal, ()):
-                for k in self._by_target.get((left, i), ()):
-                    consequence = (head, k, j)
-                    store.discard(consequence,
-                                  ("split", left, nonterminal, i))
-                    if consequence not in overdeleted:
-                        worklist.append(consequence)
+        with tracer.span("dred.overdelete") as phase_span:
+            while worklist:
+                fact = worklist.popleft()
+                if fact in overdeleted:
+                    continue
+                overdeleted.add(fact)
+                nonterminal, i, j = fact
+                for head, right in self._rules_by_left.get(nonterminal, ()):
+                    for k in self._by_source.get((right, j), ()):
+                        consequence = (head, i, k)
+                        store.discard(consequence,
+                                      ("split", nonterminal, right, j))
+                        if consequence not in overdeleted:
+                            worklist.append(consequence)
+                for head, left in self._rules_by_right.get(nonterminal, ()):
+                    for k in self._by_target.get((left, i), ()):
+                        consequence = (head, k, j)
+                        store.discard(consequence,
+                                      ("split", left, nonterminal, i))
+                        if consequence not in overdeleted:
+                            worklist.append(consequence)
+            phase_span.set("overdeleted", len(overdeleted))
 
         if not overdeleted:
             return 0
@@ -731,18 +735,21 @@ class IncrementalCFPQ:
             store.pop(fact)
 
         # Phase 2: re-derive from the survivors.
-        seeds: dict[Nonterminal, dict[tuple[int, int], object]] = {}
-        support_seeds: dict[Nonterminal, dict[tuple[int, int], frozenset]] = {}
-        for fact, remaining in remaining_by_fact.items():
-            if not remaining:
-                continue
-            nonterminal, i, j = fact
-            seeds.setdefault(nonterminal, {})[(i, j)] = \
-                self._rederive_seed_value(fact, remaining)
-            support_seeds.setdefault(nonterminal, {})[(i, j)] = \
-                frozenset((entry, 1) for entry in remaining)
-        if seeds:
-            self._run_batch(seeds, support_seeds)
+        with tracer.span("dred.rederive") as phase_span:
+            seeds: dict[Nonterminal, dict[tuple[int, int], object]] = {}
+            support_seeds: dict[Nonterminal, dict[tuple[int, int], frozenset]] = {}
+            for fact, remaining in remaining_by_fact.items():
+                if not remaining:
+                    continue
+                nonterminal, i, j = fact
+                seeds.setdefault(nonterminal, {})[(i, j)] = \
+                    self._rederive_seed_value(fact, remaining)
+                support_seeds.setdefault(nonterminal, {})[(i, j)] = \
+                    frozenset((entry, 1) for entry in remaining)
+            phase_span.set("seeds", sum(len(cells)
+                                        for cells in seeds.values()))
+            if seeds:
+                self._run_batch(seeds, support_seeds)
 
         removed = 0
         changes: dict[Nonterminal, set[tuple[int, int]]] = {}
@@ -811,14 +818,17 @@ class IncrementalCFPQ:
         *seeds*, built only while the support index is active) advances
         the DRed support store through the same frontier."""
         n = self.graph.node_count
-        matrices = self._matrices_from_state(n)
-        result = run_closure(matrices, self._pair_rules,
-                             self._batch_backend(),
-                             strategy=self.strategy,
-                             initial_frontier=self._seed_matrices(n, seeds),
-                             **self.strategy_options)
-        self._batch_updates += 1
-        new_facts = self._absorb(result.matrices)
+        with get_tracer().span("frontier.run",
+                               strategy=self.strategy) as span:
+            matrices = self._matrices_from_state(n)
+            result = run_closure(
+                matrices, self._pair_rules, self._batch_backend(),
+                strategy=self.strategy,
+                initial_frontier=self._seed_matrices(n, seeds),
+                **self.strategy_options)
+            self._batch_updates += 1
+            new_facts = self._absorb(result.matrices)
+            span.set("new_facts", len(new_facts))
         self._propagated_facts += len(new_facts)
         self._support_store.after_batch(self, support_seeds, new_facts)
         return len(new_facts)

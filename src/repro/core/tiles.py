@@ -57,6 +57,7 @@ from concurrent.futures import (Executor, ProcessPoolExecutor,
 
 from ..errors import UnknownSchedulerError
 from ..matrices.base import BooleanMatrix, get_backend
+from ..obs.trace import get_tracer
 
 #: Environment variable supplying the default scheduler name.
 SCHEDULER_ENV = "REPRO_SCHEDULER"
@@ -113,6 +114,24 @@ def _compute_group_from_payloads(pair_payloads) -> tuple:
         for left, right in pair_payloads
     ]
     return tile_payload_of(compute_group(pairs))
+
+
+def _compute_group_from_payloads_traced(item) -> tuple:
+    """Traced process-pool worker: like
+    :func:`_compute_group_from_payloads`, but runs the group inside a
+    ``tile.group`` span recorded by a throwaway worker-local tracer and
+    ships the finished span records back *next to* the payload — spans
+    cannot cross the pipe live, so they travel the same channel as the
+    result and the parent splices them in with ``Tracer.ingest``."""
+    from ..obs.trace import MemorySink, Tracer
+
+    parent_ref, tasks, pair_payloads = item
+    sink = MemorySink()
+    tracer = Tracer(sink)
+    with tracer.span("tile.group", parent_ref=parent_ref,
+                     scheduler="process", tasks=tasks):
+        payload = _compute_group_from_payloads(pair_payloads)
+    return payload, sink.drain()
 
 
 class TileSource:
@@ -182,9 +201,12 @@ class SerialScheduler(TileScheduler):
     name = "serial"
 
     def run(self, groups, source: TileSource, sink=None) -> "list | None":
+        tracer = get_tracer()
         results = [] if sink is None else None
         for key, pair_keys in groups:
-            with source.pinned(_operand_keys(pair_keys)):
+            with tracer.span("tile.group", scheduler=self.name,
+                             tasks=len(pair_keys)), \
+                    source.pinned(_operand_keys(pair_keys)):
                 product = compute_group(
                     (source.tile(left), source.tile(right))
                     for left, right in pair_keys
@@ -225,9 +247,18 @@ class ThreadScheduler(TileScheduler):
         if len(groups) <= 1:
             return SerialScheduler().run(groups, source, sink)
 
+        # Pool workers run in their own long-lived contexts, so the
+        # submitter's span does not propagate implicitly; capture its
+        # ref here and parent every group span on it explicitly.
+        tracer = get_tracer()
+        parent_ref = tracer.current_ref()
+
         def compute(item):
             _key, pair_keys = item
-            with source.pinned(_operand_keys(pair_keys)):
+            with tracer.span("tile.group", parent_ref=parent_ref,
+                             scheduler="threads",
+                             tasks=len(pair_keys)), \
+                    source.pinned(_operand_keys(pair_keys)):
                 return compute_group(
                     (source.tile(left), source.tile(right))
                     for left, right in pair_keys
@@ -284,8 +315,27 @@ class ProcessScheduler(TileScheduler):
             for _key, pair_keys in groups
         ]
         chunksize = max(1, len(payloads) // (4 * _pool_workers()))
-        results = self._pool().map(_compute_group_from_payloads, payloads,
-                                   chunksize=chunksize)
+        tracer = get_tracer()
+        if tracer.enabled:
+            # Workers trace into a local buffer and ship the span
+            # records back beside each payload; splice them in here so
+            # the tree parents onto the submitting span.
+            parent_ref = tracer.current_ref()
+            items = [
+                (parent_ref, len(pair_keys), payload_group)
+                for (_key, pair_keys), payload_group in zip(groups, payloads)
+            ]
+            traced_results = self._pool().map(
+                _compute_group_from_payloads_traced, items,
+                chunksize=chunksize,
+            )
+            results = []
+            for payload, span_records in traced_results:
+                tracer.ingest(span_records)
+                results.append(payload)
+        else:
+            results = self._pool().map(_compute_group_from_payloads,
+                                       payloads, chunksize=chunksize)
         if sink is None:
             return [matrix_from_payload(result) for result in results]
         for (key, _pair_keys), result in zip(groups, results):

@@ -1,0 +1,64 @@
+"""Unified observability: structured tracing, metrics, export.
+
+Three dependency-free pillars, shared by every layer of the engine
+(closure strategies, tile scheduler + spillable store, incremental
+DRed, the replicated serving tier):
+
+* :mod:`repro.obs.trace` — a :class:`Tracer` producing nested spans
+  (context-manager + decorator API, contextvars-based so spans nest
+  correctly across threads and the tile schedulers' pools), a rotating
+  JSONL sink (``REPRO_TRACE_FILE`` / ``--trace-file``), and the shared
+  :func:`stopwatch` timer primitive that replaced the ad-hoc
+  ``time.perf_counter`` call sites.
+* :mod:`repro.obs.metrics` — a process-wide registry of counters,
+  gauges and fixed-bucket histograms the per-layer stats dataclasses
+  publish into, rendered in Prometheus text format.
+* :mod:`repro.obs.export` — the HTTP scrape endpoint behind
+  ``serve --metrics-addr`` and the ``metrics`` JSONL wire op.
+
+Instrumentation is **zero-cost when disabled** (the null tracer's
+``span`` returns a shared no-op context manager) and provably
+non-semantic: closures are byte-identical with tracing on or off
+(``tests/obs/test_trace_differential.py``).
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    render_prometheus,
+    reset_metrics,
+)
+from .trace import (
+    NULL_TRACER,
+    Span,
+    Tracer,
+    configure_tracing,
+    get_tracer,
+    reset_tracing,
+    stopwatch,
+    traced,
+)
+from .summarize import summarize_trace, render_summary
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "Span",
+    "Tracer",
+    "configure_tracing",
+    "get_registry",
+    "get_tracer",
+    "render_prometheus",
+    "render_summary",
+    "reset_metrics",
+    "reset_tracing",
+    "stopwatch",
+    "summarize_trace",
+    "traced",
+]

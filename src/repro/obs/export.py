@@ -1,0 +1,73 @@
+"""Metrics scrape endpoint: ``GET /metrics`` in Prometheus text.
+
+``serve --metrics-addr HOST:PORT`` starts this next to the JSONL
+server; the same text is also available in-band through the ``metrics``
+wire op, so scripted sessions (CI's obs-smoke) need no second socket.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from .metrics import get_registry, render_prometheus
+
+__all__ = ["MetricsServer", "start_metrics_server"]
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    registry = None  # bound per-server subclass below
+
+    def do_GET(self):  # noqa: N802 - http.server API
+        if self.path.split("?", 1)[0] not in ("/metrics", "/"):
+            self.send_error(404)
+            return
+        body = render_prometheus(self.registry).encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type",
+                         "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format, *args):  # quiet: scrapes are periodic
+        pass
+
+
+class MetricsServer:
+    """A daemon-threaded HTTP scrape endpoint over one registry."""
+
+    def __init__(self, host: str, port: int, registry=None):
+        self.registry = registry if registry is not None else get_registry()
+        handler = type("BoundMetricsHandler", (_MetricsHandler,),
+                       {"registry": self.registry})
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-metrics", daemon=True)
+
+    @property
+    def address(self) -> tuple:
+        return self._httpd.server_address[:2]
+
+    def start(self) -> "MetricsServer":
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=5)
+
+
+def start_metrics_server(addr: str, registry=None) -> MetricsServer:
+    """Parse ``HOST:PORT`` (bare ``:PORT`` binds all interfaces, a bare
+    port binds localhost) and start serving scrapes immediately."""
+    text = addr.strip()
+    if ":" in text:
+        host, _, port_text = text.rpartition(":")
+        host = host or "0.0.0.0"
+    else:
+        host, port_text = "127.0.0.1", text
+    return MetricsServer(host, int(port_text), registry).start()

@@ -1,0 +1,117 @@
+"""Per-phase breakdown of a recorded trace, Table-1 style.
+
+``repro trace summarize FILE`` reads the JSONL span records a
+``--trace-file`` run emitted and aggregates them per span name: count,
+total/mean/max wall time, and each phase's *self time* share — the
+span's duration minus its direct children's, which is the number the
+paper's per-phase tables report (a ``closure`` row should not
+double-count the ``closure.round`` rows nested inside it).
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = ["summarize_trace", "render_summary"]
+
+
+def _iter_records(lines):
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(record, dict) and "name" in record \
+                and record.get("dur_s") is not None:
+            yield record
+
+
+def summarize_trace(path_or_lines) -> dict:
+    """Aggregate a trace file (path) or iterable of JSONL lines.
+
+    Returns ``{"spans": {name: {count, total_s, self_s, mean_s,
+    max_s}}, "traces": n, "records": n, "total_self_s": t}`` with
+    ``self_s`` = duration minus direct children's durations, clamped at
+    zero (concurrent children can overlap their parent).
+    """
+    if isinstance(path_or_lines, (str, bytes)) \
+            or hasattr(path_or_lines, "__fspath__"):
+        with open(path_or_lines, "r", encoding="utf-8") as handle:
+            records = list(_iter_records(handle))
+    else:
+        records = list(_iter_records(path_or_lines))
+
+    child_seconds: dict = {}
+    for record in records:
+        parent = record.get("parent_id")
+        if parent is not None:
+            key = (record.get("trace_id"), parent)
+            child_seconds[key] = child_seconds.get(key, 0.0) \
+                + float(record["dur_s"])
+
+    spans: dict = {}
+    traces = set()
+    for record in records:
+        name = record["name"]
+        dur = float(record["dur_s"])
+        traces.add(record.get("trace_id"))
+        own_key = (record.get("trace_id"), record.get("span_id"))
+        self_s = max(dur - child_seconds.get(own_key, 0.0), 0.0)
+        entry = spans.setdefault(name, {
+            "count": 0, "total_s": 0.0, "self_s": 0.0, "max_s": 0.0,
+        })
+        entry["count"] += 1
+        entry["total_s"] += dur
+        entry["self_s"] += self_s
+        entry["max_s"] = max(entry["max_s"], dur)
+
+    for entry in spans.values():
+        entry["mean_s"] = entry["total_s"] / entry["count"]
+
+    return {
+        "spans": spans,
+        "records": len(records),
+        "traces": len(traces),
+        "total_self_s": sum(e["self_s"] for e in spans.values()),
+    }
+
+
+def render_summary(summary: dict) -> str:
+    """The aggregate as an aligned text table, phases sorted by self
+    time descending — the shape of the paper's per-phase timings."""
+    spans = summary["spans"]
+    if not spans:
+        return "(no span records)\n"
+    total_self = summary["total_self_s"] or 1.0
+    header = ("phase", "count", "total_s", "self_s", "mean_s",
+              "max_s", "self%")
+    rows = [header]
+    for name in sorted(spans, key=lambda n: -spans[n]["self_s"]):
+        entry = spans[name]
+        rows.append((
+            name,
+            str(entry["count"]),
+            f"{entry['total_s']:.6f}",
+            f"{entry['self_s']:.6f}",
+            f"{entry['mean_s']:.6f}",
+            f"{entry['max_s']:.6f}",
+            f"{100.0 * entry['self_s'] / total_self:.1f}",
+        ))
+    widths = [max(len(row[col]) for row in rows)
+              for col in range(len(header))]
+    lines = []
+    for index, row in enumerate(rows):
+        lines.append("  ".join(
+            cell.ljust(widths[col]) if col == 0 else cell.rjust(widths[col])
+            for col, cell in enumerate(row)
+        ).rstrip())
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    lines.append("")
+    lines.append(f"{summary['records']} spans across "
+                 f"{summary['traces']} traces; "
+                 f"total self time {summary['total_self_s']:.6f}s")
+    return "\n".join(lines) + "\n"

@@ -32,7 +32,6 @@ from __future__ import annotations
 import contextlib
 import os
 import threading
-import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Hashable, Iterable
@@ -46,7 +45,19 @@ from ..errors import ReproError, SemanticsError
 from ..grammar.symbols import Nonterminal, Terminal
 from ..graph.labeled_graph import Edge, LabeledGraph
 from ..matrices.base import default_backend, get_backend
+from ..obs.metrics import DEFAULT_SIZE_BUCKETS, get_registry
+from ..obs.trace import get_tracer, stopwatch
 from . import snapshot as snapshot_store
+
+
+def _cache_requests_counter():
+    """The per-semantics cache hit/miss counter (resolved at use time so
+    a test-swapped registry is always honoured)."""
+    return get_registry().counter(
+        "repro_cache_requests_total",
+        "Query cache lookups by semantics and outcome",
+        ("semantics", "outcome"),
+    )
 
 #: Query semantics the service caches and serves.
 SERVICE_SEMANTICS = ("relational", "single-path", "length")
@@ -218,18 +229,20 @@ class QueryService:
             raise SemanticsError(
                 f"unknown service semiring {self.semiring!r}; expected one "
                 f"of {SERVICE_SEMIRINGS}")
-        started = time.perf_counter()
-        if single_path:
-            self.solver: IncrementalCFPQ = IncrementalSinglePathCFPQ(
-                graph, grammar, strategy=strategy, warm_state=warm_state,
-                **strategy_options,
-            )
-        else:
-            self.solver = IncrementalCFPQ(
-                graph, grammar, backend=self.backend, strategy=strategy,
-                warm_state=warm_state, **strategy_options,
-            )
-        self._startup_seconds = time.perf_counter() - started
+        with get_tracer().span("service.startup",
+                               warm=warm_state is not None), \
+                stopwatch() as startup_timer:
+            if single_path:
+                self.solver: IncrementalCFPQ = IncrementalSinglePathCFPQ(
+                    graph, grammar, strategy=strategy,
+                    warm_state=warm_state, **strategy_options,
+                )
+            else:
+                self.solver = IncrementalCFPQ(
+                    graph, grammar, backend=self.backend, strategy=strategy,
+                    warm_state=warm_state, **strategy_options,
+                )
+        self._startup_seconds = startup_timer.elapsed
         self._warm_started = warm_state is not None
 
         self._lock = ReadWriteLock()
@@ -441,6 +454,8 @@ class QueryService:
                     hit = True
                 else:
                     self._misses += 1
+            _cache_requests_counter().inc(
+                semantics=semantics, outcome="hit" if hit else "miss")
             if not hit:
                 value = self._evaluate(start, source, target, semantics)
                 with self._cache_lock:
@@ -482,8 +497,13 @@ class QueryService:
             except BATCH_ITEM_ERRORS as exc:
                 items.append(exc)
         results: list = [None] * len(items)
+        get_registry().histogram(
+            "repro_batch_occupancy", "Queries answered per batch call",
+            buckets=DEFAULT_SIZE_BUCKETS,
+        ).observe(len(items))
         with self._lock.reading():
             residue: list[tuple[int, tuple, tuple]] = []
+            cache_outcomes: list[tuple[str, str]] = []
             with self._cache_lock:
                 for index, item in enumerate(items):
                     if isinstance(item, Exception):
@@ -496,9 +516,14 @@ class QueryService:
                         self._hits += 1
                         self._cache.move_to_end(key)
                         results[index] = self._cache[key]
+                        cache_outcomes.append((item[3], "hit"))
                     else:
                         self._misses += 1
                         residue.append((index, key, item))
+                        cache_outcomes.append((item[3], "miss"))
+            requests_counter = _cache_requests_counter()
+            for semantics, outcome in cache_outcomes:
+                requests_counter.inc(semantics=semantics, outcome=outcome)
 
             maskable: list[tuple[int, tuple, BatchQuery]] = []
             to_cache: list[tuple[tuple, object]] = []
@@ -756,8 +781,9 @@ class QueryService:
         frontier run.  Queries block for the duration (writer lock) and
         afterwards see exactly the new fixpoint.
         """
-        with self._lock.writing():
-            started = time.perf_counter()
+        with self._lock.writing(), \
+                get_tracer().span("service.tick") as tick_span, \
+                stopwatch() as tick_timer:
             last_op: dict[tuple, str] = {}
             inserts_requested = deletes_requested = 0
             for op, edge in ops:
@@ -821,7 +847,11 @@ class QueryService:
                 changed, drop_single_path=bool(deletes),
                 path_changed=path_changed,
             )
-            seconds = time.perf_counter() - started
+            seconds = tick_timer.elapsed
+            tick_span.set("ops", inserts_requested + deletes_requested)
+            tick_span.set("coalesced_away", coalesced_away)
+            tick_span.set("facts_added", facts_added)
+            tick_span.set("facts_removed", facts_removed)
 
             self._ticks += 1
             self._ops_requested += inserts_requested + deletes_requested
@@ -830,6 +860,17 @@ class QueryService:
             self._frontier_runs += frontier_runs
             self._tick_seconds_last = seconds
             self._tick_seconds_total += seconds
+            registry = get_registry()
+            registry.counter(
+                "repro_ticks_total", "Update ticks applied"
+            ).inc()
+            registry.counter(
+                "repro_tick_ops_coalesced_total",
+                "Update ops coalesced away before applying"
+            ).inc(coalesced_away)
+            registry.histogram(
+                "repro_tick_seconds", "Update tick latency"
+            ).observe(seconds)
             self._maybe_capture_stats()
             return TickReport(
                 inserts_requested=inserts_requested,

@@ -36,6 +36,8 @@ import threading
 from typing import Iterable
 
 from ..errors import ReadOnlyReplicaError, WALError
+from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer
 from .query_service import QueryService, TickReport
 from .wal import TickLog, TickLogReader, decode_ops, encode_ops
 
@@ -250,10 +252,29 @@ class FollowerService(_ServiceProxy):
         response."""
         with self._replay_mutex:
             applied = 0
-            for seq, ops in self._reader.poll():
-                self.service.tick(decode_ops(ops))
-                applied += 1
+            with get_tracer().span("replica.replay") as span:
+                pending = self._reader.poll()
+                # Observed backlog before applying: how many ticks this
+                # replica was behind the log at poll time.
+                registry = get_registry()
+                registry.gauge(
+                    "repro_replica_replay_lag_ticks",
+                    "Ticks behind the WAL at the last replay poll"
+                ).set(len(pending))
+                for seq, ops in pending:
+                    self.service.tick(decode_ops(ops))
+                    applied += 1
+                span.set("applied_ticks", applied)
             self._ticks_replayed += applied
+            registry.counter(
+                "repro_replica_ticks_replayed_total",
+                "WAL ticks replayed by this follower"
+            ).inc(applied)
+            # The backlog is drained: replay lag returns to zero.
+            registry.gauge(
+                "repro_replica_replay_lag_ticks",
+                "Ticks behind the WAL at the last replay poll"
+            ).set(0)
             return {"applied_ticks": applied, "seq": self._reader.last_seq}
 
     # ------------------------------------------------------------------

@@ -22,6 +22,7 @@ TCP (``repro-cfpq serve --port N``; try it with netcat).  Requests:
     {"op": "stats"}
     {"op": "sync"}
     {"op": "save", "path": "index.snapshot"}
+    {"op": "metrics"}
     {"op": "ping"}
     {"op": "shutdown"}
 
@@ -73,15 +74,19 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import itertools
 import json
 import logging
 import os
 import sys
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import IO, Iterable
 
 from ..errors import ReproError
+from ..obs.metrics import get_registry, render_prometheus
+from ..obs.trace import get_tracer, stopwatch
 from .query_service import QueryService, TickReport
 
 logger = logging.getLogger(__name__)
@@ -102,6 +107,66 @@ DEFAULT_EXECUTOR_WORKERS = 32
 # Request handling (transport-independent)
 # ----------------------------------------------------------------------
 
+#: Request-id source for trace correlation; the pid prefix keeps ids
+#: distinct across a leader and its replica processes.
+_RID_COUNTER = itertools.count(1)
+
+#: Sentinel: slow-query config not resolved from the environment yet.
+_SLOW_UNSET = object()
+_SLOW_QUERY: "tuple[float, str | None] | None | object" = _SLOW_UNSET
+_SLOW_LOCK = threading.Lock()
+
+
+def _next_rid() -> str:
+    return f"{os.getpid():x}-{next(_RID_COUNTER):x}"
+
+
+def set_slow_query_log(threshold_ms: "float | None",
+                       log_path: "str | None" = None) -> None:
+    """Configure the slow-query log: requests taking at least
+    *threshold_ms* get their full span tree appended to *log_path*
+    (JSONL; None logs through the module logger instead).  Pass
+    ``threshold_ms=None`` to disable, after which the environment
+    (``REPRO_SLOW_QUERY_MS`` / ``REPRO_SLOW_QUERY_LOG``) is consulted
+    again on the next request."""
+    global _SLOW_QUERY
+    with _SLOW_LOCK:
+        if threshold_ms is None:
+            _SLOW_QUERY = _SLOW_UNSET
+        else:
+            _SLOW_QUERY = (float(threshold_ms), log_path)
+
+
+def _slow_query_config() -> "tuple[float, str | None] | None":
+    global _SLOW_QUERY
+    config = _SLOW_QUERY
+    if config is not _SLOW_UNSET:
+        return config
+    with _SLOW_LOCK:
+        if _SLOW_QUERY is _SLOW_UNSET:
+            raw = os.environ.get("REPRO_SLOW_QUERY_MS", "").strip()
+            if raw:
+                _SLOW_QUERY = (float(raw),
+                               os.environ.get("REPRO_SLOW_QUERY_LOG")
+                               or None)
+            else:
+                _SLOW_QUERY = None
+        return _SLOW_QUERY
+
+
+def _record_slow_query(log_path: "str | None", op: str, rid: str,
+                       seconds: float, spans: list) -> None:
+    entry = {"ts": time.time(), "op": op, "rid": rid,
+             "seconds": seconds, "spans": spans}
+    if log_path is None:
+        logger.warning("slow query op=%s rid=%s took %.3fs (%d spans)",
+                       op, rid, seconds, len(spans))
+        return
+    line = json.dumps(entry, sort_keys=True) + "\n"
+    with _SLOW_LOCK, open(log_path, "a", encoding="utf-8") as stream:
+        stream.write(line)
+
+
 def handle_request(service: QueryService, request: dict,
                    include_stats: bool = False) -> dict:
     """Execute one request object against *service*.
@@ -112,7 +177,54 @@ def handle_request(service: QueryService, request: dict,
     *include_stats* the attached stats are captured inside the
     operation's own critical section (see
     :meth:`QueryService.capture_stats`) — never from a racy read after
-    the response was built."""
+    the response was built.
+
+    Every request lands in the metrics registry (count + latency per
+    op); with tracing enabled it runs inside a ``server.request`` span
+    carrying a request id (``_rid`` in the request, injected by a
+    fan-out leader, is honoured so leader and replica spans correlate),
+    and requests over the slow-query threshold get their span tree
+    appended to the slow-query log."""
+    op = request.get("op", "query") if isinstance(request, dict) \
+        else "invalid"
+    tracer = get_tracer()
+    slow = _slow_query_config()
+    with stopwatch() as timer:
+        if not tracer.enabled:
+            response = _execute_request(service, request, include_stats)
+        else:
+            rid = (request.get("_rid")
+                   if isinstance(request, dict) else None) or _next_rid()
+            if slow is not None:
+                with tracer.collect() as records, \
+                        tracer.span("server.request", op=op,
+                                    rid=rid) as span:
+                    response = _execute_request(service, request,
+                                                include_stats)
+                    trace_id = span.trace_id
+                elapsed = timer.elapsed
+                if elapsed * 1000.0 >= slow[0]:
+                    _record_slow_query(
+                        slow[1], op, rid, elapsed,
+                        [record for record in records
+                         if record["trace_id"] == trace_id],
+                    )
+            else:
+                with tracer.span("server.request", op=op, rid=rid):
+                    response = _execute_request(service, request,
+                                                include_stats)
+    registry = get_registry()
+    registry.counter(
+        "repro_requests_total", "Requests handled", ("op",)
+    ).inc(op=op)
+    registry.histogram(
+        "repro_request_seconds", "Request latency", ("op",)
+    ).observe(timer.elapsed, op=op)
+    return response
+
+
+def _execute_request(service: QueryService, request: dict,
+                     include_stats: bool) -> dict:
     capture = (service.capture_stats() if include_stats
                and hasattr(service, "capture_stats")
                else contextlib.nullcontext(lambda: None))
@@ -208,13 +320,15 @@ def _dispatch(service: QueryService, op: str, request: dict):
         if not path:
             raise ValueError("save requires 'path'")
         return {"path": path, "bytes": service.save_snapshot(path)}
+    if op == "metrics":
+        return {"format": "prometheus", "text": render_prometheus()}
     if op == "ping":
         return "pong"
     if op == "shutdown":
         return "bye"
     raise ValueError(
         f"unknown op {op!r}; expected query/batch/top_k/update/stats/"
-        "sync/save/ping/shutdown"
+        "sync/save/metrics/ping/shutdown"
     )
 
 
@@ -326,8 +440,20 @@ def _microbatch_responses(service, requests: list,
             "semantics": request.get("semantics", "relational"),
         })
         slots.append(position)
-    with capture as captured:
-        answers = service.query_batch(items) if items else []
+    with stopwatch() as timer, \
+            get_tracer().span("server.microbatch",
+                              requests=len(requests), coalesced=len(items)):
+        with capture as captured:
+            answers = service.query_batch(items) if items else []
+    registry = get_registry()
+    # Micro-batched queries bypass handle_request, so account for them
+    # here — repro_requests_total stays the one true request count.
+    registry.counter(
+        "repro_requests_total", "Requests handled", ("op",)
+    ).inc(len(requests), op="query")
+    registry.histogram(
+        "repro_request_seconds", "Request latency", ("op",)
+    ).observe(timer.elapsed, op="query")
     for position, answer in zip(slots, answers):
         if isinstance(answer, Exception):
             responses[position] = {"ok": False, "error": str(answer),
@@ -626,8 +752,25 @@ class AsyncJSONLServer:
         if self._replica_pool is not None and isinstance(request, dict) \
                 and request.get("op", "query") in ("query", "batch",
                                                    "top_k"):
-            forwarded = await self._replica_pool.forward(stripped)
+            tracer = get_tracer()
+            if tracer.enabled:
+                # Stamp a request id into the forwarded line so the
+                # replica's server.request span carries the same rid as
+                # the leader's server.forward span (handle_request
+                # honours "_rid"; unknown keys are ignored by dispatch).
+                rid = request.get("_rid") or _next_rid()
+                with tracer.span("server.forward",
+                                 op=request.get("op", "query"), rid=rid):
+                    forwarded = await self._replica_pool.forward(
+                        json.dumps({**request, "_rid": rid}))
+            else:
+                forwarded = await self._replica_pool.forward(stripped)
             if forwarded is not None:
+                get_registry().counter(
+                    "repro_requests_forwarded_total",
+                    "Read requests answered by a follower replica",
+                    ("op",),
+                ).inc(op=request.get("op", "query"))
                 return forwarded
             # Every replica down: serve the read locally.
         if self._batch_window_s > 0 and isinstance(request, dict) \

@@ -49,6 +49,8 @@ import os
 from typing import Iterable, Iterator
 
 from ..errors import WALError
+from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer, stopwatch
 
 __all__ = ["TickLog", "TickLogReader", "encode_ops", "decode_ops"]
 
@@ -259,18 +261,31 @@ class TickLog:
         return seq
 
     def _write(self, record: dict) -> None:
-        self._stream.write(json.dumps(record).encode("utf-8") + b"\n")
-        self._stream.flush()
-        self._unsynced += 1
-        if self.fsync == "always" or (
-                self.fsync == "batch"
-                and self._unsynced >= self.fsync_interval):
-            self._fsync()
+        with get_tracer().span("wal.append", kind=record["kind"],
+                               seq=record["seq"]):
+            self._stream.write(json.dumps(record).encode("utf-8") + b"\n")
+            self._stream.flush()
+            self._unsynced += 1
+            if self.fsync == "always" or (
+                    self.fsync == "batch"
+                    and self._unsynced >= self.fsync_interval):
+                self._fsync()
+        get_registry().counter(
+            "repro_wal_appends_total", "WAL records appended", ("kind",)
+        ).inc(kind=record["kind"])
 
     def _fsync(self) -> None:
         if self._unsynced:
-            os.fsync(self._stream.fileno())
+            with get_tracer().span("wal.fsync"), stopwatch() as timer:
+                os.fsync(self._stream.fileno())
             self._unsynced = 0
+            registry = get_registry()
+            registry.counter(
+                "repro_wal_fsyncs_total", "WAL fsync calls"
+            ).inc()
+            registry.histogram(
+                "repro_wal_fsync_seconds", "WAL fsync latency"
+            ).observe(timer.elapsed)
 
     def flush(self) -> None:
         """Force the log durable regardless of policy (``"never"``

@@ -1,0 +1,18 @@
+"""Observability test isolation: every test gets a fresh registry and
+a clean (environment-resolved) tracer, and leaves none behind."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import reset_metrics
+from repro.obs.trace import reset_tracing
+
+
+@pytest.fixture(autouse=True)
+def _fresh_observability():
+    reset_metrics()
+    reset_tracing()
+    yield
+    reset_metrics()
+    reset_tracing()
